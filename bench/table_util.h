@@ -1,0 +1,81 @@
+#ifndef PARDB_BENCH_TABLE_UTIL_H_
+#define PARDB_BENCH_TABLE_UTIL_H_
+
+// Aligned-column table printer for the paper-reproduction sections of the
+// benchmark binaries. Each bench prints the rows/series the paper reports
+// before running its google-benchmark timings.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pardb::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Ts>
+  void AddRow(const Ts&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(ToCell(cells)), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      widths[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto PrintRow = [&](const std::vector<std::string>& row) {
+      os << "| ";
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        os << std::left << std::setw(static_cast<int>(widths[i]))
+           << (i < row.size() ? row[i] : "") << " | ";
+      }
+      os << "\n";
+    };
+    PrintRow(headers_);
+    os << "|";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "-|";
+    os << "\n";
+    for (const auto& row : rows_) PrintRow(row);
+  }
+
+ private:
+  template <typename T>
+  static std::string ToCell(const T& v) {
+    if constexpr (std::is_same_v<T, std::string>) {
+      return v;
+    } else if constexpr (std::is_convertible_v<T, const char*>) {
+      return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(3) << v;
+      return os.str();
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Section(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace pardb::bench
+
+#endif  // PARDB_BENCH_TABLE_UTIL_H_

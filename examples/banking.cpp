@@ -1,0 +1,153 @@
+// Banking example: concurrent account transfers under two-phase locking.
+//
+// Transfers lock two accounts in arbitrary order, so deadlocks are
+// frequent. The example runs the same workload under the classical
+// remove-and-restart baseline and under the paper's partial-rollback
+// strategies, verifies that money is conserved either way, and shows how
+// much executed work each approach throws away.
+//
+// Build & run:  ./build/examples/banking
+
+#include <cstdio>
+#include <numeric>
+
+#include "analysis/history.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "storage/entity_store.h"
+#include "txn/program.h"
+
+using namespace pardb;
+
+namespace {
+
+constexpr int kAccounts = 16;
+constexpr Value kInitialBalance = 1000;
+constexpr int kTransfers = 200;
+constexpr int kConcurrency = 8;
+
+// A chained transfer a -> b -> c: locks three accounts one by one (in
+// arbitrary order across transactions, so deadlocks happen) and moves
+// `amount` along the chain, doing its per-account bookkeeping right after
+// each lock. With three locks and clustered updates, a deadlock over a
+// later account costs only the progress since that account's lock — the
+// partial-rollback sweet spot.
+txn::Program MakeTransfer(EntityId a, EntityId b, EntityId c, Value amount,
+                          int id) {
+  txn::ProgramBuilder pb("transfer-" + std::to_string(id), 3);
+  pb.LockExclusive(a)
+      .Read(a, 0)
+      .Compute(0, txn::Operand::Var(0), txn::ArithOp::kSub,
+               txn::Operand::Imm(amount))
+      .WriteVar(a, 0)
+      .LockExclusive(b)
+      .Read(b, 1)
+      .Compute(1, txn::Operand::Var(1), txn::ArithOp::kAdd,
+               txn::Operand::Imm(amount))
+      .Compute(1, txn::Operand::Var(1), txn::ArithOp::kSub,
+               txn::Operand::Imm(amount / 2))
+      .WriteVar(b, 1)
+      .LockExclusive(c)
+      .Read(c, 2)
+      .Compute(2, txn::Operand::Var(2), txn::ArithOp::kAdd,
+               txn::Operand::Imm(amount / 2))
+      .WriteVar(c, 2)
+      .Commit();
+  auto p = pb.Build();
+  if (!p.ok()) {
+    std::fprintf(stderr, "bad program: %s\n", p.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(p).value();
+}
+
+struct RunResult {
+  core::EngineMetrics metrics;
+  Value total_balance = 0;
+  bool serializable = false;
+};
+
+RunResult RunWorkload(rollback::StrategyKind strategy) {
+  storage::EntityStore store;
+  auto accounts = store.CreateMany(kAccounts, kInitialBalance);
+
+  analysis::HistoryRecorder recorder;
+  core::EngineOptions options;
+  options.strategy = strategy;
+  options.victim_policy = core::VictimPolicyKind::kMinCostOrdered;
+  options.scheduler = core::SchedulerKind::kRandom;
+  options.seed = 2026;
+  core::Engine engine(&store, options, &recorder);
+
+  Rng rng(7);  // same transfer sequence for every strategy
+  int spawned = 0;
+  auto SpawnNext = [&]() {
+    // Three distinct accounts.
+    std::uint64_t a = rng.Uniform(kAccounts);
+    std::uint64_t b = rng.Uniform(kAccounts - 1);
+    if (b >= a) ++b;
+    std::uint64_t c;
+    do {
+      c = rng.Uniform(kAccounts);
+    } while (c == a || c == b);
+    Value amount = static_cast<Value>(2 + 2 * rng.Uniform(25));
+    auto t = engine.Spawn(MakeTransfer(accounts[a], accounts[b], accounts[c],
+                                       amount, spawned));
+    if (!t.ok()) std::abort();
+    ++spawned;
+  };
+
+  while (engine.metrics().commits < kTransfers) {
+    while (spawned < kTransfers &&
+           spawned - static_cast<int>(engine.metrics().commits) <
+               kConcurrency) {
+      SpawnNext();
+    }
+    auto stepped = engine.StepAny();
+    if (!stepped.ok() || !stepped.value().has_value()) {
+      std::fprintf(stderr, "engine stalled:\n%s\n",
+                   engine.DumpState().c_str());
+      std::abort();
+    }
+  }
+
+  RunResult result;
+  result.metrics = engine.metrics();
+  for (EntityId acc : accounts) {
+    result.total_balance += store.Get(acc).value().value;
+  }
+  result.serializable = recorder.IsConflictSerializable();
+  return result;
+}
+
+void Report(const char* name, const RunResult& r) {
+  std::printf("%-14s commits=%llu deadlocks=%llu rollbacks=%llu "
+              "wasted_ops=%llu (ideal %llu)  money=%lld (%s)  %s\n",
+              name, (unsigned long long)r.metrics.commits,
+              (unsigned long long)r.metrics.deadlocks,
+              (unsigned long long)r.metrics.rollbacks,
+              (unsigned long long)r.metrics.wasted_ops,
+              (unsigned long long)r.metrics.ideal_wasted_ops,
+              (long long)r.total_balance,
+              r.total_balance == kAccounts * kInitialBalance ? "conserved"
+                                                             : "LOST!",
+              r.serializable ? "serializable" : "NOT SERIALIZABLE");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%d transfers over %d accounts, %d concurrent (same seed):\n\n",
+              kTransfers, kAccounts, kConcurrency);
+  Report("total-restart", RunWorkload(rollback::StrategyKind::kTotalRestart));
+  Report("partial (SDG)", RunWorkload(rollback::StrategyKind::kSdg));
+  Report("partial (MCS)", RunWorkload(rollback::StrategyKind::kMcs));
+  std::printf(
+      "\nThe same deadlocks, less work re-executed: partial rollback "
+      "restarts each victim at the\nconflicting lock request instead of "
+      "from scratch (the gap grows with transaction length\nand "
+      "contention — see bench_partial_vs_total). SDG matches MCS here "
+      "because the transfers\ncluster their writes, so every lock state "
+      "is well-defined (paper §5).\n");
+  return 0;
+}

@@ -1,0 +1,199 @@
+#include "analysis/history.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace pardb::analysis {
+
+void HistoryRecorder::OnBegin(TxnId txn, Timestamp entry) {
+  active_[txn] = TxnLog{entry, {}};
+}
+
+void HistoryRecorder::OnRead(TxnId txn, EntityId entity, std::uint64_t version,
+                             StateIndex state) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return;
+  it->second.events.push_back(AccessEvent{entity, version, state, false});
+}
+
+void HistoryRecorder::OnPublish(TxnId txn, EntityId entity,
+                                std::uint64_t version, StateIndex state) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return;
+  it->second.events.push_back(AccessEvent{entity, version, state, true});
+}
+
+void HistoryRecorder::OnRollback(TxnId txn, StateIndex target_state) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return;
+  auto& events = it->second.events;
+  // Publishes cannot be rolled back (two-phase rule); only reads are
+  // dropped.
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [target_state](const AccessEvent& e) {
+                                assert(!e.is_write ||
+                                       e.state < target_state);
+                                return e.state >= target_state;
+                              }),
+               events.end());
+}
+
+void HistoryRecorder::OnCommit(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return;
+  committed_[txn] = std::move(it->second);
+  active_.erase(it);
+}
+
+std::map<std::uint64_t, std::vector<std::uint64_t>>
+HistoryRecorder::BuildPrecedence() const {
+  // Per entity: committed publishes ordered by version, and committed reads
+  // keyed by the version they saw.
+  struct EntityAccesses {
+    std::map<std::uint64_t, std::uint64_t> writers;          // version -> txn
+    std::map<std::uint64_t, std::set<std::uint64_t>> readers;  // version seen
+  };
+  std::map<EntityId, EntityAccesses> per_entity;
+  for (const auto& [txn, log] : committed_) {
+    for (const AccessEvent& e : log.events) {
+      auto& ea = per_entity[e.entity];
+      if (e.is_write) {
+        ea.writers[e.version] = txn.value();
+      } else {
+        ea.readers[e.version].insert(txn.value());
+      }
+    }
+  }
+
+  std::map<std::uint64_t, std::vector<std::uint64_t>> out;
+  for (const auto& [txn, log] : committed_) {
+    (void)log;
+    out.try_emplace(txn.value());
+  }
+  auto AddEdge = [&out](std::uint64_t a, std::uint64_t b) {
+    if (a == b) return;
+    out[a].push_back(b);
+  };
+
+  for (const auto& [entity, ea] : per_entity) {
+    (void)entity;
+    // w(v) -> w(v') for consecutive committed publish versions.
+    std::uint64_t prev_writer = 0;
+    bool has_prev = false;
+    for (const auto& [version, writer] : ea.writers) {
+      (void)version;
+      if (has_prev) AddEdge(prev_writer, writer);
+      prev_writer = writer;
+      has_prev = true;
+    }
+    for (const auto& [version, readers] : ea.readers) {
+      // writer(version) -> reader (version 0 is the initial value, no
+      // writer).
+      auto wit = ea.writers.find(version);
+      for (std::uint64_t r : readers) {
+        if (wit != ea.writers.end()) AddEdge(wit->second, r);
+        // reader -> first writer of a later version.
+        auto nit = ea.writers.upper_bound(version);
+        if (nit != ea.writers.end()) AddEdge(r, nit->second);
+      }
+    }
+  }
+  // Deduplicate adjacency lists.
+  for (auto& [v, nbrs] : out) {
+    (void)v;
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return out;
+}
+
+namespace {
+
+// Returns a cycle (as vertex list) in `g`, or empty when acyclic.
+std::vector<std::uint64_t> FindCycle(
+    const std::map<std::uint64_t, std::vector<std::uint64_t>>& g) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::uint64_t, Color> color;
+  for (const auto& [v, _] : g) color[v] = Color::kWhite;
+
+  struct Frame {
+    std::uint64_t v;
+    std::size_t next = 0;
+  };
+  for (const auto& [root, _] : g) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> stack{{root, 0}};
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& nbrs = g.at(f.v);
+      if (f.next < nbrs.size()) {
+        std::uint64_t u = nbrs[f.next++];
+        auto cit = color.find(u);
+        if (cit == color.end()) continue;
+        if (cit->second == Color::kGray) {
+          // Extract the cycle from the stack.
+          std::vector<std::uint64_t> cycle;
+          bool in_cycle = false;
+          for (const Frame& fr : stack) {
+            if (fr.v == u) in_cycle = true;
+            if (in_cycle) cycle.push_back(fr.v);
+          }
+          return cycle;
+        }
+        if (cit->second == Color::kWhite) {
+          cit->second = Color::kGray;
+          stack.push_back(Frame{u, 0});
+        }
+      } else {
+        color[f.v] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+bool HistoryRecorder::IsConflictSerializable() const {
+  return FindCycle(BuildPrecedence()).empty();
+}
+
+std::vector<TxnId> HistoryRecorder::WitnessCycle() const {
+  std::vector<TxnId> out;
+  for (std::uint64_t v : FindCycle(BuildPrecedence())) out.push_back(TxnId(v));
+  return out;
+}
+
+Result<std::vector<TxnId>> HistoryRecorder::SerialOrder() const {
+  auto g = BuildPrecedence();
+  // Kahn topological sort, smallest id first for determinism.
+  std::map<std::uint64_t, std::size_t> indeg;
+  for (const auto& [v, _] : g) indeg[v] = 0;
+  for (const auto& [v, nbrs] : g) {
+    (void)v;
+    for (std::uint64_t u : nbrs) ++indeg[u];
+  }
+  std::set<std::uint64_t> ready;
+  for (const auto& [v, d] : indeg) {
+    if (d == 0) ready.insert(v);
+  }
+  std::vector<TxnId> order;
+  while (!ready.empty()) {
+    std::uint64_t v = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(TxnId(v));
+    for (std::uint64_t u : g.at(v)) {
+      if (--indeg[u] == 0) ready.insert(u);
+    }
+  }
+  if (order.size() != g.size()) {
+    return Status::FailedPrecondition(
+        "history is not conflict-serializable; no serial order exists");
+  }
+  return order;
+}
+
+}  // namespace pardb::analysis

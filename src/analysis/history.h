@@ -1,0 +1,83 @@
+#ifndef PARDB_ANALYSIS_HISTORY_H_
+#define PARDB_ANALYSIS_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pardb::analysis {
+
+// One read or publish performed by a transaction. `state` is the
+// transaction's state index (program counter) at the time, so a partial
+// rollback can erase exactly the undone suffix.
+struct AccessEvent {
+  EntityId entity;
+  std::uint64_t version;  // version read, or the new version published
+  StateIndex state;
+  bool is_write;
+};
+
+// Records the interleaved execution produced by an Engine and checks the
+// committed projection for conflict-serializability. The paper (§2) claims
+// rollbacks never interfere with the serializability guarantee of two-phase
+// locking; the property tests assert it on every random run.
+class HistoryRecorder {
+ public:
+  HistoryRecorder() = default;
+
+  HistoryRecorder(const HistoryRecorder&) = delete;
+  HistoryRecorder& operator=(const HistoryRecorder&) = delete;
+
+  void OnBegin(TxnId txn, Timestamp entry);
+  // Read of `version` of `entity` (the current global version; local
+  // copies always mirror some global version plus own writes).
+  void OnRead(TxnId txn, EntityId entity, std::uint64_t version,
+              StateIndex state);
+  // Publish of a new global version at unlock/commit time.
+  void OnPublish(TxnId txn, EntityId entity, std::uint64_t version,
+                 StateIndex state);
+  // Partial (or total) rollback: erase the transaction's events with state
+  // index >= `target_state`. Publishes are never erased — a two-phase
+  // transaction cannot be rolled back after its first unlock.
+  void OnRollback(TxnId txn, StateIndex target_state);
+  void OnCommit(TxnId txn);
+
+  std::size_t committed_count() const { return committed_.size(); }
+
+  // True iff the committed projection is conflict-serializable (its
+  // precedence graph is acyclic).
+  bool IsConflictSerializable() const;
+
+  // A witness cycle of transaction ids when not serializable; empty
+  // otherwise.
+  std::vector<TxnId> WitnessCycle() const;
+
+  // A serial order consistent with the precedence graph (topological
+  // order), when one exists.
+  Result<std::vector<TxnId>> SerialOrder() const;
+
+ private:
+  struct TxnLog {
+    Timestamp entry = 0;
+    std::vector<AccessEvent> events;
+  };
+
+  // Precedence edges of the committed projection: w->w, w->r and r->w
+  // conflicts ordered by version. Returns adjacency keyed by committed
+  // txn id value.
+  std::map<std::uint64_t, std::vector<std::uint64_t>> BuildPrecedence() const;
+
+  std::unordered_map<TxnId, TxnLog> active_;
+  std::map<TxnId, TxnLog> committed_;
+};
+
+}  // namespace pardb::analysis
+
+#endif  // PARDB_ANALYSIS_HISTORY_H_

@@ -1,0 +1,44 @@
+#ifndef PARDB_COMMON_FLAGS_H_
+#define PARDB_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pardb {
+
+// Minimal command-line flag parser for the CLI tools: accepts
+// --name=value, --name value, and bare --name (boolean true). Positional
+// arguments are collected in order.
+class Flags {
+ public:
+  // Parses argv (excluding argv[0]). Fails on malformed input like "--".
+  static Result<Flags> Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+  Result<std::int64_t> GetInt(const std::string& name,
+                              std::int64_t fallback) const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Names that were provided but never read — typo detection.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pardb
+
+#endif  // PARDB_COMMON_FLAGS_H_

@@ -1,0 +1,64 @@
+#ifndef PARDB_COMMON_LOGGING_H_
+#define PARDB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pardb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Process-wide log threshold; messages below it are discarded. Defaults to
+// kWarning so that library users see nothing unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define PARDB_LOG(level)                                              \
+  (::pardb::LogLevel::k##level < ::pardb::GetLogLevel())              \
+      ? void(0)                                                       \
+      : ::pardb::internal_logging::Voidify() &                        \
+            ::pardb::internal_logging::LogMessage(                    \
+                ::pardb::LogLevel::k##level, __FILE__, __LINE__)
+
+namespace internal_logging {
+// Lets the ternary above have type void on both arms.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+}  // namespace internal_logging
+
+}  // namespace pardb
+
+#endif  // PARDB_COMMON_LOGGING_H_

@@ -1,0 +1,72 @@
+#ifndef PARDB_COMMON_RANDOM_H_
+#define PARDB_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pardb {
+
+// Deterministic 64-bit PRNG (xoshiro256**). Workloads and simulations must
+// be reproducible bit-for-bit from a seed, so std::mt19937 (whose
+// distributions are implementation-defined) is not used.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling, so
+  // the distribution is exactly uniform.
+  std::uint64_t Uniform(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformRange(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffles v in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = Uniform(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Zipfian distribution over {0, ..., n-1} with skew theta (theta = 0 is
+// uniform; typical hotspot workloads use 0.7-0.99). Uses the Gray et al.
+// rejection-free method with precomputed constants, matching YCSB's
+// generator semantics.
+class ZipfianGenerator {
+ public:
+  // n >= 1, theta in [0, 1). theta == 0 degenerates to uniform.
+  ZipfianGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t Next(Rng& rng);
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace pardb
+
+#endif  // PARDB_COMMON_RANDOM_H_

@@ -1,0 +1,78 @@
+#ifndef PARDB_COMMON_RESULT_H_
+#define PARDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pardb {
+
+// Holds either a value of type T or a non-OK Status. Analogous to
+// absl::StatusOr<T>.
+//
+//   Result<Value> r = store.Read(entity);
+//   if (!r.ok()) return r.status();
+//   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error status keeps call sites
+  // terse: `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? *value_ : fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is engaged
+};
+
+// Propagates the error of a Result expression, otherwise binds the value.
+#define PARDB_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto PARDB_CONCAT_(_pardb_res, __LINE__) = (expr); \
+  if (!PARDB_CONCAT_(_pardb_res, __LINE__).ok())     \
+    return PARDB_CONCAT_(_pardb_res, __LINE__).status(); \
+  lhs = std::move(PARDB_CONCAT_(_pardb_res, __LINE__)).value()
+
+#define PARDB_CONCAT_INNER_(a, b) a##b
+#define PARDB_CONCAT_(a, b) PARDB_CONCAT_INNER_(a, b)
+
+}  // namespace pardb
+
+#endif  // PARDB_COMMON_RESULT_H_

@@ -1,0 +1,106 @@
+#ifndef PARDB_COMMON_STATUS_H_
+#define PARDB_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pardb {
+
+// Error categories used throughout the library. The public API never throws;
+// every fallible operation returns a Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller violated a documented precondition
+  kNotFound,          // entity / transaction / lock state does not exist
+  kAlreadyExists,     // duplicate registration
+  kFailedPrecondition,// operation illegal in the current protocol phase
+  kProtocolViolation, // two-phase locking rule broken by a program
+  kDeadlock,          // operation would deadlock and no victim was available
+  kAborted,           // transaction was removed (total rollback)
+  kResourceExhausted, // configured limits exceeded
+  kInternal,          // invariant violation inside the library (a bug)
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-type status word. Cheap to copy in the OK case (no allocation).
+//
+//   Status s = engine.Submit(program);
+//   if (!s.ok()) return s;
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ProtocolViolation(std::string msg) {
+    return Status(StatusCode::kProtocolViolation, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Propagates a non-OK status to the caller.
+#define PARDB_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::pardb::Status _pardb_status = (expr);         \
+    if (!_pardb_status.ok()) return _pardb_status;  \
+  } while (false)
+
+}  // namespace pardb
+
+#endif  // PARDB_COMMON_STATUS_H_

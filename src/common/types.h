@@ -1,0 +1,88 @@
+#ifndef PARDB_COMMON_TYPES_H_
+#define PARDB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace pardb {
+
+// Strongly typed integer identifiers. Each Tag instantiation is a distinct
+// type, so a TxnId cannot be passed where an EntityId is expected.
+template <typename Tag>
+class TypedId {
+ public:
+  using underlying_type = std::uint64_t;
+
+  constexpr TypedId() : v_(kInvalidValue) {}
+  constexpr explicit TypedId(underlying_type v) : v_(v) {}
+
+  static constexpr TypedId Invalid() { return TypedId(); }
+
+  constexpr bool valid() const { return v_ != kInvalidValue; }
+  constexpr underlying_type value() const { return v_; }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(TypedId a, TypedId b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(TypedId a, TypedId b) { return a.v_ < b.v_; }
+  friend constexpr bool operator>(TypedId a, TypedId b) { return a.v_ > b.v_; }
+  friend constexpr bool operator<=(TypedId a, TypedId b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>=(TypedId a, TypedId b) { return a.v_ >= b.v_; }
+
+ private:
+  static constexpr underlying_type kInvalidValue =
+      std::numeric_limits<underlying_type>::max();
+  underlying_type v_;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, TypedId<Tag> id) {
+  if (!id.valid()) return os << Tag::Prefix() << "<invalid>";
+  return os << Tag::Prefix() << id.value();
+}
+
+struct TxnTag {
+  static const char* Prefix() { return "T"; }
+};
+struct EntityTag {
+  static const char* Prefix() { return "E"; }
+};
+
+// Identifies one concurrently executing transaction (an execution instance
+// of a program, in the paper's terms).
+using TxnId = TypedId<TxnTag>;
+
+// Identifies one global data entity in the database.
+using EntityId = TypedId<EntityTag>;
+
+// The paper indexes a transaction's states by the number of states preceding
+// them; `StateIndex` counts atomic operations executed so far.
+using StateIndex = std::uint64_t;
+
+// The paper's "lock index": number of lock states preceding a state/op. The
+// k-th lock request creates lock state k (0-based).
+using LockIndex = std::uint64_t;
+
+constexpr LockIndex kNoLockIndex = std::numeric_limits<LockIndex>::max();
+
+// Entity values. The paper treats values abstractly; 64-bit integers are
+// enough to make every read/write observable in tests.
+using Value = std::int64_t;
+
+// Logical time for entry ordering (Theorem 2's partial order omega).
+using Timestamp = std::uint64_t;
+
+}  // namespace pardb
+
+namespace std {
+template <typename Tag>
+struct hash<pardb::TypedId<Tag>> {
+  size_t operator()(pardb::TypedId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // PARDB_COMMON_TYPES_H_

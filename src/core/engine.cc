@@ -1,0 +1,934 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "core/vertex_cut.h"
+
+namespace pardb::core {
+
+std::string_view DeadlockHandlingName(DeadlockHandling handling) {
+  switch (handling) {
+    case DeadlockHandling::kDetection:
+      return "detection";
+    case DeadlockHandling::kWoundWait:
+      return "wound-wait";
+    case DeadlockHandling::kWaitDie:
+      return "wait-die";
+    case DeadlockHandling::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+Engine::Engine(storage::EntityStore* store, EngineOptions options,
+               analysis::HistoryRecorder* recorder)
+    : store_(store),
+      options_(options),
+      recorder_(recorder),
+      locks_(options.lock_options),
+      rng_(options.seed) {}
+
+Result<TxnId> Engine::Spawn(txn::Program program) {
+  return Spawn(std::make_shared<const txn::Program>(std::move(program)));
+}
+
+Result<TxnId> Engine::Spawn(std::shared_ptr<const txn::Program> program) {
+  if (program == nullptr) {
+    return Status::InvalidArgument("null program");
+  }
+  // Every entity the program touches must exist.
+  for (const txn::Op& op : program->ops()) {
+    switch (op.code) {
+      case txn::OpCode::kLockShared:
+      case txn::OpCode::kLockExclusive:
+      case txn::OpCode::kUnlock:
+      case txn::OpCode::kRead:
+      case txn::OpCode::kWrite:
+        if (!store_->Contains(op.entity)) {
+          return Status::NotFound("program \"" + program->name() +
+                                  "\" references a nonexistent entity");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  TxnId id(next_txn_++);
+  TxnContext ctx;
+  ctx.id = id;
+  ctx.entry = clock_++;
+  ctx.strategy = rollback::MakeStrategy(options_.strategy, *program);
+  ctx.program = std::move(program);
+  if (recorder_ != nullptr) recorder_->OnBegin(id, ctx.entry);
+  auto [it, inserted] = txns_.emplace(id, std::move(ctx));
+  (void)inserted;
+  Emit(TraceEvent::Kind::kSpawn, it->second);
+  return id;
+}
+
+Engine::TxnContext* Engine::Find(TxnId txn) {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+const Engine::TxnContext* Engine::Find(TxnId txn) const {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+Value Engine::EvalOperand(const TxnContext& ctx, const txn::Operand& o) const {
+  if (o.kind == txn::Operand::Kind::kImm) return o.imm;
+  return ctx.strategy->VarValue(o.var);
+}
+
+Result<Value> Engine::ReadEntityValue(const TxnContext& ctx,
+                                      EntityId entity) const {
+  if (auto local = ctx.strategy->LocalValue(entity)) return *local;
+  auto global = store_->Get(entity);
+  if (!global.ok()) return global.status();
+  return global.value().value;
+}
+
+Result<StepOutcome> Engine::StepTxn(TxnId txn) {
+  TxnContext* ctx = Find(txn);
+  if (ctx == nullptr) {
+    return Status::NotFound("unknown transaction");
+  }
+  if (ctx->status != TxnStatus::kReady) return StepOutcome::kIdle;
+  ++metrics_.steps;
+  return ExecuteOp(*ctx);
+}
+
+Result<StepOutcome> Engine::ExecuteOp(TxnContext& ctx) {
+  const txn::Program& program = *ctx.program;
+  if (ctx.pc >= program.size()) {
+    // Implicit commit for programs without a kCommit op.
+    PARDB_RETURN_IF_ERROR(ExecuteCommit(ctx));
+    return StepOutcome::kCommitted;
+  }
+  const txn::Op& op = program.op(ctx.pc);
+  const LockIndex lock_index = ctx.granted.size();
+  switch (op.code) {
+    case txn::OpCode::kLockShared:
+    case txn::OpCode::kLockExclusive:
+      return ExecuteLock(ctx, op);
+    case txn::OpCode::kRead: {
+      auto global = store_->Get(op.entity);
+      if (!global.ok()) return global.status();
+      auto value = ReadEntityValue(ctx, op.entity);
+      if (!value.ok()) return value.status();
+      if (recorder_ != nullptr) {
+        recorder_->OnRead(ctx.id, op.entity, global.value().version, ctx.pc);
+      }
+      ctx.strategy->OnVarWrite(op.dst, value.value(), lock_index);
+      ++ctx.pc;
+      ++metrics_.ops_executed;
+      return StepOutcome::kExecuted;
+    }
+    case txn::OpCode::kWrite: {
+      ctx.strategy->OnEntityWrite(op.entity, EvalOperand(ctx, op.a),
+                                  lock_index);
+      ++ctx.pc;
+      ++metrics_.ops_executed;
+      return StepOutcome::kExecuted;
+    }
+    case txn::OpCode::kCompute: {
+      const Value a = EvalOperand(ctx, op.a);
+      const Value b = EvalOperand(ctx, op.b);
+      Value v = 0;
+      switch (op.arith) {
+        case txn::ArithOp::kAdd:
+          v = a + b;
+          break;
+        case txn::ArithOp::kSub:
+          v = a - b;
+          break;
+        case txn::ArithOp::kMul:
+          v = a * b;
+          break;
+      }
+      ctx.strategy->OnVarWrite(op.dst, v, lock_index);
+      ++ctx.pc;
+      ++metrics_.ops_executed;
+      return StepOutcome::kExecuted;
+    }
+    case txn::OpCode::kUnlock: {
+      PARDB_RETURN_IF_ERROR(ExecuteUnlockOne(ctx, op.entity));
+      ctx.in_shrinking_phase = true;
+      ++ctx.pc;
+      ++metrics_.ops_executed;
+      return StepOutcome::kExecuted;
+    }
+    case txn::OpCode::kCommit: {
+      PARDB_RETURN_IF_ERROR(ExecuteCommit(ctx));
+      return StepOutcome::kCommitted;
+    }
+  }
+  return Status::Internal("unhandled opcode");
+}
+
+Result<StepOutcome> Engine::ExecuteLock(TxnContext& ctx, const txn::Op& op) {
+  const lock::LockMode mode = op.code == txn::OpCode::kLockShared
+                                  ? lock::LockMode::kShared
+                                  : lock::LockMode::kExclusive;
+  auto outcome = locks_.Request(ctx.id, op.entity, mode);
+  if (!outcome.ok()) return outcome.status();
+  if (outcome.value().granted) {
+    PARDB_RETURN_IF_ERROR(
+        RegisterGrant(ctx, op.entity, mode, outcome.value().is_upgrade));
+    // An immediate grant (e.g. a shared request bypassing queued exclusive
+    // waiters) makes this transaction a blocker of those waiters: the
+    // waits-for arcs must reflect it or a later cycle through them goes
+    // undetected. The grant itself cannot close a cycle — the grantee is
+    // not waiting — so refreshing the arcs suffices.
+    RefreshWaitEdges(op.entity);
+    return StepOutcome::kExecuted;
+  }
+  // Wait response (§2 rule 2): record arcs, then keep the system
+  // deadlock-free (§2 rule 3) by the configured means.
+  ctx.status = TxnStatus::kWaiting;
+  ctx.wait_since = metrics_.steps;
+  ++metrics_.lock_waits;
+  Emit(TraceEvent::Kind::kBlocked, ctx, op.entity);
+  RefreshWaitEdges(op.entity);
+  switch (options_.handling) {
+    case DeadlockHandling::kDetection: {
+      if (options_.detection_mode == DetectionMode::kPeriodic) {
+        break;  // cycles accumulate until the next PeriodicScan
+      }
+      auto self_rolled = DetectAndResolve(ctx, op.entity);
+      if (!self_rolled.ok()) return self_rolled.status();
+      if (self_rolled.value()) return StepOutcome::kRolledBack;
+      break;
+    }
+    case DeadlockHandling::kWoundWait: {
+      PARDB_RETURN_IF_ERROR(HandleWoundWait(ctx, op.entity, mode));
+      break;
+    }
+    case DeadlockHandling::kWaitDie: {
+      auto died = HandleWaitDie(ctx, op.entity);
+      if (!died.ok()) return died.status();
+      if (died.value()) return StepOutcome::kRolledBack;
+      break;
+    }
+    case DeadlockHandling::kTimeout:
+      break;  // nothing now; StepAny expires stale waits
+  }
+  if (ctx.status == TxnStatus::kReady) {
+    // A victim's released locks were granted to this requester during
+    // resolution; the lock op completed after all.
+    return StepOutcome::kExecuted;
+  }
+  return StepOutcome::kBlocked;
+}
+
+Status Engine::RegisterGrant(TxnContext& ctx, EntityId entity,
+                             lock::LockMode mode, bool is_upgrade) {
+  const LockIndex lock_state = ctx.granted.size();
+  ctx.granted.push_back(LockRecord{entity, mode, is_upgrade, ctx.pc});
+  auto global = store_->Get(entity);
+  if (!global.ok()) return global.status();
+  ctx.strategy->OnLockGranted(lock_state, entity, mode, global.value().value,
+                              is_upgrade);
+  // The §5 "stop monitoring after the last lock request" optimisation is
+  // only sound under detection: there a transaction past its final lock
+  // request can never become a rollback victim. The prevention schemes
+  // wound *running* holders, so their history must stay live.
+  if (options_.use_last_lock_declaration &&
+      options_.handling == DeadlockHandling::kDetection) {
+    auto last = ctx.program->LastLockRequestPosition();
+    if (last.has_value() && *last == ctx.pc) {
+      ctx.strategy->OnLastLockGranted();
+    }
+  }
+  ++ctx.pc;
+  ctx.status = TxnStatus::kReady;
+  ++metrics_.ops_executed;
+  Emit(TraceEvent::Kind::kLockGranted, ctx, entity);
+  return Status::OK();
+}
+
+Status Engine::HandleGrant(const lock::Grant& g) {
+  TxnContext* ctx = Find(g.txn);
+  if (ctx == nullptr) {
+    return Status::Internal("grant for unknown transaction");
+  }
+  return RegisterGrant(*ctx, g.entity, g.mode, g.was_upgrade);
+}
+
+Status Engine::ExecuteUnlockOne(TxnContext& ctx, EntityId entity) {
+  std::optional<Value> publish = ctx.strategy->OnUnlock(entity);
+  if (publish.has_value()) {
+    auto version = store_->Publish(entity, *publish);
+    if (!version.ok()) return version.status();
+    if (recorder_ != nullptr) {
+      recorder_->OnPublish(ctx.id, entity, version.value(), ctx.pc);
+    }
+  }
+  auto grants = locks_.Release(ctx.id, entity);
+  if (!grants.ok()) return grants.status();
+  for (const lock::Grant& g : grants.value()) {
+    PARDB_RETURN_IF_ERROR(HandleGrant(g));
+  }
+  RefreshWaitEdges(entity);
+  return Status::OK();
+}
+
+Status Engine::ExecuteCommit(TxnContext& ctx) {
+  SampleSpace(ctx);
+  // Release everything still held (publishing X-held final values), in
+  // entity order for determinism.
+  std::vector<EntityId> held;
+  for (const auto& [e, m] : locks_.HeldBy(ctx.id)) {
+    (void)m;
+    held.push_back(e);
+  }
+  for (EntityId e : held) {
+    PARDB_RETURN_IF_ERROR(ExecuteUnlockOne(ctx, e));
+  }
+  ctx.status = TxnStatus::kCommitted;
+  ctx.pc = ctx.program->size();
+  waits_for_.RemoveVertex(ctx.id.value());
+  if (recorder_ != nullptr) recorder_->OnCommit(ctx.id);
+  Emit(TraceEvent::Kind::kCommit, ctx);
+  ++metrics_.commits;
+  ++metrics_.ops_executed;  // the commit itself
+  return Status::OK();
+}
+
+void Engine::RefreshWaitEdges(EntityId entity) {
+  waits_for_.RemoveEdgesLabeled(entity.value());
+  for (const auto& [waiter, mode] : locks_.WaitQueue(entity)) {
+    (void)mode;
+    for (TxnId blocker : locks_.BlockersOf(waiter)) {
+      waits_for_.AddEdge(blocker.value(), waiter.value(), entity.value());
+    }
+  }
+}
+
+Result<VictimCandidate> Engine::MakeCandidate(
+    const TxnContext& member,
+    const std::vector<std::pair<EntityId, lock::LockMode>>& conflicts,
+    bool is_requester) const {
+  VictimCandidate c;
+  c.txn = member.id;
+  c.entry = member.entry;
+  c.is_requester = is_requester;
+  // §3.1: the rollback target is the state of highest index in which the
+  // member holds no lock that conflicts with another deadlocked
+  // transaction. Holding lock state k means requests 1..k survive, so the
+  // target is the minimum lock state over first-conflicting requests.
+  //
+  // Under queue-aware wait edges an arc can also represent queue order (the
+  // member is an incompatible *waiter* ahead of the blocked transaction
+  // without holding the entity). Such conflicts impose no lock-state
+  // constraint: cancelling the member's pending request (which every
+  // rollback does — it re-queues at the tail afterwards) already removes
+  // the arc. A candidate whose conflicts are all queue arcs therefore has
+  // target == granted.size() and cost 0.
+  LockIndex ideal = member.granted.size();
+  for (const auto& [entity, waiter_mode] : conflicts) {
+    for (LockIndex k = 0; k < member.granted.size(); ++k) {
+      const LockRecord& r = member.granted[k];
+      if (r.entity != entity) continue;
+      const bool conflicting = r.mode == lock::LockMode::kExclusive ||
+                               waiter_mode == lock::LockMode::kExclusive;
+      if (conflicting) {
+        ideal = std::min(ideal, k);
+        break;
+      }
+    }
+  }
+  c.ideal_target = ideal;
+  c.actual_target = member.strategy->LatestRestorableAtOrBefore(ideal);
+  auto StateIndexOfTarget = [&member](LockIndex target) {
+    return target < member.granted.size() ? member.granted[target].op_index
+                                          : member.pc;
+  };
+  c.cost = member.pc - StateIndexOfTarget(c.actual_target);
+  c.ideal_cost = member.pc - StateIndexOfTarget(c.ideal_target);
+  return c;
+}
+
+Result<bool> Engine::DetectAndResolve(TxnContext& requester,
+                                      EntityId entity) {
+  bool requester_rolled_back = false;
+  // A wait can close several cycles with shared locks; resolving one round
+  // of victims may still leave cycles when enumeration was capped, so loop
+  // until the graph is clean or the requester itself was rolled back.
+  for (int round = 0; round < 64; ++round) {
+    if (requester_rolled_back) break;
+    std::vector<graph::Cycle> cycles;
+    waits_for_.EnumerateCyclesThrough(
+        requester.id.value(), options_.max_cycles_per_deadlock,
+        [&cycles](const graph::Cycle& c) {
+          cycles.push_back(c);
+          return true;
+        });
+    if (cycles.empty()) break;
+    ++metrics_.deadlocks;
+    metrics_.cycles_found += cycles.size();
+    Emit(TraceEvent::Kind::kDeadlock, requester, entity);
+
+    // Conflicts per member: the entities on its outgoing arcs within the
+    // cycles, with the pending mode of the waiting successor.
+    std::map<TxnId, std::vector<std::pair<EntityId, lock::LockMode>>>
+        conflicts;
+    for (const graph::Cycle& cycle : cycles) {
+      for (const graph::Edge& e : cycle.edges) {
+        TxnId holder(e.from);
+        TxnId waiter(e.to);
+        auto pending = locks_.Waiting(waiter);
+        if (!pending.has_value()) {
+          return Status::Internal("cycle contains a non-waiting transaction");
+        }
+        conflicts[holder].emplace_back(EntityId(e.label), pending->mode);
+      }
+    }
+
+    std::vector<VictimCandidate> candidates;
+    for (const auto& [txn, conf] : conflicts) {
+      const TxnContext* member = Find(txn);
+      if (member == nullptr) {
+        return Status::Internal("cycle contains an unknown transaction");
+      }
+      auto cand = MakeCandidate(*member, conf, txn == requester.id);
+      if (!cand.ok()) return cand.status();
+      candidates.push_back(cand.value());
+    }
+
+    // Choose victims.
+    std::vector<const VictimCandidate*> victims;
+    const bool cost_based =
+        options_.victim_policy == VictimPolicyKind::kMinCost ||
+        options_.victim_policy == VictimPolicyKind::kMinCostOrdered;
+    if (cycles.size() > 1 && options_.optimize_vertex_cut && cost_based) {
+      // §3.2: find a minimum-cost vertex cut among the cycles (all pass
+      // through the requester, which is itself a 1-element cut).
+      std::vector<const VictimCandidate*> eligible;
+      for (const VictimCandidate& c : candidates) {
+        if (options_.victim_policy == VictimPolicyKind::kMinCost ||
+            (!c.is_requester && c.entry > requester.entry)) {
+          eligible.push_back(&c);
+        }
+      }
+      std::map<TxnId, std::size_t> index;
+      for (std::size_t i = 0; i < eligible.size(); ++i) {
+        index[eligible[i]->txn] = i;
+      }
+      std::vector<std::vector<std::size_t>> cycle_sets;
+      bool coverable = true;
+      for (const graph::Cycle& cycle : cycles) {
+        std::vector<std::size_t> members;
+        for (graph::VertexId v : cycle.vertices) {
+          auto it = index.find(TxnId(v));
+          if (it != index.end()) members.push_back(it->second);
+        }
+        if (members.empty()) {
+          coverable = false;
+          break;
+        }
+        std::sort(members.begin(), members.end());
+        members.erase(std::unique(members.begin(), members.end()),
+                      members.end());
+        cycle_sets.push_back(std::move(members));
+      }
+      if (!coverable) {
+        // Some cycle has no eligible member: the requester (on every
+        // cycle) is the only safe choice.
+        for (const VictimCandidate& c : candidates) {
+          if (c.is_requester) victims.push_back(&c);
+        }
+      } else {
+        std::vector<std::uint64_t> costs;
+        costs.reserve(eligible.size());
+        for (const VictimCandidate* c : eligible) costs.push_back(c->cost);
+        VertexCutResult cut =
+            SolveVertexCut(cycle_sets, costs, options_.exact_cut_limit);
+        for (std::size_t m : cut.members) victims.push_back(eligible[m]);
+      }
+    } else if (cycles.size() > 1 &&
+               (options_.victim_policy == VictimPolicyKind::kRequester ||
+                !options_.optimize_vertex_cut)) {
+      // The requester lies on every cycle closed by its own wait (§3.2), so
+      // rolling it back is always a complete, if unoptimised, resolution.
+      for (const VictimCandidate& c : candidates) {
+        if (c.is_requester) victims.push_back(&c);
+      }
+    } else if (cycles.size() > 1) {
+      // Non-cost policies over multiple cycles: repeatedly apply the policy
+      // to the members of the first uncovered cycle.
+      std::set<TxnId> chosen;
+      for (const graph::Cycle& cycle : cycles) {
+        bool hit = false;
+        for (graph::VertexId v : cycle.vertices) {
+          if (chosen.count(TxnId(v))) {
+            hit = true;
+            break;
+          }
+        }
+        if (hit) continue;
+        std::vector<VictimCandidate> members;
+        for (const VictimCandidate& c : candidates) {
+          if (cycle.Contains(c.txn.value())) members.push_back(c);
+        }
+        if (members.empty()) continue;
+        const VictimCandidate& pick =
+            ChooseVictim(options_.victim_policy, members, requester.entry);
+        chosen.insert(pick.txn);
+      }
+      for (const VictimCandidate& c : candidates) {
+        if (chosen.count(c.txn)) victims.push_back(&c);
+      }
+    } else {
+      victims.push_back(&ChooseVictim(options_.victim_policy, candidates,
+                                      requester.entry));
+    }
+
+    if (victims.empty()) {
+      return Status::Internal("deadlock resolution chose no victim");
+    }
+
+    // Record the event before mutating state.
+    if (deadlock_events_.size() < options_.max_recorded_events) {
+      DeadlockEvent ev;
+      ev.requester = requester.id;
+      ev.requested_entity = entity;
+      ev.num_cycles = cycles.size();
+      for (graph::VertexId v : cycles.front().vertices) {
+        ev.cycle_txns.push_back(TxnId(v));
+      }
+      for (const graph::Edge& e : cycles.front().edges) {
+        ev.cycle_entities.push_back(EntityId(e.label));
+      }
+      ev.candidates = candidates;
+      for (const VictimCandidate* v : victims) {
+        ev.victims.push_back(v->txn);
+        ev.total_cost += v->cost;
+        ev.total_ideal_cost += v->ideal_cost;
+      }
+      deadlock_events_.push_back(std::move(ev));
+    }
+
+    for (const VictimCandidate* v : victims) {
+      TxnContext* victim = Find(v->txn);
+      if (victim == nullptr) {
+        return Status::Internal("victim vanished");
+      }
+      metrics_.wasted_ops += v->cost;
+      metrics_.ideal_wasted_ops += v->ideal_cost;
+      if (!v->is_requester) {
+        ++metrics_.preemptions;
+        ++victim->preempted;
+      } else {
+        requester_rolled_back = true;
+      }
+      PARDB_RETURN_IF_ERROR(RollbackTxn(*victim, v->actual_target));
+    }
+  }
+  return requester_rolled_back;
+}
+
+Status Engine::HandleWoundWait(TxnContext& requester, EntityId entity,
+                               lock::LockMode mode) {
+  // Preempt every younger blocker still in its growing phase; afterwards
+  // the requester waits only for older (or shrinking) transactions, so
+  // waits-for arcs point from younger to older only and cycles cannot
+  // form. Re-check the blocker set after each wound: rollbacks shift the
+  // queue.
+  for (int guard = 0; guard < 1024; ++guard) {
+    if (!locks_.IsWaiting(requester.id)) return Status::OK();  // granted
+    TxnContext* victim = nullptr;
+    for (TxnId b : locks_.BlockersOf(requester.id)) {
+      TxnContext* blocker = Find(b);
+      if (blocker == nullptr) {
+        return Status::Internal("unknown blocker in wound-wait");
+      }
+      if (blocker->entry > requester.entry &&
+          !blocker->in_shrinking_phase) {
+        victim = blocker;
+        break;
+      }
+    }
+    if (victim == nullptr) return Status::OK();  // wait for elders only
+    auto cand = MakeCandidate(*victim, {{entity, mode}}, false);
+    if (!cand.ok()) return cand.status();
+    ++metrics_.wounds;
+    Emit(TraceEvent::Kind::kWound, *victim, entity,
+         cand.value().actual_target, cand.value().cost);
+    ++metrics_.preemptions;
+    ++victim->preempted;
+    metrics_.wasted_ops += cand.value().cost;
+    metrics_.ideal_wasted_ops += cand.value().ideal_cost;
+    PARDB_RETURN_IF_ERROR(RollbackTxn(*victim, cand.value().actual_target));
+  }
+  return Status::Internal("wound-wait did not converge");
+}
+
+Result<LockIndex> Engine::SelfRollbackTarget(
+    const TxnContext& txn,
+    const std::function<bool(const TxnContext&)>& relevant) {
+  std::vector<std::pair<EntityId, lock::LockMode>> conflicts;
+  for (const auto& [held_entity, held_mode] : locks_.HeldBy(txn.id)) {
+    (void)held_mode;
+    for (const auto& [waiter, wmode] : locks_.WaitQueue(held_entity)) {
+      const TxnContext* w = Find(waiter);
+      if (w == nullptr || !relevant(*w)) continue;
+      conflicts.emplace_back(held_entity, wmode);
+    }
+  }
+  auto cand = MakeCandidate(txn, conflicts, true);
+  if (!cand.ok()) return cand.status();
+  metrics_.wasted_ops += cand.value().cost;
+  metrics_.ideal_wasted_ops += cand.value().ideal_cost;
+  return cand.value().actual_target;
+}
+
+Result<bool> Engine::HandleWaitDie(TxnContext& requester, EntityId entity) {
+  (void)entity;
+  // The requester waits only if it is the oldest among its blockers;
+  // otherwise it dies: it is rolled back to the latest lock state at which
+  // it holds no lock that an *older* transaction is currently queued for —
+  // locally available information only — and retries from there.
+  bool older_blocker = false;
+  for (TxnId b : locks_.BlockersOf(requester.id)) {
+    const TxnContext* blocker = Find(b);
+    if (blocker != nullptr && blocker->entry < requester.entry) {
+      older_blocker = true;
+      break;
+    }
+  }
+  if (!older_blocker) return false;  // wait (old waits for young only)
+
+  const Timestamp entry = requester.entry;
+  auto target = SelfRollbackTarget(
+      requester, [entry](const TxnContext& w) { return w.entry < entry; });
+  if (!target.ok()) return target.status();
+  ++metrics_.deaths;
+  Emit(TraceEvent::Kind::kDeath, requester, entity, target.value());
+  PARDB_RETURN_IF_ERROR(RollbackTxn(requester, target.value()));
+  return true;
+}
+
+Status Engine::ExpireTimeouts() {
+  // Collect first: rollbacks mutate the transaction map's wait states.
+  std::vector<TxnId> expired;
+  for (const auto& [id, ctx] : txns_) {
+    if (ctx.status == TxnStatus::kWaiting &&
+        metrics_.steps - ctx.wait_since > options_.wait_timeout_steps) {
+      expired.push_back(id);
+    }
+  }
+  for (TxnId id : expired) {
+    TxnContext* ctx = Find(id);
+    if (ctx == nullptr || ctx->status != TxnStatus::kWaiting) continue;
+    auto target = SelfRollbackTarget(
+        *ctx, [](const TxnContext&) { return true; });
+    if (!target.ok()) return target.status();
+    ++metrics_.timeouts;
+    Emit(TraceEvent::Kind::kTimeout, *ctx, EntityId(), target.value());
+    PARDB_RETURN_IF_ERROR(RollbackTxn(*ctx, target.value()));
+  }
+  return Status::OK();
+}
+
+Status Engine::PeriodicScan() {
+  ++metrics_.periodic_scans;
+  // One Tarjan sweep finds every deadlocked group at once (each cyclic
+  // strongly connected component). Each group is handed to the standard
+  // resolver with its youngest member as the pseudo-requester (the
+  // transaction whose wait most recently could have closed the cycle), so
+  // every victim policy keeps its meaning. Resolving one group can very
+  // occasionally re-arrange another (grants shift queues), hence the outer
+  // loop until acyclic.
+  for (int guard = 0; guard < 4096; ++guard) {
+    auto groups = waits_for_.CyclicComponents();
+    if (groups.empty()) return Status::OK();
+    for (const auto& group : groups) {
+      TxnContext* pseudo = nullptr;
+      for (graph::VertexId v : group) {
+        TxnContext* member = Find(TxnId(v));
+        if (member == nullptr) {
+          return Status::Internal("cycle contains unknown transaction");
+        }
+        if (member->status != TxnStatus::kWaiting) {
+          pseudo = nullptr;  // stale group: resolved by a previous round
+          break;
+        }
+        if (pseudo == nullptr || member->entry > pseudo->entry) {
+          pseudo = member;
+        }
+      }
+      if (pseudo == nullptr) continue;
+      auto pending = locks_.Waiting(pseudo->id);
+      if (!pending.has_value()) {
+        return Status::Internal("cycle member without a pending request");
+      }
+      PARDB_RETURN_IF_ERROR(
+          DetectAndResolve(*pseudo, pending->entity).status());
+    }
+  }
+  return Status::Internal("periodic scan did not converge");
+}
+
+Status Engine::RollbackTxn(TxnContext& victim, LockIndex target) {
+  const std::uint64_t cost =
+      victim.pc - (target < victim.granted.size()
+                       ? victim.granted[target].op_index
+                       : victim.pc);
+  Emit(TraceEvent::Kind::kRollback, victim, EntityId(), target, cost);
+  if (rollback_costs_.size() < 65536) {
+    rollback_costs_.push_back(static_cast<std::uint32_t>(cost));
+  }
+  ++metrics_.rollbacks;
+  if (target == 0) {
+    ++metrics_.total_rollbacks;
+  } else {
+    ++metrics_.partial_rollbacks;
+  }
+  SampleSpace(victim);
+
+  // Cancel the victim's pending request (every victim is waiting).
+  if (auto pending = locks_.Waiting(victim.id)) {
+    auto grants = locks_.CancelWait(victim.id, pending->entity);
+    if (!grants.ok()) return grants.status();
+    for (const lock::Grant& g : grants.value()) {
+      PARDB_RETURN_IF_ERROR(HandleGrant(g));
+    }
+    RefreshWaitEdges(pending->entity);
+  }
+
+  // Restore values.
+  auto restored = victim.strategy->RestoreTo(target);
+  if (!restored.ok()) return restored.status();
+
+  // Undo lock requests with lock state >= target.
+  if (target > victim.granted.size()) {
+    return Status::Internal("rollback target beyond current lock state");
+  }
+  std::vector<LockRecord> undone(victim.granted.begin() + target,
+                                 victim.granted.end());
+  victim.granted.resize(target);
+  std::set<EntityId> handled;
+  for (auto it = undone.rbegin(); it != undone.rend(); ++it) {
+    const LockRecord& r = *it;
+    if (handled.count(r.entity)) continue;
+    handled.insert(r.entity);
+    bool base_shared_kept = false;
+    if (r.is_upgrade) {
+      for (const LockRecord& kept : victim.granted) {
+        if (kept.entity == r.entity) {
+          base_shared_kept = true;
+          break;
+        }
+      }
+    }
+    Result<std::vector<lock::Grant>> grants =
+        base_shared_kept ? locks_.Downgrade(victim.id, r.entity)
+                         : locks_.Release(victim.id, r.entity);
+    if (!grants.ok()) return grants.status();
+    for (const lock::Grant& g : grants.value()) {
+      PARDB_RETURN_IF_ERROR(HandleGrant(g));
+    }
+    RefreshWaitEdges(r.entity);
+  }
+
+  // Reset the program counter to re-execute from lock request target+1.
+  const std::size_t new_pc = undone.empty()
+                                 ? victim.pc
+                                 : undone.front().op_index;
+  if (recorder_ != nullptr) recorder_->OnRollback(victim.id, new_pc);
+  victim.pc = new_pc;
+  victim.status = TxnStatus::kReady;
+  return Status::OK();
+}
+
+void Engine::Emit(TraceEvent::Kind kind, const TxnContext& ctx,
+                  EntityId entity, LockIndex target, std::uint64_t cost) {
+  if (trace_ == nullptr) return;
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.step = metrics_.steps;
+  ev.txn = ctx.id;
+  ev.entity = entity;
+  ev.pc = ctx.pc;
+  ev.target = target;
+  ev.cost = cost;
+  trace_->OnEvent(ev);
+}
+
+void Engine::SampleSpace(const TxnContext& ctx) {
+  rollback::SpaceStats s = ctx.strategy->Space();
+  metrics_.max_entity_copies =
+      std::max(metrics_.max_entity_copies, s.peak_entity_copies);
+  metrics_.max_var_copies =
+      std::max(metrics_.max_var_copies, s.peak_var_copies);
+}
+
+Result<std::optional<TxnId>> Engine::StepAny() {
+  if (options_.handling == DeadlockHandling::kTimeout) {
+    PARDB_RETURN_IF_ERROR(ExpireTimeouts());
+  }
+  const bool periodic =
+      options_.handling == DeadlockHandling::kDetection &&
+      options_.detection_mode == DetectionMode::kPeriodic;
+  if (periodic && options_.detection_period > 0 &&
+      metrics_.steps % options_.detection_period == 0) {
+    PARDB_RETURN_IF_ERROR(PeriodicScan());
+  }
+  auto CollectReady = [this]() {
+    std::vector<TxnId> ready;
+    for (const auto& [id, ctx] : txns_) {
+      if (ctx.status == TxnStatus::kReady) ready.push_back(id);
+    }
+    return ready;
+  };
+  std::vector<TxnId> ready = CollectReady();
+  if (ready.empty() && periodic) {
+    // Everyone is blocked: scan immediately instead of waiting out the
+    // period (also the only way forward when the whole system deadlocks).
+    PARDB_RETURN_IF_ERROR(PeriodicScan());
+    ready = CollectReady();
+  }
+  if (ready.empty() && options_.handling == DeadlockHandling::kTimeout) {
+    // Everyone is blocked (e.g. an undetected deadlock): fast-forward the
+    // logical clock with idle ticks until some wait expires and its owner
+    // becomes runnable again.
+    auto AnyWaiting = [this]() {
+      for (const auto& [id, ctx] : txns_) {
+        (void)id;
+        if (ctx.status == TxnStatus::kWaiting) return true;
+      }
+      return false;
+    };
+    for (std::uint64_t tick = 0;
+         ready.empty() && AnyWaiting() &&
+         tick <= options_.wait_timeout_steps + 1;
+         ++tick) {
+      ++metrics_.steps;
+      PARDB_RETURN_IF_ERROR(ExpireTimeouts());
+      ready = CollectReady();
+    }
+  }
+  if (ready.empty()) return std::optional<TxnId>();
+  TxnId pick = ready.front();
+  switch (options_.scheduler) {
+    case SchedulerKind::kRoundRobin:
+      pick = ready[rr_cursor_++ % ready.size()];
+      break;
+    case SchedulerKind::kRandom:
+      pick = ready[rng_.Uniform(ready.size())];
+      break;
+  }
+  auto outcome = StepTxn(pick);
+  if (!outcome.ok()) return outcome.status();
+  return std::optional<TxnId>(pick);
+}
+
+Status Engine::RunToCompletion(std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (AllCommitted()) return Status::OK();
+    auto stepped = StepAny();
+    if (!stepped.ok()) return stepped.status();
+    if (!stepped.value().has_value()) {
+      if (options_.handling == DeadlockHandling::kTimeout) {
+        bool any_waiting = false;
+        for (const auto& [id, ctx] : txns_) {
+          (void)id;
+          if (ctx.status == TxnStatus::kWaiting) {
+            any_waiting = true;
+            break;
+          }
+        }
+        if (any_waiting) continue;  // idle ticks age the waits to expiry
+      }
+      return Status::Internal(
+          "no transaction is ready but not all have committed — lost wakeup "
+          "or undetected deadlock:\n" +
+          DumpState());
+    }
+  }
+  return Status::ResourceExhausted("max_steps exceeded");
+}
+
+bool Engine::AllCommitted() const {
+  for (const auto& [id, ctx] : txns_) {
+    (void)id;
+    if (ctx.status != TxnStatus::kCommitted) return false;
+  }
+  return true;
+}
+
+TxnStatus Engine::StatusOf(TxnId txn) const {
+  const TxnContext* ctx = Find(txn);
+  return ctx == nullptr ? TxnStatus::kCommitted : ctx->status;
+}
+
+StateIndex Engine::StateIndexOf(TxnId txn) const {
+  const TxnContext* ctx = Find(txn);
+  return ctx == nullptr ? 0 : ctx->pc;
+}
+
+LockIndex Engine::LockCountOf(TxnId txn) const {
+  const TxnContext* ctx = Find(txn);
+  return ctx == nullptr ? 0 : ctx->granted.size();
+}
+
+Timestamp Engine::EntryOf(TxnId txn) const {
+  const TxnContext* ctx = Find(txn);
+  return ctx == nullptr ? 0 : ctx->entry;
+}
+
+const rollback::RollbackStrategy* Engine::StrategyOf(TxnId txn) const {
+  const TxnContext* ctx = Find(txn);
+  return ctx == nullptr ? nullptr : ctx->strategy.get();
+}
+
+Value Engine::VarValueOf(TxnId txn, txn::VarId var) const {
+  const TxnContext* ctx = Find(txn);
+  return ctx == nullptr ? 0 : ctx->strategy->VarValue(var);
+}
+
+std::uint64_t Engine::PreemptionCountOf(TxnId txn) const {
+  const TxnContext* ctx = Find(txn);
+  return ctx == nullptr ? 0 : ctx->preempted;
+}
+
+CostDistribution Engine::RollbackCostDistribution() const {
+  CostDistribution d;
+  if (rollback_costs_.empty()) return d;
+  std::vector<std::uint32_t> sorted = rollback_costs_;
+  std::sort(sorted.begin(), sorted.end());
+  d.count = sorted.size();
+  d.p50 = sorted[sorted.size() / 2];
+  d.p95 = sorted[(sorted.size() * 95) / 100 == sorted.size()
+                     ? sorted.size() - 1
+                     : (sorted.size() * 95) / 100];
+  d.max = sorted.back();
+  std::uint64_t sum = 0;
+  for (std::uint32_t c : sorted) sum += c;
+  d.mean = static_cast<double>(sum) / static_cast<double>(sorted.size());
+  return d;
+}
+
+std::string Engine::DumpState() const {
+  std::ostringstream os;
+  os << "engine state (" << txns_.size() << " txns):\n";
+  for (const auto& [id, ctx] : txns_) {
+    os << "  " << id << " pc=" << ctx.pc << "/" << ctx.program->size()
+       << " locks=" << ctx.granted.size() << " status="
+       << (ctx.status == TxnStatus::kReady
+               ? "ready"
+               : ctx.status == TxnStatus::kWaiting ? "waiting" : "committed")
+       << "\n";
+  }
+  os << "lock table:\n" << locks_.ToString();
+  os << "waits-for:\n" << waits_for_.ToDot();
+  return os.str();
+}
+
+}  // namespace pardb::core

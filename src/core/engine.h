@@ -1,0 +1,341 @@
+#ifndef PARDB_CORE_ENGINE_H_
+#define PARDB_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/history.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/trace.h"
+#include "core/victim_policy.h"
+#include "graph/digraph.h"
+#include "lock/lock_manager.h"
+#include "rollback/strategy.h"
+#include "storage/entity_store.h"
+#include "txn/program.h"
+
+namespace pardb::core {
+
+// How Run()/StepAny() pick the next ready transaction.
+enum class SchedulerKind {
+  kRoundRobin,  // rotate over ready transactions in id order
+  kRandom,      // seeded uniform choice (deterministic per seed)
+};
+
+// How conflicts that cannot be granted are kept deadlock-free (§3.3). The
+// paper's core machinery is kDetection — maintain the concurrency graph and
+// intervene on cycles. Distributed systems often cannot afford the global
+// graph; the classical alternative is timestamp-based *prevention*
+// ([7,10]): decide wait-vs-rollback per conflict from entry timestamps
+// alone. The paper notes these schemes "in no way invalidate the advantages
+// of rolling a transaction back to the latest possible state" — both
+// prevention modes here use the configured rollback strategy, so the
+// classical abort becomes a partial rollback.
+enum class DeadlockHandling {
+  kDetection,  // waits-for graph + victim policy (centralized, §2/§3.1)
+  // Wound-wait: a requester preempts ("wounds") every younger holder —
+  // rolled back past its conflicting lock — and waits only for older ones.
+  // Waits point young -> old only, so no cycle can form. Holders already in
+  // their shrinking phase are never wounded (they cannot deadlock).
+  kWoundWait,
+  // Wait-die: a requester younger than any blocker "dies" — it is rolled
+  // back to the latest lock state at which it holds nothing an *older*
+  // transaction currently waits for (often a zero-cost cancel-and-retry),
+  // and retries. Only the locally known wait queues are consulted: no
+  // global information is needed.
+  kWaitDie,
+  // The crudest classical baseline: no graph at all; a transaction whose
+  // wait exceeds EngineOptions::wait_timeout_steps engine steps is rolled
+  // back (to the latest lock state at which it holds nothing anyone is
+  // queued for) and retries. Breaks deadlocks eventually but also fires on
+  // long waits that are not deadlocks. Timeouts are checked by StepAny()/
+  // RunToCompletion(); purely manual StepTxn() driving never expires them.
+  kTimeout,
+};
+
+std::string_view DeadlockHandlingName(DeadlockHandling handling);
+
+// When the cycle detector runs (kDetection only). Continuous detection —
+// the paper's model — checks at every wait response, exploiting that all
+// new cycles pass through the requester. Periodic detection amortises the
+// check over many steps at the price of transactions sitting in undetected
+// deadlocks between scans.
+enum class DetectionMode {
+  kContinuous,
+  kPeriodic,
+};
+
+struct EngineOptions {
+  rollback::StrategyKind strategy = rollback::StrategyKind::kMcs;
+  DeadlockHandling handling = DeadlockHandling::kDetection;
+  VictimPolicyKind victim_policy = VictimPolicyKind::kMinCostOrdered;
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
+  std::uint64_t seed = 42;
+  // Default: strict FIFO lock queues with queue-aware waits-for arcs. The
+  // paper's own grant rule (compatibility with holders only, §2) lets a
+  // rolled-back victim's re-acquired shared locks bypass a queued writer
+  // forever — writer starvation that presents as unbounded deadlock
+  // recurrence (measured in bench_fig3_shared). The paper leaves fairness
+  // out of scope; set {false, kHoldersOnly} to reproduce its exact model
+  // (the figure scenarios do).
+  lock::LockManager::Options lock_options{
+      /*fifo_fairness=*/true,
+      /*wait_edge_policy=*/lock::WaitEdgePolicy::kHoldersAndQueue};
+  // §5 optimisation: once a transaction's statically known last lock
+  // request is granted it can never be rolled back again, so its rollback
+  // strategy stops recording history.
+  bool use_last_lock_declaration = true;
+  // Cap on simple-cycle enumeration per deadlock (shared locks can close
+  // many cycles with one wait; all pass through the requester).
+  std::size_t max_cycles_per_deadlock = 64;
+  // Above this many distinct cut candidates the vertex-cut solver falls
+  // back from exact branch-and-bound to greedy.
+  std::size_t exact_cut_limit = 24;
+  // When true and several cycles exist (shared locks), choose between the
+  // requester and a minimum-cost vertex cut (§3.2). When false, multi-cycle
+  // deadlocks always roll back the requester.
+  bool optimize_vertex_cut = true;
+  // Keep at most this many deadlock events for inspection.
+  std::size_t max_recorded_events = 4096;
+  // kTimeout only: a wait older than this many engine steps is expired.
+  std::uint64_t wait_timeout_steps = 64;
+  // kDetection only: continuous (at every wait) or periodic scans.
+  DetectionMode detection_mode = DetectionMode::kContinuous;
+  // kPeriodic only: scan cadence in engine steps (StepAny also scans
+  // whenever every transaction is blocked).
+  std::uint64_t detection_period = 32;
+};
+
+// One resolved deadlock, for tests/benches that assert the paper's figures.
+struct DeadlockEvent {
+  TxnId requester;
+  EntityId requested_entity;
+  std::size_t num_cycles = 0;
+  std::vector<TxnId> cycle_txns;       // members of the first cycle found
+  std::vector<EntityId> cycle_entities;  // entities on that cycle's arcs
+  std::vector<VictimCandidate> candidates;
+  std::vector<TxnId> victims;  // usually one; a vertex cut can have several
+  // Summed over victims:
+  std::uint64_t total_cost = 0;        // actually paid (strategy-coarsened)
+  std::uint64_t total_ideal_cost = 0;  // what exact restoration would pay
+};
+
+struct EngineMetrics {
+  std::uint64_t steps = 0;          // StepTxn calls that did work
+  std::uint64_t ops_executed = 0;   // ops completed (incl. re-execution)
+  std::uint64_t commits = 0;
+  std::uint64_t lock_waits = 0;
+  std::uint64_t deadlocks = 0;
+  std::uint64_t rollbacks = 0;          // victims rolled back
+  std::uint64_t partial_rollbacks = 0;  // target lock state > 0
+  std::uint64_t total_rollbacks = 0;    // target lock state == 0
+  std::uint64_t preemptions = 0;        // victim != requester
+  std::uint64_t wounds = 0;             // wound-wait preemptions
+  std::uint64_t deaths = 0;             // wait-die self-rollbacks
+  std::uint64_t timeouts = 0;           // kTimeout wait expirations
+  std::uint64_t wasted_ops = 0;         // sum of actual rollback costs
+  std::uint64_t ideal_wasted_ops = 0;   // sum of ideal rollback costs
+  std::uint64_t cycles_found = 0;
+  std::uint64_t periodic_scans = 0;  // kPeriodic graph sweeps performed
+  // Space accounting sampled at every rollback and commit.
+  std::size_t max_entity_copies = 0;  // max per-transaction peak
+  std::size_t max_var_copies = 0;
+};
+
+// Percentiles over the recorded per-rollback costs (lost state-index
+// progress). Empty when no rollback happened.
+struct CostDistribution {
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+};
+
+enum class TxnStatus { kReady, kWaiting, kCommitted };
+
+// What one StepTxn performed.
+enum class StepOutcome {
+  kExecuted,    // one op completed
+  kBlocked,     // lock request queued; transaction now waits
+  kRolledBack,  // lock request triggered a deadlock resolved against self
+  kCommitted,   // transaction finished
+  kIdle,        // transaction is waiting (or committed); nothing done
+};
+
+// The database engine of the paper's model: a two-phase-locking scheduler
+// with continuous deadlock detection on the concurrency graph and partial
+// rollback as the deadlock intervention (§2 response rules 1-3).
+//
+// Deterministic: given the same programs, spawn order, options and seed,
+// every run produces the identical interleaving, deadlocks and metrics.
+// Single-threaded by design — the paper's concurrency is the logical
+// interleaving of transaction steps, which Run() drives.
+class Engine {
+ public:
+  Engine(storage::EntityStore* store, EngineOptions options,
+         analysis::HistoryRecorder* recorder = nullptr);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Admits a transaction (an execution instance of `program`). Entry order
+  // defines the Theorem 2 ordering.
+  Result<TxnId> Spawn(txn::Program program);
+  Result<TxnId> Spawn(std::shared_ptr<const txn::Program> program);
+
+  // Executes the next operation of `txn` (granting its pending lock counts
+  // as progress only via HandleGrant on a release; a waiting transaction
+  // returns kIdle).
+  Result<StepOutcome> StepTxn(TxnId txn);
+
+  // Steps one ready transaction chosen by the scheduler. Returns the
+  // transaction stepped, or nullopt when none is ready.
+  Result<std::optional<TxnId>> StepAny();
+
+  // Runs until every spawned transaction commits; fails with
+  // ResourceExhausted after max_steps or Internal if no transaction is
+  // ready while some are unfinished.
+  Status RunToCompletion(std::uint64_t max_steps = 100'000'000);
+
+  bool AllCommitted() const;
+
+  // Introspection ------------------------------------------------------------
+
+  TxnStatus StatusOf(TxnId txn) const;
+  // Current state index (program counter) — the paper's state numbering.
+  StateIndex StateIndexOf(TxnId txn) const;
+  // Number of granted lock requests (current lock index).
+  LockIndex LockCountOf(TxnId txn) const;
+  Timestamp EntryOf(TxnId txn) const;
+  const rollback::RollbackStrategy* StrategyOf(TxnId txn) const;
+  Value VarValueOf(TxnId txn, txn::VarId var) const;
+
+  const graph::Digraph& waits_for() const { return waits_for_; }
+  const lock::LockManager& lock_manager() const { return locks_; }
+  const storage::EntityStore& store() const { return *store_; }
+  const EngineMetrics& metrics() const { return metrics_; }
+  const std::vector<DeadlockEvent>& deadlock_events() const {
+    return deadlock_events_;
+  }
+  // Distribution of individual rollback costs (bounded sample of the most
+  // recent 64k rollbacks).
+  CostDistribution RollbackCostDistribution() const;
+  const EngineOptions& options() const { return options_; }
+
+  // Installs an event observer (nullptr to detach). Not owned; must
+  // outlive the engine or be detached first.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
+  // Per-transaction counters for preemption analysis (Figure 2): how many
+  // times txn was rolled back as a victim of another's conflict.
+  std::uint64_t PreemptionCountOf(TxnId txn) const;
+
+  std::string DumpState() const;
+
+ private:
+  struct LockRecord {
+    EntityId entity;
+    lock::LockMode mode;
+    bool is_upgrade;
+    std::size_t op_index;  // state index of this request's lock state
+  };
+
+  struct TxnContext {
+    TxnId id;
+    std::shared_ptr<const txn::Program> program;
+    std::size_t pc = 0;
+    TxnStatus status = TxnStatus::kReady;
+    Timestamp entry = 0;
+    std::unique_ptr<rollback::RollbackStrategy> strategy;
+    std::vector<LockRecord> granted;  // granted[k] <-> lock state k
+    std::uint64_t preempted = 0;
+    bool in_shrinking_phase = false;
+    // Engine step at which the current wait began (kTimeout bookkeeping).
+    std::uint64_t wait_since = 0;
+  };
+
+  // Op execution ------------------------------------------------------------
+
+  Result<StepOutcome> ExecuteOp(TxnContext& ctx);
+  Result<StepOutcome> ExecuteLock(TxnContext& ctx, const txn::Op& op);
+  Status ExecuteUnlockOne(TxnContext& ctx, EntityId entity);
+  Status ExecuteCommit(TxnContext& ctx);
+  Value EvalOperand(const TxnContext& ctx, const txn::Operand& o) const;
+  Result<Value> ReadEntityValue(const TxnContext& ctx, EntityId entity) const;
+
+  // Called when the lock manager granted `g` during a release/cancel.
+  Status HandleGrant(const lock::Grant& g);
+  // Registers a granted lock in ctx (records, strategy callbacks).
+  Status RegisterGrant(TxnContext& ctx, EntityId entity, lock::LockMode mode,
+                       bool is_upgrade);
+
+  // Deadlock machinery --------------------------------------------------------
+
+  // Rebuilds waits-for arcs labeled by `entity` from the lock table.
+  void RefreshWaitEdges(EntityId entity);
+  // Detects and resolves any deadlock created by `requester`'s wait.
+  // Returns true when the requester itself was rolled back.
+  Result<bool> DetectAndResolve(TxnContext& requester, EntityId entity);
+  // §3.3 prevention schemes, applied when the requester must wait.
+  Status HandleWoundWait(TxnContext& requester, EntityId entity,
+                         lock::LockMode mode);
+  Result<bool> HandleWaitDie(TxnContext& requester, EntityId entity);
+  // kTimeout: rolls back every transaction whose wait has expired.
+  Status ExpireTimeouts();
+  // kPeriodic: sweeps the whole waits-for graph and resolves every cycle.
+  Status PeriodicScan();
+  // Self-rollback target releasing everything a (conflicting) queued
+  // transaction selected by `relevant` currently waits for; accumulates
+  // the cost into the wasted-work metrics.
+  Result<LockIndex> SelfRollbackTarget(
+      const TxnContext& txn,
+      const std::function<bool(const TxnContext&)>& relevant);
+  // Builds the §3.1 candidate entry for cycle member `txn` that must stop
+  // conflicting over the entities in `entities` with the given waiter
+  // modes.
+  Result<VictimCandidate> MakeCandidate(
+      const TxnContext& member,
+      const std::vector<std::pair<EntityId, lock::LockMode>>& conflicts,
+      bool is_requester) const;
+  // Rolls `victim` back to lock state `target` (which its strategy can
+  // restore exactly). Releases/downgrades undone locks, cancels its wait,
+  // rewinds the recorder and resets the program counter.
+  Status RollbackTxn(TxnContext& victim, LockIndex target);
+
+  void SampleSpace(const TxnContext& ctx);
+  void Emit(TraceEvent::Kind kind, const TxnContext& ctx,
+            EntityId entity = EntityId(), LockIndex target = 0,
+            std::uint64_t cost = 0);
+
+  TxnContext* Find(TxnId txn);
+  const TxnContext* Find(TxnId txn) const;
+
+  storage::EntityStore* store_;
+  EngineOptions options_;
+  analysis::HistoryRecorder* recorder_;  // may be null
+  TraceSink* trace_ = nullptr;           // may be null
+  lock::LockManager locks_;
+  graph::Digraph waits_for_;
+  std::map<TxnId, TxnContext> txns_;
+  EngineMetrics metrics_;
+  std::vector<DeadlockEvent> deadlock_events_;
+  std::vector<std::uint32_t> rollback_costs_;  // bounded sample
+  Rng rng_;
+  std::uint64_t next_txn_ = 0;
+  Timestamp clock_ = 0;
+  std::uint64_t rr_cursor_ = 0;  // round-robin position
+};
+
+}  // namespace pardb::core
+
+#endif  // PARDB_CORE_ENGINE_H_

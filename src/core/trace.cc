@@ -1,0 +1,74 @@
+#include "core/trace.h"
+
+#include <sstream>
+
+namespace pardb::core {
+
+std::string_view TraceEventKindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kSpawn:
+      return "spawn";
+    case TraceEvent::Kind::kLockGranted:
+      return "grant";
+    case TraceEvent::Kind::kBlocked:
+      return "block";
+    case TraceEvent::Kind::kDeadlock:
+      return "deadlock";
+    case TraceEvent::Kind::kRollback:
+      return "rollback";
+    case TraceEvent::Kind::kWound:
+      return "wound";
+    case TraceEvent::Kind::kDeath:
+      return "death";
+    case TraceEvent::Kind::kTimeout:
+      return "timeout";
+    case TraceEvent::Kind::kCommit:
+      return "commit";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::ToString() const {
+  std::ostringstream os;
+  os << "[" << step << "] " << TraceEventKindName(kind) << " " << txn
+     << " pc=" << pc;
+  switch (kind) {
+    case Kind::kLockGranted:
+    case Kind::kBlocked:
+    case Kind::kDeadlock:
+      os << " entity=" << entity;
+      break;
+    case Kind::kRollback:
+    case Kind::kWound:
+    case Kind::kDeath:
+    case Kind::kTimeout:
+      os << " -> lock state " << target << " (cost " << cost << ")";
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+void RingTrace::OnEvent(const TraceEvent& event) {
+  ++total_;
+  const auto idx = static_cast<std::size_t>(event.kind);
+  if (idx < sizeof(counts_) / sizeof(counts_[0])) ++counts_[idx];
+  if (capacity_ == 0) return;
+  if (events_.size() == capacity_) events_.pop_front();
+  events_.push_back(event);
+}
+
+std::uint64_t RingTrace::CountOf(TraceEvent::Kind kind) const {
+  const auto idx = static_cast<std::size_t>(kind);
+  if (idx >= sizeof(counts_) / sizeof(counts_[0])) return 0;
+  return counts_[idx];
+}
+
+std::string RingTrace::ToString() const {
+  std::ostringstream os;
+  for (const TraceEvent& e : events_) os << e.ToString() << "\n";
+  return os.str();
+}
+
+}  // namespace pardb::core

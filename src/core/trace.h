@@ -1,0 +1,74 @@
+#ifndef PARDB_CORE_TRACE_H_
+#define PARDB_CORE_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pardb::core {
+
+// One engine event, for observability. The engine emits protocol-level
+// events (lock grants, waits, rollbacks, commits, deadlocks), not every
+// arithmetic op — traces stay readable under load.
+struct TraceEvent {
+  enum class Kind {
+    kSpawn,
+    kLockGranted,
+    kBlocked,
+    kDeadlock,
+    kRollback,
+    kWound,
+    kDeath,
+    kTimeout,
+    kCommit,
+  };
+
+  Kind kind;
+  std::uint64_t step = 0;  // engine step counter at emission
+  TxnId txn;               // subject transaction
+  EntityId entity;         // lock target, when applicable
+  StateIndex pc = 0;       // subject's state index at emission
+  // Rollback details (kRollback/kWound/kDeath/kTimeout):
+  LockIndex target = 0;
+  std::uint64_t cost = 0;
+
+  std::string ToString() const;
+};
+
+std::string_view TraceEventKindName(TraceEvent::Kind kind);
+
+// Receiver interface. Implementations must not call back into the Engine.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const TraceEvent& event) = 0;
+};
+
+// Bounded in-memory trace: keeps the most recent `capacity` events plus
+// total counts per kind. The default sink for tests and the CLI.
+class RingTrace final : public TraceSink {
+ public:
+  explicit RingTrace(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  void OnEvent(const TraceEvent& event) override;
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::uint64_t CountOf(TraceEvent::Kind kind) const;
+  std::uint64_t total_events() const { return total_; }
+
+  // Formatted dump of the retained window, one event per line.
+  std::string ToString() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t total_ = 0;
+  std::uint64_t counts_[16] = {};
+};
+
+}  // namespace pardb::core
+
+#endif  // PARDB_CORE_TRACE_H_

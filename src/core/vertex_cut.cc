@@ -1,0 +1,126 @@
+#include "core/vertex_cut.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+
+namespace pardb::core {
+
+namespace {
+
+constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+
+// Greedy weighted hitting set: repeatedly pick the member covering the most
+// uncovered cycles per unit cost.
+VertexCutResult Greedy(const std::vector<std::vector<std::size_t>>& cycles,
+                       const std::vector<std::uint64_t>& costs) {
+  VertexCutResult result;
+  result.exact = false;
+  std::vector<bool> covered(cycles.size(), false);
+  std::size_t remaining = cycles.size();
+  std::set<std::size_t> chosen;
+  while (remaining > 0) {
+    std::size_t best = SIZE_MAX;
+    double best_ratio = -1.0;
+    for (std::size_t i = 0; i < cycles.size(); ++i) {
+      if (covered[i]) continue;
+      for (std::size_t m : cycles[i]) {
+        if (chosen.count(m)) continue;
+        std::size_t gain = 0;
+        for (std::size_t j = 0; j < cycles.size(); ++j) {
+          if (!covered[j] &&
+              std::find(cycles[j].begin(), cycles[j].end(), m) !=
+                  cycles[j].end()) {
+            ++gain;
+          }
+        }
+        const double denom = static_cast<double>(costs[m]) + 1.0;
+        const double ratio = static_cast<double>(gain) / denom;
+        if (ratio > best_ratio || (ratio == best_ratio && m < best)) {
+          best_ratio = ratio;
+          best = m;
+        }
+      }
+    }
+    if (best == SIZE_MAX) break;  // no coverable cycle left (empty cycle?)
+    chosen.insert(best);
+    result.total_cost += costs[best];
+    for (std::size_t j = 0; j < cycles.size(); ++j) {
+      if (!covered[j] && std::find(cycles[j].begin(), cycles[j].end(), best) !=
+                             cycles[j].end()) {
+        covered[j] = true;
+        --remaining;
+      }
+    }
+  }
+  result.members.assign(chosen.begin(), chosen.end());
+  return result;
+}
+
+// Exact branch and bound on the first uncovered cycle.
+void Branch(const std::vector<std::vector<std::size_t>>& cycles,
+            const std::vector<std::uint64_t>& costs,
+            std::set<std::size_t>& chosen, std::uint64_t cost_so_far,
+            std::uint64_t& best_cost, std::set<std::size_t>& best_set) {
+  if (cost_so_far >= best_cost) return;
+  // Find the first cycle not hit by `chosen`.
+  const std::vector<std::size_t>* open = nullptr;
+  for (const auto& cycle : cycles) {
+    bool hit = false;
+    for (std::size_t m : cycle) {
+      if (chosen.count(m)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) {
+      open = &cycle;
+      break;
+    }
+  }
+  if (open == nullptr) {
+    best_cost = cost_so_far;
+    best_set = chosen;
+    return;
+  }
+  for (std::size_t m : *open) {
+    if (chosen.count(m)) continue;
+    chosen.insert(m);
+    Branch(cycles, costs, chosen, cost_so_far + costs[m], best_cost, best_set);
+    chosen.erase(m);
+  }
+}
+
+}  // namespace
+
+VertexCutResult SolveVertexCut(
+    const std::vector<std::vector<std::size_t>>& cycles,
+    const std::vector<std::uint64_t>& costs, std::size_t exact_limit) {
+  VertexCutResult result;
+  if (cycles.empty()) return result;
+
+  std::set<std::size_t> distinct;
+  for (const auto& c : cycles) distinct.insert(c.begin(), c.end());
+  for (std::size_t m : distinct) {
+    assert(m < costs.size());
+    (void)m;
+  }
+
+  if (distinct.size() > exact_limit) return Greedy(cycles, costs);
+
+  // Seed the bound with the greedy solution, then branch.
+  VertexCutResult greedy = Greedy(cycles, costs);
+  std::uint64_t best_cost = greedy.members.empty() ? kInf : greedy.total_cost;
+  std::set<std::size_t> best_set(greedy.members.begin(),
+                                 greedy.members.end());
+  std::set<std::size_t> chosen;
+  Branch(cycles, costs, chosen, 0, best_cost, best_set);
+
+  result.members.assign(best_set.begin(), best_set.end());
+  result.total_cost = best_cost == kInf ? 0 : best_cost;
+  result.exact = true;
+  return result;
+}
+
+}  // namespace pardb::core

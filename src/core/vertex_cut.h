@@ -1,0 +1,34 @@
+#ifndef PARDB_CORE_VERTEX_CUT_H_
+#define PARDB_CORE_VERTEX_CUT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pardb::core {
+
+// Minimum-cost vertex cut-set for deadlock removal with shared locks
+// (paper §3.2): given the cycles closed by one wait — all of which pass
+// through the requesting transaction — find a set of member transactions
+// whose combined rollback cost is minimal and whose removal breaks every
+// cycle. The general problem is NP-complete (related to feedback vertex
+// set); the instances here are small (cycles through one vertex), so an
+// exact branch-and-bound is practical, with a greedy fallback beyond
+// `exact_limit` distinct members.
+//
+// Inputs are index-based: `cycles[i]` lists member indices (into the
+// caller's candidate array) on cycle i; `costs[m]` is the rollback cost of
+// member m. The requester should be passed as a member of every cycle so
+// the solver can weigh "roll back the requester" against multi-victim cuts.
+struct VertexCutResult {
+  std::vector<std::size_t> members;  // chosen member indices, ascending
+  std::uint64_t total_cost = 0;
+  bool exact = true;  // false when the greedy fallback was used
+};
+
+VertexCutResult SolveVertexCut(
+    const std::vector<std::vector<std::size_t>>& cycles,
+    const std::vector<std::uint64_t>& costs, std::size_t exact_limit = 24);
+
+}  // namespace pardb::core
+
+#endif  // PARDB_CORE_VERTEX_CUT_H_

@@ -1,0 +1,399 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <sstream>
+
+namespace pardb::graph {
+
+bool Cycle::Contains(VertexId v) const {
+  return std::find(vertices.begin(), vertices.end(), v) != vertices.end();
+}
+
+std::string Cycle::ToString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    if (i) os << " -> ";
+    os << vertices[i];
+  }
+  if (!vertices.empty()) os << " -> " << vertices[0];
+  return os.str();
+}
+
+void Digraph::AddVertex(VertexId v) {
+  adj_.try_emplace(v);
+  radj_.try_emplace(v);
+}
+
+void Digraph::RemoveVertex(VertexId v) {
+  auto it = adj_.find(v);
+  if (it == adj_.end()) return;
+  // Drop outgoing edges from reverse adjacency.
+  for (const auto& [to, labels] : it->second) {
+    edge_count_ -= labels.size();
+    radj_[to].erase(v);
+  }
+  // Drop incoming edges from forward adjacency.
+  for (const auto& [from, labels] : radj_[v]) {
+    edge_count_ -= labels.size();
+    adj_[from].erase(v);
+  }
+  adj_.erase(v);
+  radj_.erase(v);
+}
+
+bool Digraph::HasVertex(VertexId v) const { return adj_.count(v) > 0; }
+
+std::vector<VertexId> Digraph::Vertices() const {
+  std::vector<VertexId> out;
+  out.reserve(adj_.size());
+  for (const auto& [v, _] : adj_) out.push_back(v);
+  return out;
+}
+
+void Digraph::AddEdge(VertexId from, VertexId to, EdgeLabel label) {
+  AddVertex(from);
+  AddVertex(to);
+  if (adj_[from][to].insert(label).second) {
+    radj_[to][from].insert(label);
+    ++edge_count_;
+  }
+}
+
+void Digraph::RemoveEdge(VertexId from, VertexId to, EdgeLabel label) {
+  auto fit = adj_.find(from);
+  if (fit == adj_.end()) return;
+  auto tit = fit->second.find(to);
+  if (tit == fit->second.end()) return;
+  if (tit->second.erase(label) == 0) return;
+  --edge_count_;
+  if (tit->second.empty()) fit->second.erase(tit);
+  auto& rlabels = radj_[to][from];
+  rlabels.erase(label);
+  if (rlabels.empty()) radj_[to].erase(from);
+}
+
+void Digraph::RemoveEdgesBetween(VertexId from, VertexId to) {
+  auto fit = adj_.find(from);
+  if (fit == adj_.end()) return;
+  auto tit = fit->second.find(to);
+  if (tit == fit->second.end()) return;
+  edge_count_ -= tit->second.size();
+  fit->second.erase(tit);
+  radj_[to].erase(from);
+}
+
+void Digraph::RemoveEdgesLabeled(EdgeLabel label) {
+  for (auto& [from, tos] : adj_) {
+    for (auto tit = tos.begin(); tit != tos.end();) {
+      if (tit->second.erase(label)) {
+        --edge_count_;
+        auto& rlabels = radj_[tit->first][from];
+        rlabels.erase(label);
+        if (rlabels.empty()) radj_[tit->first].erase(from);
+      }
+      if (tit->second.empty()) {
+        tit = tos.erase(tit);
+      } else {
+        ++tit;
+      }
+    }
+  }
+}
+
+bool Digraph::HasEdge(VertexId from, VertexId to) const {
+  auto fit = adj_.find(from);
+  if (fit == adj_.end()) return false;
+  auto tit = fit->second.find(to);
+  return tit != fit->second.end() && !tit->second.empty();
+}
+
+bool Digraph::HasEdge(VertexId from, VertexId to, EdgeLabel label) const {
+  auto fit = adj_.find(from);
+  if (fit == adj_.end()) return false;
+  auto tit = fit->second.find(to);
+  return tit != fit->second.end() && tit->second.count(label) > 0;
+}
+
+std::vector<Edge> Digraph::Edges() const {
+  std::vector<Edge> out;
+  out.reserve(edge_count_);
+  for (const auto& [from, tos] : adj_) {
+    for (const auto& [to, labels] : tos) {
+      for (EdgeLabel l : labels) out.push_back(Edge{from, to, l});
+    }
+  }
+  return out;
+}
+
+std::vector<VertexId> Digraph::Successors(VertexId v) const {
+  std::vector<VertexId> out;
+  auto it = adj_.find(v);
+  if (it == adj_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [to, _] : it->second) out.push_back(to);
+  return out;
+}
+
+std::vector<VertexId> Digraph::Predecessors(VertexId v) const {
+  std::vector<VertexId> out;
+  auto it = radj_.find(v);
+  if (it == radj_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [from, _] : it->second) out.push_back(from);
+  return out;
+}
+
+std::size_t Digraph::InDegree(VertexId v) const {
+  auto it = radj_.find(v);
+  if (it == radj_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& [_, labels] : it->second) n += labels.size();
+  return n;
+}
+
+std::size_t Digraph::OutDegree(VertexId v) const {
+  auto it = adj_.find(v);
+  if (it == adj_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& [_, labels] : it->second) n += labels.size();
+  return n;
+}
+
+bool Digraph::HasPath(VertexId from, VertexId to) const {
+  if (!HasVertex(from) || !HasVertex(to)) return false;
+  if (from == to) return true;
+  std::deque<VertexId> frontier{from};
+  std::set<VertexId> seen{from};
+  while (!frontier.empty()) {
+    VertexId v = frontier.front();
+    frontier.pop_front();
+    auto it = adj_.find(v);
+    if (it == adj_.end()) continue;
+    for (const auto& [next, _] : it->second) {
+      if (next == to) return true;
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+bool Digraph::WouldCreateCycle(VertexId from, VertexId to) const {
+  if (!HasVertex(from) || !HasVertex(to)) return false;
+  return HasPath(to, from);
+}
+
+std::optional<Cycle> Digraph::FindCycleThrough(VertexId v) const {
+  std::optional<Cycle> found;
+  EnumerateCyclesThrough(v, 1, [&found](const Cycle& c) {
+    found = c;
+    return false;
+  });
+  return found;
+}
+
+std::size_t Digraph::EnumerateCyclesThrough(
+    VertexId v, std::size_t limit,
+    const std::function<bool(const Cycle&)>& cb) const {
+  if (!HasVertex(v) || limit == 0) return 0;
+  // DFS over simple paths starting at v; every edge closing back to v is a
+  // simple cycle through v. Paths never revisit a vertex, so this is
+  // Johnson-style enumeration restricted to a single root — sufficient
+  // because in deadlock resolution all new cycles pass through the
+  // requester (paper §3.2).
+  std::size_t produced = 0;
+  std::vector<VertexId> path{v};
+  std::vector<Edge> path_edges;
+  std::set<VertexId> on_path{v};
+  bool stop = false;
+
+  // Explicit stack DFS to avoid recursion-depth limits on long chains.
+  struct Frame {
+    VertexId vertex;
+    std::vector<std::pair<VertexId, EdgeLabel>> out;  // remaining edges
+    std::size_t next = 0;
+  };
+  auto MakeFrame = [this](VertexId u) {
+    Frame f;
+    f.vertex = u;
+    auto it = adj_.find(u);
+    if (it != adj_.end()) {
+      for (const auto& [to, labels] : it->second) {
+        // One representative label per neighbour is enough for victim
+        // selection, but report each label so callers see every entity
+        // involved in the cycle arc.
+        for (EdgeLabel l : labels) f.out.emplace_back(to, l);
+      }
+    }
+    return f;
+  };
+
+  std::vector<Frame> stack;
+  stack.push_back(MakeFrame(v));
+  while (!stack.empty() && !stop) {
+    Frame& f = stack.back();
+    if (f.next >= f.out.size()) {
+      stack.pop_back();
+      if (!stack.empty()) {
+        on_path.erase(path.back());
+        path.pop_back();
+        path_edges.pop_back();
+      }
+      continue;
+    }
+    auto [to, label] = f.out[f.next++];
+    if (to == v) {
+      Cycle c;
+      c.vertices = path;
+      c.edges = path_edges;
+      c.edges.push_back(Edge{f.vertex, v, label});
+      ++produced;
+      if (!cb(c) || produced >= limit) stop = true;
+      continue;
+    }
+    if (on_path.count(to)) continue;
+    on_path.insert(to);
+    path.push_back(to);
+    path_edges.push_back(Edge{f.vertex, to, label});
+    stack.push_back(MakeFrame(to));
+  }
+  return produced;
+}
+
+bool Digraph::IsAcyclic() const {
+  // Kahn's algorithm over distinct-neighbour in-degrees.
+  std::map<VertexId, std::size_t> indeg;
+  for (const auto& [v, _] : adj_) indeg[v] = 0;
+  for (const auto& [v, tos] : adj_) {
+    (void)v;
+    for (const auto& [to, _] : tos) ++indeg[to];
+  }
+  std::deque<VertexId> ready;
+  for (const auto& [v, d] : indeg) {
+    if (d == 0) ready.push_back(v);
+  }
+  std::size_t removed = 0;
+  while (!ready.empty()) {
+    VertexId v = ready.front();
+    ready.pop_front();
+    ++removed;
+    auto it = adj_.find(v);
+    if (it == adj_.end()) continue;
+    for (const auto& [to, _] : it->second) {
+      if (--indeg[to] == 0) ready.push_back(to);
+    }
+  }
+  return removed == adj_.size();
+}
+
+std::vector<std::vector<VertexId>> Digraph::StronglyConnectedComponents()
+    const {
+  // Iterative Tarjan.
+  struct NodeState {
+    int index = -1;
+    int lowlink = 0;
+    bool on_stack = false;
+  };
+  std::map<VertexId, NodeState> state;
+  std::vector<VertexId> stack;
+  std::vector<std::vector<VertexId>> components;
+  int next_index = 0;
+
+  struct Frame {
+    VertexId v;
+    std::vector<VertexId> succ;
+    std::size_t next = 0;
+  };
+
+  for (const auto& [root, _] : adj_) {
+    if (state[root].index != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back(Frame{root, Successors(root), 0});
+    state[root].index = state[root].lowlink = next_index++;
+    state[root].on_stack = true;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next < f.succ.size()) {
+        VertexId w = f.succ[f.next++];
+        NodeState& ws = state[w];
+        if (ws.index == -1) {
+          ws.index = ws.lowlink = next_index++;
+          ws.on_stack = true;
+          stack.push_back(w);
+          frames.push_back(Frame{w, Successors(w), 0});
+        } else if (ws.on_stack) {
+          state[f.v].lowlink = std::min(state[f.v].lowlink, ws.index);
+        }
+        continue;
+      }
+      // Post-visit.
+      VertexId v = f.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        state[frames.back().v].lowlink =
+            std::min(state[frames.back().v].lowlink, state[v].lowlink);
+      }
+      if (state[v].lowlink == state[v].index) {
+        std::vector<VertexId> component;
+        for (;;) {
+          VertexId w = stack.back();
+          stack.pop_back();
+          state[w].on_stack = false;
+          component.push_back(w);
+          if (w == v) break;
+        }
+        std::sort(component.begin(), component.end());
+        components.push_back(std::move(component));
+      }
+    }
+  }
+  std::sort(components.begin(), components.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return components;
+}
+
+std::vector<std::vector<VertexId>> Digraph::CyclicComponents() const {
+  std::vector<std::vector<VertexId>> out;
+  for (auto& c : StronglyConnectedComponents()) {
+    // A singleton component is cyclic only via a self-loop (impossible in
+    // waits-for graphs, but the digraph is generic).
+    if (c.size() >= 2 || HasEdge(c[0], c[0])) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+bool Digraph::IsForest() const {
+  for (const auto& [v, _] : radj_) {
+    // Forest of out-trees: at most one distinct predecessor per vertex.
+    if (radj_.at(v).size() > 1) return false;
+  }
+  return IsAcyclic();
+}
+
+std::string Digraph::ToDot(
+    const std::function<std::string(VertexId)>& vertex_name,
+    const std::function<std::string(EdgeLabel)>& label_name) const {
+  auto vname = [&](VertexId v) {
+    if (vertex_name) return vertex_name(v);
+    return "v" + std::to_string(v);
+  };
+  auto lname = [&](EdgeLabel l) {
+    if (label_name) return label_name(l);
+    return std::to_string(l);
+  };
+  std::ostringstream os;
+  os << "digraph G {\n";
+  for (const auto& [v, _] : adj_) {
+    os << "  \"" << vname(v) << "\";\n";
+  }
+  for (const Edge& e : Edges()) {
+    os << "  \"" << vname(e.from) << "\" -> \"" << vname(e.to)
+       << "\" [label=\"" << lname(e.label) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pardb::graph

@@ -1,0 +1,149 @@
+#ifndef PARDB_GRAPH_DIGRAPH_H_
+#define PARDB_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pardb::graph {
+
+// Vertex and edge-label key types. The concurrency graph instantiates
+// vertices with transaction ids and labels with entity ids; the graph layer
+// itself is domain-agnostic.
+using VertexId = std::uint64_t;
+using EdgeLabel = std::uint64_t;
+
+// One arc of a labeled digraph. The paper's labeled concurrency graph
+// G_L(T) labels arc <T_j, T_i> with the entity A for which T_i waits on
+// T_j (paper §3.0).
+struct Edge {
+  VertexId from;
+  VertexId to;
+  EdgeLabel label;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.from == b.from && a.to == b.to && a.label == b.label;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    if (a.from != b.from) return a.from < b.from;
+    if (a.to != b.to) return a.to < b.to;
+    return a.label < b.label;
+  }
+};
+
+// A cycle through the graph: vertices[0] -> vertices[1] -> ... ->
+// vertices[k-1] -> vertices[0], with edges[i] the arc from vertices[i] to
+// vertices[(i+1) % k].
+struct Cycle {
+  std::vector<VertexId> vertices;
+  std::vector<Edge> edges;
+
+  bool Contains(VertexId v) const;
+  std::string ToString() const;
+};
+
+// Labeled multidigraph with explicit vertex membership. Deterministic: all
+// iteration orders are sorted, so algorithms return the same cycle for the
+// same graph regardless of insertion order.
+class Digraph {
+ public:
+  Digraph() = default;
+
+  // Vertices ---------------------------------------------------------------
+
+  // Adds v if absent; idempotent.
+  void AddVertex(VertexId v);
+  // Removes v and all incident edges. No-op when absent.
+  void RemoveVertex(VertexId v);
+  bool HasVertex(VertexId v) const;
+  std::size_t VertexCount() const { return adj_.size(); }
+  std::vector<VertexId> Vertices() const;
+
+  // Edges ------------------------------------------------------------------
+
+  // Adds the arc (from, to, label); creates missing endpoints. Duplicate
+  // (from, to, label) triples are ignored (set semantics).
+  void AddEdge(VertexId from, VertexId to, EdgeLabel label);
+  // Removes the exact arc; no-op when absent.
+  void RemoveEdge(VertexId from, VertexId to, EdgeLabel label);
+  // Removes every arc from `from` to `to` regardless of label.
+  void RemoveEdgesBetween(VertexId from, VertexId to);
+  // Removes every arc whose label is `label`.
+  void RemoveEdgesLabeled(EdgeLabel label);
+  bool HasEdge(VertexId from, VertexId to) const;
+  bool HasEdge(VertexId from, VertexId to, EdgeLabel label) const;
+  std::size_t EdgeCount() const { return edge_count_; }
+  std::vector<Edge> Edges() const;
+  // Out-neighbours of v (each listed once even with parallel labels).
+  std::vector<VertexId> Successors(VertexId v) const;
+  std::vector<VertexId> Predecessors(VertexId v) const;
+  std::size_t InDegree(VertexId v) const;
+  std::size_t OutDegree(VertexId v) const;
+
+  // Queries ----------------------------------------------------------------
+
+  // True iff a directed path from `from` to `to` exists (including length
+  // 0 when from == to and both exist).
+  bool HasPath(VertexId from, VertexId to) const;
+
+  // True iff adding arc (from, to) would close a directed cycle, i.e. a
+  // path to -> ... -> from already exists. This is the paper's wait-time
+  // deadlock test: a wait response creates a deadlock iff the requested
+  // entity "is already locked by a descendant" in the concurrency graph.
+  bool WouldCreateCycle(VertexId from, VertexId to) const;
+
+  // Finds one directed cycle through v, if any. With exclusive locks only
+  // the deadlock-free graph is a forest (Theorem 1) and a single wait can
+  // close at most one cycle, which this returns.
+  std::optional<Cycle> FindCycleThrough(VertexId v) const;
+
+  // Enumerates all simple directed cycles through v, invoking cb for each;
+  // stops early when cb returns false or `limit` cycles were produced.
+  // Returns the number of cycles reported. Used for shared+exclusive
+  // systems where one wait may close many cycles (paper §3.2), all of which
+  // provably pass through the requester.
+  std::size_t EnumerateCyclesThrough(
+      VertexId v, std::size_t limit,
+      const std::function<bool(const Cycle&)>& cb) const;
+
+  // True iff the digraph is acyclic.
+  bool IsAcyclic() const;
+
+  // Strongly connected components (Tarjan), each sorted ascending; the
+  // component list is ordered by smallest member. Components of size >= 2
+  // are exactly the vertex sets involved in directed cycles, which is how
+  // the periodic deadlock scan finds every deadlock in one sweep.
+  std::vector<std::vector<VertexId>> StronglyConnectedComponents() const;
+
+  // Components of size >= 2 only (the cyclic ones).
+  std::vector<std::vector<VertexId>> CyclicComponents() const;
+
+  // Theorem 1 structure check: with exclusive locks only, a deadlock-free
+  // concurrency graph is a forest of out-trees — every vertex has in-degree
+  // <= 1 and there is no cycle.
+  bool IsForest() const;
+
+  // Graphviz rendering; `vertex_name` / `label_name` may be null for
+  // numeric output.
+  std::string ToDot(
+      const std::function<std::string(VertexId)>& vertex_name = nullptr,
+      const std::function<std::string(EdgeLabel)>& label_name = nullptr) const;
+
+ private:
+  // adjacency: from -> (to -> labels). std::map keeps iteration
+  // deterministic.
+  std::map<VertexId, std::map<VertexId, std::set<EdgeLabel>>> adj_;
+  std::map<VertexId, std::map<VertexId, std::set<EdgeLabel>>> radj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace pardb::graph
+
+#endif  // PARDB_GRAPH_DIGRAPH_H_

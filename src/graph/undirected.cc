@@ -1,0 +1,127 @@
+#include "graph/undirected.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace pardb::graph {
+
+void UndirectedGraph::AddVertex(VertexId v) { adj_.try_emplace(v); }
+
+void UndirectedGraph::AddEdge(VertexId a, VertexId b) {
+  AddVertex(a);
+  AddVertex(b);
+  if (a == b) return;
+  if (adj_[a].insert(b).second) {
+    adj_[b].insert(a);
+    ++edge_count_;
+  }
+}
+
+bool UndirectedGraph::HasVertex(VertexId v) const { return adj_.count(v) > 0; }
+
+bool UndirectedGraph::HasEdge(VertexId a, VertexId b) const {
+  auto it = adj_.find(a);
+  return it != adj_.end() && it->second.count(b) > 0;
+}
+
+std::vector<UndirectedGraph::VertexId> UndirectedGraph::Vertices() const {
+  std::vector<VertexId> out;
+  out.reserve(adj_.size());
+  for (const auto& [v, _] : adj_) out.push_back(v);
+  return out;
+}
+
+std::vector<UndirectedGraph::VertexId> UndirectedGraph::Neighbors(
+    VertexId v) const {
+  std::vector<VertexId> out;
+  auto it = adj_.find(v);
+  if (it == adj_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+std::vector<UndirectedGraph::VertexId> UndirectedGraph::ArticulationPoints()
+    const {
+  // Iterative Hopcroft–Tarjan. disc/low arrays keyed by vertex id.
+  std::unordered_map<VertexId, int> disc;
+  std::unordered_map<VertexId, int> low;
+  std::set<VertexId> cut;
+  int timer = 0;
+
+  struct Frame {
+    VertexId v;
+    VertexId parent;
+    std::vector<VertexId> nbrs;
+    std::size_t next = 0;
+    int child_count = 0;
+  };
+
+  for (const auto& [root, _] : adj_) {
+    if (disc.count(root)) continue;
+    std::vector<Frame> stack;
+    stack.push_back(Frame{root, root, Neighbors(root), 0, 0});
+    disc[root] = low[root] = timer++;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < f.nbrs.size()) {
+        VertexId u = f.nbrs[f.next++];
+        if (u == f.parent && f.v != root) continue;
+        auto dit = disc.find(u);
+        if (dit != disc.end()) {
+          low[f.v] = std::min(low[f.v], dit->second);
+        } else {
+          ++f.child_count;
+          disc[u] = low[u] = timer++;
+          stack.push_back(Frame{u, f.v, Neighbors(u), 0, 0});
+        }
+      } else {
+        // Post-visit: propagate low to parent and test the cut condition.
+        VertexId v = f.v;
+        int children = f.child_count;
+        stack.pop_back();
+        if (v == root) {
+          if (children > 1) cut.insert(v);
+          continue;
+        }
+        Frame& pf = stack.back();
+        low[pf.v] = std::min(low[pf.v], low[v]);
+        // A non-root parent is a cut vertex when no back edge from v's
+        // subtree reaches above it; the root is a cut vertex iff it has
+        // more than one DFS child (tested at its own post-visit).
+        if (pf.v != root && low[v] >= disc[pf.v]) cut.insert(pf.v);
+      }
+    }
+  }
+  return std::vector<VertexId>(cut.begin(), cut.end());
+}
+
+bool UndirectedGraph::IsConnected() const {
+  if (adj_.empty()) return true;
+  std::set<VertexId> seen;
+  std::vector<VertexId> stack{adj_.begin()->first};
+  seen.insert(stack.back());
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    for (VertexId u : adj_.at(v)) {
+      if (seen.insert(u).second) stack.push_back(u);
+    }
+  }
+  return seen.size() == adj_.size();
+}
+
+std::string UndirectedGraph::ToDot() const {
+  std::ostringstream os;
+  os << "graph G {\n";
+  for (const auto& [v, _] : adj_) os << "  " << v << ";\n";
+  for (const auto& [a, nbrs] : adj_) {
+    for (VertexId b : nbrs) {
+      if (a < b) os << "  " << a << " -- " << b << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pardb::graph

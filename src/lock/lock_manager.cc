@@ -1,0 +1,337 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pardb::lock {
+
+namespace {
+
+std::string Describe(TxnId txn, EntityId entity) {
+  std::ostringstream os;
+  os << txn << "/" << entity;
+  return os.str();
+}
+
+}  // namespace
+
+bool LockManager::Grantable(const EntityState& es, const Waiter& w,
+                            std::size_t position) const {
+  // Upgrades are grantable iff the requester is the sole holder.
+  if (w.is_upgrade) {
+    return es.holders.size() == 1 && es.holders.count(w.txn) == 1;
+  }
+  for (const auto& [holder, mode] : es.holders) {
+    if (holder == w.txn) continue;  // cannot happen for non-upgrades
+    if (!Compatible(mode, w.mode)) return false;
+  }
+  // Queue discipline: under fifo_fairness nothing passes a waiter; in the
+  // paper model a compatible request passes waiting incompatible ones.
+  const std::size_t ahead = std::min(position, es.queue.size());
+  for (std::size_t i = 0; i < ahead; ++i) {
+    const Waiter& q = es.queue[i];
+    if (options_.fifo_fairness) return false;
+    // Shared bypass: S may pass X waiters; but an X request never passes
+    // anyone (it is incompatible with whatever the waiter ahead wants or
+    // holds ambitions for).
+    if (w.mode == LockMode::kExclusive) return false;
+    if (q.mode == LockMode::kShared) {
+      // Two shared requests queued: if the one ahead is not grantable the
+      // entity has an X holder, so neither is this one; conservatively
+      // keep order.
+      return false;
+    }
+    // q wants X, w wants S: bypass allowed in the paper model.
+  }
+  return true;
+}
+
+std::vector<TxnId> LockManager::ComputeBlockers(const EntityState& es,
+                                                const Waiter& w,
+                                                std::size_t position) const {
+  std::vector<TxnId> blockers;
+  for (const auto& [holder, mode] : es.holders) {
+    if (holder == w.txn) continue;
+    if (w.is_upgrade || !Compatible(mode, w.mode)) blockers.push_back(holder);
+  }
+  if (options_.wait_edge_policy == WaitEdgePolicy::kHoldersAndQueue) {
+    const std::size_t ahead = std::min(position, es.queue.size());
+    for (std::size_t i = 0; i < ahead; ++i) {
+      const Waiter& q = es.queue[i];
+      if (q.txn == w.txn) continue;
+      if (!Compatible(q.mode, w.mode) || !Compatible(w.mode, q.mode)) {
+        blockers.push_back(q.txn);
+      } else if (options_.fifo_fairness) {
+        blockers.push_back(q.txn);
+      }
+    }
+  }
+  std::sort(blockers.begin(), blockers.end());
+  blockers.erase(std::unique(blockers.begin(), blockers.end()),
+                 blockers.end());
+  return blockers;
+}
+
+Result<RequestOutcome> LockManager::Request(TxnId txn, EntityId entity,
+                                            LockMode mode) {
+  if (waiting_.count(txn)) {
+    return Status::FailedPrecondition(
+        "transaction already waiting; one pending request at a time (" +
+        Describe(txn, entity) + ")");
+  }
+  EntityState& es = table_[entity];
+  bool is_upgrade = false;
+  auto hit = es.holders.find(txn);
+  if (hit != es.holders.end()) {
+    if (hit->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::ProtocolViolation(
+          "lock already held in equal or stronger mode (" +
+          Describe(txn, entity) + ")");
+    }
+    is_upgrade = true;  // holds S, wants X
+  }
+
+  Waiter w{txn, mode, is_upgrade};
+  if (Grantable(es, w, es.queue.size())) {
+    es.holders[txn] = mode;
+    held_[txn][entity] = mode;
+    return RequestOutcome{true, {}, is_upgrade};
+  }
+
+  // Enqueue: upgrades go to the front so the shrinking holder set reaches
+  // them first; everything else is FIFO.
+  std::size_t position;
+  if (is_upgrade) {
+    es.queue.push_front(w);
+    position = 0;
+  } else {
+    es.queue.push_back(w);
+    position = es.queue.size() - 1;
+  }
+  waiting_[txn] = entity;
+  return RequestOutcome{false, ComputeBlockers(es, w, position), is_upgrade};
+}
+
+Result<std::vector<Grant>> LockManager::CancelWait(TxnId txn,
+                                                   EntityId entity) {
+  auto wit = waiting_.find(txn);
+  if (wit == waiting_.end() || wit->second != entity) {
+    return Status::NotFound("transaction is not waiting for entity (" +
+                            Describe(txn, entity) + ")");
+  }
+  EntityState& es = table_[entity];
+  auto qit = std::find_if(es.queue.begin(), es.queue.end(),
+                          [txn](const Waiter& w) { return w.txn == txn; });
+  if (qit == es.queue.end()) {
+    return Status::Internal("waiting_ and queue out of sync for " +
+                            Describe(txn, entity));
+  }
+  es.queue.erase(qit);
+  waiting_.erase(wit);
+  std::vector<Grant> grants;
+  ProcessQueue(entity, es, &grants);
+  return grants;
+}
+
+Result<std::vector<Grant>> LockManager::Release(TxnId txn, EntityId entity) {
+  EntityState* es = nullptr;
+  auto tit = table_.find(entity);
+  if (tit != table_.end()) es = &tit->second;
+  if (es == nullptr || es->holders.erase(txn) == 0) {
+    return Status::NotFound("lock not held (" + Describe(txn, entity) + ")");
+  }
+  auto hit = held_.find(txn);
+  if (hit != held_.end()) {
+    hit->second.erase(entity);
+    if (hit->second.empty()) held_.erase(hit);
+  }
+  // If txn released the shared lock backing its own queued upgrade, the
+  // upgrade degenerates to a plain request (otherwise it could never be
+  // granted: upgrades require being the sole holder).
+  for (Waiter& w : es->queue) {
+    if (w.txn == txn && w.is_upgrade) w.is_upgrade = false;
+  }
+  std::vector<Grant> grants;
+  ProcessQueue(entity, *es, &grants);
+  return grants;
+}
+
+Result<std::vector<Grant>> LockManager::Downgrade(TxnId txn,
+                                                  EntityId entity) {
+  auto tit = table_.find(entity);
+  if (tit == table_.end()) {
+    return Status::NotFound("lock not held (" + Describe(txn, entity) + ")");
+  }
+  auto hit = tit->second.holders.find(txn);
+  if (hit == tit->second.holders.end() ||
+      hit->second != LockMode::kExclusive) {
+    return Status::NotFound("exclusive lock not held (" +
+                            Describe(txn, entity) + ")");
+  }
+  hit->second = LockMode::kShared;
+  held_[txn][entity] = LockMode::kShared;
+  std::vector<Grant> grants;
+  ProcessQueue(entity, tit->second, &grants);
+  return grants;
+}
+
+std::vector<Grant> LockManager::ReleaseAll(TxnId txn) {
+  std::vector<Grant> grants;
+  auto wit = waiting_.find(txn);
+  if (wit != waiting_.end()) {
+    auto r = CancelWait(txn, wit->second);
+    if (r.ok()) {
+      grants.insert(grants.end(), r.value().begin(), r.value().end());
+    }
+  }
+  auto hit = held_.find(txn);
+  if (hit != held_.end()) {
+    // Copy: Release mutates held_.
+    std::vector<EntityId> entities;
+    entities.reserve(hit->second.size());
+    for (const auto& [e, _] : hit->second) entities.push_back(e);
+    for (EntityId e : entities) {
+      auto r = Release(txn, e);
+      if (r.ok()) {
+        grants.insert(grants.end(), r.value().begin(), r.value().end());
+      }
+    }
+  }
+  return grants;
+}
+
+void LockManager::ProcessQueue(EntityId entity, EntityState& es,
+                               std::vector<Grant>* out) {
+  bool progressed = true;
+  while (progressed && !es.queue.empty()) {
+    progressed = false;
+    Waiter head = es.queue.front();
+    if (Grantable(es, head, 0)) {
+      es.queue.pop_front();
+      waiting_.erase(head.txn);
+      es.holders[head.txn] = head.mode;
+      held_[head.txn][entity] = head.mode;
+      out->push_back(Grant{head.txn, entity, head.mode, head.is_upgrade});
+      progressed = true;
+      continue;
+    }
+    // Paper model: a shared request deeper in the queue may bypass a
+    // blocked exclusive head.
+    if (!options_.fifo_fairness) {
+      for (std::size_t i = 1; i < es.queue.size(); ++i) {
+        Waiter w = es.queue[i];
+        if (w.mode == LockMode::kShared && !w.is_upgrade &&
+            Grantable(es, w, i)) {
+          es.queue.erase(es.queue.begin() + static_cast<std::ptrdiff_t>(i));
+          waiting_.erase(w.txn);
+          es.holders[w.txn] = w.mode;
+          held_[w.txn][entity] = w.mode;
+          out->push_back(Grant{w.txn, entity, w.mode, false});
+          progressed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::pair<TxnId, LockMode>> LockManager::Holders(
+    EntityId entity) const {
+  std::vector<std::pair<TxnId, LockMode>> out;
+  auto it = table_.find(entity);
+  if (it == table_.end()) return out;
+  out.assign(it->second.holders.begin(), it->second.holders.end());
+  return out;
+}
+
+std::vector<std::pair<TxnId, LockMode>> LockManager::WaitQueue(
+    EntityId entity) const {
+  std::vector<std::pair<TxnId, LockMode>> out;
+  auto it = table_.find(entity);
+  if (it == table_.end()) return out;
+  for (const Waiter& w : it->second.queue) out.emplace_back(w.txn, w.mode);
+  return out;
+}
+
+std::optional<LockMode> LockManager::HeldMode(TxnId txn,
+                                              EntityId entity) const {
+  auto it = table_.find(entity);
+  if (it == table_.end()) return std::nullopt;
+  auto hit = it->second.holders.find(txn);
+  if (hit == it->second.holders.end()) return std::nullopt;
+  return hit->second;
+}
+
+bool LockManager::IsWaiting(TxnId txn) const { return waiting_.count(txn); }
+
+std::optional<PendingRequest> LockManager::Waiting(TxnId txn) const {
+  auto wit = waiting_.find(txn);
+  if (wit == waiting_.end()) return std::nullopt;
+  auto tit = table_.find(wit->second);
+  if (tit == table_.end()) return std::nullopt;
+  for (const Waiter& w : tit->second.queue) {
+    if (w.txn == txn) {
+      return PendingRequest{wit->second, w.mode, w.is_upgrade};
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<EntityId, LockMode>> LockManager::HeldBy(
+    TxnId txn) const {
+  std::vector<std::pair<EntityId, LockMode>> out;
+  auto it = held_.find(txn);
+  if (it == held_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+std::size_t LockManager::HeldCount(TxnId txn) const {
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+std::vector<TxnId> LockManager::BlockersOf(TxnId txn) const {
+  auto wit = waiting_.find(txn);
+  if (wit == waiting_.end()) return {};
+  auto tit = table_.find(wit->second);
+  if (tit == table_.end()) return {};
+  const EntityState& es = tit->second;
+  for (std::size_t i = 0; i < es.queue.size(); ++i) {
+    if (es.queue[i].txn == txn) {
+      return ComputeBlockers(es, es.queue[i], i);
+    }
+  }
+  return {};
+}
+
+std::string LockManager::ToString() const {
+  std::ostringstream os;
+  // Deterministic dump: sort entities.
+  std::vector<EntityId> entities;
+  entities.reserve(table_.size());
+  for (const auto& [e, _] : table_) entities.push_back(e);
+  std::sort(entities.begin(), entities.end());
+  for (EntityId e : entities) {
+    const EntityState& es = table_.at(e);
+    if (es.holders.empty() && es.queue.empty()) continue;
+    os << e << ": holders{";
+    bool first = true;
+    for (const auto& [t, m] : es.holders) {
+      if (!first) os << ", ";
+      first = false;
+      os << t << ":" << m;
+    }
+    os << "} queue[";
+    first = true;
+    for (const Waiter& w : es.queue) {
+      if (!first) os << ", ";
+      first = false;
+      os << w.txn << ":" << w.mode << (w.is_upgrade ? "^" : "");
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace pardb::lock

@@ -1,0 +1,170 @@
+#ifndef PARDB_LOCK_LOCK_MANAGER_H_
+#define PARDB_LOCK_LOCK_MANAGER_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "lock/lock_mode.h"
+
+namespace pardb::lock {
+
+// The answer to a lock request (paper §2 rules 1-2: grant when available,
+// otherwise make the requester wait). Rule 3 — deadlock intervention — is
+// the Engine's job, fed by `blockers`.
+struct RequestOutcome {
+  bool granted = false;
+  // When not granted: the transactions this request now waits for. Under
+  // WaitEdgePolicy::kHoldersOnly these are the incompatible holders (the
+  // paper's model); under kHoldersAndQueue, incompatible queued waiters
+  // ahead of the request are included as well.
+  std::vector<TxnId> blockers;
+  // True when the request upgrades a held shared lock to exclusive.
+  bool is_upgrade = false;
+};
+
+// A lock grant performed while processing a release; the Engine resumes
+// these transactions.
+struct Grant {
+  TxnId txn;
+  EntityId entity;
+  LockMode mode;
+  bool was_upgrade = false;
+};
+
+// The pending request of a waiting transaction.
+struct PendingRequest {
+  EntityId entity;
+  LockMode mode;
+  bool is_upgrade = false;
+};
+
+// Which arcs the waits-for graph should contain for a waiting request.
+enum class WaitEdgePolicy {
+  // Arcs only from current incompatible holders — the paper's concurrency
+  // graph G(T) (§3.0). Complete for deadlock detection when shared
+  // requests may bypass the queue (see Options::fifo_fairness).
+  kHoldersOnly,
+  // Arcs from incompatible holders and from incompatible waiters queued
+  // ahead. Required for completeness when fifo_fairness forces compatible
+  // requests to queue behind incompatible ones.
+  kHoldersAndQueue,
+};
+
+// Table of entity locks with FIFO wait queues.
+//
+// Grant discipline:
+//  * a request is granted immediately iff it is compatible with every
+//    current holder and no incompatible request waits ahead of it
+//    (with fifo_fairness, *any* waiting request ahead blocks it);
+//  * an upgrade (X requested while holding S) is granted immediately iff
+//    the requester is the sole holder; otherwise it waits at the front of
+//    the queue;
+//  * on release, the queue head is granted while grantable (a run of
+//    compatible shared requests is granted together).
+//
+// The manager is a passive table: it never sleeps or spins. Blocking is
+// represented by queue membership; the Engine owns scheduling.
+class LockManager {
+ public:
+  struct Options {
+    // false (paper model): a shared request compatible with all holders is
+    // granted even when exclusive requests wait in the queue (writers can
+    // starve; the paper explicitly leaves fairness out of scope).
+    // true: strict FIFO — nothing bypasses the queue.
+    bool fifo_fairness = false;
+    WaitEdgePolicy wait_edge_policy = WaitEdgePolicy::kHoldersOnly;
+  };
+
+  LockManager() : LockManager(Options{}) {}
+  explicit LockManager(Options options) : options_(options) {}
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  const Options& options() const { return options_; }
+
+  // Requests `mode` on `entity` for `txn`. Errors:
+  //  * FailedPrecondition — txn is already waiting for some entity;
+  //  * ProtocolViolation — txn already holds an equal-or-stronger lock.
+  Result<RequestOutcome> Request(TxnId txn, EntityId entity, LockMode mode);
+
+  // Removes txn's pending wait (victim rollback cancels its request).
+  // NotFound when txn is not waiting for `entity`. Cancelling can unblock
+  // requests queued behind the cancelled one; they are granted and
+  // returned.
+  Result<std::vector<Grant>> CancelWait(TxnId txn, EntityId entity);
+
+  // Releases txn's held lock on `entity` and grants newly grantable
+  // waiters. NotFound when the lock is not held.
+  Result<std::vector<Grant>> Release(TxnId txn, EntityId entity);
+
+  // Downgrades txn's exclusive lock on `entity` to shared (a rollback that
+  // undoes an S->X upgrade but keeps the original shared request). Grants
+  // newly compatible waiters. NotFound when no exclusive lock is held.
+  Result<std::vector<Grant>> Downgrade(TxnId txn, EntityId entity);
+
+  // Releases every lock txn holds (commit or total removal) and cancels
+  // its pending wait if any. Returns all grants performed.
+  std::vector<Grant> ReleaseAll(TxnId txn);
+
+  // Introspection -----------------------------------------------------------
+
+  // Current holders of entity with their modes, ordered by txn id.
+  std::vector<std::pair<TxnId, LockMode>> Holders(EntityId entity) const;
+  // Waiting transactions on entity in queue order.
+  std::vector<std::pair<TxnId, LockMode>> WaitQueue(EntityId entity) const;
+  std::optional<LockMode> HeldMode(TxnId txn, EntityId entity) const;
+  bool IsWaiting(TxnId txn) const;
+  std::optional<PendingRequest> Waiting(TxnId txn) const;
+  // Entities txn currently holds, with modes, ordered by entity id.
+  std::vector<std::pair<EntityId, LockMode>> HeldBy(TxnId txn) const;
+  std::size_t HeldCount(TxnId txn) const;
+
+  // Blockers of txn's pending request under the configured edge policy.
+  // Empty when txn is not waiting (or is waiting purely on queue order
+  // under kHoldersOnly).
+  std::vector<TxnId> BlockersOf(TxnId txn) const;
+
+  // Debug dump of the whole lock table.
+  std::string ToString() const;
+
+ private:
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+    bool is_upgrade;
+  };
+
+  struct EntityState {
+    std::map<TxnId, LockMode> holders;
+    std::deque<Waiter> queue;
+  };
+
+  // True when `w` can be granted right now given holders and the queue
+  // segment ahead of it. `position` is w's index in the queue (or the
+  // would-be index for a new request = queue size).
+  bool Grantable(const EntityState& es, const Waiter& w,
+                 std::size_t position) const;
+
+  // Grants the longest grantable prefix of the queue; appends to out.
+  void ProcessQueue(EntityId entity, EntityState& es, std::vector<Grant>* out);
+
+  std::vector<TxnId> ComputeBlockers(const EntityState& es, const Waiter& w,
+                                     std::size_t position) const;
+
+  Options options_;
+  std::unordered_map<EntityId, EntityState> table_;
+  std::unordered_map<TxnId, std::map<EntityId, LockMode>> held_;
+  std::unordered_map<TxnId, EntityId> waiting_;
+};
+
+}  // namespace pardb::lock
+
+#endif  // PARDB_LOCK_LOCK_MANAGER_H_

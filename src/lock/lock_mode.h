@@ -1,0 +1,29 @@
+#ifndef PARDB_LOCK_LOCK_MODE_H_
+#define PARDB_LOCK_LOCK_MODE_H_
+
+#include <ostream>
+#include <string_view>
+
+namespace pardb::lock {
+
+// Lock modes of the paper (§2): shared locks (LS) for transactions that
+// will only read an entity, exclusive locks (LX) for transactions that may
+// read and update it.
+enum class LockMode { kShared, kExclusive };
+
+// Classic S/X compatibility: only S/S coexists.
+constexpr bool Compatible(LockMode held, LockMode requested) {
+  return held == LockMode::kShared && requested == LockMode::kShared;
+}
+
+constexpr std::string_view LockModeName(LockMode m) {
+  return m == LockMode::kShared ? "S" : "X";
+}
+
+inline std::ostream& operator<<(std::ostream& os, LockMode m) {
+  return os << LockModeName(m);
+}
+
+}  // namespace pardb::lock
+
+#endif  // PARDB_LOCK_LOCK_MODE_H_

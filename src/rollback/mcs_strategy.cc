@@ -1,0 +1,182 @@
+#include "rollback/mcs_strategy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pardb::rollback {
+
+McsStrategy::McsStrategy(const txn::Program& program) {
+  var_stacks_.reserve(program.num_vars());
+  const auto& init = program.initial_vars();
+  for (txn::VarId v = 0; v < program.num_vars(); ++v) {
+    Stack s;
+    s.lock_state = 0;
+    s.elems.push_back(Element{init[v], 0});
+    var_stacks_.push_back(std::move(s));
+  }
+  UpdatePeaks();
+}
+
+void McsStrategy::OnLockGranted(LockIndex lock_state, EntityId entity,
+                                lock::LockMode mode, Value global_value,
+                                bool is_upgrade) {
+  if (mode == lock::LockMode::kShared) {
+    shared_held_[entity] = lock_state;
+    return;
+  }
+  // A stack is associated with the lock state immediately preceding the
+  // exclusive lock request; its first element holds the global value. The
+  // element index equals the lock state, so no later pop (to q >= this
+  // lock state) removes it.
+  Stack s;
+  s.lock_state = lock_state;
+  s.elems.push_back(Element{global_value, lock_state});
+  if (is_upgrade) {
+    auto sit = shared_held_.find(entity);
+    if (sit != shared_held_.end()) {
+      s.shared_lock_state = sit->second;
+      shared_held_.erase(sit);
+    }
+  }
+  entity_stacks_[entity] = std::move(s);
+  UpdatePeaks();
+}
+
+void McsStrategy::RecordWrite(std::vector<Element>& elems, Value value,
+                              LockIndex lock_index) {
+  assert(!elems.empty());
+  if (!monitoring_) {
+    // Past the last lock request no rollback can occur; keep only the
+    // current value (§5's declaration optimisation).
+    elems.back().value = value;
+    return;
+  }
+  if (lock_index > elems.back().index) {
+    elems.push_back(Element{value, lock_index});
+  } else {
+    // Same lock state writes overwrite in place (only the last write before
+    // a lock state is part of that state).
+    elems.back().value = value;
+  }
+}
+
+void McsStrategy::OnEntityWrite(EntityId entity, Value value,
+                                LockIndex lock_index) {
+  auto it = entity_stacks_.find(entity);
+  if (it == entity_stacks_.end()) return;  // engine validates X-held
+  RecordWrite(it->second.elems, value, lock_index);
+  UpdatePeaks();
+}
+
+void McsStrategy::OnVarWrite(txn::VarId var, Value value,
+                             LockIndex lock_index) {
+  if (var >= var_stacks_.size()) return;
+  RecordWrite(var_stacks_[var].elems, value, lock_index);
+  UpdatePeaks();
+}
+
+Value McsStrategy::VarValue(txn::VarId var) const {
+  if (var >= var_stacks_.size()) return 0;
+  return var_stacks_[var].elems.back().value;
+}
+
+std::optional<Value> McsStrategy::LocalValue(EntityId entity) const {
+  auto it = entity_stacks_.find(entity);
+  if (it == entity_stacks_.end()) return std::nullopt;
+  return it->second.elems.back().value;
+}
+
+std::optional<Value> McsStrategy::OnUnlock(EntityId entity) {
+  unlocked_ = true;
+  shared_held_.erase(entity);
+  auto it = entity_stacks_.find(entity);
+  if (it == entity_stacks_.end()) return std::nullopt;
+  // The top of the stack is copied out as the new global value and the
+  // stack is returned to free storage (paper §4).
+  Value publish = it->second.elems.back().value;
+  entity_stacks_.erase(it);
+  return publish;
+}
+
+LockIndex McsStrategy::LatestRestorableAtOrBefore(LockIndex target) const {
+  return target;  // every lock state is restorable under MCS
+}
+
+Result<RestoreResult> McsStrategy::RestoreTo(LockIndex target) {
+  if (unlocked_) {
+    return Status::FailedPrecondition(
+        "rollback after unlock is not permitted (two-phase rule)");
+  }
+  RestoreResult result;
+  // Step 2: delete each stack with lock state index >= target (their lock
+  // requests are undone and the entities released).
+  for (auto it = entity_stacks_.begin(); it != entity_stacks_.end();) {
+    if (it->second.lock_state >= target) {
+      // Upgraded entities whose original shared request survives the
+      // rollback revert to shared tracking (the engine downgrades the
+      // lock); otherwise the entity is fully released.
+      if (it->second.shared_lock_state &&
+          *it->second.shared_lock_state < target) {
+        shared_held_[it->first] = *it->second.shared_lock_state;
+      } else {
+        result.dropped_entities.push_back(it->first);
+      }
+      it = entity_stacks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = shared_held_.begin(); it != shared_held_.end();) {
+    if (it->second >= target) {
+      result.dropped_entities.push_back(it->first);
+      it = shared_held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Step 3: on surviving stacks pop every element produced at a lock index
+  // greater than the target state.
+  auto Rewind = [target](Stack& s) {
+    while (s.elems.size() > 1 && s.elems.back().index > target) {
+      s.elems.pop_back();
+    }
+  };
+  for (auto& [e, s] : entity_stacks_) {
+    (void)e;
+    Rewind(s);
+  }
+  for (Stack& s : var_stacks_) Rewind(s);
+  std::sort(result.dropped_entities.begin(), result.dropped_entities.end());
+  return result;
+}
+
+SpaceStats McsStrategy::Space() const {
+  SpaceStats s;
+  for (const auto& [e, st] : entity_stacks_) {
+    (void)e;
+    s.entity_copies += st.elems.size();
+  }
+  for (const Stack& st : var_stacks_) s.var_copies += st.elems.size();
+  s.peak_entity_copies = peak_entity_copies_;
+  s.peak_var_copies = peak_var_copies_;
+  return s;
+}
+
+std::size_t McsStrategy::StackDepth(EntityId entity) const {
+  auto it = entity_stacks_.find(entity);
+  return it == entity_stacks_.end() ? 0 : it->second.elems.size();
+}
+
+void McsStrategy::UpdatePeaks() {
+  std::size_t e = 0;
+  for (const auto& [id, st] : entity_stacks_) {
+    (void)id;
+    e += st.elems.size();
+  }
+  std::size_t v = 0;
+  for (const Stack& st : var_stacks_) v += st.elems.size();
+  peak_entity_copies_ = std::max(peak_entity_copies_, e);
+  peak_var_copies_ = std::max(peak_var_copies_, v);
+}
+
+}  // namespace pardb::rollback

@@ -1,0 +1,82 @@
+#ifndef PARDB_ROLLBACK_MCS_STRATEGY_H_
+#define PARDB_ROLLBACK_MCS_STRATEGY_H_
+
+#include <map>
+#include <vector>
+
+#include "rollback/strategy.h"
+
+namespace pardb::rollback {
+
+// The paper's multi-lock copy strategy (§4): a value stack per exclusively
+// locked entity (created at its lock state, seeded with the saved global
+// value) and a value stack per local variable (seeded with its initial
+// value at index 0). Each stack element carries the lock index of the write
+// that produced it; a write pushes a new element when its lock index
+// exceeds the top's, otherwise it overwrites the top in place.
+//
+// Rollback to lock state q (paper §4's five-step procedure):
+//   * delete every entity stack whose lock state index is >= q (those
+//     entities are released);
+//   * on every remaining stack, pop elements with lock index > q;
+//   * local variables and kept entities then expose exactly their values at
+//     lock state q.
+//
+// Every lock state is restorable — maximum rollback precision — at the
+// worst-case space cost of Theorem 3: n(n+1)/2 entity copies and n*|L|
+// variable copies for n held locks (bound attained only when monitoring
+// stops at the last lock request; see EXPERIMENTS.md E6).
+class McsStrategy final : public RollbackStrategy {
+ public:
+  explicit McsStrategy(const txn::Program& program);
+
+  std::string_view name() const override { return "mcs"; }
+
+  void OnLockGranted(LockIndex lock_state, EntityId entity,
+                     lock::LockMode mode, Value global_value,
+                     bool is_upgrade) override;
+  void OnEntityWrite(EntityId entity, Value value,
+                     LockIndex lock_index) override;
+  void OnVarWrite(txn::VarId var, Value value, LockIndex lock_index) override;
+  Value VarValue(txn::VarId var) const override;
+  std::optional<Value> LocalValue(EntityId entity) const override;
+  std::optional<Value> OnUnlock(EntityId entity) override;
+  void OnLastLockGranted() override { monitoring_ = false; }
+  LockIndex LatestRestorableAtOrBefore(LockIndex target) const override;
+  Result<RestoreResult> RestoreTo(LockIndex target) override;
+  SpaceStats Space() const override;
+
+  // Introspection for Theorem 3 tests: current stack depth for an entity
+  // (0 when untracked).
+  std::size_t StackDepth(EntityId entity) const;
+
+ private:
+  struct Element {
+    Value value;
+    LockIndex index;
+  };
+  struct Stack {
+    LockIndex lock_state;  // index of the lock state this stack belongs to
+    std::vector<Element> elems;
+    // For S->X upgrades: lock state of the original shared request. A
+    // rollback past the upgrade but not past the shared request downgrades
+    // the entity back to shared tracking.
+    std::optional<LockIndex> shared_lock_state;
+  };
+
+  void RecordWrite(std::vector<Element>& elems, Value value,
+                   LockIndex lock_index);
+  void UpdatePeaks();
+
+  std::map<EntityId, Stack> entity_stacks_;  // X-held entities only
+  std::map<EntityId, LockIndex> shared_held_;  // S-held: lock state only
+  std::vector<Stack> var_stacks_;            // one per local variable
+  bool unlocked_ = false;
+  bool monitoring_ = true;
+  std::size_t peak_entity_copies_ = 0;
+  std::size_t peak_var_copies_ = 0;
+};
+
+}  // namespace pardb::rollback
+
+#endif  // PARDB_ROLLBACK_MCS_STRATEGY_H_

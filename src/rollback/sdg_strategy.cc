@@ -1,0 +1,161 @@
+#include "rollback/sdg_strategy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pardb::rollback {
+
+SdgStrategy::SdgStrategy(const txn::Program& program) {
+  const auto& init = program.initial_vars();
+  vars_.reserve(init.size());
+  for (Value v : init) vars_.push_back(VarEntry{v, v, {}});
+}
+
+void SdgStrategy::OnLockGranted(LockIndex lock_state, EntityId entity,
+                                lock::LockMode mode, Value global_value,
+                                bool is_upgrade) {
+  sdg_.AddLockState(lock_state);
+  const bool exclusive = mode == lock::LockMode::kExclusive;
+  std::optional<LockIndex> shared_state;
+  if (is_upgrade) {
+    auto it = entities_.find(entity);
+    if (it != entities_.end()) shared_state = it->second.lock_state;
+  }
+  // For upgrades the new entry's lock state is the upgrade's: writes become
+  // possible only now.
+  entities_[entity] = EntityEntry{lock_state,   global_value, global_value,
+                                  exclusive,    {},           shared_state};
+  if (exclusive) {
+    std::size_t n = 0;
+    for (const auto& [e, ent] : entities_) {
+      (void)e;
+      if (ent.exclusive) ++n;
+    }
+    peak_entity_copies_ = std::max(peak_entity_copies_, n);
+  }
+}
+
+void SdgStrategy::OnEntityWrite(EntityId entity, Value value,
+                                LockIndex lock_index) {
+  auto it = entities_.find(entity);
+  if (it == entities_.end() || !it->second.exclusive) return;
+  EntityEntry& e = it->second;
+  e.current = value;
+  if (!monitoring_) return;
+  const LockIndex u =
+      e.write_indices.empty() ? (lock_index == 0 ? 0 : lock_index - 1)
+                              : (e.write_indices.front() == 0
+                                     ? 0
+                                     : e.write_indices.front() - 1);
+  e.write_indices.push_back(lock_index);
+  sdg_.RecordWrite(u, lock_index);
+}
+
+void SdgStrategy::OnVarWrite(txn::VarId var, Value value,
+                             LockIndex lock_index) {
+  if (var >= vars_.size()) return;
+  VarEntry& v = vars_[var];
+  v.current = value;
+  if (!monitoring_) return;
+  const LockIndex u =
+      v.write_indices.empty()
+          ? (lock_index == 0 ? 0 : lock_index - 1)
+          : (v.write_indices.front() == 0 ? 0 : v.write_indices.front() - 1);
+  v.write_indices.push_back(lock_index);
+  sdg_.RecordWrite(u, lock_index);
+}
+
+Value SdgStrategy::VarValue(txn::VarId var) const {
+  return var < vars_.size() ? vars_[var].current : 0;
+}
+
+std::optional<Value> SdgStrategy::LocalValue(EntityId entity) const {
+  auto it = entities_.find(entity);
+  if (it == entities_.end() || !it->second.exclusive) return std::nullopt;
+  return it->second.current;
+}
+
+std::optional<Value> SdgStrategy::OnUnlock(EntityId entity) {
+  unlocked_ = true;
+  auto it = entities_.find(entity);
+  if (it == entities_.end()) return std::nullopt;
+  std::optional<Value> publish;
+  if (it->second.exclusive) publish = it->second.current;
+  entities_.erase(it);
+  return publish;
+}
+
+LockIndex SdgStrategy::LatestRestorableAtOrBefore(LockIndex target) const {
+  return sdg_.LatestWellDefinedAtOrBefore(target);
+}
+
+Result<RestoreResult> SdgStrategy::RestoreTo(LockIndex target) {
+  if (unlocked_) {
+    return Status::FailedPrecondition(
+        "rollback after unlock is not permitted (two-phase rule)");
+  }
+  if (!sdg_.IsWellDefined(target)) {
+    return Status::InvalidArgument(
+        "lock state " + std::to_string(target) +
+        " is not well-defined; only well-defined states are restorable "
+        "under the single-copy strategy");
+  }
+  RestoreResult result;
+  for (auto it = entities_.begin(); it != entities_.end();) {
+    EntityEntry& e = it->second;
+    if (e.lock_state >= target) {
+      if (e.shared_lock_state && *e.shared_lock_state < target) {
+        // Rollback undoes the upgrade but not the original shared request:
+        // revert to shared tracking (the engine downgrades the lock).
+        e.lock_state = *e.shared_lock_state;
+        e.exclusive = false;
+        e.current = e.global;
+        e.write_indices.clear();
+        e.shared_lock_state.reset();
+        ++it;
+        continue;
+      }
+      result.dropped_entities.push_back(it->first);
+      it = entities_.erase(it);
+      continue;
+    }
+    // Kept entity: because target is well-defined, either every write
+    // happened after it (value reverts to the untouched global copy) or
+    // every write happened at or before it (the single local copy is
+    // already the value at the target state).
+    while (!e.write_indices.empty() && e.write_indices.back() > target) {
+      e.write_indices.pop_back();
+    }
+    if (e.write_indices.empty()) {
+      e.current = e.global;
+    }
+    ++it;
+  }
+  for (VarEntry& v : vars_) {
+    const bool had_writes = !v.write_indices.empty();
+    while (!v.write_indices.empty() && v.write_indices.back() > target) {
+      v.write_indices.pop_back();
+    }
+    if (had_writes && v.write_indices.empty()) {
+      v.current = v.initial;
+    }
+  }
+  sdg_.RewindTo(target);
+  std::sort(result.dropped_entities.begin(), result.dropped_entities.end());
+  return result;
+}
+
+SpaceStats SdgStrategy::Space() const {
+  SpaceStats s;
+  for (const auto& [e, ent] : entities_) {
+    (void)e;
+    if (ent.exclusive) ++s.entity_copies;  // the single local copy
+  }
+  s.var_copies = vars_.size();  // saved initial values, as in total restart
+  s.metadata_entries = sdg_.NumRecordedWrites();
+  s.peak_entity_copies = peak_entity_copies_;
+  s.peak_var_copies = vars_.size();
+  return s;
+}
+
+}  // namespace pardb::rollback

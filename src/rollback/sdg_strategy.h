@@ -1,0 +1,69 @@
+#ifndef PARDB_ROLLBACK_SDG_STRATEGY_H_
+#define PARDB_ROLLBACK_SDG_STRATEGY_H_
+
+#include <map>
+#include <vector>
+
+#include "rollback/sdg.h"
+#include "rollback/strategy.h"
+
+namespace pardb::rollback {
+
+// The paper's state-dependency-graph implementation of partial rollback
+// (§4): exactly one local copy per exclusively locked entity (the same
+// storage a total-restart system already keeps) plus a small graph over
+// lock states recording which states each write destroyed. Rollback can
+// target any *well-defined* lock state; when the ideal target is undefined
+// the strategy falls back to the latest well-defined state of smaller
+// index, trading rollback precision for MCS's quadratic copy overhead.
+class SdgStrategy final : public RollbackStrategy {
+ public:
+  explicit SdgStrategy(const txn::Program& program);
+
+  std::string_view name() const override { return "sdg"; }
+
+  void OnLockGranted(LockIndex lock_state, EntityId entity,
+                     lock::LockMode mode, Value global_value,
+                     bool is_upgrade) override;
+  void OnEntityWrite(EntityId entity, Value value,
+                     LockIndex lock_index) override;
+  void OnVarWrite(txn::VarId var, Value value, LockIndex lock_index) override;
+  Value VarValue(txn::VarId var) const override;
+  std::optional<Value> LocalValue(EntityId entity) const override;
+  std::optional<Value> OnUnlock(EntityId entity) override;
+  void OnLastLockGranted() override { monitoring_ = false; }
+  LockIndex LatestRestorableAtOrBefore(LockIndex target) const override;
+  Result<RestoreResult> RestoreTo(LockIndex target) override;
+  SpaceStats Space() const override;
+
+  // The live state-dependency graph (for tests and figure rendering).
+  const StateDependencyGraph& sdg() const { return sdg_; }
+
+ private:
+  struct EntityEntry {
+    LockIndex lock_state;       // lock state of the latest lock request
+    Value global;               // mirror of the database's global value
+    Value current;              // the single local copy
+    bool exclusive;
+    std::vector<LockIndex> write_indices;  // ascending
+    // For S->X upgrades: lock state of the original shared request, so a
+    // rollback past the upgrade can revert to shared tracking.
+    std::optional<LockIndex> shared_lock_state;
+  };
+  struct VarEntry {
+    Value initial;
+    Value current;
+    std::vector<LockIndex> write_indices;  // ascending
+  };
+
+  std::map<EntityId, EntityEntry> entities_;
+  std::vector<VarEntry> vars_;
+  StateDependencyGraph sdg_;
+  bool unlocked_ = false;
+  bool monitoring_ = true;
+  std::size_t peak_entity_copies_ = 0;
+};
+
+}  // namespace pardb::rollback
+
+#endif  // PARDB_ROLLBACK_SDG_STRATEGY_H_

@@ -1,0 +1,34 @@
+#include "rollback/strategy.h"
+
+#include "rollback/mcs_strategy.h"
+#include "rollback/sdg_strategy.h"
+#include "rollback/total_restart.h"
+
+namespace pardb::rollback {
+
+std::string_view StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kTotalRestart:
+      return "total-restart";
+    case StrategyKind::kMcs:
+      return "mcs";
+    case StrategyKind::kSdg:
+      return "sdg";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<RollbackStrategy> MakeStrategy(StrategyKind kind,
+                                               const txn::Program& program) {
+  switch (kind) {
+    case StrategyKind::kTotalRestart:
+      return std::make_unique<TotalRestartStrategy>(program);
+    case StrategyKind::kMcs:
+      return std::make_unique<McsStrategy>(program);
+    case StrategyKind::kSdg:
+      return std::make_unique<SdgStrategy>(program);
+  }
+  return nullptr;
+}
+
+}  // namespace pardb::rollback

@@ -1,0 +1,130 @@
+#ifndef PARDB_ROLLBACK_STRATEGY_H_
+#define PARDB_ROLLBACK_STRATEGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "lock/lock_mode.h"
+#include "txn/program.h"
+
+namespace pardb::rollback {
+
+// Storage accounting for the paper's space-overhead comparison (Theorem 3
+// and §4's "no more storage overhead than total removal" claim).
+struct SpaceStats {
+  // Live value copies of global entities (MCS: stack elements including the
+  // saved global value; single-copy strategies: one per X-held entity).
+  std::size_t entity_copies = 0;
+  // Live value copies of local variables (MCS stacks; single-copy: the
+  // saved initial values).
+  std::size_t var_copies = 0;
+  // Bookkeeping entries that are not value copies (SDG write log/coverage).
+  std::size_t metadata_entries = 0;
+  std::size_t peak_entity_copies = 0;
+  std::size_t peak_var_copies = 0;
+};
+
+// What a RestoreTo() performed, for the engine's bookkeeping.
+struct RestoreResult {
+  // Entities whose tracked local state was dropped because their lock state
+  // index is >= the restore target (the engine releases/downgrades the
+  // corresponding locks).
+  std::vector<EntityId> dropped_entities;
+};
+
+// Per-transaction value-history tracker and restorer: the paper's §4
+// "implementation of rollback". One instance per running transaction.
+//
+// Lock-state indexing convention (see DESIGN.md): the transaction's k-th
+// granted lock request (k = 1, 2, ...) creates lock state k-1 — the
+// transaction state immediately preceding that request. An operation
+// executed between granted request k and request k+1 has lock index k.
+// Rolling back to lock state q undoes every granted request with lock state
+// index >= q and restores all values to their content immediately before
+// request q+1 executed.
+//
+// Protocol (driven by the Engine):
+//   OnLockGranted(q, e, mode, global, upgrade)   after each grant
+//   OnEntityWrite / OnVarWrite / ReadVar / LocalValue   during execution
+//   OnLastLockGranted()   optionally, when the program's final lock request
+//       is granted — the transaction can never be rolled back afterwards
+//       (it will never wait again), so history recording stops (§5).
+//   OnUnlock(e)   entering the shrinking phase; rollback is impossible from
+//       then on and RestoreTo must not be called.
+class RollbackStrategy {
+ public:
+  virtual ~RollbackStrategy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Called when lock request with lock state `lock_state` is granted.
+  // `global_value` is the entity's current global value (the value the
+  // paper's model guarantees stays unchanged until this transaction
+  // unlocks). `is_upgrade` marks an S->X upgrade of an already-held entity.
+  virtual void OnLockGranted(LockIndex lock_state, EntityId entity,
+                             lock::LockMode mode, Value global_value,
+                             bool is_upgrade) = 0;
+
+  // Write of `value` to an X-held entity by an operation with lock index
+  // `lock_index`.
+  virtual void OnEntityWrite(EntityId entity, Value value,
+                             LockIndex lock_index) = 0;
+
+  // Write to a local variable (kCompute destinations and kRead
+  // destinations both count — any operation that destroys the previous
+  // variable value).
+  virtual void OnVarWrite(txn::VarId var, Value value,
+                          LockIndex lock_index) = 0;
+
+  // Current value of a local variable.
+  virtual Value VarValue(txn::VarId var) const = 0;
+
+  // Current local value of an X-held entity; nullopt when the strategy
+  // holds no copy (S-held or unknown), in which case the caller reads the
+  // global value.
+  virtual std::optional<Value> LocalValue(EntityId entity) const = 0;
+
+  // Entity is being unlocked. For X-held entities returns the final local
+  // value to publish as the new global value; nullopt for S-held. Frees any
+  // history kept for the entity.
+  virtual std::optional<Value> OnUnlock(EntityId entity) = 0;
+
+  // The program's last lock request was granted: monitoring may stop.
+  virtual void OnLastLockGranted() = 0;
+
+  // Greatest lock state index <= target that this strategy can restore
+  // exactly. MCS restores everything (returns target); total restart only
+  // state 0; SDG the latest *well-defined* state (Theorem 4).
+  virtual LockIndex LatestRestorableAtOrBefore(LockIndex target) const = 0;
+
+  // Restores all tracked values to lock state `target`. `target` must be a
+  // value previously returned by LatestRestorableAtOrBefore. Fails with
+  // FailedPrecondition when called after OnUnlock, or InvalidArgument for
+  // unrestorable targets.
+  virtual Result<RestoreResult> RestoreTo(LockIndex target) = 0;
+
+  virtual SpaceStats Space() const = 0;
+};
+
+// Which strategy an Engine equips its transactions with.
+enum class StrategyKind {
+  kTotalRestart,  // baseline: remove-and-restart (roll back to state 0)
+  kMcs,           // multi-lock copy strategy (§4, Theorem 3)
+  kSdg,           // state-dependency graph, single copy per entity (§4)
+};
+
+std::string_view StrategyKindName(StrategyKind kind);
+
+// Creates a fresh tracker for one transaction running `program`.
+std::unique_ptr<RollbackStrategy> MakeStrategy(StrategyKind kind,
+                                               const txn::Program& program);
+
+}  // namespace pardb::rollback
+
+#endif  // PARDB_ROLLBACK_STRATEGY_H_

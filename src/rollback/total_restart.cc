@@ -1,0 +1,95 @@
+#include "rollback/total_restart.h"
+
+#include <algorithm>
+
+namespace pardb::rollback {
+
+TotalRestartStrategy::TotalRestartStrategy(const txn::Program& program)
+    : initial_vars_(program.initial_vars()), vars_(program.initial_vars()) {}
+
+void TotalRestartStrategy::OnLockGranted(LockIndex /*lock_state*/,
+                                         EntityId entity, lock::LockMode mode,
+                                         Value global_value,
+                                         bool /*is_upgrade*/) {
+  if (mode == lock::LockMode::kExclusive) {
+    copies_[entity] = EntityCopy{global_value, true};
+    std::size_t n = 0;
+    for (const auto& [e, c] : copies_) {
+      (void)e;
+      if (c.exclusive) ++n;
+    }
+    peak_entity_copies_ = std::max(peak_entity_copies_, n);
+  } else {
+    copies_[entity] = EntityCopy{global_value, false};
+  }
+}
+
+void TotalRestartStrategy::OnEntityWrite(EntityId entity, Value value,
+                                         LockIndex /*lock_index*/) {
+  auto it = copies_.find(entity);
+  if (it != copies_.end()) it->second.value = value;
+}
+
+void TotalRestartStrategy::OnVarWrite(txn::VarId var, Value value,
+                                      LockIndex /*lock_index*/) {
+  if (var < vars_.size()) vars_[var] = value;
+}
+
+Value TotalRestartStrategy::VarValue(txn::VarId var) const {
+  return var < vars_.size() ? vars_[var] : 0;
+}
+
+std::optional<Value> TotalRestartStrategy::LocalValue(EntityId entity) const {
+  auto it = copies_.find(entity);
+  if (it == copies_.end() || !it->second.exclusive) return std::nullopt;
+  return it->second.value;
+}
+
+std::optional<Value> TotalRestartStrategy::OnUnlock(EntityId entity) {
+  unlocked_ = true;
+  auto it = copies_.find(entity);
+  if (it == copies_.end()) return std::nullopt;
+  std::optional<Value> publish;
+  if (it->second.exclusive) publish = it->second.value;
+  copies_.erase(it);
+  return publish;
+}
+
+LockIndex TotalRestartStrategy::LatestRestorableAtOrBefore(
+    LockIndex /*target*/) const {
+  return 0;
+}
+
+Result<RestoreResult> TotalRestartStrategy::RestoreTo(LockIndex target) {
+  if (unlocked_) {
+    return Status::FailedPrecondition(
+        "rollback after unlock is not permitted (two-phase rule)");
+  }
+  if (target != 0) {
+    return Status::InvalidArgument(
+        "total restart can only restore lock state 0");
+  }
+  RestoreResult result;
+  for (const auto& [e, c] : copies_) {
+    (void)c;
+    result.dropped_entities.push_back(e);
+  }
+  copies_.clear();
+  vars_ = initial_vars_;
+  return result;
+}
+
+SpaceStats TotalRestartStrategy::Space() const {
+  SpaceStats s;
+  for (const auto& [e, c] : copies_) {
+    (void)e;
+    if (c.exclusive) ++s.entity_copies;
+  }
+  // One saved copy of the initial local variables suffices for restart.
+  s.var_copies = initial_vars_.size();
+  s.peak_entity_copies = peak_entity_copies_;
+  s.peak_var_copies = initial_vars_.size();
+  return s;
+}
+
+}  // namespace pardb::rollback

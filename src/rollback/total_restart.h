@@ -1,0 +1,51 @@
+#ifndef PARDB_ROLLBACK_TOTAL_RESTART_H_
+#define PARDB_ROLLBACK_TOTAL_RESTART_H_
+
+#include <map>
+#include <vector>
+
+#include "rollback/strategy.h"
+
+namespace pardb::rollback {
+
+// The classical remove-and-restart baseline (paper §1, [7,10]): one local
+// copy per exclusively locked entity, and the only restorable state is the
+// initial one. Rollback releases every lock and restarts the transaction
+// from the beginning — the degenerate extreme of the paper's partial
+// rollback operation.
+class TotalRestartStrategy final : public RollbackStrategy {
+ public:
+  explicit TotalRestartStrategy(const txn::Program& program);
+
+  std::string_view name() const override { return "total-restart"; }
+
+  void OnLockGranted(LockIndex lock_state, EntityId entity,
+                     lock::LockMode mode, Value global_value,
+                     bool is_upgrade) override;
+  void OnEntityWrite(EntityId entity, Value value,
+                     LockIndex lock_index) override;
+  void OnVarWrite(txn::VarId var, Value value, LockIndex lock_index) override;
+  Value VarValue(txn::VarId var) const override;
+  std::optional<Value> LocalValue(EntityId entity) const override;
+  std::optional<Value> OnUnlock(EntityId entity) override;
+  void OnLastLockGranted() override {}
+  LockIndex LatestRestorableAtOrBefore(LockIndex target) const override;
+  Result<RestoreResult> RestoreTo(LockIndex target) override;
+  SpaceStats Space() const override;
+
+ private:
+  struct EntityCopy {
+    Value value;
+    bool exclusive;
+  };
+
+  std::vector<Value> initial_vars_;
+  std::vector<Value> vars_;
+  std::map<EntityId, EntityCopy> copies_;  // X-held local copies (+S marker)
+  bool unlocked_ = false;
+  std::size_t peak_entity_copies_ = 0;
+};
+
+}  // namespace pardb::rollback
+
+#endif  // PARDB_ROLLBACK_TOTAL_RESTART_H_

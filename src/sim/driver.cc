@@ -1,0 +1,94 @@
+#include "sim/driver.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pardb::sim {
+
+std::string SimReport::ToString() const {
+  std::ostringstream os;
+  os << "committed=" << committed << (completed ? "" : " (INCOMPLETE)")
+     << " ops=" << metrics.ops_executed
+     << " deadlocks=" << metrics.deadlocks << " rollbacks="
+     << metrics.rollbacks << " (partial=" << metrics.partial_rollbacks
+     << ", total=" << metrics.total_rollbacks << ")"
+     << " wasted_ops=" << metrics.wasted_ops << " wasted_frac="
+     << wasted_fraction << " goodput=" << goodput
+     << " serializable=" << (serializable ? "yes" : "NO");
+  return os.str();
+}
+
+Result<SimReport> RunSimulation(const SimOptions& options) {
+  storage::EntityStore store;
+  store.CreateMany(options.workload.num_entities, options.initial_value);
+
+  analysis::HistoryRecorder recorder;
+  core::Engine engine(&store, options.engine,
+                      options.check_serializability ? &recorder : nullptr);
+  WorkloadGenerator gen(options.workload, options.seed);
+
+  std::uint64_t spawned = 0;
+  std::vector<TxnId> all_txns;
+  auto SpawnOne = [&]() -> Status {
+    auto program = gen.Next();
+    if (!program.ok()) return program.status();
+    auto id = engine.Spawn(std::move(program).value());
+    if (!id.ok()) return id.status();
+    all_txns.push_back(id.value());
+    ++spawned;
+    return Status::OK();
+  };
+
+  const std::uint64_t initial =
+      std::min<std::uint64_t>(options.concurrency, options.total_txns);
+  for (std::uint64_t i = 0; i < initial; ++i) {
+    PARDB_RETURN_IF_ERROR(SpawnOne());
+  }
+
+  std::uint64_t steps = 0;
+  bool completed = true;
+  while (engine.metrics().commits < options.total_txns) {
+    if (++steps > options.max_steps) {
+      completed = false;  // e.g. min-cost mutual-preemption livelock
+      break;
+    }
+    // Keep the multiprogramming level topped up.
+    while (spawned < options.total_txns &&
+           spawned - engine.metrics().commits < options.concurrency) {
+      PARDB_RETURN_IF_ERROR(SpawnOne());
+    }
+    auto stepped = engine.StepAny();
+    if (!stepped.ok()) return stepped.status();
+    if (!stepped.value().has_value()) {
+      return Status::Internal("simulation stalled:\n" + engine.DumpState());
+    }
+  }
+
+  SimReport report;
+  report.metrics = engine.metrics();
+  report.rollback_costs = engine.RollbackCostDistribution();
+  report.committed = engine.metrics().commits;
+  report.completed = completed;
+  if (options.check_serializability) {
+    report.serializable = recorder.IsConflictSerializable();
+  }
+  if (report.metrics.ops_executed > 0) {
+    report.wasted_fraction =
+        static_cast<double>(report.metrics.wasted_ops) /
+        static_cast<double>(report.metrics.ops_executed);
+    report.goodput = static_cast<double>(report.committed) /
+                     static_cast<double>(report.metrics.ops_executed);
+  }
+  if (report.committed > 0) {
+    report.deadlocks_per_txn =
+        static_cast<double>(report.metrics.deadlocks) /
+        static_cast<double>(report.committed);
+  }
+  for (TxnId t : all_txns) {
+    report.max_preemptions_single_txn = std::max(
+        report.max_preemptions_single_txn, engine.PreemptionCountOf(t));
+  }
+  return report;
+}
+
+}  // namespace pardb::sim

@@ -1,0 +1,54 @@
+#ifndef PARDB_SIM_DRIVER_H_
+#define PARDB_SIM_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/engine.h"
+#include "sim/workload.h"
+
+namespace pardb::sim {
+
+struct SimOptions {
+  core::EngineOptions engine;
+  WorkloadOptions workload;
+  // Closed-loop multiprogramming level: this many transactions are live at
+  // all times (a commit admits the next one), modeling the paper's rising
+  // concurrency (§1).
+  std::uint32_t concurrency = 8;
+  std::uint64_t total_txns = 200;
+  std::uint64_t max_steps = 50'000'000;
+  std::uint64_t seed = 1;
+  Value initial_value = 100;
+  // Record the history and verify conflict-serializability at the end.
+  bool check_serializability = true;
+};
+
+struct SimReport {
+  core::EngineMetrics metrics;
+  // Per-rollback lost-progress percentiles (bounded sample).
+  core::CostDistribution rollback_costs;
+  std::uint64_t committed = 0;
+  // False when max_steps ran out before total_txns committed. The paper
+  // predicts this is possible under the unconstrained min-cost policy
+  // (potentially infinite mutual preemption, Figure 2).
+  bool completed = true;
+  bool serializable = true;
+  // wasted_ops / (ops_executed): fraction of executed work thrown away by
+  // rollbacks — the paper's "loss of progress".
+  double wasted_fraction = 0.0;
+  // commits per executed op: throughput in the discrete-event model.
+  double goodput = 0.0;
+  double deadlocks_per_txn = 0.0;
+  std::uint64_t max_preemptions_single_txn = 0;
+
+  std::string ToString() const;
+};
+
+// Runs a closed-loop simulation: `concurrency` transactions live at all
+// times until `total_txns` committed. Deterministic per (options, seed).
+Result<SimReport> RunSimulation(const SimOptions& options);
+
+}  // namespace pardb::sim
+
+#endif  // PARDB_SIM_DRIVER_H_

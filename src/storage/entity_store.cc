@@ -1,0 +1,83 @@
+#include "storage/entity_store.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pardb::storage {
+
+namespace {
+std::string EntityName(EntityId id) {
+  std::ostringstream os;
+  os << id;
+  return os.str();
+}
+}  // namespace
+
+Status EntityStore::Create(EntityId id, Value initial) {
+  if (!id.valid()) {
+    return Status::InvalidArgument("cannot create entity with invalid id");
+  }
+  auto [it, inserted] = map_.emplace(id, VersionedValue{initial, 0});
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("entity " + EntityName(id) +
+                                 " already exists");
+  }
+  next_auto_id_ = std::max(next_auto_id_, id.value() + 1);
+  return Status::OK();
+}
+
+std::vector<EntityId> EntityStore::CreateMany(std::uint64_t n, Value initial) {
+  std::vector<EntityId> ids;
+  ids.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EntityId id(next_auto_id_);
+    // Create() advances next_auto_id_ past id.
+    Status s = Create(id, initial);
+    (void)s;  // cannot fail: id is fresh by construction
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+bool EntityStore::Contains(EntityId id) const {
+  return map_.find(id) != map_.end();
+}
+
+Result<VersionedValue> EntityStore::Get(EntityId id) const {
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    return Status::NotFound("entity " + EntityName(id) + " does not exist");
+  }
+  return it->second;
+}
+
+Result<std::uint64_t> EntityStore::Publish(EntityId id, Value value) {
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    return Status::NotFound("entity " + EntityName(id) + " does not exist");
+  }
+  it->second.value = value;
+  ++it->second.version;
+  return it->second.version;
+}
+
+Status EntityStore::ResetValue(EntityId id, Value value) {
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    return Status::NotFound("entity " + EntityName(id) + " does not exist");
+  }
+  it->second.value = value;
+  return Status::OK();
+}
+
+std::vector<std::pair<EntityId, Value>> EntityStore::Snapshot() const {
+  std::vector<std::pair<EntityId, Value>> out;
+  out.reserve(map_.size());
+  for (const auto& [id, vv] : map_) out.emplace_back(id, vv.value);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace pardb::storage

@@ -1,0 +1,191 @@
+#include "txn/optimizer.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace pardb::txn {
+
+namespace {
+
+// Object key an op primarily touches (for the scheduler's affinity
+// preference): entities in the low space, variables tagged high.
+std::uint64_t ObjectKeyOf(const Op& op) {
+  switch (op.code) {
+    case OpCode::kRead:
+    case OpCode::kWrite:
+    case OpCode::kUnlock:
+    case OpCode::kLockShared:
+    case OpCode::kLockExclusive:
+      return op.entity.value() << 1;
+    case OpCode::kCompute:
+      return (static_cast<std::uint64_t>(op.dst) << 1) | 1;
+    case OpCode::kCommit:
+      return ~0ULL;
+  }
+  return ~0ULL;
+}
+
+bool IsLockOp(const Op& op) {
+  return op.code == OpCode::kLockShared || op.code == OpCode::kLockExclusive;
+}
+
+// Variables an op reads or writes (conservatively: sharing any variable
+// orders two ops).
+void CollectVars(const Op& op, std::vector<VarId>* out) {
+  out->clear();
+  switch (op.code) {
+    case OpCode::kRead:
+      out->push_back(op.dst);
+      break;
+    case OpCode::kWrite:
+      if (op.a.kind == Operand::Kind::kVar) out->push_back(op.a.var);
+      break;
+    case OpCode::kCompute:
+      out->push_back(op.dst);
+      if (op.a.kind == Operand::Kind::kVar) out->push_back(op.a.var);
+      if (op.b.kind == Operand::Kind::kVar) out->push_back(op.b.var);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+Result<Program> ClusterWrites(const Program& program) {
+  const auto& ops = program.ops();
+  const std::size_t n = ops.size();
+
+  // Dependency edges as adjacency + indegree, built from "last op that
+  // touched this object" chains.
+  std::vector<std::vector<std::size_t>> succ(n);
+  std::vector<std::size_t> indeg(n, 0);
+  auto AddEdge = [&](std::size_t from, std::size_t to) {
+    succ[from].push_back(to);
+    ++indeg[to];
+  };
+
+  std::map<std::uint64_t, std::size_t> last_entity_op;  // entity -> op index
+  std::map<VarId, std::size_t> last_var_op;
+  std::size_t last_lock_op = SIZE_MAX;
+  std::size_t first_lock_op = SIZE_MAX;
+  std::vector<VarId> vars;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Op& op = ops[i];
+    // Per-entity program order.
+    if (op.entity.valid() &&
+        (IsLockOp(op) || op.code == OpCode::kUnlock ||
+         op.code == OpCode::kRead || op.code == OpCode::kWrite)) {
+      auto it = last_entity_op.find(op.entity.value());
+      if (it != last_entity_op.end()) AddEdge(it->second, i);
+      last_entity_op[op.entity.value()] = i;
+    }
+    // Per-variable program order.
+    CollectVars(op, &vars);
+    for (VarId v : vars) {
+      auto it = last_var_op.find(v);
+      if (it != last_var_op.end() && it->second != i) AddEdge(it->second, i);
+      last_var_op[v] = i;
+    }
+    if (IsLockOp(op)) {
+      // Locks keep their acquisition order.
+      if (last_lock_op != SIZE_MAX) AddEdge(last_lock_op, i);
+      if (first_lock_op == SIZE_MAX) first_lock_op = i;
+      last_lock_op = i;
+    } else if (op.code != OpCode::kCommit && first_lock_op != SIZE_MAX &&
+               i > first_lock_op) {
+      // No data/lock op may drift before the first lock request (§4's
+      // no-writes-before-first-lock assumption and read-under-lock).
+      AddEdge(first_lock_op, i);
+    }
+    if (op.code == OpCode::kUnlock && last_lock_op != SIZE_MAX &&
+        !IsLockOp(ops[i])) {
+      // Two-phase rule: every unlock stays after the final lock request.
+      if (last_lock_op != i) AddEdge(last_lock_op, i);
+    }
+  }
+  // The two-phase edge above used the running `last_lock_op`; unlocks that
+  // appeared before later lock requests in the op list cannot exist in a
+  // valid program, so the chain is sound. Commit (if present) goes last.
+  std::size_t commit_op = SIZE_MAX;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ops[i].code == OpCode::kCommit) commit_op = i;
+  }
+  if (commit_op != SIZE_MAX) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != commit_op) AddEdge(i, commit_op);
+    }
+  }
+
+  // Greedy list scheduling: emit ready non-lock ops eagerly (preferring the
+  // object of the previously emitted op, then original order); emit the
+  // next lock request only when nothing else is ready.
+  std::vector<bool> scheduled(n, false);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::uint64_t last_object = ~0ULL;
+  for (std::size_t emitted = 0; emitted < n; ++emitted) {
+    std::size_t pick = SIZE_MAX;
+    bool pick_is_lock = true;
+    bool pick_matches = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (scheduled[i] || indeg[i] != 0) continue;
+      const bool is_lock = IsLockOp(ops[i]);
+      const bool matches = !is_lock && ObjectKeyOf(ops[i]) == last_object;
+      // Preference: affinity non-lock > other non-lock > lock; ties by
+      // original position.
+      const bool better =
+          pick == SIZE_MAX || (matches && !pick_matches) ||
+          (matches == pick_matches && !is_lock && pick_is_lock);
+      if (better) {
+        pick = i;
+        pick_is_lock = is_lock;
+        pick_matches = matches;
+      }
+    }
+    if (pick == SIZE_MAX) {
+      return Status::Internal("dependency cycle in transaction optimizer");
+    }
+    scheduled[pick] = true;
+    order.push_back(pick);
+    last_object = ObjectKeyOf(ops[pick]);
+    for (std::size_t s : succ[pick]) --indeg[s];
+  }
+
+  // Rebuild through the validating builder.
+  ProgramBuilder b(program.name() + "+clustered", program.num_vars());
+  for (VarId v = 0; v < program.num_vars(); ++v) {
+    b.InitVar(v, program.initial_vars()[v]);
+  }
+  for (std::size_t i : order) {
+    const Op& op = ops[i];
+    switch (op.code) {
+      case OpCode::kLockShared:
+        b.LockShared(op.entity);
+        break;
+      case OpCode::kLockExclusive:
+        b.LockExclusive(op.entity);
+        break;
+      case OpCode::kUnlock:
+        b.Unlock(op.entity);
+        break;
+      case OpCode::kRead:
+        b.Read(op.entity, op.dst);
+        break;
+      case OpCode::kWrite:
+        b.Write(op.entity, op.a);
+        break;
+      case OpCode::kCompute:
+        b.Compute(op.dst, op.a, op.arith, op.b);
+        break;
+      case OpCode::kCommit:
+        b.Commit();
+        break;
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace pardb::txn

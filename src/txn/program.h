@@ -1,0 +1,156 @@
+#ifndef PARDB_TXN_PROGRAM_H_
+#define PARDB_TXN_PROGRAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "lock/lock_mode.h"
+
+namespace pardb::txn {
+
+// Index of a local variable within a transaction's frame (paper §2: each
+// transaction has local variables L_i with value ranges).
+using VarId = std::uint32_t;
+
+// Atomic operations of the transaction model (§2). Programs are
+// straight-line: a transaction is exactly the paper's "sequence of atomic
+// operations", so the state index of a running transaction equals its
+// program counter and rollback is a program-counter reset plus value
+// restoration.
+enum class OpCode {
+  kLockShared,     // LS(entity)
+  kLockExclusive,  // LX(entity); on an entity held in S this is an upgrade
+  kUnlock,         // publish (if X) and release; enters the shrinking phase
+  kRead,           // var <- entity  (requires S or X lock)
+  kWrite,          // entity <- operand (requires X lock)
+  kCompute,        // var <- operand (arith) operand
+  kCommit,         // publish + release everything; must be the last op
+};
+
+std::string_view OpCodeName(OpCode code);
+
+// A value source: immediate constant or local variable.
+struct Operand {
+  enum class Kind { kImm, kVar };
+  Kind kind = Kind::kImm;
+  Value imm = 0;
+  VarId var = 0;
+
+  static Operand Imm(Value v) { return Operand{Kind::kImm, v, 0}; }
+  static Operand Var(VarId v) { return Operand{Kind::kVar, 0, v}; }
+};
+
+enum class ArithOp { kAdd, kSub, kMul };
+
+struct Op {
+  OpCode code;
+  EntityId entity;  // lock/unlock/read/write target
+  VarId dst = 0;    // kRead / kCompute destination
+  Operand a;        // kWrite source; kCompute left operand
+  Operand b;        // kCompute right operand
+  ArithOp arith = ArithOp::kAdd;
+
+  std::string ToString() const;
+};
+
+// An immutable, validated transaction program. Build with ProgramBuilder.
+class Program {
+ public:
+  Program() = default;
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return ops_.size(); }
+  const Op& op(std::size_t i) const { return ops_[i]; }
+  const std::vector<Op>& ops() const { return ops_; }
+  std::uint32_t num_vars() const { return num_vars_; }
+  const std::vector<Value>& initial_vars() const { return initial_vars_; }
+
+  // Program positions of lock requests, in order. Lock request k+1 sits at
+  // LockRequestPositions()[k]; the paper's lock state with lock index k is
+  // the transaction state immediately before executing it, so the *state
+  // index* of lock state k is LockRequestPositions()[k].
+  const std::vector<std::size_t>& LockRequestPositions() const {
+    return lock_positions_;
+  }
+  std::size_t NumLockRequests() const { return lock_positions_.size(); }
+
+  // Position of the last lock request, or nullopt for lock-free programs.
+  // Models the paper's §5 "declare the execution of the last lock request":
+  // once this request is granted the transaction can never again be rolled
+  // back, so rollback monitoring may stop.
+  std::optional<std::size_t> LastLockRequestPosition() const;
+
+  // Structure metrics (paper §5) -------------------------------------------
+
+  // Total over entities and local variables of (lock index of last write -
+  // lock index of first write). 0 means perfectly clustered writes — the
+  // paper's recommendation; large values mean writes straddle many lock
+  // states and destroy them for single-copy rollback.
+  std::uint64_t WriteSpreadScore() const;
+
+  // True when the program has the paper's three distinct phases: all lock
+  // requests first (acquisition), then reads/writes/computes (update), then
+  // unlocks/commit (release).
+  bool IsThreePhase() const;
+
+  std::size_t CountOps(OpCode code) const;
+
+  std::string ToString() const;
+
+ private:
+  friend class ProgramBuilder;
+
+  std::string name_;
+  std::vector<Op> ops_;
+  std::uint32_t num_vars_ = 0;
+  std::vector<Value> initial_vars_;
+  std::vector<std::size_t> lock_positions_;
+};
+
+// Builder with full static validation of the paper's protocol rules:
+//  * two-phase: no lock request after the first unlock;
+//  * reads need a held S or X lock, writes a held X lock;
+//  * re-locking a held entity is only legal as an S->X upgrade;
+//  * no write (entity or local variable) before the first lock request
+//    (paper §4 convenience assumption);
+//  * kCommit, if present, must be the final op. Programs without kCommit
+//    are implicitly committed by the engine after the last op.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name, std::uint32_t num_vars = 0);
+
+  // Declares local variables with initial values (var ids are dense from 0).
+  ProgramBuilder& InitVar(VarId var, Value initial);
+
+  ProgramBuilder& LockShared(EntityId e);
+  ProgramBuilder& LockExclusive(EntityId e);
+  ProgramBuilder& Unlock(EntityId e);
+  ProgramBuilder& Read(EntityId e, VarId dst);
+  ProgramBuilder& Write(EntityId e, Operand src);
+  ProgramBuilder& WriteImm(EntityId e, Value v) {
+    return Write(e, Operand::Imm(v));
+  }
+  ProgramBuilder& WriteVar(EntityId e, VarId v) {
+    return Write(e, Operand::Var(v));
+  }
+  ProgramBuilder& Compute(VarId dst, Operand a, ArithOp op, Operand b);
+  ProgramBuilder& Commit();
+
+  // Validates and produces the program.
+  Result<Program> Build();
+
+ private:
+  std::string name_;
+  std::uint32_t num_vars_;
+  std::vector<Value> initial_vars_;
+  std::vector<Op> ops_;
+};
+
+}  // namespace pardb::txn
+
+#endif  // PARDB_TXN_PROGRAM_H_

@@ -1,0 +1,36 @@
+#ifndef PARDB_TXN_PROGRAM_IO_H_
+#define PARDB_TXN_PROGRAM_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "txn/program.h"
+
+namespace pardb::txn {
+
+// Plain-text program format, one operation per line; '#' starts a comment.
+//
+//   program transfer      # optional; names the program
+//   var v0 = 10           # declares a local with an initial value
+//   lockx E0              # exclusive lock request
+//   locks E1              # shared lock request
+//   read E0 v0            # v0 <- E0
+//   write E0 v0           # E0 <- v0      (operand: vN or integer literal)
+//   add v0 v0 5           # v0 <- v0 + 5  (also: sub, mul)
+//   unlock E0
+//   commit
+//
+// Entities are written E<N>, variables v<N>. Variables may be declared
+// implicitly by use; `var` lines additionally set initial values. The
+// parser reports the offending line on error, and the result is validated
+// by ProgramBuilder (two-phase rule, lock requirements, ...).
+Result<Program> ParseProgram(std::string_view text);
+
+// Formats a program in the same syntax; ParseProgram(FormatProgram(p))
+// reproduces p operation-for-operation.
+std::string FormatProgram(const Program& program);
+
+}  // namespace pardb::txn
+
+#endif  // PARDB_TXN_PROGRAM_IO_H_

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "analysis/history.h"
+
+namespace pardb::analysis {
+namespace {
+
+const TxnId kT1(1), kT2(2), kT3(3);
+const EntityId kA(10), kB(11);
+
+TEST(HistoryTest, EmptyHistorySerializable) {
+  HistoryRecorder h;
+  EXPECT_TRUE(h.IsConflictSerializable());
+  EXPECT_TRUE(h.WitnessCycle().empty());
+  EXPECT_TRUE(h.SerialOrder().ok());
+}
+
+TEST(HistoryTest, SingleWriterSerializable) {
+  HistoryRecorder h;
+  h.OnBegin(kT1, 0);
+  h.OnRead(kT1, kA, 0, 1);
+  h.OnPublish(kT1, kA, 1, 3);
+  h.OnCommit(kT1);
+  EXPECT_TRUE(h.IsConflictSerializable());
+  auto order = h.SerialOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order.value(), std::vector<TxnId>{kT1});
+}
+
+TEST(HistoryTest, WriteWriteOrderRespected) {
+  HistoryRecorder h;
+  h.OnBegin(kT1, 0);
+  h.OnBegin(kT2, 1);
+  h.OnPublish(kT1, kA, 1, 2);
+  h.OnPublish(kT2, kA, 2, 2);
+  h.OnCommit(kT1);
+  h.OnCommit(kT2);
+  EXPECT_TRUE(h.IsConflictSerializable());
+  auto order = h.SerialOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order.value(), (std::vector<TxnId>{kT1, kT2}));
+}
+
+TEST(HistoryTest, ClassicNonSerializableCycleDetected) {
+  // T1 reads A(v0) then publishes B; T2 reads B(v0) then publishes A.
+  // r1(A) w2(A) and r2(B) w1(B): T1 < T2 (A) and T2 < T1 (B): cycle.
+  HistoryRecorder h;
+  h.OnBegin(kT1, 0);
+  h.OnBegin(kT2, 1);
+  h.OnRead(kT1, kA, 0, 1);
+  h.OnRead(kT2, kB, 0, 1);
+  h.OnPublish(kT2, kA, 1, 3);
+  h.OnPublish(kT1, kB, 1, 3);
+  h.OnCommit(kT1);
+  h.OnCommit(kT2);
+  EXPECT_FALSE(h.IsConflictSerializable());
+  auto cycle = h.WitnessCycle();
+  EXPECT_GE(cycle.size(), 2u);
+  EXPECT_FALSE(h.SerialOrder().ok());
+}
+
+TEST(HistoryTest, ReadersOrderAgainstLaterWriters) {
+  HistoryRecorder h;
+  h.OnBegin(kT1, 0);
+  h.OnBegin(kT2, 1);
+  h.OnRead(kT2, kA, 0, 1);      // reads initial version
+  h.OnPublish(kT1, kA, 1, 2);   // later writer
+  h.OnCommit(kT1);
+  h.OnCommit(kT2);
+  auto order = h.SerialOrder();
+  ASSERT_TRUE(order.ok());
+  // T2 read the pre-T1 version, so T2 must precede T1.
+  EXPECT_EQ(order.value(), (std::vector<TxnId>{kT2, kT1}));
+}
+
+TEST(HistoryTest, ReaderAfterWriterOrdersForward) {
+  HistoryRecorder h;
+  h.OnBegin(kT1, 0);
+  h.OnBegin(kT2, 1);
+  h.OnPublish(kT1, kA, 1, 2);
+  h.OnRead(kT2, kA, 1, 1);  // reads T1's version
+  h.OnCommit(kT1);
+  h.OnCommit(kT2);
+  auto order = h.SerialOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order.value(), (std::vector<TxnId>{kT1, kT2}));
+}
+
+TEST(HistoryTest, RollbackErasesUndoneReads) {
+  HistoryRecorder h;
+  h.OnBegin(kT1, 0);
+  h.OnBegin(kT2, 1);
+  // T1 reads A's initial version at state 5, then is rolled back to state
+  // 2: the read never happened.
+  h.OnRead(kT1, kA, 0, 5);
+  h.OnRollback(kT1, 2);
+  h.OnPublish(kT2, kA, 1, 1);
+  h.OnCommit(kT2);
+  // T1 re-executes and reads T2's version.
+  h.OnRead(kT1, kA, 1, 5);
+  h.OnPublish(kT1, kB, 1, 7);
+  h.OnCommit(kT1);
+  EXPECT_TRUE(h.IsConflictSerializable());
+  auto order = h.SerialOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order.value(), (std::vector<TxnId>{kT2, kT1}));
+}
+
+TEST(HistoryTest, UncommittedTransactionsExcluded) {
+  HistoryRecorder h;
+  h.OnBegin(kT1, 0);
+  h.OnBegin(kT2, 1);
+  h.OnRead(kT1, kA, 0, 1);
+  h.OnRead(kT2, kB, 0, 1);
+  h.OnPublish(kT2, kA, 1, 3);
+  h.OnPublish(kT1, kB, 1, 3);
+  h.OnCommit(kT1);
+  // T2 never commits: the committed projection is the single T1.
+  EXPECT_TRUE(h.IsConflictSerializable());
+  EXPECT_EQ(h.committed_count(), 1u);
+}
+
+TEST(HistoryTest, ThreeTxnCycle) {
+  HistoryRecorder h;
+  const EntityId kC(12);
+  h.OnBegin(kT1, 0);
+  h.OnBegin(kT2, 1);
+  h.OnBegin(kT3, 2);
+  h.OnRead(kT1, kA, 0, 1);
+  h.OnPublish(kT2, kA, 1, 2);  // T1 < T2
+  h.OnRead(kT2, kB, 0, 1);
+  h.OnPublish(kT3, kB, 1, 2);  // T2 < T3
+  h.OnRead(kT3, kC, 0, 1);
+  h.OnPublish(kT1, kC, 1, 2);  // T3 < T1
+  h.OnCommit(kT1);
+  h.OnCommit(kT2);
+  h.OnCommit(kT3);
+  EXPECT_FALSE(h.IsConflictSerializable());
+  EXPECT_EQ(h.WitnessCycle().size(), 3u);
+}
+
+}  // namespace
+}  // namespace pardb::analysis

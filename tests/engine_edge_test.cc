@@ -1,0 +1,208 @@
+// Edge cases and secondary engine behaviors: accessors, event caps, option
+// toggles, error paths, and cross-checks that the main suites do not cover.
+
+#include <gtest/gtest.h>
+
+#include "analysis/history.h"
+#include "core/engine.h"
+#include "sim/driver.h"
+#include "sim/workload.h"
+#include "storage/entity_store.h"
+#include "txn/program.h"
+
+namespace pardb::core {
+namespace {
+
+using rollback::StrategyKind;
+using txn::Operand;
+using txn::ProgramBuilder;
+
+txn::Program TwoLock(EntityId e1, EntityId e2, const std::string& name) {
+  ProgramBuilder b(name, 1);
+  b.LockExclusive(e1).LockExclusive(e2).WriteImm(e2, 1).Commit();
+  auto p = b.Build();
+  EXPECT_TRUE(p.ok());
+  return std::move(p).value();
+}
+
+class EngineEdgeTest : public ::testing::Test {
+ protected:
+  void Init(EngineOptions options = {}) {
+    ids_ = store_.CreateMany(6, 100);
+    engine_ = std::make_unique<Engine>(&store_, options);
+  }
+  storage::EntityStore store_;
+  std::unique_ptr<Engine> engine_;
+  std::vector<EntityId> ids_;
+};
+
+TEST_F(EngineEdgeTest, SpawnNullProgramRejected) {
+  Init();
+  std::shared_ptr<const txn::Program> null;
+  EXPECT_EQ(engine_->Spawn(null).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineEdgeTest, AccessorsOnUnknownTxn) {
+  Init();
+  EXPECT_EQ(engine_->StatusOf(TxnId(99)), TxnStatus::kCommitted);
+  EXPECT_EQ(engine_->StateIndexOf(TxnId(99)), 0u);
+  EXPECT_EQ(engine_->LockCountOf(TxnId(99)), 0u);
+  EXPECT_EQ(engine_->EntryOf(TxnId(99)), 0u);
+  EXPECT_EQ(engine_->StrategyOf(TxnId(99)), nullptr);
+  EXPECT_EQ(engine_->VarValueOf(TxnId(99), 0), 0);
+  EXPECT_EQ(engine_->PreemptionCountOf(TxnId(99)), 0u);
+}
+
+TEST_F(EngineEdgeTest, AccessorsTrackProgress) {
+  Init();
+  auto t = engine_->Spawn(TwoLock(ids_[0], ids_[1], "t"));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(engine_->StatusOf(t.value()), TxnStatus::kReady);
+  EXPECT_EQ(engine_->EntryOf(t.value()), 0u);
+  ASSERT_TRUE(engine_->StepTxn(t.value()).ok());
+  EXPECT_EQ(engine_->StateIndexOf(t.value()), 1u);
+  EXPECT_EQ(engine_->LockCountOf(t.value()), 1u);
+  ASSERT_NE(engine_->StrategyOf(t.value()), nullptr);
+  EXPECT_EQ(engine_->StrategyOf(t.value())->name(), "mcs");
+}
+
+TEST_F(EngineEdgeTest, RunToCompletionRespectsMaxSteps) {
+  Init();
+  ASSERT_TRUE(engine_->Spawn(TwoLock(ids_[0], ids_[1], "t")).ok());
+  Status s = engine_->RunToCompletion(/*max_steps=*/1);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(EngineEdgeTest, DeadlockEventCapRespected) {
+  EngineOptions opt;
+  opt.max_recorded_events = 1;
+  opt.victim_policy = VictimPolicyKind::kMinCostOrdered;
+  Init(opt);
+  // Several sequential deadlocks; only one event retained.
+  for (int round = 0; round < 3; ++round) {
+    auto ta = engine_->Spawn(TwoLock(ids_[0], ids_[1], "a"));
+    auto tb = engine_->Spawn(TwoLock(ids_[1], ids_[0], "b"));
+    ASSERT_TRUE(ta.ok());
+    ASSERT_TRUE(tb.ok());
+    ASSERT_TRUE(engine_->RunToCompletion().ok());
+  }
+  EXPECT_GE(engine_->metrics().deadlocks, 2u);
+  EXPECT_EQ(engine_->deadlock_events().size(), 1u);
+}
+
+TEST_F(EngineEdgeTest, LastLockDeclarationReducesMcsCopies) {
+  // The same deadlock-free program with and without the §5 declaration:
+  // with it, writes after the final lock request keep a single copy.
+  auto Run = [&](bool use_declaration) {
+    storage::EntityStore store;
+    auto ids = store.CreateMany(3, 0);
+    EngineOptions opt;
+    opt.use_last_lock_declaration = use_declaration;
+    Engine engine(&store, opt);
+    ProgramBuilder b("p", 1);
+    b.LockExclusive(ids[0]).LockExclusive(ids[1]).LockExclusive(ids[2]);
+    for (int i = 0; i < 4; ++i) {
+      b.WriteImm(ids[0], i).WriteImm(ids[1], i).WriteImm(ids[2], i);
+    }
+    b.Commit();
+    auto p = b.Build();
+    EXPECT_TRUE(p.ok());
+    auto t = engine.Spawn(std::move(p).value());
+    EXPECT_TRUE(t.ok());
+    EXPECT_TRUE(engine.RunToCompletion().ok());
+    return engine.metrics().max_entity_copies;
+  };
+  const std::size_t with = Run(true);
+  const std::size_t without = Run(false);
+  EXPECT_LT(with, without);
+  EXPECT_EQ(with, 3u);  // just the three working copies
+}
+
+TEST_F(EngineEdgeTest, DumpStateListsTransactionsAndLocks) {
+  Init();
+  auto t = engine_->Spawn(TwoLock(ids_[0], ids_[1], "t"));
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(engine_->StepTxn(t.value()).ok());
+  std::string s = engine_->DumpState();
+  EXPECT_NE(s.find("T0"), std::string::npos);
+  EXPECT_NE(s.find("status=ready"), std::string::npos);
+  EXPECT_NE(s.find("E0"), std::string::npos);
+}
+
+TEST_F(EngineEdgeTest, RollbackCostDistributionPercentiles) {
+  Init();
+  EXPECT_EQ(engine_->RollbackCostDistribution().count, 0u);
+  auto ta = engine_->Spawn(TwoLock(ids_[0], ids_[1], "a"));
+  auto tb = engine_->Spawn(TwoLock(ids_[1], ids_[0], "b"));
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  ASSERT_TRUE(engine_->RunToCompletion().ok());
+  auto d = engine_->RollbackCostDistribution();
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_EQ(d.p50, d.max);
+  EXPECT_GT(d.max, 0u);
+  EXPECT_GT(d.mean, 0.0);
+}
+
+TEST(SimDriverEdgeTest, IncompleteRunReported) {
+  // Unconstrained min-cost on the adversarial workload with a tiny step
+  // budget: the driver reports completed=false instead of erroring.
+  sim::SimOptions opt;
+  opt.engine.victim_policy = VictimPolicyKind::kMinCost;
+  opt.workload.num_entities = 4;
+  opt.workload.min_locks = 3;
+  opt.workload.max_locks = 4;
+  opt.concurrency = 6;
+  opt.total_txns = 1000;
+  opt.max_steps = 2000;  // far too few
+  opt.seed = 1;
+  opt.check_serializability = false;
+  auto rep = sim::RunSimulation(opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_FALSE(rep->completed);
+  EXPECT_LT(rep->committed, 1000u);
+  EXPECT_NE(rep->ToString().find("INCOMPLETE"), std::string::npos);
+}
+
+TEST(SchedulerTest, RoundRobinAndRandomBothComplete) {
+  for (auto kind : {SchedulerKind::kRoundRobin, SchedulerKind::kRandom}) {
+    storage::EntityStore store;
+    store.CreateMany(4, 0);
+    EngineOptions opt;
+    opt.scheduler = kind;
+    Engine engine(&store, opt);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(
+          engine
+              .Spawn(TwoLock(EntityId(i % 2), EntityId((i + 1) % 2),
+                             "t" + std::to_string(i)))
+              .ok());
+    }
+    ASSERT_TRUE(engine.RunToCompletion().ok());
+    EXPECT_EQ(engine.metrics().commits, 4u);
+  }
+}
+
+TEST(SharedProgramTest, ManyTransactionsShareOneProgram) {
+  // Spawning via shared_ptr avoids copying the program per transaction.
+  storage::EntityStore store;
+  store.CreateMany(2, 0);
+  Engine engine(&store, EngineOptions{});
+  ProgramBuilder b("shared", 1);
+  b.LockExclusive(EntityId(0)).Read(EntityId(0), 0).WriteVar(EntityId(0), 0);
+  b.Commit();
+  auto built = b.Build();
+  ASSERT_TRUE(built.ok());
+  auto shared =
+      std::make_shared<const txn::Program>(std::move(built).value());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.Spawn(shared).ok());
+  }
+  ASSERT_TRUE(engine.RunToCompletion().ok());
+  EXPECT_EQ(engine.metrics().commits, 10u);
+  EXPECT_EQ(shared.use_count(), 11);  // 10 transactions + local
+}
+
+}  // namespace
+}  // namespace pardb::core

@@ -1,0 +1,607 @@
+#include <gtest/gtest.h>
+
+#include "analysis/history.h"
+#include "core/engine.h"
+#include "core/vertex_cut.h"
+#include "core/victim_policy.h"
+#include "storage/entity_store.h"
+#include "txn/program.h"
+
+namespace pardb::core {
+namespace {
+
+using rollback::StrategyKind;
+using txn::ArithOp;
+using txn::Operand;
+using txn::ProgramBuilder;
+
+txn::Program Build(ProgramBuilder& b) {
+  auto p = b.Build();
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+// Increment entity `e` by `delta` via a read-modify-write.
+txn::Program IncrementProgram(EntityId e, Value delta,
+                              const std::string& name = "inc") {
+  ProgramBuilder b(name, 1);
+  b.LockExclusive(e)
+      .Read(e, 0)
+      .Compute(0, Operand::Var(0), ArithOp::kAdd, Operand::Imm(delta))
+      .WriteVar(e, 0)
+      .Commit();
+  return Build(b);
+}
+
+// Locks e1 then e2 and increments both.
+txn::Program TwoLockProgram(EntityId e1, EntityId e2, Value delta,
+                            const std::string& name) {
+  ProgramBuilder b(name, 1);
+  b.LockExclusive(e1)
+      .Read(e1, 0)
+      .Compute(0, Operand::Var(0), ArithOp::kAdd, Operand::Imm(delta))
+      .WriteVar(e1, 0)
+      .LockExclusive(e2)
+      .Read(e2, 0)
+      .Compute(0, Operand::Var(0), ArithOp::kAdd, Operand::Imm(delta))
+      .WriteVar(e2, 0)
+      .Commit();
+  return Build(b);
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void Init(EngineOptions options = {}) {
+    ids_ = store_.CreateMany(8, 100);
+    engine_ = std::make_unique<Engine>(&store_, options, &recorder_);
+  }
+
+  storage::EntityStore store_;
+  analysis::HistoryRecorder recorder_;
+  std::unique_ptr<Engine> engine_;
+  std::vector<EntityId> ids_;
+};
+
+TEST_F(EngineTest, SingleTransactionCommits) {
+  Init();
+  auto t = engine_->Spawn(IncrementProgram(EntityId(0), 5));
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(engine_->RunToCompletion().ok());
+  EXPECT_EQ(engine_->StatusOf(t.value()), TxnStatus::kCommitted);
+  EXPECT_EQ(store_.Get(EntityId(0)).value().value, 105);
+  EXPECT_EQ(engine_->metrics().commits, 1u);
+  EXPECT_EQ(engine_->metrics().deadlocks, 0u);
+  EXPECT_TRUE(recorder_.IsConflictSerializable());
+}
+
+TEST_F(EngineTest, SpawnRejectsUnknownEntity) {
+  Init();
+  auto t = engine_->Spawn(IncrementProgram(EntityId(999), 1));
+  EXPECT_TRUE(t.status().IsNotFound());
+}
+
+TEST_F(EngineTest, StepUnknownTransactionFails) {
+  Init();
+  EXPECT_TRUE(engine_->StepTxn(TxnId(77)).status().IsNotFound());
+}
+
+TEST_F(EngineTest, IndependentTransactionsInterleave) {
+  Init();
+  ASSERT_TRUE(engine_->Spawn(IncrementProgram(EntityId(0), 1)).ok());
+  ASSERT_TRUE(engine_->Spawn(IncrementProgram(EntityId(1), 2)).ok());
+  ASSERT_TRUE(engine_->Spawn(IncrementProgram(EntityId(2), 3)).ok());
+  ASSERT_TRUE(engine_->RunToCompletion().ok());
+  EXPECT_EQ(store_.Get(EntityId(0)).value().value, 101);
+  EXPECT_EQ(store_.Get(EntityId(1)).value().value, 102);
+  EXPECT_EQ(store_.Get(EntityId(2)).value().value, 103);
+  EXPECT_EQ(engine_->metrics().deadlocks, 0u);
+}
+
+TEST_F(EngineTest, ConflictingTransactionsSerialize) {
+  Init();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine_->Spawn(IncrementProgram(EntityId(0), 1)).ok());
+  }
+  ASSERT_TRUE(engine_->RunToCompletion().ok());
+  EXPECT_EQ(store_.Get(EntityId(0)).value().value, 104);
+  EXPECT_GE(engine_->metrics().lock_waits, 1u);
+  EXPECT_TRUE(recorder_.IsConflictSerializable());
+}
+
+TEST_F(EngineTest, DeadlockResolvedAndBothCommit) {
+  Init();
+  auto ta = engine_->Spawn(
+      TwoLockProgram(EntityId(0), EntityId(1), 1, "fwd"));
+  auto tb = engine_->Spawn(
+      TwoLockProgram(EntityId(1), EntityId(0), 10, "rev"));
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  ASSERT_TRUE(engine_->RunToCompletion().ok()) << engine_->DumpState();
+  EXPECT_EQ(engine_->metrics().deadlocks, 1u);
+  EXPECT_EQ(engine_->metrics().rollbacks, 1u);
+  // Both increments applied exactly once despite the rollback re-execution.
+  EXPECT_EQ(store_.Get(EntityId(0)).value().value, 111);
+  EXPECT_EQ(store_.Get(EntityId(1)).value().value, 111);
+  EXPECT_TRUE(recorder_.IsConflictSerializable());
+}
+
+TEST_F(EngineTest, PartialRollbackKeepsEarlierLocks) {
+  // Victim locks a "home" entity first; a partial rollback to the
+  // conflicting lock keeps it, a total restart would release it.
+  EngineOptions opt;
+  opt.strategy = StrategyKind::kMcs;
+  opt.victim_policy = VictimPolicyKind::kMinCost;
+  Init(opt);
+
+  // T0: home(2) -> 0 -> 1 ; T1: 1 -> 0. T0's conflict is over entity 0/1,
+  // not its home lock.
+  ProgramBuilder b0("t0", 1);
+  b0.LockExclusive(EntityId(2))
+      .Read(EntityId(2), 0)
+      .LockExclusive(EntityId(0))
+      .Read(EntityId(0), 0)
+      .LockExclusive(EntityId(1))
+      .WriteVar(EntityId(1), 0)
+      .Commit();
+  auto t0 = engine_->Spawn(Build(b0));
+  auto t1 =
+      engine_->Spawn(TwoLockProgram(EntityId(1), EntityId(0), 5, "t1"));
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+
+  // Drive to deadlock: T0 holds 2,0; T1 holds 1; T0 requests 1; T1
+  // requests 0.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine_->StepTxn(t0.value()).ok());  // lock 2, read, lock 0,
+                                                     // read
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine_->StepTxn(t1.value()).ok());  // lock 1, rmw on 1
+  }
+  auto blocked = engine_->StepTxn(t0.value());  // request 1 -> wait
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_EQ(blocked.value(), StepOutcome::kBlocked);
+  auto resolved = engine_->StepTxn(t1.value());  // request 0 -> deadlock
+  ASSERT_TRUE(resolved.ok());
+
+  ASSERT_EQ(engine_->deadlock_events().size(), 1u);
+  const DeadlockEvent& ev = engine_->deadlock_events()[0];
+  EXPECT_EQ(ev.requester, t1.value());
+  ASSERT_EQ(ev.victims.size(), 1u);
+  EXPECT_EQ(engine_->metrics().partial_rollbacks +
+                engine_->metrics().total_rollbacks,
+            1u);
+  if (ev.victims[0] == t0.value()) {
+    // T0 rolled back to before locking entity 0: home lock kept.
+    EXPECT_TRUE(
+        engine_->lock_manager().HeldMode(t0.value(), EntityId(2)).has_value());
+    EXPECT_EQ(engine_->metrics().partial_rollbacks, 1u);
+  }
+  ASSERT_TRUE(engine_->RunToCompletion().ok());
+  EXPECT_TRUE(recorder_.IsConflictSerializable());
+}
+
+TEST_F(EngineTest, TotalRestartStrategyAlwaysRollsToZero) {
+  EngineOptions opt;
+  opt.strategy = StrategyKind::kTotalRestart;
+  Init(opt);
+  ASSERT_TRUE(
+      engine_->Spawn(TwoLockProgram(EntityId(0), EntityId(1), 1, "a")).ok());
+  ASSERT_TRUE(
+      engine_->Spawn(TwoLockProgram(EntityId(1), EntityId(0), 2, "b")).ok());
+  ASSERT_TRUE(engine_->RunToCompletion().ok());
+  EXPECT_EQ(engine_->metrics().partial_rollbacks, 0u);
+  EXPECT_GE(engine_->metrics().total_rollbacks, 1u);
+  EXPECT_EQ(store_.Get(EntityId(0)).value().value, 103);
+  EXPECT_EQ(store_.Get(EntityId(1)).value().value, 103);
+}
+
+TEST_F(EngineTest, ExplicitUnlockPublishesEarly) {
+  Init();
+  ProgramBuilder b("unlocker", 1);
+  b.LockExclusive(EntityId(0))
+      .Read(EntityId(0), 0)
+      .Compute(0, Operand::Var(0), ArithOp::kAdd, Operand::Imm(7))
+      .WriteVar(EntityId(0), 0)
+      .Unlock(EntityId(0))
+      .Commit();
+  auto t = engine_->Spawn(Build(b));
+  ASSERT_TRUE(t.ok());
+  // Step up to and including the unlock.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(engine_->StepTxn(t.value()).ok());
+  EXPECT_EQ(store_.Get(EntityId(0)).value().value, 107);
+  EXPECT_EQ(store_.Get(EntityId(0)).value().version, 1u);
+  EXPECT_EQ(engine_->StatusOf(t.value()), TxnStatus::kReady);  // not done yet
+  ASSERT_TRUE(engine_->RunToCompletion().ok());
+}
+
+TEST_F(EngineTest, ImplicitCommitWithoutCommitOp) {
+  Init();
+  ProgramBuilder b("no-commit", 1);
+  b.LockExclusive(EntityId(0)).Read(EntityId(0), 0).WriteVar(EntityId(0), 0);
+  auto t = engine_->Spawn(Build(b));
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(engine_->RunToCompletion().ok());
+  EXPECT_EQ(engine_->StatusOf(t.value()), TxnStatus::kCommitted);
+  EXPECT_EQ(store_.Get(EntityId(0)).value().version, 1u);
+}
+
+TEST_F(EngineTest, UpgradeDeadlockResolved) {
+  // Classic upgrade deadlock: both S-hold entity 0, both upgrade.
+  Init();
+  auto MakeUpgrader = [&](const std::string& name) {
+    ProgramBuilder b(name, 1);
+    b.LockShared(EntityId(0))
+        .Read(EntityId(0), 0)
+        .LockExclusive(EntityId(0))
+        .WriteVar(EntityId(0), 0)
+        .Commit();
+    return Build(b);
+  };
+  auto t0 = engine_->Spawn(MakeUpgrader("u0"));
+  auto t1 = engine_->Spawn(MakeUpgrader("u1"));
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(engine_->StepTxn(t0.value()).ok());  // S(0)
+  ASSERT_TRUE(engine_->StepTxn(t1.value()).ok());  // S(0)
+  ASSERT_TRUE(engine_->StepTxn(t0.value()).ok());  // read
+  ASSERT_TRUE(engine_->StepTxn(t1.value()).ok());  // read
+  auto w0 = engine_->StepTxn(t0.value());          // upgrade waits on t1
+  ASSERT_TRUE(w0.ok());
+  EXPECT_EQ(w0.value(), StepOutcome::kBlocked);
+  auto w1 = engine_->StepTxn(t1.value());  // upgrade -> deadlock
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(engine_->RunToCompletion().ok()) << engine_->DumpState();
+  EXPECT_EQ(engine_->metrics().deadlocks, 1u);
+  EXPECT_EQ(store_.Get(EntityId(0)).value().value, 100);  // writes of v0=100
+  EXPECT_TRUE(recorder_.IsConflictSerializable());
+}
+
+TEST_F(EngineTest, RequesterPolicyRollsBackRequester) {
+  EngineOptions opt;
+  opt.victim_policy = VictimPolicyKind::kRequester;
+  Init(opt);
+  auto ta =
+      engine_->Spawn(TwoLockProgram(EntityId(0), EntityId(1), 1, "a"));
+  auto tb =
+      engine_->Spawn(TwoLockProgram(EntityId(1), EntityId(0), 2, "b"));
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  ASSERT_TRUE(engine_->RunToCompletion().ok());
+  ASSERT_GE(engine_->deadlock_events().size(), 1u);
+  const auto& ev = engine_->deadlock_events()[0];
+  EXPECT_EQ(ev.victims, std::vector<TxnId>{ev.requester});
+  EXPECT_EQ(engine_->metrics().preemptions, 0u);
+}
+
+TEST_F(EngineTest, YoungestAndOldestPolicies) {
+  for (auto kind : {VictimPolicyKind::kYoungest, VictimPolicyKind::kOldest}) {
+    EngineOptions opt;
+    opt.victim_policy = kind;
+    storage::EntityStore store;
+    store.CreateMany(4, 0);
+    Engine engine(&store, opt);
+    auto ta = engine.Spawn(TwoLockProgram(EntityId(0), EntityId(1), 1, "a"));
+    auto tb = engine.Spawn(TwoLockProgram(EntityId(1), EntityId(0), 2, "b"));
+    ASSERT_TRUE(ta.ok());
+    ASSERT_TRUE(tb.ok());
+    ASSERT_TRUE(engine.RunToCompletion().ok());
+    ASSERT_GE(engine.deadlock_events().size(), 1u);
+    const auto& ev = engine.deadlock_events()[0];
+    ASSERT_EQ(ev.victims.size(), 1u);
+    if (kind == VictimPolicyKind::kYoungest) {
+      EXPECT_EQ(ev.victims[0], tb.value());  // entered later
+    } else {
+      EXPECT_EQ(ev.victims[0], ta.value());
+    }
+  }
+}
+
+TEST_F(EngineTest, DeterministicAcrossRuns) {
+  auto RunOnce = [](std::uint64_t seed) {
+    storage::EntityStore store;
+    store.CreateMany(4, 100);
+    EngineOptions opt;
+    opt.scheduler = SchedulerKind::kRandom;
+    opt.seed = seed;
+    Engine engine(&store, opt);
+    for (int i = 0; i < 3; ++i) {
+      auto p = TwoLockProgram(EntityId(i % 2), EntityId((i + 1) % 2), i + 1,
+                              "t" + std::to_string(i));
+      EXPECT_TRUE(engine.Spawn(std::move(p)).ok());
+    }
+    EXPECT_TRUE(engine.RunToCompletion().ok());
+    return std::make_tuple(engine.metrics().ops_executed,
+                           engine.metrics().deadlocks,
+                           engine.metrics().wasted_ops,
+                           store.Get(EntityId(0)).value().value,
+                           store.Get(EntityId(1)).value().value);
+  };
+  EXPECT_EQ(RunOnce(7), RunOnce(7));
+  EXPECT_EQ(RunOnce(8), RunOnce(8));
+}
+
+TEST_F(EngineTest, MetricsCountWastedOps) {
+  EngineOptions opt;
+  opt.victim_policy = VictimPolicyKind::kMinCost;
+  Init(opt);
+  auto ta = engine_->Spawn(TwoLockProgram(EntityId(0), EntityId(1), 1, "a"));
+  auto tb = engine_->Spawn(TwoLockProgram(EntityId(1), EntityId(0), 2, "b"));
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  ASSERT_TRUE(engine_->RunToCompletion().ok());
+  EXPECT_GT(engine_->metrics().wasted_ops, 0u);
+  EXPECT_EQ(engine_->metrics().wasted_ops, engine_->metrics().ideal_wasted_ops)
+      << "MCS rollback is exact";
+}
+
+TEST_F(EngineTest, PreemptionCounterTracksNonRequesterVictims) {
+  EngineOptions opt;
+  opt.victim_policy = VictimPolicyKind::kMinCost;
+  Init(opt);
+  // The requester's rollback is expensive (20 filler ops after its first
+  // lock), the other transaction's is cheap: min-cost preempts the cheap
+  // one even though it did not cause the conflict.
+  ProgramBuilder b0("cheap", 1);
+  b0.LockExclusive(EntityId(0)).LockExclusive(EntityId(1)).Commit();
+  auto t0 = engine_->Spawn(Build(b0));
+
+  ProgramBuilder b1("expensive-requester", 1);
+  b1.LockExclusive(EntityId(1));
+  for (int i = 0; i < 20; ++i) {
+    b1.Compute(0, Operand::Var(0), ArithOp::kAdd, Operand::Imm(1));
+  }
+  b1.LockExclusive(EntityId(0)).Commit();
+  auto t1 = engine_->Spawn(Build(b1));
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+
+  ASSERT_TRUE(engine_->StepTxn(t0.value()).ok());  // t0 locks 0
+  for (int i = 0; i < 21; ++i) {
+    ASSERT_TRUE(engine_->StepTxn(t1.value()).ok());  // t1 locks 1 + work
+  }
+  auto blocked = engine_->StepTxn(t0.value());  // t0 waits on 1 (cost 1)
+  ASSERT_TRUE(blocked.ok());
+  ASSERT_EQ(blocked.value(), StepOutcome::kBlocked);
+  auto outcome = engine_->StepTxn(t1.value());  // t1 waits on 0 -> deadlock
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(engine_->deadlock_events().size(), 1u);
+  const auto& ev = engine_->deadlock_events()[0];
+  EXPECT_EQ(ev.requester, t1.value());
+  ASSERT_EQ(ev.victims.size(), 1u);
+  EXPECT_EQ(ev.victims[0], t0.value());  // cheaper victim preempted
+  EXPECT_EQ(engine_->metrics().preemptions, 1u);
+  EXPECT_EQ(engine_->PreemptionCountOf(t0.value()), 1u);
+  EXPECT_EQ(engine_->PreemptionCountOf(t1.value()), 0u);
+  ASSERT_TRUE(engine_->RunToCompletion().ok());
+}
+
+TEST_F(EngineTest, TimeoutHandlingResolvesDeadlock) {
+  EngineOptions opt;
+  opt.handling = core::DeadlockHandling::kTimeout;
+  opt.wait_timeout_steps = 10;
+  Init(opt);
+  auto ta = engine_->Spawn(TwoLockProgram(EntityId(0), EntityId(1), 1, "a"));
+  auto tb = engine_->Spawn(TwoLockProgram(EntityId(1), EntityId(0), 2, "b"));
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  // RunToCompletion uses StepAny, which expires stale waits.
+  ASSERT_TRUE(engine_->RunToCompletion().ok()) << engine_->DumpState();
+  EXPECT_GE(engine_->metrics().timeouts, 1u);
+  EXPECT_EQ(engine_->metrics().deadlocks, 0u);  // no graph detection ran
+  EXPECT_EQ(store_.Get(EntityId(0)).value().value, 103);
+  EXPECT_EQ(store_.Get(EntityId(1)).value().value, 103);
+  EXPECT_TRUE(recorder_.IsConflictSerializable());
+}
+
+TEST_F(EngineTest, TimeoutDoesNotFireOnShortWaits) {
+  EngineOptions opt;
+  opt.handling = core::DeadlockHandling::kTimeout;
+  opt.wait_timeout_steps = 1000;
+  Init(opt);
+  // Pure queueing without deadlock: nothing should ever time out.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine_->Spawn(IncrementProgram(EntityId(0), 1)).ok());
+  }
+  ASSERT_TRUE(engine_->RunToCompletion().ok());
+  EXPECT_EQ(engine_->metrics().timeouts, 0u);
+  EXPECT_EQ(store_.Get(EntityId(0)).value().value, 103);
+}
+
+TEST_F(EngineTest, PeriodicDetectionResolvesDeadlocks) {
+  EngineOptions opt;
+  opt.detection_mode = core::DetectionMode::kPeriodic;
+  opt.detection_period = 16;
+  Init(opt);
+  auto ta = engine_->Spawn(TwoLockProgram(EntityId(0), EntityId(1), 1, "a"));
+  auto tb = engine_->Spawn(TwoLockProgram(EntityId(1), EntityId(0), 10, "b"));
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  ASSERT_TRUE(engine_->RunToCompletion().ok()) << engine_->DumpState();
+  EXPECT_GE(engine_->metrics().periodic_scans, 1u);
+  EXPECT_EQ(engine_->metrics().deadlocks, 1u);
+  EXPECT_EQ(store_.Get(EntityId(0)).value().value, 111);
+  EXPECT_EQ(store_.Get(EntityId(1)).value().value, 111);
+  EXPECT_TRUE(recorder_.IsConflictSerializable());
+}
+
+TEST_F(EngineTest, PeriodicDetectionCompletesContendedWorkload) {
+  EngineOptions opt;
+  opt.detection_mode = core::DetectionMode::kPeriodic;
+  opt.detection_period = 64;
+  opt.scheduler = SchedulerKind::kRandom;
+  Init(opt);
+  for (int i = 0; i < 6; ++i) {
+    auto p = TwoLockProgram(EntityId(i % 3), EntityId((i + 1) % 3), i,
+                            "t" + std::to_string(i));
+    ASSERT_TRUE(engine_->Spawn(std::move(p)).ok());
+  }
+  ASSERT_TRUE(engine_->RunToCompletion().ok()) << engine_->DumpState();
+  EXPECT_TRUE(recorder_.IsConflictSerializable());
+}
+
+TEST_F(EngineTest, TraceRecordsProtocolEvents) {
+  Init();
+  RingTrace trace(64);
+  engine_->set_trace(&trace);
+  auto ta = engine_->Spawn(TwoLockProgram(EntityId(0), EntityId(1), 1, "a"));
+  auto tb = engine_->Spawn(TwoLockProgram(EntityId(1), EntityId(0), 2, "b"));
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  ASSERT_TRUE(engine_->RunToCompletion().ok());
+  EXPECT_EQ(trace.CountOf(TraceEvent::Kind::kSpawn), 2u);
+  EXPECT_EQ(trace.CountOf(TraceEvent::Kind::kCommit), 2u);
+  EXPECT_EQ(trace.CountOf(TraceEvent::Kind::kDeadlock), 1u);
+  EXPECT_EQ(trace.CountOf(TraceEvent::Kind::kRollback), 1u);
+  EXPECT_GE(trace.CountOf(TraceEvent::Kind::kBlocked), 1u);
+  // Re-granted locks after the rollback: at least 4 grants + re-grants.
+  EXPECT_GE(trace.CountOf(TraceEvent::Kind::kLockGranted), 4u);
+  std::string s = trace.ToString();
+  EXPECT_NE(s.find("deadlock"), std::string::npos);
+  EXPECT_NE(s.find("rollback"), std::string::npos);
+  EXPECT_NE(s.find("commit"), std::string::npos);
+}
+
+TEST(RingTraceTest, CapacityBoundsWindowButNotCounts) {
+  RingTrace trace(2);
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kCommit;
+    ev.step = static_cast<std::uint64_t>(i);
+    ev.txn = TxnId(static_cast<std::uint64_t>(i));
+    trace.OnEvent(ev);
+  }
+  EXPECT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.total_events(), 5u);
+  EXPECT_EQ(trace.CountOf(TraceEvent::Kind::kCommit), 5u);
+  EXPECT_EQ(trace.events().front().step, 3u);  // oldest retained
+}
+
+TEST(TraceEventTest, ToStringFormats) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kRollback;
+  ev.step = 7;
+  ev.txn = TxnId(3);
+  ev.pc = 12;
+  ev.target = 1;
+  ev.cost = 4;
+  EXPECT_EQ(ev.ToString(), "[7] rollback T3 pc=12 -> lock state 1 (cost 4)");
+  TraceEvent g;
+  g.kind = TraceEvent::Kind::kLockGranted;
+  g.txn = TxnId(1);
+  g.entity = EntityId(9);
+  g.pc = 2;
+  g.step = 1;
+  EXPECT_EQ(g.ToString(), "[1] grant T1 pc=2 entity=E9");
+}
+
+TEST(VictimPolicyTest, MinCostPicksCheapest) {
+  std::vector<VictimCandidate> cs(3);
+  cs[0] = {TxnId(1), 10, 2, 2, 7, 7, false};
+  cs[1] = {TxnId(2), 11, 1, 1, 4, 4, true};
+  cs[2] = {TxnId(3), 12, 0, 0, 9, 9, false};
+  EXPECT_EQ(ChooseVictim(VictimPolicyKind::kMinCost, cs, 11).txn, TxnId(2));
+}
+
+TEST(VictimPolicyTest, MinCostTieBreaksBySmallerId) {
+  std::vector<VictimCandidate> cs(2);
+  cs[0] = {TxnId(5), 10, 0, 0, 4, 4, false};
+  cs[1] = {TxnId(3), 11, 0, 0, 4, 4, true};
+  EXPECT_EQ(ChooseVictim(VictimPolicyKind::kMinCost, cs, 11).txn, TxnId(3));
+}
+
+TEST(VictimPolicyTest, OrderedExcludesOlderThanRequester) {
+  // Requester entry = 10. Candidate entry 5 is older: protected.
+  std::vector<VictimCandidate> cs(3);
+  cs[0] = {TxnId(1), 5, 0, 0, 1, 1, false};    // oldest, cheapest — protected
+  cs[1] = {TxnId(2), 10, 0, 0, 6, 6, true};    // the requester
+  cs[2] = {TxnId(3), 15, 0, 0, 4, 4, false};   // younger
+  const auto& pick =
+      ChooseVictim(VictimPolicyKind::kMinCostOrdered, cs, 10);
+  EXPECT_EQ(pick.txn, TxnId(3));
+}
+
+TEST(VictimPolicyTest, OrderedFallsBackToRequester) {
+  std::vector<VictimCandidate> cs(2);
+  cs[0] = {TxnId(1), 5, 0, 0, 1, 1, false};
+  cs[1] = {TxnId(2), 10, 0, 0, 6, 6, true};
+  EXPECT_EQ(ChooseVictim(VictimPolicyKind::kMinCostOrdered, cs, 10).txn,
+            TxnId(2));
+}
+
+TEST(VictimPolicyTest, YoungestOldestRequester) {
+  std::vector<VictimCandidate> cs(3);
+  cs[0] = {TxnId(1), 5, 0, 0, 1, 1, false};
+  cs[1] = {TxnId(2), 10, 0, 0, 6, 6, true};
+  cs[2] = {TxnId(3), 15, 0, 0, 4, 4, false};
+  EXPECT_EQ(ChooseVictim(VictimPolicyKind::kYoungest, cs, 10).txn, TxnId(3));
+  EXPECT_EQ(ChooseVictim(VictimPolicyKind::kOldest, cs, 10).txn, TxnId(1));
+  EXPECT_EQ(ChooseVictim(VictimPolicyKind::kRequester, cs, 10).txn, TxnId(2));
+}
+
+TEST(VictimPolicyTest, KindNames) {
+  EXPECT_EQ(VictimPolicyKindName(VictimPolicyKind::kMinCost), "min-cost");
+  EXPECT_EQ(VictimPolicyKindName(VictimPolicyKind::kMinCostOrdered),
+            "min-cost-ordered");
+  EXPECT_EQ(VictimPolicyKindName(VictimPolicyKind::kYoungest), "youngest");
+  EXPECT_EQ(VictimPolicyKindName(VictimPolicyKind::kOldest), "oldest");
+  EXPECT_EQ(VictimPolicyKindName(VictimPolicyKind::kRequester), "requester");
+}
+
+TEST(VertexCutTest, SingleCycleSinglePick) {
+  // One cycle over members {0,1,2} with costs {5,3,9}: pick {1}.
+  VertexCutResult r = SolveVertexCut({{0, 1, 2}}, {5, 3, 9});
+  EXPECT_EQ(r.members, std::vector<std::size_t>{1});
+  EXPECT_EQ(r.total_cost, 3u);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(VertexCutTest, SharedMemberBeatsTwoPicks) {
+  // Cycles {0,1} and {0,2}; costs 0:5, 1:2, 2:2. {1,2} costs 4 < {0}=5.
+  VertexCutResult r = SolveVertexCut({{0, 1}, {0, 2}}, {5, 2, 2});
+  EXPECT_EQ(r.members, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(r.total_cost, 4u);
+}
+
+TEST(VertexCutTest, HubCheaperThanPair) {
+  VertexCutResult r = SolveVertexCut({{0, 1}, {0, 2}}, {3, 2, 2});
+  EXPECT_EQ(r.members, std::vector<std::size_t>{0});
+  EXPECT_EQ(r.total_cost, 3u);
+}
+
+TEST(VertexCutTest, EmptyCyclesNoVictims) {
+  VertexCutResult r = SolveVertexCut({}, {});
+  EXPECT_TRUE(r.members.empty());
+  EXPECT_EQ(r.total_cost, 0u);
+}
+
+TEST(VertexCutTest, GreedyFallbackStillCovers) {
+  // Force greedy with exact_limit = 1.
+  VertexCutResult r = SolveVertexCut({{0, 1}, {1, 2}, {2, 3}},
+                                     {1, 1, 1, 1}, /*exact_limit=*/1);
+  EXPECT_FALSE(r.exact);
+  // Whatever it picked must hit all three cycles.
+  auto Hit = [&](std::initializer_list<std::size_t> cycle) {
+    for (std::size_t m : r.members) {
+      for (std::size_t c : cycle) {
+        if (m == c) return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(Hit({0, 1}));
+  EXPECT_TRUE(Hit({1, 2}));
+  EXPECT_TRUE(Hit({2, 3}));
+}
+
+TEST(VertexCutTest, ExactBeatsGreedyOnAdversarialInstance) {
+  // Greedy ratio favors member 2 (covers both cycles, cost 3) but the
+  // optimum is {0,1} with cost 2.
+  VertexCutResult exact =
+      SolveVertexCut({{0, 2}, {1, 2}}, {1, 1, 3}, /*exact_limit=*/10);
+  EXPECT_EQ(exact.total_cost, 2u);
+  EXPECT_EQ(exact.members, (std::vector<std::size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace pardb::core

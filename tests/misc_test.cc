@@ -1,0 +1,155 @@
+// Cross-cutting coverage: trace events from prevention schemes, SDG
+// monitoring shutdown, distributed report formatting, and workload naming.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/trace.h"
+#include "dist/distributed.h"
+#include "rollback/sdg_strategy.h"
+#include "sim/driver.h"
+#include "sim/workload.h"
+#include "storage/entity_store.h"
+#include "txn/program.h"
+
+namespace pardb {
+namespace {
+
+using core::DeadlockHandling;
+using core::Engine;
+using core::EngineOptions;
+using core::RingTrace;
+using core::TraceEvent;
+using txn::ProgramBuilder;
+
+txn::Program TwoLock(EntityId e1, EntityId e2, const std::string& name) {
+  ProgramBuilder b(name, 1);
+  b.LockExclusive(e1).LockExclusive(e2).WriteImm(e2, 1).Commit();
+  auto p = b.Build();
+  EXPECT_TRUE(p.ok());
+  return std::move(p).value();
+}
+
+TEST(TraceIntegrationTest, WoundEventEmitted) {
+  storage::EntityStore store;
+  auto ids = store.CreateMany(4, 0);
+  EngineOptions opt;
+  opt.handling = DeadlockHandling::kWoundWait;
+  Engine engine(&store, opt);
+  RingTrace trace;
+  engine.set_trace(&trace);
+  auto t0 = engine.Spawn(TwoLock(ids[0], ids[1], "old"));
+  auto t1 = engine.Spawn(TwoLock(ids[0], ids[2], "young"));
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(engine.StepTxn(t1.value()).ok());   // young locks 0
+  ASSERT_TRUE(engine.StepTxn(t0.value()).ok());   // old wounds young
+  EXPECT_EQ(trace.CountOf(TraceEvent::Kind::kWound), 1u);
+  EXPECT_EQ(trace.CountOf(TraceEvent::Kind::kRollback), 1u);
+  ASSERT_TRUE(engine.RunToCompletion().ok());
+}
+
+TEST(TraceIntegrationTest, DeathAndTimeoutEventsEmitted) {
+  {
+    storage::EntityStore store;
+    auto ids = store.CreateMany(4, 0);
+    EngineOptions opt;
+    opt.handling = DeadlockHandling::kWaitDie;
+    Engine engine(&store, opt);
+    RingTrace trace;
+    engine.set_trace(&trace);
+    auto t0 = engine.Spawn(TwoLock(ids[0], ids[1], "old"));
+    auto t1 = engine.Spawn(TwoLock(ids[0], ids[2], "young"));
+    ASSERT_TRUE(t0.ok());
+    ASSERT_TRUE(t1.ok());
+    ASSERT_TRUE(engine.StepTxn(t0.value()).ok());  // old locks 0
+    ASSERT_TRUE(engine.StepTxn(t1.value()).ok());  // young dies
+    EXPECT_EQ(trace.CountOf(TraceEvent::Kind::kDeath), 1u);
+    ASSERT_TRUE(engine.RunToCompletion().ok());
+  }
+  {
+    storage::EntityStore store;
+    auto ids = store.CreateMany(4, 0);
+    EngineOptions opt;
+    opt.handling = DeadlockHandling::kTimeout;
+    opt.wait_timeout_steps = 4;
+    Engine engine(&store, opt);
+    RingTrace trace;
+    engine.set_trace(&trace);
+    ASSERT_TRUE(engine.Spawn(TwoLock(ids[0], ids[1], "a")).ok());
+    ASSERT_TRUE(engine.Spawn(TwoLock(ids[1], ids[0], "b")).ok());
+    ASSERT_TRUE(engine.RunToCompletion().ok());
+    EXPECT_GE(trace.CountOf(TraceEvent::Kind::kTimeout), 1u);
+  }
+}
+
+TEST(SdgMonitoringTest, LastLockDeclarationStopsRecording) {
+  ProgramBuilder b("p", 1);
+  b.LockExclusive(EntityId(0)).WriteImm(EntityId(0), 1).Commit();
+  auto program = b.Build();
+  ASSERT_TRUE(program.ok());
+  rollback::SdgStrategy s(program.value());
+  s.OnLockGranted(0, EntityId(0), lock::LockMode::kExclusive, 7, false);
+  s.OnLastLockGranted();
+  // Writes after the declaration leave no trace in the graph.
+  s.OnEntityWrite(EntityId(0), 1, 1);
+  s.OnVarWrite(0, 2, 1);
+  EXPECT_EQ(s.sdg().NumRecordedWrites(), 0u);
+  EXPECT_EQ(s.LocalValue(EntityId(0)), std::optional<Value>(1));
+  EXPECT_EQ(s.VarValue(0), 2);
+}
+
+TEST(DistReportTest, ToStringAndFractionBounds) {
+  dist::DistOptions opt;
+  opt.num_sites = 3;
+  opt.workload.num_entities = 6;
+  opt.workload.min_locks = 2;
+  opt.workload.max_locks = 4;
+  opt.concurrency = 5;
+  opt.total_txns = 40;
+  opt.seed = 21;
+  auto rep = dist::RunDistributed(opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_GE(rep->multi_site_fraction, 0.0);
+  EXPECT_LE(rep->multi_site_fraction, 1.0);
+  std::string s = rep->ToString();
+  EXPECT_NE(s.find("committed=40"), std::string::npos);
+  EXPECT_NE(s.find("serializable=yes"), std::string::npos);
+}
+
+TEST(WorkloadNamingTest, PatternAndHandlingNames) {
+  EXPECT_EQ(sim::WritePatternName(sim::WritePattern::kScattered),
+            "scattered");
+  EXPECT_EQ(sim::WritePatternName(sim::WritePattern::kClustered),
+            "clustered");
+  EXPECT_EQ(sim::WritePatternName(sim::WritePattern::kThreePhase),
+            "three-phase");
+  EXPECT_EQ(core::DeadlockHandlingName(DeadlockHandling::kDetection),
+            "detection");
+  EXPECT_EQ(core::DeadlockHandlingName(DeadlockHandling::kWoundWait),
+            "wound-wait");
+  EXPECT_EQ(core::DeadlockHandlingName(DeadlockHandling::kWaitDie),
+            "wait-die");
+  EXPECT_EQ(core::DeadlockHandlingName(DeadlockHandling::kTimeout),
+            "timeout");
+}
+
+TEST(SimReportTest, RollbackCostsPopulated) {
+  sim::SimOptions opt;
+  opt.workload.num_entities = 4;
+  opt.workload.min_locks = 3;
+  opt.workload.max_locks = 4;
+  opt.concurrency = 6;
+  opt.total_txns = 60;
+  opt.seed = 19;
+  opt.check_serializability = false;
+  auto rep = sim::RunSimulation(opt);
+  ASSERT_TRUE(rep.ok());
+  ASSERT_GT(rep->metrics.rollbacks, 0u);
+  EXPECT_EQ(rep->rollback_costs.count, rep->metrics.rollbacks);
+  EXPECT_LE(rep->rollback_costs.p50, rep->rollback_costs.p95);
+  EXPECT_LE(rep->rollback_costs.p95, rep->rollback_costs.max);
+}
+
+}  // namespace
+}  // namespace pardb

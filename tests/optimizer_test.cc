@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "rollback/sdg.h"
+#include "sim/scenario.h"
+#include "sim/workload.h"
+#include "storage/entity_store.h"
+#include "txn/optimizer.h"
+
+namespace pardb::txn {
+namespace {
+
+// Runs a program alone against a fresh store and returns the final state.
+std::vector<std::pair<EntityId, Value>> RunSolo(const Program& p,
+                                                std::uint64_t entities) {
+  storage::EntityStore store;
+  store.CreateMany(entities, 100);
+  core::Engine engine(&store, core::EngineOptions{});
+  auto t = engine.Spawn(p);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_TRUE(engine.RunToCompletion().ok());
+  return store.Snapshot();
+}
+
+TEST(ClusterWritesTest, Figure4BecomesFullyWellDefined) {
+  storage::EntityStore store;
+  auto ids = store.CreateMany(6);
+  Program scattered = sim::MakeFigure4Program(ids, false);
+  ASSERT_GT(scattered.WriteSpreadScore(), 0u);
+
+  auto clustered = ClusterWrites(scattered);
+  ASSERT_TRUE(clustered.ok()) << clustered.status().ToString();
+  EXPECT_EQ(clustered->WriteSpreadScore(), 0u);
+
+  auto sdg = rollback::BuildSdgForProgram(clustered.value());
+  EXPECT_EQ(sdg.WellDefinedStates().size(), sdg.NumLockStates())
+      << "every lock state should be well-defined after clustering";
+
+  // Same operation multiset.
+  for (OpCode code : {OpCode::kLockExclusive, OpCode::kLockShared,
+                      OpCode::kRead, OpCode::kWrite, OpCode::kCompute,
+                      OpCode::kUnlock, OpCode::kCommit}) {
+    EXPECT_EQ(clustered->CountOps(code), scattered.CountOps(code));
+  }
+
+  // Identical solo semantics.
+  EXPECT_EQ(RunSolo(scattered, 6), RunSolo(clustered.value(), 6));
+}
+
+TEST(ClusterWritesTest, PreservesLockAcquisitionOrder) {
+  storage::EntityStore store;
+  auto ids = store.CreateMany(6);
+  Program p = sim::MakeFigure4Program(ids, false);
+  auto c = ClusterWrites(p);
+  ASSERT_TRUE(c.ok());
+  std::vector<EntityId> original, transformed;
+  for (const Op& op : p.ops()) {
+    if (op.code == OpCode::kLockExclusive || op.code == OpCode::kLockShared) {
+      original.push_back(op.entity);
+    }
+  }
+  for (const Op& op : c->ops()) {
+    if (op.code == OpCode::kLockExclusive || op.code == OpCode::kLockShared) {
+      transformed.push_back(op.entity);
+    }
+  }
+  EXPECT_EQ(original, transformed);
+}
+
+TEST(ClusterWritesTest, RandomProgramsKeepSemanticsAndImprove) {
+  sim::WorkloadOptions opt;
+  opt.num_entities = 10;
+  opt.min_locks = 3;
+  opt.max_locks = 6;
+  opt.ops_per_entity = 3;
+  opt.pattern = sim::WritePattern::kScattered;
+  opt.shared_fraction = 0.3;
+  sim::WorkloadGenerator gen(opt, 31);
+  std::uint64_t improved = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto p = gen.Next();
+    ASSERT_TRUE(p.ok());
+    auto c = ClusterWrites(p.value());
+    ASSERT_TRUE(c.ok()) << c.status().ToString() << "\n"
+                        << p.value().ToString();
+    EXPECT_LE(c->WriteSpreadScore(), p.value().WriteSpreadScore());
+    if (c->WriteSpreadScore() < p.value().WriteSpreadScore()) ++improved;
+    EXPECT_EQ(RunSolo(p.value(), opt.num_entities),
+              RunSolo(c.value(), opt.num_entities))
+        << p.value().ToString() << "\nvs\n"
+        << c->ToString();
+    // Well-defined states never decrease.
+    auto before = rollback::BuildSdgForProgram(p.value());
+    auto after = rollback::BuildSdgForProgram(c.value());
+    EXPECT_GE(after.WellDefinedStates().size(),
+              before.WellDefinedStates().size());
+  }
+  EXPECT_GT(improved, 30u);  // the scattered pattern leaves plenty to fix
+}
+
+TEST(ClusterWritesTest, HandlesExplicitUnlocksAndCommit) {
+  storage::EntityStore store;
+  auto ids = store.CreateMany(3);
+  ProgramBuilder b("u", 2);
+  b.LockExclusive(ids[0])
+      .Read(ids[0], 0)
+      .LockExclusive(ids[1])
+      .WriteVar(ids[0], 0)
+      .Read(ids[1], 1)
+      .Unlock(ids[0])
+      .WriteVar(ids[1], 1)
+      .Unlock(ids[1])
+      .Commit();
+  auto p = b.Build();
+  ASSERT_TRUE(p.ok());
+  auto c = ClusterWrites(p.value());
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->ops().back().code, OpCode::kCommit);
+  EXPECT_EQ(RunSolo(p.value(), 3), RunSolo(c.value(), 3));
+}
+
+TEST(ClusterWritesTest, IdempotentOnClusteredInput) {
+  storage::EntityStore store;
+  auto ids = store.CreateMany(6);
+  Program p = sim::MakeFigure5Program(ids);
+  ASSERT_EQ(p.WriteSpreadScore(), 0u);
+  auto c = ClusterWrites(p);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->WriteSpreadScore(), 0u);
+  EXPECT_EQ(RunSolo(p, 6), RunSolo(c.value(), 6));
+}
+
+TEST(ClusterWritesTest, EmptyProgram) {
+  ProgramBuilder b("empty", 0);
+  auto p = b.Build();
+  ASSERT_TRUE(p.ok());
+  auto c = ClusterWrites(p.value());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), 0u);
+}
+
+}  // namespace
+}  // namespace pardb::txn

@@ -1,0 +1,316 @@
+// Property-based tests over random workloads: the paper's §2 claim that
+// partial rollback never compromises two-phase locking's serializability,
+// the Theorem 2 ordering invariant, the Theorem 1 forest invariant and the
+// Theorem 3 space bound, all checked across every strategy/policy
+// combination.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/history.h"
+#include "core/engine.h"
+#include "sim/driver.h"
+#include "sim/workload.h"
+#include "storage/entity_store.h"
+
+namespace pardb {
+namespace {
+
+using core::Engine;
+using core::EngineOptions;
+using core::SchedulerKind;
+using core::VictimPolicyKind;
+using rollback::StrategyKind;
+using sim::WorkloadGenerator;
+using sim::WorkloadOptions;
+
+struct Config {
+  StrategyKind strategy;
+  VictimPolicyKind policy;
+  core::DeadlockHandling handling = core::DeadlockHandling::kDetection;
+};
+
+std::vector<Config> AllConfigs() {
+  std::vector<Config> out;
+  // Detection with every victim policy.
+  for (auto s : {StrategyKind::kTotalRestart, StrategyKind::kMcs,
+                 StrategyKind::kSdg}) {
+    for (auto p :
+         {VictimPolicyKind::kMinCost, VictimPolicyKind::kMinCostOrdered,
+          VictimPolicyKind::kYoungest, VictimPolicyKind::kOldest,
+          VictimPolicyKind::kRequester}) {
+      out.push_back({s, p});
+    }
+  }
+  // Prevention/timeout schemes with every rollback strategy.
+  for (auto s : {StrategyKind::kTotalRestart, StrategyKind::kMcs,
+                 StrategyKind::kSdg}) {
+    for (auto h :
+         {core::DeadlockHandling::kWoundWait, core::DeadlockHandling::kWaitDie,
+          core::DeadlockHandling::kTimeout}) {
+      out.push_back({s, VictimPolicyKind::kMinCostOrdered, h});
+    }
+  }
+  return out;
+}
+
+class PropertyTest : public ::testing::TestWithParam<Config> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, PropertyTest, ::testing::ValuesIn(AllConfigs()),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      std::string name(core::DeadlockHandlingName(info.param.handling));
+      name += "_";
+      name += rollback::StrategyKindName(info.param.strategy);
+      if (info.param.handling == core::DeadlockHandling::kDetection) {
+        name += "_";
+        name += core::VictimPolicyKindName(info.param.policy);
+      }
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST_P(PropertyTest, ContendedRunsStaySerializable) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::SimOptions opt;
+    opt.engine.strategy = GetParam().strategy;
+    opt.engine.victim_policy = GetParam().policy;
+    opt.engine.handling = GetParam().handling;
+    opt.engine.scheduler = SchedulerKind::kRandom;
+    opt.engine.seed = seed;
+    opt.workload.num_entities = 5;  // heavy contention
+    opt.workload.min_locks = 2;
+    opt.workload.max_locks = 4;
+    opt.workload.ops_per_entity = 2;
+    opt.concurrency = 5;
+    opt.total_txns = 50;
+    opt.max_steps = 2'000'000;
+    opt.seed = seed * 100;
+    auto report = sim::RunSimulation(opt);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    if (GetParam().policy == VictimPolicyKind::kMinCost &&
+        GetParam().handling == core::DeadlockHandling::kDetection) {
+      // Unconstrained min-cost may livelock — the paper's potentially
+      // infinite mutual preemption (Figure 2). Whatever committed must
+      // still be serializable.
+      EXPECT_TRUE(report->serializable) << report->ToString();
+    } else {
+      EXPECT_TRUE(report->completed) << report->ToString();
+      EXPECT_EQ(report->committed, 50u);
+      EXPECT_TRUE(report->serializable)
+          << "seed " << seed << ": " << report->ToString();
+    }
+    EXPECT_LE(report->metrics.ideal_wasted_ops, report->metrics.wasted_ops);
+  }
+}
+
+TEST_P(PropertyTest, SharedLockRunsStaySerializable) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    sim::SimOptions opt;
+    opt.engine.strategy = GetParam().strategy;
+    opt.engine.victim_policy = GetParam().policy;
+    opt.engine.handling = GetParam().handling;
+    opt.engine.scheduler = SchedulerKind::kRandom;
+    opt.engine.seed = seed;
+    opt.workload.num_entities = 6;
+    opt.workload.min_locks = 2;
+    opt.workload.max_locks = 4;
+    opt.workload.shared_fraction = 0.5;
+    opt.concurrency = 5;
+    opt.total_txns = 40;
+    opt.max_steps = 2'000'000;
+    opt.seed = seed * 31;
+    auto report = sim::RunSimulation(opt);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->serializable) << report->ToString();
+    if (GetParam().policy != VictimPolicyKind::kMinCost ||
+        GetParam().handling != core::DeadlockHandling::kDetection) {
+      EXPECT_TRUE(report->completed) << report->ToString();
+    }
+  }
+}
+
+// The concurrent outcome must equal SOME serial execution of the same
+// programs (view of final database state) — stronger than the precedence
+// check, verified by brute force over all permutations of 3 transactions.
+TEST_P(PropertyTest, FinalStateMatchesSomeSerialOrder) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    WorkloadOptions wopt;
+    wopt.num_entities = 4;
+    wopt.min_locks = 2;
+    wopt.max_locks = 3;
+    wopt.ops_per_entity = 2;
+    WorkloadGenerator gen(wopt, seed);
+    std::vector<txn::Program> programs;
+    for (int i = 0; i < 3; ++i) {
+      auto p = gen.Next();
+      ASSERT_TRUE(p.ok());
+      programs.push_back(std::move(p).value());
+    }
+
+    // Concurrent run.
+    storage::EntityStore store;
+    store.CreateMany(wopt.num_entities, 100);
+    EngineOptions eopt;
+    eopt.strategy = GetParam().strategy;
+    eopt.victim_policy = GetParam().policy;
+    eopt.handling = GetParam().handling;
+    eopt.scheduler = SchedulerKind::kRandom;
+    eopt.seed = seed;
+    Engine engine(&store, eopt);
+    for (const auto& p : programs) {
+      ASSERT_TRUE(engine.Spawn(p).ok());
+    }
+    Status run = engine.RunToCompletion(2'000'000);
+    if (!run.ok() && run.code() == StatusCode::kResourceExhausted &&
+        GetParam().policy == VictimPolicyKind::kMinCost &&
+        GetParam().handling == core::DeadlockHandling::kDetection) {
+      continue;  // documented min-cost livelock; nothing to compare
+    }
+    ASSERT_TRUE(run.ok()) << run << "\n" << engine.DumpState();
+    auto concurrent = store.Snapshot();
+
+    // All serial orders.
+    std::vector<int> perm{0, 1, 2};
+    bool matched = false;
+    do {
+      storage::EntityStore serial_store;
+      serial_store.CreateMany(wopt.num_entities, 100);
+      Engine serial(&serial_store, EngineOptions{});
+      bool ok = true;
+      for (int i : perm) {
+        auto t = serial.Spawn(programs[i]);
+        ok = ok && t.ok() && serial.RunToCompletion().ok();
+      }
+      ASSERT_TRUE(ok);
+      if (serial_store.Snapshot() == concurrent) {
+        matched = true;
+        break;
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_TRUE(matched) << "no serial order matches, seed " << seed;
+  }
+}
+
+// Theorem 2's invariant under the ordered policy: a preempted victim is
+// always younger (later entry) than the requester that caused the
+// preemption.
+TEST(OrderedPolicyPropertyTest, VictimsNeverOlderThanRequester) {
+  sim::SimOptions opt;
+  opt.engine.victim_policy = VictimPolicyKind::kMinCostOrdered;
+  opt.engine.scheduler = SchedulerKind::kRandom;
+  opt.workload.num_entities = 5;
+  opt.workload.min_locks = 2;
+  opt.workload.max_locks = 4;
+  opt.concurrency = 6;
+  opt.total_txns = 80;
+  opt.seed = 3;
+
+  storage::EntityStore store;
+  store.CreateMany(opt.workload.num_entities, 100);
+  Engine engine(&store, opt.engine);
+  WorkloadGenerator gen(opt.workload, opt.seed);
+  std::uint64_t spawned = 0;
+  while (engine.metrics().commits < opt.total_txns) {
+    while (spawned < opt.total_txns &&
+           spawned - engine.metrics().commits < opt.concurrency) {
+      auto p = gen.Next();
+      ASSERT_TRUE(p.ok());
+      ASSERT_TRUE(engine.Spawn(std::move(p).value()).ok());
+      ++spawned;
+    }
+    auto stepped = engine.StepAny();
+    ASSERT_TRUE(stepped.ok());
+    ASSERT_TRUE(stepped.value().has_value());
+  }
+  for (const auto& ev : engine.deadlock_events()) {
+    for (TxnId v : ev.victims) {
+      if (v == ev.requester) continue;
+      EXPECT_GT(engine.EntryOf(v), engine.EntryOf(ev.requester))
+          << "older transaction preempted under the ordered policy";
+    }
+  }
+}
+
+// Theorem 1: with exclusive locks only, the waits-for graph is a forest at
+// every step (checked between scheduler steps on a contended workload).
+// Uses the paper's own grant model — with holder-only arcs a waiter waits
+// for exactly one exclusive holder.
+TEST(ForestPropertyTest, XOnlyGraphAlwaysForest) {
+  storage::EntityStore store;
+  store.CreateMany(5, 100);
+  EngineOptions eopt;
+  eopt.scheduler = SchedulerKind::kRandom;
+  eopt.seed = 5;
+  eopt.lock_options.fifo_fairness = false;
+  eopt.lock_options.wait_edge_policy = lock::WaitEdgePolicy::kHoldersOnly;
+  Engine engine(&store, eopt);
+  WorkloadOptions wopt;
+  wopt.num_entities = 5;
+  wopt.min_locks = 2;
+  wopt.max_locks = 4;
+  WorkloadGenerator gen(wopt, 21);
+  for (int i = 0; i < 8; ++i) {
+    auto p = gen.Next();
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE(engine.Spawn(std::move(p).value()).ok());
+  }
+  int guard = 200000;
+  while (!engine.AllCommitted() && guard-- > 0) {
+    auto stepped = engine.StepAny();
+    ASSERT_TRUE(stepped.ok());
+    ASSERT_TRUE(stepped.value().has_value());
+    EXPECT_TRUE(engine.waits_for().IsForest())
+        << engine.waits_for().ToDot();
+  }
+  EXPECT_TRUE(engine.AllCommitted());
+}
+
+// Theorem 3: the engine-observed peak MCS copies never exceed n(n+1)/2
+// entity copies and n*|L| variable copies for n = max locks per txn.
+TEST(McsSpacePropertyTest, EngineRunsRespectTheorem3Bound) {
+  sim::SimOptions opt;
+  opt.engine.strategy = StrategyKind::kMcs;
+  opt.workload.num_entities = 8;
+  opt.workload.min_locks = 2;
+  opt.workload.max_locks = 6;
+  opt.workload.ops_per_entity = 3;
+  opt.workload.pattern = sim::WritePattern::kScattered;
+  opt.concurrency = 5;
+  opt.total_txns = 60;
+  opt.seed = 7;
+  auto report = sim::RunSimulation(opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::size_t n = opt.workload.max_locks;
+  EXPECT_LE(report->metrics.max_entity_copies, n * (n + 1) / 2);
+  // |L| = one var per locked entity in the generator.
+  EXPECT_LE(report->metrics.max_var_copies, n * opt.workload.max_locks);
+}
+
+// Strategy comparison on identical workloads: single-copy strategies can
+// only lose MORE progress than MCS's exact restoration would, never less
+// (per-event; aggregate across a run is measured in the benches).
+TEST(StrategyComparisonTest, ActualCostNeverBelowIdeal) {
+  for (auto strategy :
+       {StrategyKind::kTotalRestart, StrategyKind::kMcs, StrategyKind::kSdg}) {
+    sim::SimOptions opt;
+    opt.engine.strategy = strategy;
+    opt.workload.num_entities = 5;
+    opt.workload.min_locks = 2;
+    opt.workload.max_locks = 4;
+    opt.concurrency = 5;
+    opt.total_txns = 40;
+    opt.seed = 23;
+    auto report = sim::RunSimulation(opt);
+    ASSERT_TRUE(report.ok());
+    EXPECT_GE(report->metrics.wasted_ops, report->metrics.ideal_wasted_ops);
+    if (strategy == StrategyKind::kMcs) {
+      EXPECT_EQ(report->metrics.wasted_ops, report->metrics.ideal_wasted_ops);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pardb

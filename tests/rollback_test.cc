@@ -1,0 +1,427 @@
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "rollback/mcs_strategy.h"
+#include "rollback/sdg_strategy.h"
+#include "rollback/strategy.h"
+#include "rollback/total_restart.h"
+#include "txn/program.h"
+
+namespace pardb::rollback {
+namespace {
+
+using lock::LockMode;
+using txn::Program;
+using txn::ProgramBuilder;
+
+Program TwoVarProgram() {
+  // A placeholder program: strategies only use num_vars/initial_vars.
+  ProgramBuilder b("p", 2);
+  b.InitVar(0, 10).InitVar(1, 20);
+  b.LockExclusive(EntityId(0));
+  b.Commit();
+  auto p = b.Build();
+  EXPECT_TRUE(p.ok());
+  return std::move(p).value();
+}
+
+// ---------------------------------------------------------------------------
+// Reference harness: drives a strategy through a scripted execution while
+// snapshotting the ground-truth values at every lock state, then checks
+// restoration against the snapshots.
+// ---------------------------------------------------------------------------
+
+struct RefSnapshot {
+  std::vector<Value> vars;
+  std::map<EntityId, Value> entity_values;  // X-held entities only
+  std::vector<EntityId> held;               // in lock order
+};
+
+class Harness {
+ public:
+  explicit Harness(StrategyKind kind) : program_(MakeProgram()) {
+    strategy_ = MakeStrategy(kind, program_);
+    vars_ = program_.initial_vars();
+    // Lock state 0 snapshot (before the first request).
+    SnapshotNow();
+  }
+
+  static Program MakeProgram() {
+    ProgramBuilder b("harness", 3);
+    b.InitVar(0, 1).InitVar(1, 2).InitVar(2, 3);
+    b.LockExclusive(EntityId(0));
+    b.Commit();
+    auto p = b.Build();
+    EXPECT_TRUE(p.ok());
+    return std::move(p).value();
+  }
+
+  void Lock(EntityId e, Value global) {
+    const LockIndex ls = lock_count_;
+    strategy_->OnLockGranted(ls, e, LockMode::kExclusive, global, false);
+    entities_[e] = global;
+    held_.push_back(e);
+    ++lock_count_;
+    SnapshotNow();  // snapshot for the *next* lock state happens before the
+                    // next request; see Advance().
+  }
+
+  // Writes happen at the current lock index (= lock_count_).
+  void WriteEntity(EntityId e, Value v) {
+    strategy_->OnEntityWrite(e, v, lock_count_);
+    entities_[e] = v;
+    snapshots_.back() = CurrentState();  // lock state includes these writes
+  }
+  void WriteVar(txn::VarId var, Value v) {
+    strategy_->OnVarWrite(var, v, lock_count_);
+    vars_[var] = v;
+    snapshots_.back() = CurrentState();
+  }
+
+  // Ground truth at lock state q.
+  const RefSnapshot& Snapshot(LockIndex q) const { return snapshots_[q]; }
+
+  RollbackStrategy& strategy() { return *strategy_; }
+  LockIndex lock_count() const { return lock_count_; }
+
+  // Verifies every strategy-visible value equals the reference at state q.
+  void ExpectMatches(LockIndex q) {
+    const RefSnapshot& ref = Snapshot(q);
+    for (txn::VarId v = 0; v < ref.vars.size(); ++v) {
+      EXPECT_EQ(strategy_->VarValue(v), ref.vars[v]) << "var " << v
+                                                     << " at state " << q;
+    }
+    for (const auto& [e, val] : ref.entity_values) {
+      auto local = strategy_->LocalValue(e);
+      ASSERT_TRUE(local.has_value()) << "entity " << e << " at state " << q;
+      EXPECT_EQ(*local, val) << "entity " << e << " at state " << q;
+    }
+  }
+
+ private:
+  RefSnapshot CurrentState() const {
+    RefSnapshot s;
+    s.vars = vars_;
+    s.entity_values = entities_;
+    s.held = held_;
+    return s;
+  }
+  void SnapshotNow() { snapshots_.push_back(CurrentState()); }
+
+  Program program_;
+  std::unique_ptr<RollbackStrategy> strategy_;
+  std::vector<Value> vars_;
+  std::map<EntityId, Value> entities_;
+  std::vector<EntityId> held_;
+  LockIndex lock_count_ = 0;
+  std::vector<RefSnapshot> snapshots_;  // snapshots_[q] = lock state q
+};
+
+// ---------------------------------------------------------------------------
+// TotalRestartStrategy
+// ---------------------------------------------------------------------------
+
+TEST(TotalRestartTest, OnlyStateZeroRestorable) {
+  Program p = TwoVarProgram();
+  TotalRestartStrategy s(p);
+  EXPECT_EQ(s.LatestRestorableAtOrBefore(5), 0u);
+  EXPECT_EQ(s.LatestRestorableAtOrBefore(0), 0u);
+}
+
+TEST(TotalRestartTest, RestoreResetsVarsAndDropsEntities) {
+  Program p = TwoVarProgram();
+  TotalRestartStrategy s(p);
+  s.OnLockGranted(0, EntityId(1), LockMode::kExclusive, 100, false);
+  s.OnEntityWrite(EntityId(1), 111, 1);
+  s.OnVarWrite(0, 99, 1);
+  EXPECT_EQ(s.VarValue(0), 99);
+  EXPECT_EQ(s.LocalValue(EntityId(1)), std::optional<Value>(111));
+
+  EXPECT_EQ(s.RestoreTo(3).status().code(), StatusCode::kInvalidArgument);
+  auto r = s.RestoreTo(0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().dropped_entities, std::vector<EntityId>{EntityId(1)});
+  EXPECT_EQ(s.VarValue(0), 10);  // initial
+  EXPECT_EQ(s.VarValue(1), 20);
+  EXPECT_FALSE(s.LocalValue(EntityId(1)).has_value());
+}
+
+TEST(TotalRestartTest, UnlockPublishesFinalValueAndForbidsRollback) {
+  Program p = TwoVarProgram();
+  TotalRestartStrategy s(p);
+  s.OnLockGranted(0, EntityId(1), LockMode::kExclusive, 100, false);
+  s.OnEntityWrite(EntityId(1), 123, 1);
+  EXPECT_EQ(s.OnUnlock(EntityId(1)), std::optional<Value>(123));
+  EXPECT_EQ(s.RestoreTo(0).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TotalRestartTest, SharedLockPublishesNothing) {
+  Program p = TwoVarProgram();
+  TotalRestartStrategy s(p);
+  s.OnLockGranted(0, EntityId(1), LockMode::kShared, 100, false);
+  EXPECT_FALSE(s.LocalValue(EntityId(1)).has_value());
+  EXPECT_FALSE(s.OnUnlock(EntityId(1)).has_value());
+}
+
+TEST(TotalRestartTest, SpaceIsOneCopyPerExclusiveEntity) {
+  Program p = TwoVarProgram();
+  TotalRestartStrategy s(p);
+  s.OnLockGranted(0, EntityId(1), LockMode::kExclusive, 1, false);
+  s.OnLockGranted(1, EntityId(2), LockMode::kExclusive, 2, false);
+  s.OnLockGranted(2, EntityId(3), LockMode::kShared, 3, false);
+  s.OnEntityWrite(EntityId(1), 7, 1);
+  s.OnEntityWrite(EntityId(1), 8, 2);
+  SpaceStats stats = s.Space();
+  EXPECT_EQ(stats.entity_copies, 2u);  // writes do not add copies
+  EXPECT_EQ(stats.var_copies, 2u);     // saved initial vars
+}
+
+// ---------------------------------------------------------------------------
+// McsStrategy
+// ---------------------------------------------------------------------------
+
+TEST(McsTest, EveryLockStateRestorable) {
+  Harness h(StrategyKind::kMcs);
+  h.Lock(EntityId(0), 100);  // lock state 0
+  h.WriteEntity(EntityId(0), 101);
+  h.WriteVar(0, 11);
+  h.Lock(EntityId(1), 200);  // lock state 1
+  h.WriteEntity(EntityId(0), 102);
+  h.WriteEntity(EntityId(1), 201);
+  h.Lock(EntityId(2), 300);  // lock state 2
+  h.WriteVar(1, 22);
+  h.WriteEntity(EntityId(2), 301);
+
+  for (LockIndex q = 0; q <= 3; ++q) {
+    EXPECT_EQ(h.strategy().LatestRestorableAtOrBefore(q), q);
+  }
+
+  // Restore to lock state 2: entity 2's lock (request 3, lock state 2) is
+  // undone; writes after lock state 2 vanish.
+  auto r = h.strategy().RestoreTo(2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().dropped_entities, std::vector<EntityId>{EntityId(2)});
+  h.ExpectMatches(2);
+
+  // Restore further back to state 1.
+  auto r1 = h.strategy().RestoreTo(1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().dropped_entities, std::vector<EntityId>{EntityId(1)});
+  h.ExpectMatches(1);
+
+  // And to state 0 (total).
+  auto r0 = h.strategy().RestoreTo(0);
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(r0.value().dropped_entities, std::vector<EntityId>{EntityId(0)});
+  h.ExpectMatches(0);
+}
+
+TEST(McsTest, SameLockIndexWritesOverwriteTop) {
+  Harness h(StrategyKind::kMcs);
+  h.Lock(EntityId(0), 100);
+  auto* mcs = dynamic_cast<McsStrategy*>(&h.strategy());
+  ASSERT_NE(mcs, nullptr);
+  EXPECT_EQ(mcs->StackDepth(EntityId(0)), 1u);  // saved global value
+  h.WriteEntity(EntityId(0), 101);
+  EXPECT_EQ(mcs->StackDepth(EntityId(0)), 2u);
+  h.WriteEntity(EntityId(0), 102);  // same lock index: overwrite, no push
+  EXPECT_EQ(mcs->StackDepth(EntityId(0)), 2u);
+  h.Lock(EntityId(1), 200);
+  h.WriteEntity(EntityId(0), 103);  // new lock index: push
+  EXPECT_EQ(mcs->StackDepth(EntityId(0)), 3u);
+}
+
+TEST(McsTest, UnlockPublishesTopOfStack) {
+  Harness h(StrategyKind::kMcs);
+  h.Lock(EntityId(0), 100);
+  h.WriteEntity(EntityId(0), 150);
+  EXPECT_EQ(h.strategy().OnUnlock(EntityId(0)), std::optional<Value>(150));
+  EXPECT_EQ(h.strategy().RestoreTo(0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(McsTest, RandomizedRestorationMatchesReference) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    Harness h(StrategyKind::kMcs);
+    std::vector<EntityId> locked;
+    const int locks = 2 + static_cast<int>(rng.Uniform(6));
+    for (int i = 0; i < locks; ++i) {
+      EntityId e(static_cast<std::uint64_t>(i));
+      h.Lock(e, static_cast<Value>(rng.Uniform(1000)));
+      locked.push_back(e);
+      const int writes = static_cast<int>(rng.Uniform(4));
+      for (int w = 0; w < writes; ++w) {
+        EntityId target = locked[rng.Uniform(locked.size())];
+        h.WriteEntity(target, static_cast<Value>(rng.Uniform(1000)));
+        if (rng.Bernoulli(0.5)) {
+          h.WriteVar(static_cast<txn::VarId>(rng.Uniform(3)),
+                     static_cast<Value>(rng.Uniform(1000)));
+        }
+      }
+    }
+    const LockIndex target = rng.Uniform(h.lock_count() + 1);
+    auto r = h.strategy().RestoreTo(target);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    h.ExpectMatches(target);
+  }
+}
+
+TEST(McsTest, Theorem3Bound) {
+  // n(n+1)/2 entity copies with monitoring stopped at the last lock: write
+  // every held entity between every pair of lock requests — the worst case.
+  constexpr int kN = 12;
+  Harness h(StrategyKind::kMcs);
+  for (int i = 0; i < kN; ++i) {
+    h.Lock(EntityId(static_cast<std::uint64_t>(i)), i);
+    if (i == kN - 1) h.strategy().OnLastLockGranted();
+    for (int j = 0; j <= i; ++j) {
+      h.WriteEntity(EntityId(static_cast<std::uint64_t>(j)), 100 * i + j);
+    }
+  }
+  SpaceStats stats = h.strategy().Space();
+  // Entity j's stack: saved global + one element per later lock state.
+  EXPECT_LE(stats.entity_copies, static_cast<std::size_t>(kN * (kN + 1) / 2));
+  // The pattern above attains the bound exactly.
+  EXPECT_EQ(stats.entity_copies, static_cast<std::size_t>(kN * (kN + 1) / 2));
+  // Var copies bounded by n * |L| (3 vars, untouched here).
+  EXPECT_LE(stats.var_copies, static_cast<std::size_t>(kN * 3));
+}
+
+TEST(McsTest, MonitoringStopSavesCopies) {
+  Harness with(StrategyKind::kMcs);
+  with.Lock(EntityId(0), 1);
+  with.Lock(EntityId(1), 2);
+  with.strategy().OnLastLockGranted();
+  with.WriteEntity(EntityId(0), 5);
+  with.WriteEntity(EntityId(0), 6);
+  auto* mcs = dynamic_cast<McsStrategy*>(&with.strategy());
+  EXPECT_EQ(mcs->StackDepth(EntityId(0)), 1u);  // only the current value
+  EXPECT_EQ(*with.strategy().LocalValue(EntityId(0)), 6);
+}
+
+// ---------------------------------------------------------------------------
+// SdgStrategy
+// ---------------------------------------------------------------------------
+
+TEST(SdgStrategyTest, ScatteredWritesCoarsenRollback) {
+  Harness h(StrategyKind::kSdg);
+  h.Lock(EntityId(0), 100);   // state 0
+  h.WriteEntity(EntityId(0), 101);  // first write of E0 @1, u=0
+  h.Lock(EntityId(1), 200);   // state 1
+  h.Lock(EntityId(2), 300);   // state 2
+  h.WriteEntity(EntityId(0), 102);  // E0 again @3: destroys states 1,2
+
+  EXPECT_EQ(h.strategy().LatestRestorableAtOrBefore(3), 3u);
+  EXPECT_EQ(h.strategy().LatestRestorableAtOrBefore(2), 0u);  // 1,2 undefined
+  EXPECT_EQ(h.strategy().LatestRestorableAtOrBefore(1), 0u);
+  EXPECT_EQ(h.strategy().LatestRestorableAtOrBefore(0), 0u);
+
+  EXPECT_EQ(h.strategy().RestoreTo(2).status().code(),
+            StatusCode::kInvalidArgument);
+  auto r = h.strategy().RestoreTo(0);
+  ASSERT_TRUE(r.ok());
+  h.ExpectMatches(0);
+}
+
+TEST(SdgStrategyTest, ClusteredWritesKeepAllStates) {
+  Harness h(StrategyKind::kSdg);
+  h.Lock(EntityId(0), 100);
+  h.WriteEntity(EntityId(0), 101);
+  h.WriteEntity(EntityId(0), 102);  // same lock index: no straddle
+  h.Lock(EntityId(1), 200);
+  h.WriteEntity(EntityId(1), 201);
+  h.Lock(EntityId(2), 300);
+  for (LockIndex q = 0; q <= 3; ++q) {
+    EXPECT_EQ(h.strategy().LatestRestorableAtOrBefore(q), q) << q;
+  }
+  auto r = h.strategy().RestoreTo(2);
+  ASSERT_TRUE(r.ok());
+  h.ExpectMatches(2);
+  auto r1 = h.strategy().RestoreTo(1);
+  ASSERT_TRUE(r1.ok());
+  h.ExpectMatches(1);
+}
+
+TEST(SdgStrategyTest, KeptEntityRevertsToGlobalWhenAllWritesUndone) {
+  Harness h(StrategyKind::kSdg);
+  h.Lock(EntityId(0), 100);  // state 0
+  h.Lock(EntityId(1), 200);  // state 1
+  h.WriteEntity(EntityId(0), 111);  // first write @2 — u=1, no straddle
+  auto r = h.strategy().RestoreTo(1);
+  ASSERT_TRUE(r.ok());
+  // E0 still locked (lock state 0 < 1) but its write is undone: the single
+  // copy reverts to the global value.
+  EXPECT_EQ(h.strategy().LocalValue(EntityId(0)), std::optional<Value>(100));
+  h.ExpectMatches(1);
+}
+
+TEST(SdgStrategyTest, VarWritesDestroyStatesToo) {
+  Harness h(StrategyKind::kSdg);
+  h.Lock(EntityId(0), 100);  // state 0
+  h.WriteVar(0, 5);          // first var write @1, u=0
+  h.Lock(EntityId(1), 200);  // state 1
+  h.Lock(EntityId(2), 300);  // state 2
+  h.WriteVar(0, 6);          // @3: destroys 1,2
+  EXPECT_EQ(h.strategy().LatestRestorableAtOrBefore(2), 0u);
+  auto r = h.strategy().RestoreTo(0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(h.strategy().VarValue(0), 1);  // initial value from harness
+  h.ExpectMatches(0);
+}
+
+TEST(SdgStrategyTest, RandomizedWellDefinedRestorationMatchesReference) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    Harness h(StrategyKind::kSdg);
+    std::vector<EntityId> locked;
+    const int locks = 2 + static_cast<int>(rng.Uniform(6));
+    for (int i = 0; i < locks; ++i) {
+      EntityId e(static_cast<std::uint64_t>(i));
+      h.Lock(e, static_cast<Value>(rng.Uniform(1000)));
+      locked.push_back(e);
+      const int writes = static_cast<int>(rng.Uniform(3));
+      for (int w = 0; w < writes; ++w) {
+        EntityId target = locked[rng.Uniform(locked.size())];
+        h.WriteEntity(target, static_cast<Value>(rng.Uniform(1000)));
+      }
+    }
+    const LockIndex wanted = rng.Uniform(h.lock_count() + 1);
+    const LockIndex target = h.strategy().LatestRestorableAtOrBefore(wanted);
+    EXPECT_LE(target, wanted);
+    auto r = h.strategy().RestoreTo(target);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    h.ExpectMatches(target);
+  }
+}
+
+TEST(SdgStrategyTest, SpaceStaysSingleCopy) {
+  Harness h(StrategyKind::kSdg);
+  h.Lock(EntityId(0), 1);
+  h.Lock(EntityId(1), 2);
+  for (int i = 0; i < 10; ++i) {
+    h.WriteEntity(EntityId(0), i);
+    h.WriteEntity(EntityId(1), i);
+  }
+  SpaceStats s = h.strategy().Space();
+  EXPECT_EQ(s.entity_copies, 2u);  // one local copy per X entity, always
+  EXPECT_EQ(s.var_copies, 3u);
+  EXPECT_GT(s.metadata_entries, 0u);  // the SDG write log is metadata
+}
+
+TEST(StrategyFactoryTest, MakesAllKinds) {
+  Program p = TwoVarProgram();
+  EXPECT_EQ(MakeStrategy(StrategyKind::kTotalRestart, p)->name(),
+            "total-restart");
+  EXPECT_EQ(MakeStrategy(StrategyKind::kMcs, p)->name(), "mcs");
+  EXPECT_EQ(MakeStrategy(StrategyKind::kSdg, p)->name(), "sdg");
+  EXPECT_EQ(StrategyKindName(StrategyKind::kMcs), "mcs");
+  EXPECT_EQ(StrategyKindName(StrategyKind::kSdg), "sdg");
+  EXPECT_EQ(StrategyKindName(StrategyKind::kTotalRestart), "total-restart");
+}
+
+}  // namespace
+}  // namespace pardb::rollback

@@ -1,0 +1,175 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/undirected.h"
+#include "rollback/sdg.h"
+#include "sim/scenario.h"
+#include "txn/program.h"
+
+namespace pardb::rollback {
+namespace {
+
+TEST(SdgTest, EmptyGraphTrivia) {
+  StateDependencyGraph sdg;
+  EXPECT_EQ(sdg.NumLockStates(), 0u);
+  // The current point (no lock states yet) is trivially recreatable;
+  // anything beyond it does not exist.
+  EXPECT_TRUE(sdg.IsWellDefined(0));
+  EXPECT_FALSE(sdg.IsWellDefined(1));
+  EXPECT_EQ(sdg.LatestWellDefinedAtOrBefore(5), 0u);
+}
+
+TEST(SdgTest, NoWritesEverythingWellDefined) {
+  StateDependencyGraph sdg;
+  for (LockIndex q = 0; q < 5; ++q) sdg.AddLockState(q);
+  EXPECT_EQ(sdg.WellDefinedStates(), (std::vector<LockIndex>{0, 1, 2, 3, 4}));
+}
+
+TEST(SdgTest, ChordDestroysInteriorStates) {
+  StateDependencyGraph sdg;
+  for (LockIndex q = 0; q < 6; ++q) sdg.AddLockState(q);
+  sdg.RecordWrite(1, 4);  // destroys 2, 3
+  EXPECT_TRUE(sdg.IsWellDefined(0));
+  EXPECT_TRUE(sdg.IsWellDefined(1));
+  EXPECT_FALSE(sdg.IsWellDefined(2));
+  EXPECT_FALSE(sdg.IsWellDefined(3));
+  EXPECT_TRUE(sdg.IsWellDefined(4));
+  EXPECT_TRUE(sdg.IsWellDefined(5));
+  EXPECT_EQ(sdg.LatestWellDefinedAtOrBefore(3), 1u);
+  EXPECT_EQ(sdg.LatestWellDefinedAtOrBefore(4), 4u);
+}
+
+TEST(SdgTest, AdjacentChordDestroysNothing) {
+  StateDependencyGraph sdg;
+  for (LockIndex q = 0; q < 4; ++q) sdg.AddLockState(q);
+  sdg.RecordWrite(2, 3);
+  sdg.RecordWrite(3, 3);  // self-loop-ish: u == m
+  EXPECT_EQ(sdg.WellDefinedStates().size(), 4u);
+}
+
+TEST(SdgTest, OverlappingChordsAccumulate) {
+  StateDependencyGraph sdg;
+  for (LockIndex q = 0; q < 7; ++q) sdg.AddLockState(q);
+  sdg.RecordWrite(0, 3);  // destroys 1,2
+  sdg.RecordWrite(1, 5);  // destroys 2,3,4
+  EXPECT_EQ(sdg.WellDefinedStates(), (std::vector<LockIndex>{0, 5, 6}));
+}
+
+TEST(SdgTest, RewindRestoresCoverage) {
+  StateDependencyGraph sdg;
+  for (LockIndex q = 0; q < 7; ++q) sdg.AddLockState(q);
+  sdg.RecordWrite(0, 3);
+  sdg.RecordWrite(1, 5);
+  sdg.RewindTo(3);  // drops the (1,5) write and lock states 4..6
+  EXPECT_EQ(sdg.NumLockStates(), 4u);
+  EXPECT_EQ(sdg.WellDefinedStates(), (std::vector<LockIndex>{0, 3}));
+  sdg.RewindTo(0);
+  EXPECT_EQ(sdg.WellDefinedStates(), (std::vector<LockIndex>{0}));
+  EXPECT_EQ(sdg.NumRecordedWrites(), 0u);
+}
+
+TEST(SdgTest, ExportedGraphHasPathAndChords) {
+  StateDependencyGraph sdg;
+  for (LockIndex q = 0; q < 5; ++q) sdg.AddLockState(q);
+  sdg.RecordWrite(1, 4);
+  graph::UndirectedGraph g = sdg.ToUndirectedGraph();
+  EXPECT_EQ(g.VertexCount(), 5u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(3, 4));
+  EXPECT_TRUE(g.HasEdge(1, 4));  // the chord
+}
+
+// Corollary 1 cross-validation: a nontrivial lock state is well-defined iff
+// it is an articulation point of the exported paper graph.
+TEST(SdgTest, WellDefinedEqualsArticulationPoints) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    StateDependencyGraph sdg;
+    const LockIndex n = 3 + rng.Uniform(10);
+    for (LockIndex q = 0; q < n; ++q) sdg.AddLockState(q);
+    // Random chords with u <= m < n, m non-decreasing.
+    LockIndex m = 1;
+    while (m < n) {
+      if (rng.Bernoulli(0.6)) {
+        LockIndex u = rng.Uniform(m + 1);
+        sdg.RecordWrite(u, m);
+      }
+      if (rng.Bernoulli(0.5)) ++m;
+    }
+    graph::UndirectedGraph g = sdg.ToUndirectedGraph();
+    auto cuts = g.ArticulationPoints();
+    std::set<LockIndex> cut_set(cuts.begin(), cuts.end());
+    for (LockIndex q = 1; q + 1 < n; ++q) {
+      EXPECT_EQ(sdg.IsWellDefined(q), cut_set.count(q) > 0)
+          << "state " << q << " of " << n << " in trial " << trial;
+    }
+    // Endpoints are trivially well-defined regardless of articulation.
+    EXPECT_TRUE(sdg.IsWellDefined(0));
+    EXPECT_TRUE(sdg.IsWellDefined(n - 1));
+  }
+}
+
+TEST(SdgForProgramTest, ThreePhaseProgramFullyWellDefined) {
+  storage::EntityStore store;
+  auto ids = store.CreateMany(3);
+  txn::ProgramBuilder b("tp", 1);
+  b.LockExclusive(ids[0]).LockExclusive(ids[1]).LockExclusive(ids[2]);
+  b.Read(ids[0], 0).WriteVar(ids[1], 0).WriteVar(ids[2], 0);
+  b.Commit();
+  auto p = b.Build();
+  ASSERT_TRUE(p.ok());
+  StateDependencyGraph sdg = BuildSdgForProgram(p.value());
+  EXPECT_EQ(sdg.WellDefinedStates().size(), 3u);  // every lock state
+}
+
+TEST(SdgForProgramTest, Figure4OnlyTrivialStatesWellDefined) {
+  storage::EntityStore store;
+  auto ids = store.CreateMany(6);
+  txn::Program p = sim::MakeFigure4Program(ids, /*omit_second_var_write=*/false);
+  StateDependencyGraph sdg = BuildSdgForProgram(p);
+  ASSERT_EQ(sdg.NumLockStates(), 6u);
+  // Paper: "the only well-defined states are the trivial ones".
+  EXPECT_EQ(sdg.WellDefinedStates(), std::vector<LockIndex>{0});
+}
+
+TEST(SdgForProgramTest, Figure4WithoutCkOpGainsStates) {
+  storage::EntityStore store;
+  auto ids = store.CreateMany(6);
+  txn::Program p = sim::MakeFigure4Program(ids, /*omit_second_var_write=*/true);
+  StateDependencyGraph sdg = BuildSdgForProgram(p);
+  // Deleting the C <- K style op makes lock states 4 and 5 well-defined
+  // (the paper's example deletes one op and state S_13/lock state 4 becomes
+  // well-defined).
+  EXPECT_EQ(sdg.WellDefinedStates(), (std::vector<LockIndex>{0, 4, 5}));
+}
+
+TEST(SdgForProgramTest, Figure5ClusteredAllStatesWellDefined) {
+  storage::EntityStore store;
+  auto ids = store.CreateMany(6);
+  txn::Program p = sim::MakeFigure5Program(ids);
+  StateDependencyGraph sdg = BuildSdgForProgram(p);
+  ASSERT_EQ(sdg.NumLockStates(), 6u);
+  EXPECT_EQ(sdg.WellDefinedStates(),
+            (std::vector<LockIndex>{0, 1, 2, 3, 4, 5}));
+  // Figure 5's program also scores 0 on write spread.
+  EXPECT_EQ(p.WriteSpreadScore(), 0u);
+}
+
+TEST(SdgForProgramTest, Figure4And5SameOperationMultiset) {
+  storage::EntityStore store;
+  auto ids = store.CreateMany(6);
+  txn::Program p4 = sim::MakeFigure4Program(ids, false);
+  txn::Program p5 = sim::MakeFigure5Program(ids);
+  for (txn::OpCode code :
+       {txn::OpCode::kLockExclusive, txn::OpCode::kRead, txn::OpCode::kWrite,
+        txn::OpCode::kCompute}) {
+    EXPECT_EQ(p4.CountOps(code), p5.CountOps(code));
+  }
+  EXPECT_GT(p4.WriteSpreadScore(), p5.WriteSpreadScore());
+}
+
+}  // namespace
+}  // namespace pardb::rollback

@@ -1,0 +1,195 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/driver.h"
+#include "sim/workload.h"
+
+namespace pardb::sim {
+namespace {
+
+TEST(WorkloadTest, GeneratesValidPrograms) {
+  WorkloadOptions opt;
+  opt.num_entities = 16;
+  opt.min_locks = 2;
+  opt.max_locks = 5;
+  opt.ops_per_entity = 2;
+  WorkloadGenerator gen(opt, 1);
+  for (int i = 0; i < 50; ++i) {
+    auto p = gen.Next();
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    EXPECT_GE(p.value().NumLockRequests(), 2u);
+    EXPECT_LE(p.value().NumLockRequests(), 5u);
+    for (const txn::Op& op : p.value().ops()) {
+      if (op.code == txn::OpCode::kLockExclusive ||
+          op.code == txn::OpCode::kLockShared) {
+        EXPECT_LT(op.entity.value(), 16u);
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  WorkloadOptions opt;
+  WorkloadGenerator a(opt, 9), b(opt, 9), c(opt, 10);
+  bool differs = false;
+  for (int i = 0; i < 20; ++i) {
+    auto pa = a.Next();
+    auto pb = b.Next();
+    auto pc = c.Next();
+    ASSERT_TRUE(pa.ok());
+    ASSERT_TRUE(pb.ok());
+    ASSERT_TRUE(pc.ok());
+    EXPECT_EQ(pa.value().ToString(), pb.value().ToString());
+    if (pa.value().ToString() != pc.value().ToString()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(WorkloadTest, ClusteredPatternScoresZeroSpread) {
+  WorkloadOptions opt;
+  opt.pattern = WritePattern::kClustered;
+  WorkloadGenerator gen(opt, 3);
+  for (int i = 0; i < 20; ++i) {
+    auto p = gen.Next();
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p.value().WriteSpreadScore(), 0u) << p.value().ToString();
+  }
+}
+
+TEST(WorkloadTest, ThreePhasePatternIsThreePhase) {
+  WorkloadOptions opt;
+  opt.pattern = WritePattern::kThreePhase;
+  WorkloadGenerator gen(opt, 4);
+  for (int i = 0; i < 20; ++i) {
+    auto p = gen.Next();
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(p.value().IsThreePhase()) << p.value().ToString();
+  }
+}
+
+TEST(WorkloadTest, ScatteredPatternSpreadsWrites) {
+  WorkloadOptions opt;
+  opt.pattern = WritePattern::kScattered;
+  opt.min_locks = 4;
+  opt.max_locks = 8;
+  opt.ops_per_entity = 3;
+  WorkloadGenerator gen(opt, 5);
+  std::uint64_t total_spread = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto p = gen.Next();
+    ASSERT_TRUE(p.ok());
+    total_spread += p.value().WriteSpreadScore();
+  }
+  EXPECT_GT(total_spread, 0u);
+}
+
+TEST(WorkloadTest, SharedFractionProducesSharedLocks) {
+  WorkloadOptions opt;
+  opt.shared_fraction = 1.0;
+  WorkloadGenerator gen(opt, 6);
+  auto p = gen.Next();
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().CountOps(txn::OpCode::kLockExclusive), 0u);
+  EXPECT_GT(p.value().CountOps(txn::OpCode::kLockShared), 0u);
+  EXPECT_EQ(p.value().CountOps(txn::OpCode::kWrite), 0u);
+}
+
+TEST(WorkloadTest, SortedEntitiesLockInOrder) {
+  WorkloadOptions opt;
+  opt.sorted_entities = true;
+  WorkloadGenerator gen(opt, 7);
+  for (int i = 0; i < 20; ++i) {
+    auto p = gen.Next();
+    ASSERT_TRUE(p.ok());
+    EntityId prev;
+    for (const txn::Op& op : p.value().ops()) {
+      if (op.code == txn::OpCode::kLockExclusive ||
+          op.code == txn::OpCode::kLockShared) {
+        if (prev.valid()) EXPECT_LT(prev, op.entity);
+        prev = op.entity;
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, InvalidLockRangeRejected) {
+  WorkloadOptions opt;
+  opt.min_locks = 5;
+  opt.max_locks = 2;
+  WorkloadGenerator gen(opt, 1);
+  EXPECT_EQ(gen.Next().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimDriverTest, SmallContentedRunCompletesSerializably) {
+  SimOptions opt;
+  opt.workload.num_entities = 8;
+  opt.workload.min_locks = 2;
+  opt.workload.max_locks = 4;
+  opt.concurrency = 4;
+  opt.total_txns = 40;
+  opt.seed = 11;
+  auto report = RunSimulation(opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->committed, 40u);
+  EXPECT_TRUE(report->serializable);
+  EXPECT_GT(report->metrics.ops_executed, 0u);
+}
+
+TEST(SimDriverTest, DeterministicReports) {
+  SimOptions opt;
+  opt.workload.num_entities = 6;
+  opt.concurrency = 4;
+  opt.total_txns = 30;
+  opt.seed = 13;
+  auto a = RunSimulation(opt);
+  auto b = RunSimulation(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->metrics.ops_executed, b->metrics.ops_executed);
+  EXPECT_EQ(a->metrics.deadlocks, b->metrics.deadlocks);
+  EXPECT_EQ(a->metrics.wasted_ops, b->metrics.wasted_ops);
+  EXPECT_EQ(a->metrics.commits, b->metrics.commits);
+}
+
+TEST(SimDriverTest, SortedEntitiesNeverDeadlock) {
+  // The hierarchical-order control: deadlock-free by construction.
+  SimOptions opt;
+  opt.workload.num_entities = 8;
+  opt.workload.sorted_entities = true;
+  opt.concurrency = 6;
+  opt.total_txns = 60;
+  opt.seed = 17;
+  auto report = RunSimulation(opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->metrics.deadlocks, 0u);
+  EXPECT_EQ(report->metrics.rollbacks, 0u);
+}
+
+TEST(SimDriverTest, ContentionCausesDeadlocks) {
+  SimOptions opt;
+  opt.workload.num_entities = 4;  // tiny database, heavy contention
+  opt.workload.min_locks = 3;
+  opt.workload.max_locks = 4;
+  opt.concurrency = 6;
+  opt.total_txns = 60;
+  opt.seed = 19;
+  auto report = RunSimulation(opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->metrics.deadlocks, 0u);
+  EXPECT_TRUE(report->serializable);
+}
+
+TEST(SimDriverTest, ReportToStringMentionsKeyFields) {
+  SimOptions opt;
+  opt.total_txns = 5;
+  opt.concurrency = 2;
+  auto report = RunSimulation(opt);
+  ASSERT_TRUE(report.ok());
+  std::string s = report->ToString();
+  EXPECT_NE(s.find("committed=5"), std::string::npos);
+  EXPECT_NE(s.find("serializable=yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pardb::sim

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "storage/entity_store.h"
+
+namespace pardb::storage {
+namespace {
+
+TEST(EntityStoreTest, CreateAndGet) {
+  EntityStore store;
+  ASSERT_TRUE(store.Create(EntityId(1), 42).ok());
+  auto r = store.Get(EntityId(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().value, 42);
+  EXPECT_EQ(r.value().version, 0u);
+}
+
+TEST(EntityStoreTest, CreateDuplicateFails) {
+  EntityStore store;
+  ASSERT_TRUE(store.Create(EntityId(1), 0).ok());
+  Status s = store.Create(EntityId(1), 1);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(EntityStoreTest, CreateInvalidIdFails) {
+  EntityStore store;
+  EXPECT_EQ(store.Create(EntityId(), 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EntityStoreTest, GetMissingFails) {
+  EntityStore store;
+  EXPECT_TRUE(store.Get(EntityId(9)).status().IsNotFound());
+}
+
+TEST(EntityStoreTest, PublishBumpsVersion) {
+  EntityStore store;
+  ASSERT_TRUE(store.Create(EntityId(3), 5).ok());
+  auto v1 = store.Publish(EntityId(3), 10);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1.value(), 1u);
+  auto v2 = store.Publish(EntityId(3), 20);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2.value(), 2u);
+  auto r = store.Get(EntityId(3));
+  EXPECT_EQ(r.value().value, 20);
+  EXPECT_EQ(r.value().version, 2u);
+}
+
+TEST(EntityStoreTest, PublishMissingFails) {
+  EntityStore store;
+  EXPECT_TRUE(store.Publish(EntityId(1), 0).status().IsNotFound());
+}
+
+TEST(EntityStoreTest, ResetValueKeepsVersion) {
+  EntityStore store;
+  ASSERT_TRUE(store.Create(EntityId(1), 5).ok());
+  ASSERT_TRUE(store.Publish(EntityId(1), 6).ok());
+  ASSERT_TRUE(store.ResetValue(EntityId(1), 7).ok());
+  auto r = store.Get(EntityId(1));
+  EXPECT_EQ(r.value().value, 7);
+  EXPECT_EQ(r.value().version, 1u);
+}
+
+TEST(EntityStoreTest, CreateManyAssignsFreshIds) {
+  EntityStore store;
+  auto ids = store.CreateMany(5, 9);
+  ASSERT_EQ(ids.size(), 5u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_TRUE(store.Contains(ids[i]));
+    EXPECT_EQ(store.Get(ids[i]).value().value, 9);
+  }
+  // More entities continue after explicit creations.
+  ASSERT_TRUE(store.Create(EntityId(100), 1).ok());
+  auto more = store.CreateMany(2);
+  EXPECT_EQ(more[0].value(), 101u);
+  EXPECT_EQ(more[1].value(), 102u);
+  EXPECT_EQ(store.size(), 8u);
+}
+
+TEST(EntityStoreTest, SnapshotSortedByEntity) {
+  EntityStore store;
+  ASSERT_TRUE(store.Create(EntityId(5), 50).ok());
+  ASSERT_TRUE(store.Create(EntityId(2), 20).ok());
+  ASSERT_TRUE(store.Create(EntityId(9), 90).ok());
+  auto snap = store.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, EntityId(2));
+  EXPECT_EQ(snap[1].first, EntityId(5));
+  EXPECT_EQ(snap[2].first, EntityId(9));
+  EXPECT_EQ(snap[2].second, 90);
+}
+
+}  // namespace
+}  // namespace pardb::storage

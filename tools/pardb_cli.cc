@@ -1,0 +1,368 @@
+// pardb — command-line front end for the simulator and the paper's
+// scenarios.
+//
+// Modes:
+//   pardb sim [flags]          run a closed-loop workload, print the report
+//   pardb compare [flags]      same workload under every rollback strategy
+//   pardb figure1|figure2|figure3a|figure3b|figure3c
+//                              replay a paper scenario with commentary
+//   pardb dot [flags]          emit the waits-for graph of a contended
+//                              moment as Graphviz DOT
+//
+// Common flags (sim/compare/dot):
+//   --strategy=mcs|sdg|total         rollback state strategy [mcs]
+//   --policy=min-cost|min-cost-ordered|youngest|oldest|requester
+//                                    victim policy [min-cost-ordered]
+//   --handling=detection|wound-wait|wait-die|timeout   [detection]
+//   --txns=N --concurrency=N --entities=N --seed=N
+//   --locks=MIN:MAX --shared=F --zipf=T
+//   --pattern=scattered|clustered|three-phase
+//   --trace                          print the protocol event trace
+//
+// Examples:
+//   pardb sim --txns=500 --concurrency=16 --zipf=0.8
+//   pardb compare --txns=300 --concurrency=12
+//   pardb figure1
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/flags.h"
+#include "core/engine.h"
+#include "core/trace.h"
+#include "dist/distributed.h"
+#include "sim/driver.h"
+#include "sim/scenario.h"
+#include "txn/program_io.h"
+
+using namespace pardb;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pardb <sim|compare|figure1|figure2|figure3a|figure3b|"
+               "figure3c|dot> [--flags]\n"
+               "see the header of tools/pardb_cli.cc for the flag list\n");
+  return 2;
+}
+
+Result<rollback::StrategyKind> ParseStrategy(const std::string& s) {
+  if (s == "mcs") return rollback::StrategyKind::kMcs;
+  if (s == "sdg") return rollback::StrategyKind::kSdg;
+  if (s == "total" || s == "total-restart") {
+    return rollback::StrategyKind::kTotalRestart;
+  }
+  return Status::InvalidArgument("unknown --strategy " + s);
+}
+
+Result<core::VictimPolicyKind> ParsePolicy(const std::string& s) {
+  if (s == "min-cost") return core::VictimPolicyKind::kMinCost;
+  if (s == "min-cost-ordered") return core::VictimPolicyKind::kMinCostOrdered;
+  if (s == "youngest") return core::VictimPolicyKind::kYoungest;
+  if (s == "oldest") return core::VictimPolicyKind::kOldest;
+  if (s == "requester") return core::VictimPolicyKind::kRequester;
+  return Status::InvalidArgument("unknown --policy " + s);
+}
+
+Result<core::DeadlockHandling> ParseHandling(const std::string& s) {
+  if (s == "detection") return core::DeadlockHandling::kDetection;
+  if (s == "wound-wait") return core::DeadlockHandling::kWoundWait;
+  if (s == "wait-die") return core::DeadlockHandling::kWaitDie;
+  if (s == "timeout") return core::DeadlockHandling::kTimeout;
+  return Status::InvalidArgument("unknown --handling " + s);
+}
+
+Result<sim::WritePattern> ParsePattern(const std::string& s) {
+  if (s == "scattered") return sim::WritePattern::kScattered;
+  if (s == "clustered") return sim::WritePattern::kClustered;
+  if (s == "three-phase") return sim::WritePattern::kThreePhase;
+  return Status::InvalidArgument("unknown --pattern " + s);
+}
+
+Result<sim::SimOptions> BuildSimOptions(const Flags& flags) {
+  sim::SimOptions opt;
+  PARDB_ASSIGN_OR_RETURN(auto strategy,
+                         ParseStrategy(flags.GetString("strategy", "mcs")));
+  opt.engine.strategy = strategy;
+  PARDB_ASSIGN_OR_RETURN(
+      auto policy, ParsePolicy(flags.GetString("policy", "min-cost-ordered")));
+  opt.engine.victim_policy = policy;
+  PARDB_ASSIGN_OR_RETURN(
+      auto handling, ParseHandling(flags.GetString("handling", "detection")));
+  opt.engine.handling = handling;
+  opt.engine.scheduler = core::SchedulerKind::kRandom;
+
+  PARDB_ASSIGN_OR_RETURN(auto txns, flags.GetInt("txns", 200));
+  opt.total_txns = static_cast<std::uint64_t>(txns);
+  PARDB_ASSIGN_OR_RETURN(auto conc, flags.GetInt("concurrency", 8));
+  opt.concurrency = static_cast<std::uint32_t>(conc);
+  PARDB_ASSIGN_OR_RETURN(auto entities, flags.GetInt("entities", 32));
+  opt.workload.num_entities = static_cast<std::uint64_t>(entities);
+  PARDB_ASSIGN_OR_RETURN(auto seed, flags.GetInt("seed", 1));
+  opt.seed = static_cast<std::uint64_t>(seed);
+  opt.engine.seed = opt.seed;
+  PARDB_ASSIGN_OR_RETURN(auto zipf, flags.GetDouble("zipf", 0.0));
+  opt.workload.zipf_theta = zipf;
+  PARDB_ASSIGN_OR_RETURN(auto shared, flags.GetDouble("shared", 0.0));
+  opt.workload.shared_fraction = shared;
+  PARDB_ASSIGN_OR_RETURN(
+      auto pattern, ParsePattern(flags.GetString("pattern", "scattered")));
+  opt.workload.pattern = pattern;
+
+  const std::string locks = flags.GetString("locks", "3:6");
+  auto colon = locks.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("--locks expects MIN:MAX");
+  }
+  opt.workload.min_locks =
+      static_cast<std::uint32_t>(std::atoi(locks.substr(0, colon).c_str()));
+  opt.workload.max_locks =
+      static_cast<std::uint32_t>(std::atoi(locks.substr(colon + 1).c_str()));
+  return opt;
+}
+
+void PrintReport(const sim::SimReport& r) {
+  std::printf("%s\n", r.ToString().c_str());
+  std::printf("  rollback mix: %llu partial / %llu total; preemptions=%llu "
+              "wounds=%llu deaths=%llu timeouts=%llu\n",
+              (unsigned long long)r.metrics.partial_rollbacks,
+              (unsigned long long)r.metrics.total_rollbacks,
+              (unsigned long long)r.metrics.preemptions,
+              (unsigned long long)r.metrics.wounds,
+              (unsigned long long)r.metrics.deaths,
+              (unsigned long long)r.metrics.timeouts);
+  std::printf("  space peaks: %zu entity copies, %zu var copies (one txn)\n",
+              r.metrics.max_entity_copies, r.metrics.max_var_copies);
+}
+
+int RunSim(const Flags& flags) {
+  auto opt = BuildSimOptions(flags);
+  if (!opt.ok()) {
+    std::fprintf(stderr, "%s\n", opt.status().ToString().c_str());
+    return 2;
+  }
+  auto report = sim::RunSimulation(opt.value());
+  if (!report.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  PrintReport(report.value());
+  return report->completed ? 0 : 3;
+}
+
+int RunCompare(const Flags& flags) {
+  for (auto strategy :
+       {rollback::StrategyKind::kTotalRestart, rollback::StrategyKind::kSdg,
+        rollback::StrategyKind::kMcs}) {
+    auto opt = BuildSimOptions(flags);
+    if (!opt.ok()) {
+      std::fprintf(stderr, "%s\n", opt.status().ToString().c_str());
+      return 2;
+    }
+    opt.value().engine.strategy = strategy;
+    auto report = sim::RunSimulation(opt.value());
+    if (!report.ok()) {
+      std::fprintf(stderr, "simulation failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14s ", std::string(rollback::StrategyKindName(strategy))
+                              .c_str());
+    PrintReport(report.value());
+  }
+  return 0;
+}
+
+int RunFigure(const std::string& mode) {
+  core::EngineOptions opt;
+  opt.victim_policy = core::VictimPolicyKind::kMinCost;
+  if (mode == "figure1") {
+    auto fig = sim::BuildFigure1(opt);
+    if (!fig.ok()) return 1;
+    (void)fig->TriggerDeadlock();
+    const auto& ev = fig->runner->engine().deadlock_events().at(0);
+    std::printf("Figure 1: deadlock of %zu transactions; costs:",
+                ev.cycle_txns.size());
+    for (const auto& c : ev.candidates) {
+      std::printf(" T%llu=%llu", (unsigned long long)c.txn.value() + 1,
+                  (unsigned long long)c.cost);
+    }
+    std::printf("; victim T%llu (paper: T2, costs 4/6/5)\n",
+                (unsigned long long)ev.victims[0].value() + 1);
+    return 0;
+  }
+  if (mode == "figure2") {
+    auto out = sim::RunFigure2MutualPreemption(opt, 5);
+    if (!out.ok()) return 1;
+    std::printf("Figure 2: min-cost sustained the mutual-preemption loop "
+                "for %d rounds (it never ends); victims alternate T2/T3\n",
+                out->recurrences);
+    return 0;
+  }
+  if (mode == "figure3a") {
+    auto fig = sim::BuildFigure3a(opt);
+    if (!fig.ok()) return 1;
+    std::printf("Figure 3(a): acyclic=%s forest=%s\n",
+                fig->runner->engine().waits_for().IsAcyclic() ? "yes" : "no",
+                fig->runner->engine().waits_for().IsForest() ? "yes" : "no");
+    return 0;
+  }
+  if (mode == "figure3b" || mode == "figure3c") {
+    auto Report = [](auto fig) {
+      if (!fig.ok()) return 1;
+      (void)fig->TriggerDeadlock();
+      const auto& ev = fig->runner->engine().deadlock_events().at(0);
+      std::printf("%zu cycles; victims:", ev.num_cycles);
+      for (TxnId v : ev.victims) {
+        std::printf(" T%llu", (unsigned long long)v.value() + 1);
+      }
+      std::printf(" (cost %llu)\n", (unsigned long long)ev.total_cost);
+      return 0;
+    };
+    return mode == "figure3b" ? Report(sim::BuildFigure3b(opt))
+                              : Report(sim::BuildFigure3c(opt));
+  }
+  return Usage();
+}
+
+// `pardb run prog1.txt prog2.txt ...` — parse program files (see
+// txn/program_io.h for the syntax) and run them concurrently.
+int RunPrograms(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "run: no program files given\n");
+    return 2;
+  }
+  std::vector<txn::Program> programs;
+  std::uint64_t max_entity = 0;
+  for (const std::string& path : flags.positional()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto p = txn::ParseProgram(text.str());
+    if (!p.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   p.status().ToString().c_str());
+      return 2;
+    }
+    for (const txn::Op& op : p.value().ops()) {
+      if (op.entity.valid()) max_entity = std::max(max_entity,
+                                                   op.entity.value());
+    }
+    programs.push_back(std::move(p).value());
+  }
+
+  storage::EntityStore store;
+  auto init = flags.GetInt("initial", 100);
+  if (!init.ok()) return 2;
+  store.CreateMany(max_entity + 1, init.value());
+
+  core::EngineOptions eopt;
+  {
+    auto strategy = ParseStrategy(flags.GetString("strategy", "mcs"));
+    auto policy = ParsePolicy(flags.GetString("policy", "min-cost-ordered"));
+    auto handling = ParseHandling(flags.GetString("handling", "detection"));
+    if (!strategy.ok() || !policy.ok() || !handling.ok()) return 2;
+    eopt.strategy = strategy.value();
+    eopt.victim_policy = policy.value();
+    eopt.handling = handling.value();
+  }
+  analysis::HistoryRecorder recorder;
+  core::Engine engine(&store, eopt, &recorder);
+  core::RingTrace trace(4096);
+  const bool want_trace = flags.GetBool("trace");
+  if (want_trace) engine.set_trace(&trace);
+
+  for (auto& p : programs) {
+    auto t = engine.Spawn(std::move(p));
+    if (!t.ok()) {
+      std::fprintf(stderr, "spawn failed: %s\n",
+                   t.status().ToString().c_str());
+      return 1;
+    }
+  }
+  Status s = engine.RunToCompletion(10'000'000);
+  if (!s.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (want_trace) std::printf("%s", trace.ToString().c_str());
+  const auto& m = engine.metrics();
+  std::printf("committed=%llu deadlocks=%llu rollbacks=%llu "
+              "(partial=%llu) wasted_ops=%llu serializable=%s\n",
+              (unsigned long long)m.commits,
+              (unsigned long long)m.deadlocks,
+              (unsigned long long)m.rollbacks,
+              (unsigned long long)m.partial_rollbacks,
+              (unsigned long long)m.wasted_ops,
+              recorder.IsConflictSerializable() ? "yes" : "NO");
+  for (const auto& [e, v] : store.Snapshot()) {
+    std::printf("E%llu = %lld\n", (unsigned long long)e.value(),
+                (long long)v);
+  }
+  return 0;
+}
+
+int RunDot(const Flags& flags) {
+  // Runs a short contended workload and prints the waits-for graph at the
+  // moment of the first deadlock.
+  auto opt = BuildSimOptions(flags);
+  if (!opt.ok()) return 2;
+  storage::EntityStore store;
+  store.CreateMany(opt.value().workload.num_entities, 100);
+  core::Engine engine(&store, opt.value().engine);
+  sim::WorkloadGenerator gen(opt.value().workload, opt.value().seed);
+  std::uint64_t spawned = 0;
+  for (std::uint64_t i = 0; i < 2'000'000; ++i) {
+    while (spawned - engine.metrics().commits < opt.value().concurrency) {
+      auto p = gen.Next();
+      if (!p.ok()) return 1;
+      if (!engine.Spawn(std::move(p).value()).ok()) return 1;
+      ++spawned;
+    }
+    if (engine.metrics().lock_waits > 0 &&
+        engine.waits_for().EdgeCount() >= 3) {
+      std::cout << engine.waits_for().ToDot();
+      return 0;
+    }
+    auto s = engine.StepAny();
+    if (!s.ok() || !s.value().has_value()) break;
+  }
+  std::cout << engine.waits_for().ToDot();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+  auto flags = Flags::Parse(argc - 2, argv + 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  int rc;
+  if (mode == "sim") {
+    rc = RunSim(flags.value());
+  } else if (mode == "compare") {
+    rc = RunCompare(flags.value());
+  } else if (mode == "run") {
+    rc = RunPrograms(flags.value());
+  } else if (mode == "dot") {
+    rc = RunDot(flags.value());
+  } else {
+    rc = RunFigure(mode);
+  }
+  for (const std::string& unused : flags.value().UnusedFlags()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", unused.c_str());
+  }
+  return rc;
+}
