@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_victim.dir/bench_fig1_victim.cc.o"
+  "CMakeFiles/bench_fig1_victim.dir/bench_fig1_victim.cc.o.d"
+  "bench_fig1_victim"
+  "bench_fig1_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_shared.dir/bench_fig3_shared.cc.o"
+  "CMakeFiles/bench_fig3_shared.dir/bench_fig3_shared.cc.o.d"
+  "bench_fig3_shared"
+  "bench_fig3_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sdg.dir/bench_fig4_sdg.cc.o"
+  "CMakeFiles/bench_fig4_sdg.dir/bench_fig4_sdg.cc.o.d"
+  "bench_fig4_sdg"
+  "bench_fig4_sdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

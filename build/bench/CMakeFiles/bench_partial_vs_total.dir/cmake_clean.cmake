@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_vs_total.dir/bench_partial_vs_total.cc.o"
+  "CMakeFiles/bench_partial_vs_total.dir/bench_partial_vs_total.cc.o.d"
+  "bench_partial_vs_total"
+  "bench_partial_vs_total.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_vs_total.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

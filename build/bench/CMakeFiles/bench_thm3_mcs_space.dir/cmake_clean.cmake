@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm3_mcs_space.dir/bench_thm3_mcs_space.cc.o"
+  "CMakeFiles/bench_thm3_mcs_space.dir/bench_thm3_mcs_space.cc.o.d"
+  "bench_thm3_mcs_space"
+  "bench_thm3_mcs_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm3_mcs_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures_walkthrough.dir/figures_walkthrough.cpp.o"
+  "CMakeFiles/figures_walkthrough.dir/figures_walkthrough.cpp.o.d"
+  "figures_walkthrough"
+  "figures_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figures_walkthrough.
+# This may be replaced when dependencies are built.

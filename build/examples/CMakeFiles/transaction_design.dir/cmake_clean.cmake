@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_design.dir/transaction_design.cpp.o"
+  "CMakeFiles/transaction_design.dir/transaction_design.cpp.o.d"
+  "transaction_design"
+  "transaction_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardb_analysis.dir/history.cc.o"
+  "CMakeFiles/pardb_analysis.dir/history.cc.o.d"
+  "libpardb_analysis.a"
+  "libpardb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardb_common.dir/flags.cc.o"
+  "CMakeFiles/pardb_common.dir/flags.cc.o.d"
+  "CMakeFiles/pardb_common.dir/logging.cc.o"
+  "CMakeFiles/pardb_common.dir/logging.cc.o.d"
+  "CMakeFiles/pardb_common.dir/random.cc.o"
+  "CMakeFiles/pardb_common.dir/random.cc.o.d"
+  "CMakeFiles/pardb_common.dir/status.cc.o"
+  "CMakeFiles/pardb_common.dir/status.cc.o.d"
+  "libpardb_common.a"
+  "libpardb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

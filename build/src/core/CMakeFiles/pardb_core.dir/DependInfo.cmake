@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/pardb_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/pardb_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/pardb_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/pardb_core.dir/trace.cc.o.d"
+  "/root/repo/src/core/vertex_cut.cc" "src/core/CMakeFiles/pardb_core.dir/vertex_cut.cc.o" "gcc" "src/core/CMakeFiles/pardb_core.dir/vertex_cut.cc.o.d"
+  "/root/repo/src/core/victim_policy.cc" "src/core/CMakeFiles/pardb_core.dir/victim_policy.cc.o" "gcc" "src/core/CMakeFiles/pardb_core.dir/victim_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/pardb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pardb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pardb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/pardb_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/rollback/CMakeFiles/pardb_rollback.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pardb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/pardb_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardb_core.dir/engine.cc.o"
+  "CMakeFiles/pardb_core.dir/engine.cc.o.d"
+  "CMakeFiles/pardb_core.dir/trace.cc.o"
+  "CMakeFiles/pardb_core.dir/trace.cc.o.d"
+  "CMakeFiles/pardb_core.dir/vertex_cut.cc.o"
+  "CMakeFiles/pardb_core.dir/vertex_cut.cc.o.d"
+  "CMakeFiles/pardb_core.dir/victim_policy.cc.o"
+  "CMakeFiles/pardb_core.dir/victim_policy.cc.o.d"
+  "libpardb_core.a"
+  "libpardb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

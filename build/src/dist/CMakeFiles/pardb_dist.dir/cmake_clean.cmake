@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardb_dist.dir/distributed.cc.o"
+  "CMakeFiles/pardb_dist.dir/distributed.cc.o.d"
+  "libpardb_dist.a"
+  "libpardb_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardb_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardb_graph.dir/digraph.cc.o"
+  "CMakeFiles/pardb_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/pardb_graph.dir/undirected.cc.o"
+  "CMakeFiles/pardb_graph.dir/undirected.cc.o.d"
+  "libpardb_graph.a"
+  "libpardb_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardb_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

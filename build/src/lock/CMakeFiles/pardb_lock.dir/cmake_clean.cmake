@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardb_lock.dir/lock_manager.cc.o"
+  "CMakeFiles/pardb_lock.dir/lock_manager.cc.o.d"
+  "libpardb_lock.a"
+  "libpardb_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardb_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rollback/mcs_strategy.cc" "src/rollback/CMakeFiles/pardb_rollback.dir/mcs_strategy.cc.o" "gcc" "src/rollback/CMakeFiles/pardb_rollback.dir/mcs_strategy.cc.o.d"
+  "/root/repo/src/rollback/sdg.cc" "src/rollback/CMakeFiles/pardb_rollback.dir/sdg.cc.o" "gcc" "src/rollback/CMakeFiles/pardb_rollback.dir/sdg.cc.o.d"
+  "/root/repo/src/rollback/sdg_strategy.cc" "src/rollback/CMakeFiles/pardb_rollback.dir/sdg_strategy.cc.o" "gcc" "src/rollback/CMakeFiles/pardb_rollback.dir/sdg_strategy.cc.o.d"
+  "/root/repo/src/rollback/strategy.cc" "src/rollback/CMakeFiles/pardb_rollback.dir/strategy.cc.o" "gcc" "src/rollback/CMakeFiles/pardb_rollback.dir/strategy.cc.o.d"
+  "/root/repo/src/rollback/total_restart.cc" "src/rollback/CMakeFiles/pardb_rollback.dir/total_restart.cc.o" "gcc" "src/rollback/CMakeFiles/pardb_rollback.dir/total_restart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pardb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pardb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/pardb_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/pardb_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

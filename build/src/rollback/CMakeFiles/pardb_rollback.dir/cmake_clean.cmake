@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardb_rollback.dir/mcs_strategy.cc.o"
+  "CMakeFiles/pardb_rollback.dir/mcs_strategy.cc.o.d"
+  "CMakeFiles/pardb_rollback.dir/sdg.cc.o"
+  "CMakeFiles/pardb_rollback.dir/sdg.cc.o.d"
+  "CMakeFiles/pardb_rollback.dir/sdg_strategy.cc.o"
+  "CMakeFiles/pardb_rollback.dir/sdg_strategy.cc.o.d"
+  "CMakeFiles/pardb_rollback.dir/strategy.cc.o"
+  "CMakeFiles/pardb_rollback.dir/strategy.cc.o.d"
+  "CMakeFiles/pardb_rollback.dir/total_restart.cc.o"
+  "CMakeFiles/pardb_rollback.dir/total_restart.cc.o.d"
+  "libpardb_rollback.a"
+  "libpardb_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardb_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardb_sim.dir/driver.cc.o"
+  "CMakeFiles/pardb_sim.dir/driver.cc.o.d"
+  "CMakeFiles/pardb_sim.dir/scenario.cc.o"
+  "CMakeFiles/pardb_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/pardb_sim.dir/workload.cc.o"
+  "CMakeFiles/pardb_sim.dir/workload.cc.o.d"
+  "libpardb_sim.a"
+  "libpardb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

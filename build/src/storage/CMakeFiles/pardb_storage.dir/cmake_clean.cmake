@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardb_storage.dir/entity_store.cc.o"
+  "CMakeFiles/pardb_storage.dir/entity_store.cc.o.d"
+  "libpardb_storage.a"
+  "libpardb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpardb_storage.a"
+)

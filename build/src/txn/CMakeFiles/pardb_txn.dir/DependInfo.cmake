@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/optimizer.cc" "src/txn/CMakeFiles/pardb_txn.dir/optimizer.cc.o" "gcc" "src/txn/CMakeFiles/pardb_txn.dir/optimizer.cc.o.d"
+  "/root/repo/src/txn/program.cc" "src/txn/CMakeFiles/pardb_txn.dir/program.cc.o" "gcc" "src/txn/CMakeFiles/pardb_txn.dir/program.cc.o.d"
+  "/root/repo/src/txn/program_io.cc" "src/txn/CMakeFiles/pardb_txn.dir/program_io.cc.o" "gcc" "src/txn/CMakeFiles/pardb_txn.dir/program_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pardb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/pardb_lock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

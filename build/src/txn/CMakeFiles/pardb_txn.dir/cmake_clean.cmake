@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardb_txn.dir/optimizer.cc.o"
+  "CMakeFiles/pardb_txn.dir/optimizer.cc.o.d"
+  "CMakeFiles/pardb_txn.dir/program.cc.o"
+  "CMakeFiles/pardb_txn.dir/program.cc.o.d"
+  "CMakeFiles/pardb_txn.dir/program_io.cc.o"
+  "CMakeFiles/pardb_txn.dir/program_io.cc.o.d"
+  "libpardb_txn.a"
+  "libpardb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

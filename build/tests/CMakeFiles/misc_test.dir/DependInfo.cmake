@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/misc_test.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/misc_test.dir/misc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/pardb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pardb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pardb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pardb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rollback/CMakeFiles/pardb_rollback.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/pardb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/pardb_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pardb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pardb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pardb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_io_test.dir/program_io_test.cc.o"
+  "CMakeFiles/program_io_test.dir/program_io_test.cc.o.d"
+  "program_io_test"
+  "program_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardb.dir/pardb_cli.cc.o"
+  "CMakeFiles/pardb.dir/pardb_cli.cc.o.d"
+  "pardb"
+  "pardb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
