@@ -74,6 +74,14 @@ using Value = std::int64_t;
 // Logical time for entry ordering (Theorem 2's partial order omega).
 using Timestamp = std::uint64_t;
 
+// num/den as a double, 0.0 when den == 0. Report fractions (goodput,
+// wasted work, multi-site share) divide by counters that are legitimately
+// zero for empty or stalled workloads; reports must stay finite so they
+// can be serialized and compared.
+constexpr double SafeRatio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
 }  // namespace pardb
 
 namespace std {

@@ -898,21 +898,30 @@ std::uint64_t Engine::PreemptionCountOf(TxnId txn) const {
   return ctx == nullptr ? 0 : ctx->preempted;
 }
 
-CostDistribution Engine::RollbackCostDistribution() const {
+CostDistribution ComputeCostDistribution(std::vector<std::uint32_t> costs) {
   CostDistribution d;
-  if (rollback_costs_.empty()) return d;
-  std::vector<std::uint32_t> sorted = rollback_costs_;
-  std::sort(sorted.begin(), sorted.end());
-  d.count = sorted.size();
-  d.p50 = sorted[sorted.size() / 2];
-  d.p95 = sorted[(sorted.size() * 95) / 100 == sorted.size()
-                     ? sorted.size() - 1
-                     : (sorted.size() * 95) / 100];
-  d.max = sorted.back();
+  if (costs.empty()) return d;
+  std::sort(costs.begin(), costs.end());
+  const std::uint64_t n = costs.size();
+  // Nearest-rank: percentile P is sorted[ceil(n*P/100) - 1]. The old
+  // `(n*95)/100 == n` guard was dead code (true only for n == 0), which
+  // made p95 the 95.0th *floor* rank — one element short for n < 20 and
+  // never the max even when P says it should be.
+  auto Rank = [n, &costs](std::uint64_t p) {
+    return costs[std::min<std::uint64_t>(n - 1, (n * p + 99) / 100 - 1)];
+  };
+  d.count = n;
+  d.p50 = Rank(50);
+  d.p95 = Rank(95);
+  d.max = costs.back();
   std::uint64_t sum = 0;
-  for (std::uint32_t c : sorted) sum += c;
-  d.mean = static_cast<double>(sum) / static_cast<double>(sorted.size());
+  for (std::uint32_t c : costs) sum += c;
+  d.mean = static_cast<double>(sum) / static_cast<double>(n);
   return d;
+}
+
+CostDistribution Engine::RollbackCostDistribution() const {
+  return ComputeCostDistribution(rollback_costs_);
 }
 
 std::string Engine::DumpState() const {

@@ -161,6 +161,11 @@ struct CostDistribution {
   double mean = 0.0;
 };
 
+// Nearest-rank percentiles over a cost sample (the percentile-P value is
+// sorted[ceil(n*P/100) - 1]). Shared by Engine::RollbackCostDistribution
+// and by aggregators that merge samples from several engines.
+CostDistribution ComputeCostDistribution(std::vector<std::uint32_t> costs);
+
 enum class TxnStatus { kReady, kWaiting, kCommitted };
 
 // What one StepTxn performed.
@@ -230,6 +235,11 @@ class Engine {
   // Distribution of individual rollback costs (bounded sample of the most
   // recent 64k rollbacks).
   CostDistribution RollbackCostDistribution() const;
+  // The raw bounded sample behind RollbackCostDistribution, for aggregators
+  // that merge several engines' costs into one distribution.
+  const std::vector<std::uint32_t>& rollback_cost_samples() const {
+    return rollback_costs_;
+  }
   const EngineOptions& options() const { return options_; }
 
   // Installs an event observer (nullptr to detach). Not owned; must

@@ -65,13 +65,11 @@ Result<DistReport> RunDistributed(const DistOptions& options) {
   report.committed = engine.metrics().commits;
   report.completed = completed;
   report.serializable = recorder.IsConflictSerializable();
-  if (report.metrics.ops_executed > 0) {
-    report.wasted_fraction =
-        static_cast<double>(report.metrics.wasted_ops) /
-        static_cast<double>(report.metrics.ops_executed);
-    report.goodput = static_cast<double>(report.committed) /
-                     static_cast<double>(report.metrics.ops_executed);
-  }
+  // SafeRatio keeps both fractions finite for workloads that commit
+  // nothing or execute zero ops (total_txns == 0, max_steps == 0).
+  report.wasted_fraction =
+      SafeRatio(report.metrics.wasted_ops, report.metrics.ops_executed);
+  report.goodput = SafeRatio(report.committed, report.metrics.ops_executed);
 
   // Site analysis of detected deadlocks (§3.3): which could a per-site
   // detector have found without any cross-site communication?
@@ -88,13 +86,9 @@ Result<DistReport> RunDistributed(const DistOptions& options) {
     report.max_sites_in_deadlock = std::max(
         report.max_sites_in_deadlock, static_cast<std::uint32_t>(sites.size()));
   }
-  const std::uint64_t classified =
-      report.deadlocks_local + report.deadlocks_multi_site;
-  if (classified > 0) {
-    report.multi_site_fraction =
-        static_cast<double>(report.deadlocks_multi_site) /
-        static_cast<double>(classified);
-  }
+  report.multi_site_fraction =
+      SafeRatio(report.deadlocks_multi_site,
+                report.deadlocks_local + report.deadlocks_multi_site);
   return report;
 }
 

@@ -1,0 +1,18 @@
+#ifndef PARDB_PAR_REPORT_JSON_H_
+#define PARDB_PAR_REPORT_JSON_H_
+
+#include <string>
+
+#include "par/sharded_driver.h"
+
+namespace pardb::par {
+
+// Machine-readable form of a ShardedReport (hand-rolled writer; the repo
+// takes no JSON dependency). Deterministic: fixed key order and fixed
+// 6-decimal formatting for doubles, so two identical runs serialize to
+// byte-identical strings — the determinism tests compare these directly.
+std::string ShardedReportToJson(const ShardedReport& report, int indent = 0);
+
+}  // namespace pardb::par
+
+#endif  // PARDB_PAR_REPORT_JSON_H_

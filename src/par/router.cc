@@ -1,0 +1,53 @@
+#include "par/router.h"
+
+#include <algorithm>
+#include <set>
+
+#include "dist/distributed.h"
+
+namespace pardb::par {
+
+std::vector<EntityId> EntityFootprint(const txn::Program& program) {
+  std::vector<EntityId> footprint;
+  std::set<EntityId> seen;
+  for (const txn::Op& op : program.ops()) {
+    if (op.code != txn::OpCode::kLockShared &&
+        op.code != txn::OpCode::kLockExclusive) {
+      continue;
+    }
+    if (seen.insert(op.entity).second) footprint.push_back(op.entity);
+  }
+  return footprint;
+}
+
+Route RouteProgram(const txn::Program& program, std::uint32_t num_shards,
+                   std::uint32_t coordinator_shard) {
+  Route route{coordinator_shard, false};
+  if (num_shards <= 1) return Route{0, false};
+  bool first = true;
+  std::uint32_t home = coordinator_shard;
+  for (EntityId e : EntityFootprint(program)) {
+    const std::uint32_t s = dist::SiteOfEntity(e, num_shards);
+    if (first) {
+      home = s;
+      first = false;
+    } else if (s != home) {
+      return Route{coordinator_shard, true};
+    }
+  }
+  if (!first) route.shard = home;
+  return route;
+}
+
+std::vector<std::vector<EntityId>> ShardEntityUniverses(
+    std::uint64_t num_entities, std::uint32_t num_shards) {
+  std::vector<std::vector<EntityId>> universes(
+      std::max<std::uint32_t>(1, num_shards));
+  for (std::uint64_t e = 0; e < num_entities; ++e) {
+    EntityId id(e);
+    universes[dist::SiteOfEntity(id, num_shards)].push_back(id);
+  }
+  return universes;
+}
+
+}  // namespace pardb::par

@@ -1,0 +1,43 @@
+#ifndef PARDB_PAR_ROUTER_H_
+#define PARDB_PAR_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "txn/program.h"
+
+namespace pardb::par {
+
+// Routing of whole transactions over engine shards. The entity partition
+// is the same hash the distributed analysis uses (dist::SiteOfEntity), so
+// "shard" here is the execution analogue of §3.3's "site": a transaction
+// whose footprint stays on one shard is the cheap local case, and one that
+// spans shards is the case that would need cross-site coordination — here
+// it is serialized through a designated coordinator shard instead.
+
+// Distinct entities locked by `program`, in first-lock order.
+std::vector<EntityId> EntityFootprint(const txn::Program& program);
+
+struct Route {
+  std::uint32_t shard = 0;
+  // True when the footprint spans more than one shard (the transaction was
+  // sent to the coordinator, not to a home shard).
+  bool cross_shard = false;
+};
+
+// Shard that owns every entity in `program`'s footprint, or the
+// coordinator when the footprint spans shards. Lock-free programs run on
+// the coordinator too (they touch nothing, so any placement is correct).
+Route RouteProgram(const txn::Program& program, std::uint32_t num_shards,
+                   std::uint32_t coordinator_shard);
+
+// Partition of the dense entity range [0, num_entities) into per-shard
+// pools under dist::SiteOfEntity. Every entity appears in exactly one
+// pool; pools can be empty for small databases.
+std::vector<std::vector<EntityId>> ShardEntityUniverses(
+    std::uint64_t num_entities, std::uint32_t num_shards);
+
+}  // namespace pardb::par
+
+#endif  // PARDB_PAR_ROUTER_H_

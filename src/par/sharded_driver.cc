@@ -1,0 +1,224 @@
+#include "par/sharded_driver.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "analysis/history.h"
+#include "common/random.h"
+#include "par/router.h"
+#include "par/thread_pool.h"
+#include "storage/entity_store.h"
+
+namespace pardb::par {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates the per-shard engine/workload streams
+// from the top-level seed and from each other.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+core::EngineMetrics SumMetrics(const std::vector<ShardResult>& shards) {
+  core::EngineMetrics m;
+  for (const ShardResult& s : shards) {
+    const core::EngineMetrics& a = s.metrics;
+    m.steps += a.steps;
+    m.ops_executed += a.ops_executed;
+    m.commits += a.commits;
+    m.lock_waits += a.lock_waits;
+    m.deadlocks += a.deadlocks;
+    m.rollbacks += a.rollbacks;
+    m.partial_rollbacks += a.partial_rollbacks;
+    m.total_rollbacks += a.total_rollbacks;
+    m.preemptions += a.preemptions;
+    m.wounds += a.wounds;
+    m.deaths += a.deaths;
+    m.timeouts += a.timeouts;
+    m.wasted_ops += a.wasted_ops;
+    m.ideal_wasted_ops += a.ideal_wasted_ops;
+    m.cycles_found += a.cycles_found;
+    m.periodic_scans += a.periodic_scans;
+    m.max_entity_copies = std::max(m.max_entity_copies, a.max_entity_copies);
+    m.max_var_copies = std::max(m.max_var_copies, a.max_var_copies);
+  }
+  return m;
+}
+
+struct ShardRun {
+  std::vector<txn::Program> programs;
+  std::uint32_t concurrency = 1;
+  Status status = Status::OK();
+  ShardResult result;
+  std::vector<std::uint32_t> cost_samples;
+};
+
+// Closed-loop execution of one shard's assigned transactions on its own
+// engine. Runs entirely on one pool thread; touches only `run`.
+void RunOneShard(const ShardedOptions& options, std::uint32_t shard,
+                 ShardRun& run) {
+  run.result.shard = shard;
+  run.result.assigned = run.programs.size();
+
+  storage::EntityStore store;
+  store.CreateMany(options.workload.num_entities, options.initial_value);
+  analysis::HistoryRecorder recorder;
+  core::EngineOptions eopt = options.engine;
+  eopt.seed = DeriveShardSeed(options.seed, shard);
+  core::Engine engine(&store, eopt,
+                      options.check_serializability ? &recorder : nullptr);
+
+  const std::uint64_t total = run.programs.size();
+  std::uint64_t spawned = 0;
+  std::uint64_t steps = 0;
+  bool completed = true;
+  while (engine.metrics().commits < total) {
+    if (++steps > options.max_steps_per_shard) {
+      completed = false;
+      break;
+    }
+    while (spawned < total &&
+           spawned - engine.metrics().commits < run.concurrency) {
+      auto id = engine.Spawn(std::move(run.programs[spawned]));
+      if (!id.ok()) {
+        run.status = id.status();
+        return;
+      }
+      ++spawned;
+    }
+    auto stepped = engine.StepAny();
+    if (!stepped.ok()) {
+      run.status = stepped.status();
+      return;
+    }
+    if (!stepped.value().has_value()) {
+      run.status = Status::Internal("shard " + std::to_string(shard) +
+                                    " stalled:\n" + engine.DumpState());
+      return;
+    }
+  }
+
+  run.result.committed = engine.metrics().commits;
+  run.result.completed = completed;
+  run.result.serializable = !options.check_serializability ||
+                            recorder.IsConflictSerializable();
+  run.result.metrics = engine.metrics();
+  run.result.rollback_costs = engine.RollbackCostDistribution();
+  run.cost_samples = engine.rollback_cost_samples();
+}
+
+}  // namespace
+
+std::uint64_t DeriveShardSeed(std::uint64_t seed, std::uint32_t shard) {
+  return Mix(seed ^ Mix(0x5eed0000ULL + shard));
+}
+
+std::string ShardedReport::ToString() const {
+  std::ostringstream os;
+  os << "shards=" << num_shards << " committed=" << committed
+     << (completed ? "" : " (INCOMPLETE)")
+     << " cross_shard=" << cross_shard_txns
+     << " (frac=" << cross_shard_fraction << ")"
+     << " deadlocks=" << aggregate.deadlocks
+     << " rollbacks=" << aggregate.rollbacks
+     << " wasted=" << aggregate.wasted_ops
+     << " wasted_frac=" << wasted_fraction << " goodput=" << goodput
+     << " serializable=" << (serializable ? "yes" : "NO");
+  return os.str();
+}
+
+Result<ShardedReport> RunSharded(const ShardedOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.coordinator_shard >= options.num_shards) {
+    return Status::InvalidArgument("coordinator_shard out of range");
+  }
+  if (options.workload.num_entities == 0) {
+    return Status::InvalidArgument("workload needs at least one entity");
+  }
+  const std::uint32_t n = options.num_shards;
+
+  // Phase 1 (serial, deterministic): generate and route the workload.
+  // Local transactions draw from one shard's entity pool; with probability
+  // cross_shard_fraction a transaction draws from the full universe. The
+  // authoritative routing decision is always the footprint hash.
+  auto universes = ShardEntityUniverses(options.workload.num_entities, n);
+  std::vector<std::uint32_t> populated;
+  std::vector<std::unique_ptr<sim::WorkloadGenerator>> local(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (universes[s].empty()) continue;
+    sim::WorkloadOptions w = options.workload;
+    w.entity_universe = universes[s];
+    local[s] = std::make_unique<sim::WorkloadGenerator>(
+        w, DeriveShardSeed(options.seed, 0x10000u + s));
+    populated.push_back(s);
+  }
+  sim::WorkloadGenerator global(options.workload,
+                                DeriveShardSeed(options.seed, 0x20000u));
+  Rng route_rng(DeriveShardSeed(options.seed, 0x30000u));
+
+  std::vector<ShardRun> runs(n);
+  ShardedReport report;
+  report.num_shards = n;
+  for (std::uint64_t t = 0; t < options.total_txns; ++t) {
+    const bool want_cross = populated.empty() ||
+                            route_rng.Bernoulli(options.cross_shard_fraction);
+    sim::WorkloadGenerator& gen =
+        want_cross ? global
+                   : *local[populated[route_rng.Uniform(populated.size())]];
+    auto program = gen.Next();
+    if (!program.ok()) return program.status();
+    const Route route =
+        RouteProgram(program.value(), n, options.coordinator_shard);
+    if (route.cross_shard) ++report.cross_shard_txns;
+    runs[route.shard].programs.push_back(std::move(program).value());
+  }
+
+  // Multiprogramming level: split over shards, at least 1 each.
+  const std::uint32_t base = options.concurrency / n;
+  const std::uint32_t rem = options.concurrency % n;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    runs[s].concurrency = std::max<std::uint32_t>(1, base + (s < rem ? 1 : 0));
+  }
+
+  // Phase 2 (parallel): one task per shard; each task reads the shared
+  // options and writes only its own ShardRun. ThreadPool::Wait gives the
+  // aggregation phase a happens-before edge over every task.
+  {
+    ThreadPool pool(options.num_threads == 0 ? n : options.num_threads);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      pool.Submit([&options, s, &runs] { RunOneShard(options, s, runs[s]); });
+    }
+    pool.Wait();
+  }
+
+  std::vector<std::uint32_t> merged_costs;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (!runs[s].status.ok()) return runs[s].status;
+    report.shards.push_back(runs[s].result);
+    merged_costs.insert(merged_costs.end(), runs[s].cost_samples.begin(),
+                        runs[s].cost_samples.end());
+  }
+  report.aggregate = SumMetrics(report.shards);
+  report.rollback_costs = core::ComputeCostDistribution(std::move(merged_costs));
+  report.committed = report.aggregate.commits;
+  for (const ShardResult& s : report.shards) {
+    report.completed = report.completed && s.completed;
+    report.serializable = report.serializable && s.serializable;
+  }
+  report.cross_shard_fraction =
+      SafeRatio(report.cross_shard_txns, options.total_txns);
+  report.wasted_fraction =
+      SafeRatio(report.aggregate.wasted_ops, report.aggregate.ops_executed);
+  report.goodput =
+      SafeRatio(report.committed, report.aggregate.ops_executed);
+  return report;
+}
+
+}  // namespace pardb::par

@@ -1,0 +1,53 @@
+#ifndef PARDB_PAR_THREAD_POOL_H_
+#define PARDB_PAR_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pardb::par {
+
+// Fixed-size worker pool. Tasks are independent closures; Wait() blocks
+// until every submitted task has finished (queue drained AND no task still
+// executing), after which the pool is reusable for another batch.
+//
+// Deliberately minimal: no futures, no task return values, no exceptions
+// across the boundary (tasks report failure through state they own — see
+// RunSharded, where each shard task writes only its own result slot).
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  void Submit(std::function<void()> task);
+
+  // Blocks until all tasks submitted so far have completed.
+  void Wait();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pardb::par
+
+#endif  // PARDB_PAR_THREAD_POOL_H_

@@ -72,18 +72,11 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
   if (options.check_serializability) {
     report.serializable = recorder.IsConflictSerializable();
   }
-  if (report.metrics.ops_executed > 0) {
-    report.wasted_fraction =
-        static_cast<double>(report.metrics.wasted_ops) /
-        static_cast<double>(report.metrics.ops_executed);
-    report.goodput = static_cast<double>(report.committed) /
-                     static_cast<double>(report.metrics.ops_executed);
-  }
-  if (report.committed > 0) {
-    report.deadlocks_per_txn =
-        static_cast<double>(report.metrics.deadlocks) /
-        static_cast<double>(report.committed);
-  }
+  report.wasted_fraction =
+      SafeRatio(report.metrics.wasted_ops, report.metrics.ops_executed);
+  report.goodput = SafeRatio(report.committed, report.metrics.ops_executed);
+  report.deadlocks_per_txn =
+      SafeRatio(report.metrics.deadlocks, report.committed);
   for (TxnId t : all_txns) {
     report.max_preemptions_single_txn = std::max(
         report.max_preemptions_single_txn, engine.PreemptionCountOf(t));

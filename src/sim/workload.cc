@@ -21,22 +21,29 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadOptions& options,
                                      std::uint64_t seed)
     : options_(options),
       rng_(seed),
-      zipf_(options.num_entities, options.zipf_theta) {}
+      zipf_(options.entity_universe.empty() ? options.num_entities
+                                            : options.entity_universe.size(),
+            options.zipf_theta) {}
 
 Result<txn::Program> WorkloadGenerator::Next() {
   const WorkloadOptions& o = options_;
   if (o.min_locks == 0 || o.max_locks < o.min_locks) {
     return Status::InvalidArgument("invalid lock count range");
   }
+  const std::uint64_t universe =
+      o.entity_universe.empty() ? o.num_entities : o.entity_universe.size();
   const std::uint32_t k = static_cast<std::uint32_t>(
       o.min_locks + rng_.Uniform(o.max_locks - o.min_locks + 1));
 
   // Distinct entities (Zipfian with rejection of duplicates).
   std::vector<EntityId> entities;
   std::set<std::uint64_t> seen;
-  while (entities.size() < k && seen.size() < o.num_entities) {
+  while (entities.size() < k && seen.size() < universe) {
     std::uint64_t e = zipf_.Next(rng_);
-    if (seen.insert(e).second) entities.push_back(EntityId(e));
+    if (seen.insert(e).second) {
+      entities.push_back(o.entity_universe.empty() ? EntityId(e)
+                                                   : o.entity_universe[e]);
+    }
   }
   if (o.sorted_entities) std::sort(entities.begin(), entities.end());
 

@@ -31,6 +31,13 @@ std::string_view WritePatternName(WritePattern p);
 
 struct WorkloadOptions {
   std::uint64_t num_entities = 64;
+  // When non-empty, programs draw their entities from this pool instead of
+  // the dense range [0, num_entities). Lets a caller carve the database
+  // into locality domains (e.g. par::RunSharded generates mostly
+  // shard-local transactions from per-shard pools). Zipf skew applies to
+  // the pool's index order. Programs lock at most pool-size entities even
+  // if min_locks asks for more.
+  std::vector<EntityId> entity_universe;
   // Zipfian skew over entities; 0 = uniform.
   double zipf_theta = 0.0;
   std::uint32_t min_locks = 2;

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/engine.h"
 #include "dist/distributed.h"
 #include "storage/entity_store.h"
@@ -280,6 +282,23 @@ TEST(DistributedReportTest, PreventionCostsMoreRollbacksButNoGraph) {
   EXPECT_GE(wr->metrics.rollbacks, dr->metrics.rollbacks);
   EXPECT_EQ(wr->metrics.cycles_found, 0u);
   EXPECT_GT(dr->metrics.cycles_found, 0u);
+}
+
+TEST(DistributedReportTest, EmptyWorkloadReportStaysFinite) {
+  // Zero transactions -> zero commits and zero executed ops. Every report
+  // fraction must degrade to a finite 0.0, never NaN/inf.
+  DistOptions opt;
+  opt.total_txns = 0;
+  auto rep = RunDistributed(opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(rep->committed, 0u);
+  EXPECT_EQ(rep->metrics.ops_executed, 0u);
+  EXPECT_TRUE(std::isfinite(rep->wasted_fraction));
+  EXPECT_TRUE(std::isfinite(rep->goodput));
+  EXPECT_TRUE(std::isfinite(rep->multi_site_fraction));
+  EXPECT_EQ(rep->wasted_fraction, 0.0);
+  EXPECT_EQ(rep->goodput, 0.0);
+  EXPECT_EQ(rep->multi_site_fraction, 0.0);
 }
 
 }  // namespace

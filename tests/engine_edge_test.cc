@@ -145,6 +145,110 @@ TEST_F(EngineEdgeTest, RollbackCostDistributionPercentiles) {
   EXPECT_GT(d.mean, 0.0);
 }
 
+TEST(CostDistributionTest, NearestRankPercentiles) {
+  // Pins the nearest-rank semantics (percentile P = sorted[ceil(n*P/100) -
+  // 1]). The old p95 guard `(n*95)/100 == n` was dead code — true only for
+  // n == 0 — so p95 silently used the floor rank.
+  auto Sample = [](std::uint64_t n) {
+    std::vector<std::uint32_t> costs;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      costs.push_back(static_cast<std::uint32_t>(i));  // values 1..n
+    }
+    return ComputeCostDistribution(std::move(costs));
+  };
+
+  EXPECT_EQ(ComputeCostDistribution({}).count, 0u);
+
+  auto d1 = Sample(1);  // single sample: every percentile is that sample
+  EXPECT_EQ(d1.p50, 1u);
+  EXPECT_EQ(d1.p95, 1u);
+  EXPECT_EQ(d1.max, 1u);
+
+  auto d19 = Sample(19);  // ceil(19*.95)=19 -> the max, not sorted[18*95/100]
+  EXPECT_EQ(d19.p50, 10u);
+  EXPECT_EQ(d19.p95, 19u);
+  EXPECT_EQ(d19.max, 19u);
+
+  auto d20 = Sample(20);  // ceil(20*.95)=19: first n where p95 < max
+  EXPECT_EQ(d20.p50, 10u);
+  EXPECT_EQ(d20.p95, 19u);
+  EXPECT_EQ(d20.max, 20u);
+
+  auto d100 = Sample(100);  // ceil(100*.95)=95
+  EXPECT_EQ(d100.p50, 50u);
+  EXPECT_EQ(d100.p95, 95u);
+  EXPECT_EQ(d100.max, 100u);
+  EXPECT_DOUBLE_EQ(d100.mean, 50.5);
+}
+
+// A holder with `busy_ops` compute steps between acquiring the lock and
+// committing: long enough to outlast any small wait timeout.
+txn::Program SlowHolder(EntityId e, int busy_ops) {
+  ProgramBuilder b("holder", 1);
+  b.LockExclusive(e);
+  for (int i = 0; i < busy_ops; ++i) {
+    b.Compute(0, Operand::Var(0), txn::ArithOp::kAdd, Operand::Imm(1));
+  }
+  b.WriteImm(e, 1).Commit();
+  auto p = b.Build();
+  EXPECT_TRUE(p.ok());
+  return std::move(p).value();
+}
+
+TEST_F(EngineEdgeTest, TimeoutExpiresLongNonDeadlockedWait) {
+  // kTimeout's documented false positive (engine.h): a wait that merely
+  // outlives wait_timeout_steps is expired by StepAny even though no
+  // deadlock exists.
+  EngineOptions opt;
+  opt.handling = DeadlockHandling::kTimeout;
+  opt.wait_timeout_steps = 4;
+  Init(opt);
+  auto holder = engine_->Spawn(SlowHolder(ids_[0], /*busy_ops=*/12));
+  auto waiter = engine_->Spawn(TwoLock(ids_[0], ids_[1], "waiter"));
+  ASSERT_TRUE(holder.ok());
+  ASSERT_TRUE(waiter.ok());
+  ASSERT_TRUE(engine_->RunToCompletion().ok());  // drives via StepAny
+  EXPECT_TRUE(engine_->AllCommitted());
+  EXPECT_EQ(engine_->metrics().deadlocks, 0u);
+  EXPECT_GE(engine_->metrics().timeouts, 1u);
+  // The waiter held nothing, so expiring it was a zero-cost total rollback.
+  EXPECT_EQ(engine_->metrics().rollbacks, engine_->metrics().timeouts);
+}
+
+TEST_F(EngineEdgeTest, ManualStepTxnNeverExpiresTimeouts) {
+  // Timeouts are checked only by StepAny()/RunToCompletion(); purely
+  // manual StepTxn driving never expires a wait (engine.h:60-62).
+  EngineOptions opt;
+  opt.handling = DeadlockHandling::kTimeout;
+  opt.wait_timeout_steps = 4;
+  Init(opt);
+  auto holder = engine_->Spawn(SlowHolder(ids_[0], /*busy_ops=*/12));
+  auto waiter = engine_->Spawn(TwoLock(ids_[0], ids_[1], "waiter"));
+  ASSERT_TRUE(holder.ok());
+  ASSERT_TRUE(waiter.ok());
+  // Holder takes its lock; waiter blocks behind it.
+  ASSERT_TRUE(engine_->StepTxn(holder.value()).ok());
+  auto blocked = engine_->StepTxn(waiter.value());
+  ASSERT_TRUE(blocked.ok());
+  ASSERT_EQ(blocked.value(), StepOutcome::kBlocked);
+  // Drive the holder far past the timeout threshold: the wait ages in
+  // engine steps but is never expired.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine_->StepTxn(holder.value()).ok());
+    EXPECT_EQ(engine_->metrics().timeouts, 0u);
+    EXPECT_EQ(engine_->StatusOf(waiter.value()), TxnStatus::kWaiting);
+  }
+  // Finish both; the waiter is granted on release, never timed out.
+  while (!engine_->AllCommitted()) {
+    auto holder_step = engine_->StepTxn(holder.value());
+    ASSERT_TRUE(holder_step.ok());
+    auto waiter_step = engine_->StepTxn(waiter.value());
+    ASSERT_TRUE(waiter_step.ok());
+  }
+  EXPECT_EQ(engine_->metrics().timeouts, 0u);
+  EXPECT_EQ(engine_->metrics().rollbacks, 0u);
+}
+
 TEST(SimDriverEdgeTest, IncompleteRunReported) {
   // Unconstrained min-cost on the adversarial workload with a tiny step
   // budget: the driver reports completed=false instead of erroring.

@@ -1,0 +1,256 @@
+// Sharded parallel execution: routing, thread pool, determinism and
+// aggregate correctness of par::RunSharded. The whole suite is also run
+// under ThreadSanitizer in CI (-DPARDB_TSAN=ON).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "dist/distributed.h"
+#include "par/report_json.h"
+#include "par/router.h"
+#include "par/sharded_driver.h"
+#include "par/thread_pool.h"
+#include "txn/program.h"
+
+namespace pardb::par {
+namespace {
+
+txn::Program LockProgram(const std::vector<EntityId>& entities) {
+  txn::ProgramBuilder b("p", 0);
+  for (EntityId e : entities) b.LockExclusive(e);
+  b.Commit();
+  auto p = b.Build();
+  EXPECT_TRUE(p.ok());
+  return std::move(p).value();
+}
+
+// Finds entity ids on the given shard (under the 4-shard partition).
+std::vector<EntityId> EntitiesOnShard(std::uint32_t shard,
+                                      std::uint32_t num_shards,
+                                      std::size_t count) {
+  std::vector<EntityId> out;
+  for (std::uint64_t e = 0; out.size() < count && e < 10'000; ++e) {
+    if (dist::SiteOfEntity(EntityId(e), num_shards) == shard) {
+      out.push_back(EntityId(e));
+    }
+  }
+  EXPECT_EQ(out.size(), count);
+  return out;
+}
+
+TEST(RouterTest, FootprintIsDistinctEntitiesInLockOrder) {
+  txn::ProgramBuilder b("p", 1);
+  b.LockShared(EntityId(7))
+      .LockExclusive(EntityId(3))
+      .LockExclusive(EntityId(7))  // S->X upgrade: not a new footprint entry
+      .Read(EntityId(3), 0)
+      .Commit();
+  auto p = b.Build();
+  ASSERT_TRUE(p.ok());
+  auto fp = EntityFootprint(p.value());
+  ASSERT_EQ(fp.size(), 2u);
+  EXPECT_EQ(fp[0], EntityId(7));
+  EXPECT_EQ(fp[1], EntityId(3));
+}
+
+TEST(RouterTest, SingleShardFootprintRoutedHome) {
+  const std::uint32_t kShards = 4;
+  for (std::uint32_t shard = 0; shard < kShards; ++shard) {
+    auto program = LockProgram(EntitiesOnShard(shard, kShards, 3));
+    const Route r = RouteProgram(program, kShards, /*coordinator_shard=*/0);
+    EXPECT_FALSE(r.cross_shard);
+    EXPECT_EQ(r.shard, shard);
+  }
+}
+
+TEST(RouterTest, SpanningFootprintGoesToCoordinator) {
+  const std::uint32_t kShards = 4;
+  std::vector<EntityId> mixed = EntitiesOnShard(1, kShards, 1);
+  mixed.push_back(EntitiesOnShard(2, kShards, 1)[0]);
+  const Route r = RouteProgram(LockProgram(mixed), kShards,
+                               /*coordinator_shard=*/3);
+  EXPECT_TRUE(r.cross_shard);
+  EXPECT_EQ(r.shard, 3u);
+}
+
+TEST(RouterTest, SingleShardSystemRoutesEverythingToShardZero) {
+  auto program = LockProgram({EntityId(5), EntityId(9)});
+  const Route r = RouteProgram(program, 1, 0);
+  EXPECT_FALSE(r.cross_shard);
+  EXPECT_EQ(r.shard, 0u);
+}
+
+TEST(RouterTest, ShardUniversesPartitionTheEntityRange) {
+  const std::uint64_t kEntities = 257;
+  auto universes = ShardEntityUniverses(kEntities, 4);
+  ASSERT_EQ(universes.size(), 4u);
+  std::set<EntityId> seen;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    for (EntityId e : universes[s]) {
+      EXPECT_EQ(dist::SiteOfEntity(e, 4), s);
+      EXPECT_TRUE(seen.insert(e).second) << "entity in two universes";
+    }
+  }
+  EXPECT_EQ(seen.size(), kEntities);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskAcrossBatches) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();  // pool is reusable after Wait
+    EXPECT_EQ(count.load(), (batch + 1) * 100);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool waits for the queue
+  EXPECT_EQ(count.load(), 50);
+}
+
+ShardedOptions SmallOptions(std::uint32_t shards, std::uint64_t seed) {
+  ShardedOptions opt;
+  opt.num_shards = shards;
+  opt.workload.num_entities = 64;
+  opt.workload.min_locks = 2;
+  opt.workload.max_locks = 4;
+  opt.workload.ops_per_entity = 2;
+  opt.cross_shard_fraction = 0.2;
+  opt.concurrency = 8;
+  opt.total_txns = 120;
+  opt.seed = seed;
+  opt.engine.scheduler = core::SchedulerKind::kRandom;
+  return opt;
+}
+
+TEST(ShardedDriverTest, CommitsEveryTransactionAndStaysSerializable) {
+  auto rep = RunSharded(SmallOptions(4, 11));
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(rep->committed, 120u);
+  EXPECT_TRUE(rep->completed);
+  EXPECT_TRUE(rep->serializable);
+  ASSERT_EQ(rep->shards.size(), 4u);
+  std::uint64_t assigned = 0;
+  for (const ShardResult& s : rep->shards) {
+    EXPECT_EQ(s.committed, s.assigned);
+    EXPECT_TRUE(s.serializable);
+    assigned += s.assigned;
+  }
+  EXPECT_EQ(assigned, 120u);
+  EXPECT_TRUE(std::isfinite(rep->goodput));
+  EXPECT_TRUE(std::isfinite(rep->wasted_fraction));
+}
+
+TEST(ShardedDriverTest, BitIdenticalAcrossRepeatedRuns) {
+  // Same options, repeated runs, different worker counts: thread
+  // scheduling must not leak into the report.
+  auto opt = SmallOptions(2, 7);
+  auto a = RunSharded(opt);
+  ASSERT_TRUE(a.ok());
+  auto b = RunSharded(opt);
+  ASSERT_TRUE(b.ok());
+  opt.num_threads = 1;  // fully serial execution of the same shards
+  auto c = RunSharded(opt);
+  ASSERT_TRUE(c.ok());
+  const std::string ja = ShardedReportToJson(a.value());
+  EXPECT_EQ(ja, ShardedReportToJson(b.value()));
+  EXPECT_EQ(ja, ShardedReportToJson(c.value()));
+  EXPECT_EQ(a->ToString(), b->ToString());
+}
+
+TEST(ShardedDriverTest, ShardsUseDistinctDerivedSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    seeds.insert(DeriveShardSeed(42, s));
+  }
+  EXPECT_EQ(seeds.size(), 16u);
+  EXPECT_NE(DeriveShardSeed(42, 0), DeriveShardSeed(43, 0));
+}
+
+TEST(ShardedDriverTest, CrossShardFractionTracksWorkloadLocality) {
+  auto local = SmallOptions(4, 3);
+  local.cross_shard_fraction = 0.0;  // every txn drawn from one shard's pool
+  auto lrep = RunSharded(local);
+  ASSERT_TRUE(lrep.ok());
+  EXPECT_EQ(lrep->cross_shard_txns, 0u);
+
+  auto mixed = SmallOptions(4, 3);
+  mixed.cross_shard_fraction = 1.0;  // every txn drawn from the full range
+  auto mrep = RunSharded(mixed);
+  ASSERT_TRUE(mrep.ok());
+  // Multi-entity txns over a 4-shard hash partition almost surely span
+  // shards; all of those serialize through the coordinator (shard 0).
+  EXPECT_GT(mrep->cross_shard_fraction, 0.5);
+  for (const ShardResult& s : mrep->shards) {
+    if (s.shard != 0) continue;
+    EXPECT_GE(s.assigned, mrep->cross_shard_txns);
+  }
+}
+
+TEST(ShardedDriverTest, ZeroTransactionReportIsFiniteZeros) {
+  auto opt = SmallOptions(2, 1);
+  opt.total_txns = 0;
+  auto rep = RunSharded(opt);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->committed, 0u);
+  EXPECT_EQ(rep->goodput, 0.0);
+  EXPECT_EQ(rep->wasted_fraction, 0.0);
+  EXPECT_EQ(rep->cross_shard_fraction, 0.0);
+  EXPECT_TRUE(std::isfinite(rep->goodput));
+}
+
+TEST(ShardedDriverTest, InvalidOptionsRejected) {
+  auto opt = SmallOptions(2, 1);
+  opt.num_shards = 0;
+  EXPECT_EQ(RunSharded(opt).status().code(), StatusCode::kInvalidArgument);
+  opt = SmallOptions(2, 1);
+  opt.coordinator_shard = 2;
+  EXPECT_EQ(RunSharded(opt).status().code(), StatusCode::kInvalidArgument);
+  opt = SmallOptions(2, 1);
+  opt.workload.num_entities = 0;
+  EXPECT_EQ(RunSharded(opt).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedDriverTest, AggregateMatchesShardSums) {
+  auto rep = RunSharded(SmallOptions(4, 19));
+  ASSERT_TRUE(rep.ok());
+  std::uint64_t commits = 0, rollbacks = 0, ops = 0, costs = 0;
+  for (const ShardResult& s : rep->shards) {
+    commits += s.metrics.commits;
+    rollbacks += s.metrics.rollbacks;
+    ops += s.metrics.ops_executed;
+    costs += s.rollback_costs.count;
+  }
+  EXPECT_EQ(rep->aggregate.commits, commits);
+  EXPECT_EQ(rep->aggregate.rollbacks, rollbacks);
+  EXPECT_EQ(rep->aggregate.ops_executed, ops);
+  EXPECT_EQ(rep->rollback_costs.count, costs);
+}
+
+TEST(ShardedDriverTest, JsonIsWellFormedEnoughToGrep) {
+  auto rep = RunSharded(SmallOptions(2, 5));
+  ASSERT_TRUE(rep.ok());
+  const std::string json = ShardedReportToJson(rep.value());
+  EXPECT_NE(json.find("\"num_shards\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\":["), std::string::npos);
+  EXPECT_NE(json.find("\"cross_shard_fraction\":"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace pardb::par
