@@ -15,9 +15,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "bench/table_util.h"
 #include "par/report_json.h"
@@ -87,6 +89,52 @@ void PrintReproduction() {
                "timings vary)\n";
 }
 
+// Telemetry overhead: the same 4-shard run with the metric probes attached
+// (counters, sampled timers — trace sink disabled, the production default)
+// against ShardedOptions::instrument = false. Medians of `kRounds`
+// alternating runs keep scheduler noise out of the comparison. The budget
+// is 5%; BENCH_parallel_overhead.json records the verdict.
+void PrintInstrumentationOverhead() {
+  constexpr int kRounds = 5;
+  auto once = [](bool instrument) {
+    auto opt = Base(4, 2400);
+    opt.instrument = instrument;
+    const auto start = std::chrono::steady_clock::now();
+    auto rep = par::RunSharded(opt);
+    const double elapsed = Seconds(start, std::chrono::steady_clock::now());
+    if (!rep.ok()) {
+      std::cerr << "sharded run failed: " << rep.status() << "\n";
+      return -1.0;
+    }
+    return elapsed;
+  };
+  (void)once(false);  // warm-up
+  std::vector<double> on, off;
+  for (int i = 0; i < kRounds; ++i) {
+    off.push_back(once(false));
+    on.push_back(once(true));
+  }
+  std::sort(on.begin(), on.end());
+  std::sort(off.begin(), off.end());
+  const double base = off[kRounds / 2];
+  const double instr = on[kRounds / 2];
+  const double overhead_pct =
+      base > 0 ? (instr - base) / base * 100.0 : 0.0;
+
+  Section("Telemetry overhead (4 shards, metrics on vs off, median of 5)");
+  Table t({"variant", "elapsed (s)", "overhead vs off (%)"});
+  t.AddRow("instrument=off", base, 0.0);
+  t.AddRow("instrument=on", instr, overhead_pct);
+  t.Print();
+  std::cout << "(budget: 5%; trace collection stays off in both variants)\n";
+
+  std::ofstream json("BENCH_parallel_overhead.json");
+  json << "{\"baseline_seconds\":" << base
+       << ",\"instrumented_seconds\":" << instr
+       << ",\"overhead_pct\":" << overhead_pct
+       << ",\"budget_pct\":5}\n";
+}
+
 void BM_ShardedThroughput(benchmark::State& state) {
   const auto shards = static_cast<std::uint32_t>(state.range(0));
   for (auto _ : state) {
@@ -103,6 +151,7 @@ BENCHMARK(BM_ShardedThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 int main(int argc, char** argv) {
   PrintReproduction();
+  PrintInstrumentationOverhead();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

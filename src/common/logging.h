@@ -13,6 +13,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Parses "debug" / "info" / "warning" / "error" / "off" (case-sensitive).
+// Returns false and leaves *level untouched on anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
 namespace internal_logging {
 
 // Accumulates one log line and emits it to stderr on destruction.

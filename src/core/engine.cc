@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "core/vertex_cut.h"
+#include "obs/phase_timer.h"
 
 namespace pardb::core {
 
@@ -66,6 +67,7 @@ Result<TxnId> Engine::Spawn(std::shared_ptr<const txn::Program> program) {
   if (recorder_ != nullptr) recorder_->OnBegin(id, ctx.entry);
   auto [it, inserted] = txns_.emplace(id, std::move(ctx));
   (void)inserted;
+  live_.insert(id);
   Emit(TraceEvent::Kind::kSpawn, it->second);
   return id;
 }
@@ -175,7 +177,17 @@ Result<StepOutcome> Engine::ExecuteLock(TxnContext& ctx, const txn::Op& op) {
   const lock::LockMode mode = op.code == txn::OpCode::kLockShared
                                   ? lock::LockMode::kShared
                                   : lock::LockMode::kExclusive;
+  // Sampled lock-op timing (1 in 16): frequent enough for a stable
+  // distribution, rare enough that clock reads stay off the hot path.
+  const bool time_op = probe_ != nullptr && probe_->lock_op_ns != nullptr &&
+                       (lock_op_counter_++ & 0xF) == 0;
+  const std::uint64_t op_start =
+      time_op ? probe_->EffectiveClock()->NowNanos() : 0;
   auto outcome = locks_.Request(ctx.id, op.entity, mode);
+  if (time_op) {
+    probe_->lock_op_ns->Record(probe_->EffectiveClock()->NowNanos() -
+                               op_start);
+  }
   if (!outcome.ok()) return outcome.status();
   if (outcome.value().granted) {
     PARDB_RETURN_IF_ERROR(
@@ -228,6 +240,11 @@ Result<StepOutcome> Engine::ExecuteLock(TxnContext& ctx, const txn::Op& op) {
 
 Status Engine::RegisterGrant(TxnContext& ctx, EntityId entity,
                              lock::LockMode mode, bool is_upgrade) {
+  if (ctx.status == TxnStatus::kWaiting && probe_ != nullptr &&
+      probe_->lock_wait_steps != nullptr) {
+    // Wait duration in engine steps — deterministic, unlike wall time.
+    probe_->lock_wait_steps->Record(metrics_.steps - ctx.wait_since);
+  }
   const LockIndex lock_state = ctx.granted.size();
   ctx.granted.push_back(LockRecord{entity, mode, is_upgrade, ctx.pc});
   auto global = store_->Get(entity);
@@ -292,6 +309,7 @@ Status Engine::ExecuteCommit(TxnContext& ctx) {
   }
   ctx.status = TxnStatus::kCommitted;
   ctx.pc = ctx.program->size();
+  live_.erase(ctx.id);
   waits_for_.RemoveVertex(ctx.id.value());
   if (recorder_ != nullptr) recorder_->OnCommit(ctx.id);
   Emit(TraceEvent::Kind::kCommit, ctx);
@@ -363,12 +381,17 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
   for (int round = 0; round < 64; ++round) {
     if (requester_rolled_back) break;
     std::vector<graph::Cycle> cycles;
-    waits_for_.EnumerateCyclesThrough(
-        requester.id.value(), options_.max_cycles_per_deadlock,
-        [&cycles](const graph::Cycle& c) {
-          cycles.push_back(c);
-          return true;
-        });
+    {
+      obs::ScopedTimer detect_timer(
+          probe_ != nullptr ? probe_->detection_ns : nullptr,
+          probe_ != nullptr ? probe_->clock : nullptr);
+      waits_for_.EnumerateCyclesThrough(
+          requester.id.value(), options_.max_cycles_per_deadlock,
+          [&cycles](const graph::Cycle& c) {
+            cycles.push_back(c);
+            return true;
+          });
+    }
     if (cycles.empty()) break;
     ++metrics_.deadlocks;
     metrics_.cycles_found += cycles.size();
@@ -493,6 +516,37 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
       return Status::Internal("deadlock resolution chose no victim");
     }
 
+    // Forensics: full dump of the cycle before any rollback mutates it.
+    if (forensics_ != nullptr) {
+      obs::DeadlockDump dump;
+      dump.step = metrics_.steps;
+      dump.requester = requester.id;
+      dump.requested_entity = entity;
+      dump.num_cycles = cycles.size();
+      dump.policy = std::string(VictimPolicyKindName(options_.victim_policy));
+      for (const graph::Edge& e : cycles.front().edges) {
+        // Edge e: blocker (from) -> waiter (to); the forensic arc reads
+        // "waiter waits for holder".
+        dump.arcs.push_back(
+            obs::WaitsForArc{TxnId(e.to), TxnId(e.from), EntityId(e.label)});
+      }
+      for (const VictimCandidate& c : candidates) {
+        obs::DeadlockParticipant p;
+        p.txn = c.txn;
+        p.entry = c.entry;
+        p.cost = c.cost;
+        p.ideal_cost = c.ideal_cost;
+        p.target = c.actual_target;
+        p.is_requester = c.is_requester;
+        for (const VictimCandidate* v : victims) {
+          if (v->txn == c.txn) p.is_victim = true;
+        }
+        dump.participants.push_back(std::move(p));
+      }
+      for (const VictimCandidate* v : victims) dump.victims.push_back(v->txn);
+      forensics_->OnDeadlock(dump);
+    }
+
     // Record the event before mutating state.
     if (deadlock_events_.size() < options_.max_recorded_events) {
       DeadlockEvent ev;
@@ -524,8 +578,14 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
       if (!v->is_requester) {
         ++metrics_.preemptions;
         ++victim->preempted;
+        if (probe_ != nullptr && probe_->victims_preempted != nullptr) {
+          probe_->victims_preempted->Inc();
+        }
       } else {
         requester_rolled_back = true;
+        if (probe_ != nullptr && probe_->victims_requester != nullptr) {
+          probe_->victims_requester->Inc();
+        }
       }
       PARDB_RETURN_IF_ERROR(RollbackTxn(*victim, v->actual_target));
     }
@@ -617,9 +677,10 @@ Result<bool> Engine::HandleWaitDie(TxnContext& requester, EntityId entity) {
 Status Engine::ExpireTimeouts() {
   // Collect first: rollbacks mutate the transaction map's wait states.
   std::vector<TxnId> expired;
-  for (const auto& [id, ctx] : txns_) {
-    if (ctx.status == TxnStatus::kWaiting &&
-        metrics_.steps - ctx.wait_since > options_.wait_timeout_steps) {
+  for (TxnId id : live_) {
+    const TxnContext* ctx = Find(id);
+    if (ctx != nullptr && ctx->status == TxnStatus::kWaiting &&
+        metrics_.steps - ctx->wait_since > options_.wait_timeout_steps) {
       expired.push_back(id);
     }
   }
@@ -676,6 +737,9 @@ Status Engine::PeriodicScan() {
 }
 
 Status Engine::RollbackTxn(TxnContext& victim, LockIndex target) {
+  obs::ScopedTimer rollback_timer(
+      probe_ != nullptr ? probe_->rollback_apply_ns : nullptr,
+      probe_ != nullptr ? probe_->clock : nullptr);
   const std::uint64_t cost =
       victim.pc - (target < victim.granted.size()
                        ? victim.granted[target].op_index
@@ -782,8 +846,11 @@ Result<std::optional<TxnId>> Engine::StepAny() {
   }
   auto CollectReady = [this]() {
     std::vector<TxnId> ready;
-    for (const auto& [id, ctx] : txns_) {
-      if (ctx.status == TxnStatus::kReady) ready.push_back(id);
+    for (TxnId id : live_) {  // id order, like the txns_ scan it replaces
+      const TxnContext* ctx = Find(id);
+      if (ctx != nullptr && ctx->status == TxnStatus::kReady) {
+        ready.push_back(id);
+      }
     }
     return ready;
   };
@@ -799,9 +866,9 @@ Result<std::optional<TxnId>> Engine::StepAny() {
     // logical clock with idle ticks until some wait expires and its owner
     // becomes runnable again.
     auto AnyWaiting = [this]() {
-      for (const auto& [id, ctx] : txns_) {
-        (void)id;
-        if (ctx.status == TxnStatus::kWaiting) return true;
+      for (TxnId id : live_) {
+        const TxnContext* ctx = Find(id);
+        if (ctx != nullptr && ctx->status == TxnStatus::kWaiting) return true;
       }
       return false;
     };
@@ -837,9 +904,9 @@ Status Engine::RunToCompletion(std::uint64_t max_steps) {
     if (!stepped.value().has_value()) {
       if (options_.handling == DeadlockHandling::kTimeout) {
         bool any_waiting = false;
-        for (const auto& [id, ctx] : txns_) {
-          (void)id;
-          if (ctx.status == TxnStatus::kWaiting) {
+        for (TxnId id : live_) {
+          const TxnContext* ctx = Find(id);
+          if (ctx != nullptr && ctx->status == TxnStatus::kWaiting) {
             any_waiting = true;
             break;
           }
@@ -856,11 +923,8 @@ Status Engine::RunToCompletion(std::uint64_t max_steps) {
 }
 
 bool Engine::AllCommitted() const {
-  for (const auto& [id, ctx] : txns_) {
-    (void)id;
-    if (ctx.status != TxnStatus::kCommitted) return false;
-  }
-  return true;
+  // live_ holds exactly the uncommitted transactions.
+  return live_.empty();
 }
 
 TxnStatus Engine::StatusOf(TxnId txn) const {

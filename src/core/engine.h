@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +17,8 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/trace.h"
+#include "obs/forensics.h"
+#include "obs/probe.h"
 #include "core/victim_policy.h"
 #include "graph/digraph.h"
 #include "lock/lock_manager.h"
@@ -246,6 +249,23 @@ class Engine {
   // outlive the engine or be detached first.
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
+  // Installs telemetry probes (nullptr to detach). The probe (and the
+  // metrics behind it) must outlive the engine or be detached first. Also
+  // hands the embedded lock probe to the lock manager.
+  void set_probe(const obs::EngineProbe* probe) {
+    probe_ = probe;
+    locks_.set_probe(probe != nullptr ? &probe->lock : nullptr);
+  }
+
+  // Installs a deadlock forensics sink (nullptr to detach): one
+  // DeadlockDump per resolved deadlock, emitted after victim selection and
+  // before any rollback mutates the cycle.
+  void set_forensics(obs::DeadlockDumpSink* sink) { forensics_ = sink; }
+
+  // Transactions spawned but not yet committed — the scan set StepAny
+  // schedules from.
+  std::size_t live_txn_count() const { return live_.size(); }
+
   // Per-transaction counters for preemption analysis (Figure 2): how many
   // times txn was rolled back as a victim of another's conflict.
   std::uint64_t PreemptionCountOf(TxnId txn) const;
@@ -332,11 +352,18 @@ class Engine {
 
   storage::EntityStore* store_;
   EngineOptions options_;
-  analysis::HistoryRecorder* recorder_;  // may be null
-  TraceSink* trace_ = nullptr;           // may be null
+  analysis::HistoryRecorder* recorder_;       // may be null
+  TraceSink* trace_ = nullptr;                // may be null
+  const obs::EngineProbe* probe_ = nullptr;   // may be null
+  obs::DeadlockDumpSink* forensics_ = nullptr;  // may be null
   lock::LockManager locks_;
   graph::Digraph waits_for_;
   std::map<TxnId, TxnContext> txns_;
+  // Uncommitted transaction ids in id order: the scheduler's scan set.
+  // Committed contexts stay in txns_ for introspection but leave live_, so
+  // StepAny is O(live) rather than O(all spawned).
+  std::set<TxnId> live_;
+  std::uint64_t lock_op_counter_ = 0;  // 1-in-16 sampling for lock_op_ns
   EngineMetrics metrics_;
   std::vector<DeadlockEvent> deadlock_events_;
   std::vector<std::uint32_t> rollback_costs_;  // bounded sample

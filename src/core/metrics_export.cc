@@ -1,0 +1,40 @@
+#include "core/metrics_export.h"
+
+namespace pardb::core {
+
+void ExportEngineMetrics(const Engine& engine, obs::MetricsRegistry* registry,
+                         const obs::LabelSet& labels) {
+  const EngineMetrics& m = engine.metrics();
+  auto Add = [&](const char* name, std::uint64_t v) {
+    registry->GetCounter(name, labels)->Inc(v);
+  };
+  Add("pardb_steps_total", m.steps);
+  Add("pardb_ops_executed_total", m.ops_executed);
+  Add("pardb_commits_total", m.commits);
+  Add("pardb_lock_waits_total", m.lock_waits);
+  Add("pardb_deadlocks_total", m.deadlocks);
+  Add("pardb_rollbacks_total", m.rollbacks);
+  Add("pardb_partial_rollbacks_total", m.partial_rollbacks);
+  Add("pardb_total_rollbacks_total", m.total_rollbacks);
+  Add("pardb_preemptions_total", m.preemptions);
+  Add("pardb_wounds_total", m.wounds);
+  Add("pardb_deaths_total", m.deaths);
+  Add("pardb_timeouts_total", m.timeouts);
+  Add("pardb_wasted_ops_total", m.wasted_ops);
+  Add("pardb_ideal_wasted_ops_total", m.ideal_wasted_ops);
+  Add("pardb_cycles_found_total", m.cycles_found);
+  Add("pardb_periodic_scans_total", m.periodic_scans);
+
+  registry->GetGauge("pardb_max_entity_copies", labels)
+      ->SetMax(static_cast<std::int64_t>(m.max_entity_copies));
+  registry->GetGauge("pardb_max_var_copies", labels)
+      ->SetMax(static_cast<std::int64_t>(m.max_var_copies));
+  registry->GetGauge("pardb_live_txns", labels)
+      ->Set(static_cast<std::int64_t>(engine.live_txn_count()));
+
+  obs::Histogram* costs =
+      registry->GetHistogram("pardb_rollback_cost_ops", labels);
+  for (std::uint32_t c : engine.rollback_cost_samples()) costs->Record(c);
+}
+
+}  // namespace pardb::core

@@ -1,0 +1,20 @@
+#ifndef PARDB_CORE_METRICS_EXPORT_H_
+#define PARDB_CORE_METRICS_EXPORT_H_
+
+#include "core/engine.h"
+#include "obs/metrics.h"
+
+namespace pardb::core {
+
+// Mirrors an engine's end-of-run aggregates into `registry` under the
+// canonical pardb_* names (counters for EngineMetrics, gauges for space
+// high-water marks and live transactions, and the per-rollback cost sample
+// as the step-valued histogram pardb_rollback_cost_ops). Call once per
+// engine per registry — values are added, not overwritten, so a repeated
+// call double-counts.
+void ExportEngineMetrics(const Engine& engine, obs::MetricsRegistry* registry,
+                         const obs::LabelSet& labels = {});
+
+}  // namespace pardb::core
+
+#endif  // PARDB_CORE_METRICS_EXPORT_H_

@@ -54,8 +54,14 @@ void RingTrace::OnEvent(const TraceEvent& event) {
   ++total_;
   const auto idx = static_cast<std::size_t>(event.kind);
   if (idx < sizeof(counts_) / sizeof(counts_[0])) ++counts_[idx];
-  if (capacity_ == 0) return;
-  if (events_.size() == capacity_) events_.pop_front();
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
   events_.push_back(event);
 }
 

@@ -58,6 +58,9 @@ class RingTrace final : public TraceSink {
   const std::deque<TraceEvent>& events() const { return events_; }
   std::uint64_t CountOf(TraceEvent::Kind kind) const;
   std::uint64_t total_events() const { return total_; }
+  // Events evicted (or never retained, with capacity 0) because the window
+  // was full. total_events() - dropped_events() == events().size().
+  std::uint64_t dropped_events() const { return dropped_; }
 
   // Formatted dump of the retained window, one event per line.
   std::string ToString() const;
@@ -66,7 +69,20 @@ class RingTrace final : public TraceSink {
   std::size_t capacity_;
   std::deque<TraceEvent> events_;
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
   std::uint64_t counts_[16] = {};
+};
+
+// Unbounded collecting sink: retains every event in emission order. For
+// export pipelines (JSONL / Chrome trace) that need the full run.
+class VectorTrace final : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& event) override { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
 };
 
 }  // namespace pardb::core

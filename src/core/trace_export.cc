@@ -1,0 +1,197 @@
+#include "core/trace_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace pardb::core {
+
+namespace {
+
+void AppendId(std::ostringstream& os, const char* key, TxnId id) {
+  os << "\"" << key << "\":";
+  if (id.valid()) {
+    os << id.value();
+  } else {
+    os << "null";
+  }
+}
+
+void AppendId(std::ostringstream& os, const char* key, EntityId id) {
+  os << "\"" << key << "\":";
+  if (id.valid()) {
+    os << id.value();
+  } else {
+    os << "null";
+  }
+}
+
+bool EndsWait(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kLockGranted:
+    case TraceEvent::Kind::kRollback:
+    case TraceEvent::Kind::kWound:
+    case TraceEvent::Kind::kDeath:
+    case TraceEvent::Kind::kTimeout:
+    case TraceEvent::Kind::kCommit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsRollbackFamily(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kRollback:
+    case TraceEvent::Kind::kWound:
+    case TraceEvent::Kind::kDeath:
+    case TraceEvent::Kind::kTimeout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// One Chrome trace_event object. `extra` is injected verbatim after the
+// common fields (must start with "," when non-empty).
+void EmitEvent(std::ostringstream& os, bool& first, const char* ph,
+               const std::string& name, const char* cat, std::uint64_t pid,
+               std::uint64_t tid, std::uint64_t ts,
+               const std::string& extra) {
+  os << (first ? "" : ",") << "\n  {\"ph\":\"" << ph << "\",\"name\":\""
+     << name << "\",\"cat\":\"" << cat << "\",\"pid\":" << pid
+     << ",\"tid\":" << tid << ",\"ts\":" << ts << extra << "}";
+  first = false;
+}
+
+void EmitShard(std::ostringstream& os, bool& first, const ShardTrace& shard) {
+  const std::uint64_t pid = shard.pid;
+  os << (first ? "" : ",") << "\n  {\"ph\":\"M\",\"name\":\"process_name\","
+     << "\"pid\":" << pid << ",\"tid\":0,\"args\":{\"name\":\""
+     << (shard.name.empty() ? "pardb" : shard.name) << "\"}}";
+  first = false;
+
+  std::uint64_t last_step = 0;
+  for (const TraceEvent& e : shard.events) last_step = std::max(last_step, e.step);
+
+  // Open B slices (txn lifetimes) and open waits, keyed by txn id.
+  std::unordered_map<std::uint64_t, std::uint64_t> open_txn;   // txn -> ts
+  std::unordered_map<std::uint64_t, TraceEvent> open_wait;     // txn -> kBlocked
+
+  auto CloseWait = [&](const TraceEvent& start, std::uint64_t end_step) {
+    std::ostringstream extra;
+    extra << ",\"dur\":" << (end_step - start.step) << ",\"args\":{";
+    AppendId(extra, "entity", start.entity);
+    extra << ",\"pc\":" << start.pc << "}";
+    std::ostringstream name;
+    name << "wait " << start.entity;
+    EmitEvent(os, first, "X", name.str(), "lock", pid, start.txn.value(),
+              start.step, extra.str());
+  };
+
+  for (const TraceEvent& e : shard.events) {
+    const std::uint64_t tid = e.txn.valid() ? e.txn.value() : 0;
+    if (EndsWait(e.kind)) {
+      auto it = open_wait.find(tid);
+      if (it != open_wait.end()) {
+        CloseWait(it->second, e.step);
+        open_wait.erase(it);
+      }
+    }
+    switch (e.kind) {
+      case TraceEvent::Kind::kSpawn: {
+        open_txn[tid] = e.step;
+        std::ostringstream name;
+        name << e.txn;
+        EmitEvent(os, first, "B", name.str(), "txn", pid, tid, e.step, "");
+        break;
+      }
+      case TraceEvent::Kind::kCommit: {
+        std::ostringstream name;
+        name << e.txn;
+        EmitEvent(os, first, "E", name.str(), "txn", pid, tid, e.step, "");
+        open_txn.erase(tid);
+        break;
+      }
+      case TraceEvent::Kind::kBlocked:
+        open_wait[tid] = e;
+        break;
+      case TraceEvent::Kind::kLockGranted:
+        break;  // visible as the end of the wait slice
+      case TraceEvent::Kind::kDeadlock: {
+        std::ostringstream name;
+        name << "deadlock " << e.entity;
+        std::ostringstream extra;
+        extra << ",\"s\":\"p\",\"args\":{";
+        AppendId(extra, "requester", e.txn);
+        extra << ",";
+        AppendId(extra, "entity", e.entity);
+        extra << ",\"pc\":" << e.pc << "}";
+        EmitEvent(os, first, "i", name.str(), "deadlock", pid, tid, e.step,
+                  extra.str());
+        break;
+      }
+      default: {
+        if (!IsRollbackFamily(e.kind)) break;
+        std::ostringstream extra;
+        extra << ",\"s\":\"t\",\"args\":{\"target\":" << e.target
+              << ",\"cost\":" << e.cost << ",\"pc\":" << e.pc << "}";
+        EmitEvent(os, first, "i", std::string(TraceEventKindName(e.kind)),
+                  "rollback", pid, tid, e.step, extra.str());
+        break;
+      }
+    }
+  }
+
+  // Close dangling slices so partial runs still load cleanly.
+  for (const auto& [tid, ev] : open_wait) CloseWait(ev, last_step);
+  for (const auto& [tid, ts] : open_txn) {
+    (void)ts;
+    std::ostringstream name;
+    name << "T" << tid;
+    EmitEvent(os, first, "E", name.str(), "txn", pid, tid, last_step, "");
+  }
+}
+
+}  // namespace
+
+std::string TraceEventToJsonLine(const TraceEvent& event) {
+  std::ostringstream os;
+  os << "{\"kind\":\"" << TraceEventKindName(event.kind)
+     << "\",\"step\":" << event.step << ",";
+  AppendId(os, "txn", event.txn);
+  os << ",";
+  AppendId(os, "entity", event.entity);
+  os << ",\"pc\":" << event.pc << ",\"target\":" << event.target
+     << ",\"cost\":" << event.cost << "}";
+  return os.str();
+}
+
+std::string ChromeTraceJson(const std::vector<ShardTrace>& shards) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const ShardTrace& shard : shards) EmitShard(os, first, shard);
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const std::string& process_name) {
+  ShardTrace shard;
+  shard.pid = 0;
+  shard.name = process_name;
+  shard.events = events;
+  return ChromeTraceJson(std::vector<ShardTrace>{std::move(shard)});
+}
+
+bool WriteChromeTraceFile(const std::string& path,
+                          const std::vector<ShardTrace>& shards) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ChromeTraceJson(shards);
+  return static_cast<bool>(out);
+}
+
+}  // namespace pardb::core

@@ -1,0 +1,63 @@
+#ifndef PARDB_CORE_TRACE_EXPORT_H_
+#define PARDB_CORE_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace pardb::core {
+
+// One engine event as a single-line JSON object:
+//   {"kind":"block","step":12,"txn":2,"entity":5,"pc":3,"target":0,"cost":0}
+// Invalid ids (entity on spawn/commit events) serialize as null.
+std::string TraceEventToJsonLine(const TraceEvent& event);
+
+// Streaming sink that writes one JSON object per event line (JSONL) to an
+// ostream. The stream must outlive the sink.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream* out) : out_(out) {}
+
+  void OnEvent(const TraceEvent& event) override {
+    *out_ << TraceEventToJsonLine(event) << "\n";
+  }
+
+ private:
+  std::ostream* out_;
+};
+
+// The event stream of one engine (one shard) destined for the Chrome
+// trace: `pid` becomes the trace process id, `name` its process_name.
+struct ShardTrace {
+  std::uint64_t pid = 0;
+  std::string name;
+  std::vector<TraceEvent> events;  // in emission order
+};
+
+// Renders engine events as a Chrome trace_event JSON document (loadable in
+// Perfetto / about://tracing). Timestamps are engine steps expressed as
+// microseconds; pid = shard, tid = transaction. Mapping:
+//  * kSpawn/kCommit        -> B/E duration slice spanning the txn lifetime
+//  * kBlocked              -> X slice "wait E<n>" lasting until the next
+//                             grant or rollback-family event of that txn
+//  * kDeadlock             -> instant "deadlock E<n>"
+//  * kRollback/kWound/
+//    kDeath/kTimeout       -> instant with target/cost args
+// Slices left open at the end of a shard's stream are closed at its last
+// step so partial runs still load.
+std::string ChromeTraceJson(const std::vector<ShardTrace>& shards);
+
+// Convenience for a single-engine run.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const std::string& process_name = "pardb");
+
+// Writes `ChromeTraceJson(shards)` to `path`. Returns false on I/O failure.
+bool WriteChromeTraceFile(const std::string& path,
+                          const std::vector<ShardTrace>& shards);
+
+}  // namespace pardb::core
+
+#endif  // PARDB_CORE_TRACE_EXPORT_H_

@@ -91,10 +91,16 @@ Result<RequestOutcome> LockManager::Request(TxnId txn, EntityId entity,
     is_upgrade = true;  // holds S, wants X
   }
 
+  if (probe_ != nullptr && probe_->requests != nullptr) {
+    probe_->requests->Inc();
+  }
   Waiter w{txn, mode, is_upgrade};
   if (Grantable(es, w, es.queue.size())) {
     es.holders[txn] = mode;
     held_[txn][entity] = mode;
+    if (probe_ != nullptr && probe_->grants_immediate != nullptr) {
+      probe_->grants_immediate->Inc();
+    }
     return RequestOutcome{true, {}, is_upgrade};
   }
 
@@ -109,6 +115,13 @@ Result<RequestOutcome> LockManager::Request(TxnId txn, EntityId entity,
     position = es.queue.size() - 1;
   }
   waiting_[txn] = entity;
+  if (probe_ != nullptr) {
+    if (probe_->queued != nullptr) probe_->queued->Inc();
+    if (probe_->max_queue_depth != nullptr) {
+      probe_->max_queue_depth->SetMax(
+          static_cast<std::int64_t>(es.queue.size()));
+    }
+  }
   return RequestOutcome{false, ComputeBlockers(es, w, position), is_upgrade};
 }
 
@@ -128,6 +141,9 @@ Result<std::vector<Grant>> LockManager::CancelWait(TxnId txn,
   }
   es.queue.erase(qit);
   waiting_.erase(wit);
+  if (probe_ != nullptr && probe_->cancels != nullptr) {
+    probe_->cancels->Inc();
+  }
   std::vector<Grant> grants;
   ProcessQueue(entity, es, &grants);
   return grants;
@@ -202,6 +218,7 @@ std::vector<Grant> LockManager::ReleaseAll(TxnId txn) {
 
 void LockManager::ProcessQueue(EntityId entity, EntityState& es,
                                std::vector<Grant>* out) {
+  const std::size_t before = out->size();
   bool progressed = true;
   while (progressed && !es.queue.empty()) {
     progressed = false;
@@ -232,6 +249,10 @@ void LockManager::ProcessQueue(EntityId entity, EntityState& es,
         }
       }
     }
+  }
+  if (probe_ != nullptr && probe_->grants_on_release != nullptr &&
+      out->size() > before) {
+    probe_->grants_on_release->Inc(out->size() - before);
   }
 }
 

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "lock/lock_mode.h"
+#include "obs/probe.h"
 
 namespace pardb::lock {
 
@@ -90,6 +91,10 @@ class LockManager {
 
   const Options& options() const { return options_; }
 
+  // Installs telemetry counters (nullptr to detach). Not owned; must
+  // outlive the manager or be detached first.
+  void set_probe(const obs::LockProbe* probe) { probe_ = probe; }
+
   // Requests `mode` on `entity` for `txn`. Errors:
   //  * FailedPrecondition — txn is already waiting for some entity;
   //  * ProtocolViolation — txn already holds an equal-or-stronger lock.
@@ -160,6 +165,7 @@ class LockManager {
                                      std::size_t position) const;
 
   Options options_;
+  const obs::LockProbe* probe_ = nullptr;  // may be null
   std::unordered_map<EntityId, EntityState> table_;
   std::unordered_map<TxnId, std::map<EntityId, LockMode>> held_;
   std::unordered_map<TxnId, EntityId> waiting_;

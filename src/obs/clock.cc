@@ -1,0 +1,19 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace pardb::obs {
+
+std::uint64_t MonotonicClock::NowNanos() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const MonotonicClock* MonotonicClock::Global() {
+  static const MonotonicClock clock;
+  return &clock;
+}
+
+}  // namespace pardb::obs

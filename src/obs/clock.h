@@ -1,0 +1,52 @@
+#ifndef PARDB_OBS_CLOCK_H_
+#define PARDB_OBS_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace pardb::obs {
+
+// Time source for phase timers. Virtual so the deterministic simulation can
+// substitute a manually advanced clock: a test that wants exact latency
+// histograms installs a ManualClock and advances it between operations,
+// while production instrumentation reads the monotonic hardware clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Monotonic nanoseconds since an arbitrary epoch.
+  virtual std::uint64_t NowNanos() const = 0;
+};
+
+// Wall-progress clock backed by std::chrono::steady_clock.
+class MonotonicClock final : public Clock {
+ public:
+  std::uint64_t NowNanos() const override;
+
+  // Process-wide instance; the default for every timer whose probe does not
+  // supply a clock.
+  static const MonotonicClock* Global();
+};
+
+// Deterministic clock for tests and the simulation: time moves only when
+// told to. Thread-safe (atomic), so a sharded run can share one instance.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_nanos = 0) : now_(start_nanos) {}
+
+  std::uint64_t NowNanos() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceNanos(std::uint64_t delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void SetNanos(std::uint64_t t) {
+    now_.store(t, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+}  // namespace pardb::obs
+
+#endif  // PARDB_OBS_CLOCK_H_

@@ -1,0 +1,44 @@
+#ifndef PARDB_OBS_PHASE_TIMER_H_
+#define PARDB_OBS_PHASE_TIMER_H_
+
+#include <cstdint>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace pardb::obs {
+
+// RAII phase timer: records elapsed nanoseconds into a histogram when the
+// scope exits. A null histogram disables the timer entirely — the clock is
+// never read — so uninstrumented runs pay one branch per scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist, const Clock* clock = nullptr)
+      : hist_(hist),
+        clock_(clock != nullptr ? clock : MonotonicClock::Global()),
+        start_(hist != nullptr ? clock_->NowNanos() : 0) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { Stop(); }
+
+  // Records now instead of at destruction; subsequent Stop()s are no-ops.
+  void Stop() {
+    if (hist_ == nullptr) return;
+    hist_->Record(clock_->NowNanos() - start_);
+    hist_ = nullptr;
+  }
+
+  // Abandons the measurement without recording.
+  void Cancel() { hist_ = nullptr; }
+
+ private:
+  Histogram* hist_;
+  const Clock* clock_;
+  std::uint64_t start_;
+};
+
+}  // namespace pardb::obs
+
+#endif  // PARDB_OBS_PHASE_TIMER_H_

@@ -1,0 +1,36 @@
+#include "obs/probe.h"
+
+namespace pardb::obs {
+
+LockProbe MakeLockProbe(MetricsRegistry* registry, const LabelSet& labels) {
+  LockProbe p;
+  p.requests = registry->GetCounter("pardb_lock_requests_total", labels);
+  p.grants_immediate =
+      registry->GetCounter("pardb_lock_grants_immediate_total", labels);
+  p.queued = registry->GetCounter("pardb_lock_queued_total", labels);
+  p.grants_on_release =
+      registry->GetCounter("pardb_lock_grants_on_release_total", labels);
+  p.cancels = registry->GetCounter("pardb_lock_cancels_total", labels);
+  p.max_queue_depth =
+      registry->GetGauge("pardb_lock_max_queue_depth", labels);
+  return p;
+}
+
+EngineProbe MakeEngineProbe(MetricsRegistry* registry, const LabelSet& labels,
+                            const Clock* clock) {
+  EngineProbe p;
+  p.clock = clock;
+  p.detection_ns = registry->GetHistogram("pardb_detection_ns", labels);
+  p.rollback_apply_ns =
+      registry->GetHistogram("pardb_rollback_apply_ns", labels);
+  p.lock_op_ns = registry->GetHistogram("pardb_lock_op_ns", labels);
+  p.lock_wait_steps = registry->GetHistogram("pardb_lock_wait_steps", labels);
+  p.victims_requester =
+      registry->GetCounter("pardb_victims_requester_total", labels);
+  p.victims_preempted =
+      registry->GetCounter("pardb_victims_preempted_total", labels);
+  p.lock = MakeLockProbe(registry, labels);
+  return p;
+}
+
+}  // namespace pardb::obs

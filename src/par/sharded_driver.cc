@@ -7,6 +7,7 @@
 
 #include "analysis/history.h"
 #include "common/random.h"
+#include "core/metrics_export.h"
 #include "par/router.h"
 #include "par/thread_pool.h"
 #include "storage/entity_store.h"
@@ -56,6 +57,9 @@ struct ShardRun {
   Status status = Status::OK();
   ShardResult result;
   std::vector<std::uint32_t> cost_samples;
+  obs::RegistrySnapshot metrics;  // labeled {{"shard","k"}}
+  std::vector<core::TraceEvent> trace_events;
+  std::vector<obs::DeadlockDump> forensics;
 };
 
 // Closed-loop execution of one shard's assigned transactions on its own
@@ -72,6 +76,22 @@ void RunOneShard(const ShardedOptions& options, std::uint32_t shard,
   eopt.seed = DeriveShardSeed(options.seed, shard);
   core::Engine engine(&store, eopt,
                       options.check_serializability ? &recorder : nullptr);
+
+  // Per-shard telemetry: a private registry (no cross-thread sharing at
+  // all), merged after the pool joins.
+  const obs::LabelSet labels{{"shard", std::to_string(shard)}};
+  obs::MetricsRegistry registry;
+  obs::EngineProbe probe;
+  obs::Histogram* step_ns = nullptr;
+  if (options.instrument) {
+    probe = obs::MakeEngineProbe(&registry, labels);
+    engine.set_probe(&probe);
+    step_ns = registry.GetHistogram("pardb_shard_step_ns", labels);
+  }
+  core::VectorTrace trace;
+  if (options.collect_traces) engine.set_trace(&trace);
+  obs::CollectingDeadlockSink forensics(options.max_forensics_dumps);
+  if (options.collect_forensics) engine.set_forensics(&forensics);
 
   const std::uint64_t total = run.programs.size();
   std::uint64_t spawned = 0;
@@ -91,7 +111,13 @@ void RunOneShard(const ShardedOptions& options, std::uint32_t shard,
       }
       ++spawned;
     }
+    // Sampled step-loop timing: every 64th iteration, cheap enough to stay
+    // within the instrumentation overhead budget.
+    const bool time_step = step_ns != nullptr && (steps & 0x3F) == 0;
+    const std::uint64_t t0 =
+        time_step ? probe.EffectiveClock()->NowNanos() : 0;
     auto stepped = engine.StepAny();
+    if (time_step) step_ns->Record(probe.EffectiveClock()->NowNanos() - t0);
     if (!stepped.ok()) {
       run.status = stepped.status();
       return;
@@ -110,6 +136,12 @@ void RunOneShard(const ShardedOptions& options, std::uint32_t shard,
   run.result.metrics = engine.metrics();
   run.result.rollback_costs = engine.RollbackCostDistribution();
   run.cost_samples = engine.rollback_cost_samples();
+  if (options.instrument) {
+    core::ExportEngineMetrics(engine, &registry, labels);
+    run.metrics = registry.Snapshot();
+  }
+  if (options.collect_traces) run.trace_events = trace.events();
+  if (options.collect_forensics) run.forensics = forensics.dumps();
 }
 
 }  // namespace
@@ -204,6 +236,16 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
     report.shards.push_back(runs[s].result);
     merged_costs.insert(merged_costs.end(), runs[s].cost_samples.begin(),
                         runs[s].cost_samples.end());
+    report.metrics.MergeFrom(runs[s].metrics);
+    if (options.collect_traces) {
+      report.shard_traces.push_back(std::move(runs[s].trace_events));
+    }
+    for (obs::DeadlockDump& d : runs[s].forensics) {
+      report.forensics.push_back(std::move(d));
+    }
+  }
+  if (options.instrument) {
+    report.merged_metrics = report.metrics.WithoutLabel("shard");
   }
   report.aggregate = SumMetrics(report.shards);
   report.rollback_costs = core::ComputeCostDistribution(std::move(merged_costs));

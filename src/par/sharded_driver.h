@@ -6,6 +6,9 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/trace.h"
+#include "obs/forensics.h"
+#include "obs/metrics.h"
 #include "sim/workload.h"
 
 namespace pardb::par {
@@ -52,6 +55,18 @@ struct ShardedOptions {
   std::size_t num_threads = 0;
   bool check_serializability = true;
   Value initial_value = 100;
+
+  // Telemetry. With `instrument`, every shard engine runs fully probed
+  // against a private registry labeled {{"shard","k"}}; the snapshots land
+  // in ShardedReport::metrics (per-shard) and merged_metrics (labels folded
+  // out). Timings never enter ShardedReportToJson, which determinism tests
+  // compare byte-for-byte.
+  bool instrument = true;
+  // Retain each shard's full trace-event stream (for Chrome/JSONL export).
+  bool collect_traces = false;
+  // Keep deadlock forensic dumps, up to max_forensics_dumps per shard.
+  bool collect_forensics = false;
+  std::size_t max_forensics_dumps = 16;
 };
 
 // Deterministic per-shard seed: shards must not share RNG streams, and the
@@ -88,6 +103,19 @@ struct ShardedReport {
 
   double wasted_fraction = 0.0;
   double goodput = 0.0;
+
+  // Telemetry (populated per ShardedOptions::instrument/collect_*).
+  // `metrics` carries every shard's registry snapshot side by side
+  // (distinguished by the "shard" label); `merged_metrics` folds the shard
+  // label out, summing counters and merging histograms bucket-wise.
+  obs::RegistrySnapshot metrics;
+  obs::RegistrySnapshot merged_metrics;
+  // One event stream per shard, in shard order (empty without
+  // collect_traces).
+  std::vector<std::vector<core::TraceEvent>> shard_traces;
+  // Deadlock dumps across shards, in shard order (empty without
+  // collect_forensics).
+  std::vector<obs::DeadlockDump> forensics;
 
   std::string ToString() const;
 };

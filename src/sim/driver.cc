@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/metrics_export.h"
+
 namespace pardb::sim {
 
 std::string SimReport::ToString() const {
@@ -25,6 +27,14 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
   analysis::HistoryRecorder recorder;
   core::Engine engine(&store, options.engine,
                       options.check_serializability ? &recorder : nullptr);
+  obs::EngineProbe probe;
+  if (options.metrics != nullptr) {
+    probe = obs::MakeEngineProbe(options.metrics, options.metric_labels,
+                                 options.clock);
+    engine.set_probe(&probe);
+  }
+  if (options.trace != nullptr) engine.set_trace(options.trace);
+  if (options.forensics != nullptr) engine.set_forensics(options.forensics);
   WorkloadGenerator gen(options.workload, options.seed);
 
   std::uint64_t spawned = 0;
@@ -80,6 +90,9 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
   for (TxnId t : all_txns) {
     report.max_preemptions_single_txn = std::max(
         report.max_preemptions_single_txn, engine.PreemptionCountOf(t));
+  }
+  if (options.metrics != nullptr) {
+    core::ExportEngineMetrics(engine, options.metrics, options.metric_labels);
   }
   return report;
 }

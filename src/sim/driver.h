@@ -5,6 +5,8 @@
 #include <string>
 
 #include "core/engine.h"
+#include "obs/forensics.h"
+#include "obs/metrics.h"
 #include "sim/workload.h"
 
 namespace pardb::sim {
@@ -22,6 +24,16 @@ struct SimOptions {
   Value initial_value = 100;
   // Record the history and verify conflict-serializability at the end.
   bool check_serializability = true;
+
+  // Observability hooks, all optional and borrowed (must outlive the run).
+  // With `metrics` set, the engine runs fully probed and its end-of-run
+  // aggregates are exported into the registry under pardb_* names.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::LabelSet metric_labels;
+  core::TraceSink* trace = nullptr;
+  obs::DeadlockDumpSink* forensics = nullptr;
+  // Clock behind the phase timers; null = monotonic wall clock.
+  const obs::Clock* clock = nullptr;
 };
 
 struct SimReport {

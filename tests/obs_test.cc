@@ -1,0 +1,458 @@
+// Telemetry subsystem: metrics registry, phase timers, trace export and
+// deadlock forensics — plus the engine live-set and RingTrace eviction
+// regressions that ride along with it.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/metrics_export.h"
+#include "core/trace.h"
+#include "core/trace_export.h"
+#include "obs/clock.h"
+#include "obs/forensics.h"
+#include "obs/metrics.h"
+#include "obs/phase_timer.h"
+#include "obs/probe.h"
+#include "sim/scenario.h"
+#include "storage/entity_store.h"
+#include "txn/program.h"
+
+namespace pardb {
+namespace {
+
+using core::TraceEvent;
+using obs::Histogram;
+using obs::HistogramSnapshot;
+using obs::LabelSet;
+using obs::MetricSnapshot;
+using obs::MetricsRegistry;
+using obs::RegistrySnapshot;
+using txn::ArithOp;
+using txn::Operand;
+using txn::ProgramBuilder;
+
+// ---------------------------------------------------------------------------
+// Registry basics.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, SameIdentityReturnsSameObject) {
+  MetricsRegistry reg;
+  obs::Counter* a = reg.GetCounter("pardb_x_total");
+  obs::Counter* b = reg.GetCounter("pardb_x_total");
+  EXPECT_EQ(a, b);
+  a->Inc();
+  b->Inc(2);
+  EXPECT_EQ(a->value(), 3u);
+
+  // Different labels are different instances.
+  obs::Counter* s0 = reg.GetCounter("pardb_x_total", {{"shard", "0"}});
+  EXPECT_NE(a, s0);
+  EXPECT_EQ(s0->value(), 0u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry reg;
+  ASSERT_NE(reg.GetCounter("pardb_thing"), nullptr);
+  EXPECT_EQ(reg.GetGauge("pardb_thing"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("pardb_thing"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotFindAndWriters) {
+  MetricsRegistry reg;
+  reg.GetCounter("pardb_b_total", {{"shard", "1"}})->Inc(7);
+  reg.GetGauge("pardb_a_gauge")->Set(-3);
+  reg.GetHistogram("pardb_c_ns")->Record(5);
+
+  RegistrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  // Sorted by (name, labels).
+  EXPECT_EQ(snap.metrics[0].name, "pardb_a_gauge");
+  EXPECT_EQ(snap.metrics[1].name, "pardb_b_total");
+  EXPECT_EQ(snap.metrics[2].name, "pardb_c_ns");
+
+  const MetricSnapshot* c = snap.Find("pardb_b_total", {{"shard", "1"}});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->counter, 7u);
+  EXPECT_EQ(snap.Find("pardb_b_total"), nullptr);  // unlabeled: absent
+
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"pardb_a_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":-3"), std::string::npos);
+  EXPECT_NE(json.find("\"shard\":\"1\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+
+  const std::string prom = snap.ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE pardb_b_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("pardb_b_total{shard=\"1\"} 7"), std::string::npos);
+  EXPECT_NE(prom.find("pardb_c_ns_count 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, MergeSumsAndWithoutLabelFolds) {
+  MetricsRegistry r0;
+  r0.GetCounter("pardb_x_total", {{"shard", "0"}})->Inc(3);
+  MetricsRegistry r1;
+  r1.GetCounter("pardb_x_total", {{"shard", "1"}})->Inc(4);
+
+  RegistrySnapshot merged = r0.Snapshot();
+  merged.MergeFrom(r1.Snapshot());
+  ASSERT_EQ(merged.metrics.size(), 2u);  // side by side, distinct labels
+
+  RegistrySnapshot folded = merged.WithoutLabel("shard");
+  ASSERT_EQ(folded.metrics.size(), 1u);
+  EXPECT_TRUE(folded.metrics[0].labels.empty());
+  EXPECT_EQ(folded.metrics[0].counter, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles: merging per-shard histograms must agree with a
+// histogram of the pooled samples at every exported quantile rank, and both
+// must follow core::ComputeCostDistribution's nearest-rank convention.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, QuantileFollowsNearestRank) {
+  // Samples sit exactly on bucket bounds (powers of two), so the bucket
+  // upper bound IS the sample and the histogram quantile must equal the
+  // exact nearest-rank percentile.
+  std::vector<std::uint32_t> samples;
+  Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t v = 1u << (i % 7);  // 1..64
+    samples.push_back(v);
+    h.Record(v);
+  }
+  const core::CostDistribution exact =
+      core::ComputeCostDistribution(samples);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.Quantile(50), exact.p50);
+  EXPECT_EQ(snap.Quantile(95), exact.p95);
+  EXPECT_EQ(snap.Quantile(100), exact.max);
+  EXPECT_EQ(snap.max, exact.max);
+}
+
+TEST(HistogramTest, MergedShardsEqualPooledAtEveryExportedQuantile) {
+  // Three "shards" with very different distributions; bounds identical
+  // (DefaultBounds), so bucket-wise merging is exact.
+  const std::vector<std::vector<std::uint64_t>> shard_samples = {
+      {1, 2, 2, 4, 8, 8, 8, 16},
+      {1024, 2048, 2048, 4096},
+      {32, 32, 64, 128, 256, 512, 1u << 20, 1u << 30},
+  };
+  std::vector<Histogram> shards(shard_samples.size());
+  Histogram pooled;
+  for (std::size_t s = 0; s < shard_samples.size(); ++s) {
+    for (std::uint64_t v : shard_samples[s]) {
+      shards[s].Record(v);
+      pooled.Record(v);
+    }
+  }
+  HistogramSnapshot merged = shards[0].Snapshot();
+  ASSERT_TRUE(merged.MergeFrom(shards[1].Snapshot()));
+  ASSERT_TRUE(merged.MergeFrom(shards[2].Snapshot()));
+
+  const HistogramSnapshot want = pooled.Snapshot();
+  EXPECT_EQ(merged.count, want.count);
+  EXPECT_EQ(merged.sum, want.sum);
+  EXPECT_EQ(merged.max, want.max);
+  ASSERT_EQ(merged.counts, want.counts);
+  for (std::uint64_t p : {50u, 95u, 99u, 100u}) {
+    EXPECT_EQ(merged.Quantile(p), want.Quantile(p)) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedBounds) {
+  Histogram a({1, 2, 4});
+  Histogram b({1, 3, 9});
+  a.Record(2);
+  b.Record(3);
+  HistogramSnapshot sa = a.Snapshot();
+  EXPECT_FALSE(sa.MergeFrom(b.Snapshot()));
+  EXPECT_EQ(sa.count, 1u);  // untouched on failure
+}
+
+// ---------------------------------------------------------------------------
+// Phase timers on the deterministic clock.
+// ---------------------------------------------------------------------------
+
+TEST(ScopedTimerTest, RecordsManualClockDelta) {
+  obs::ManualClock clock(1000);
+  Histogram h;
+  {
+    obs::ScopedTimer t(&h, &clock);
+    clock.AdvanceNanos(640);
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 640u);
+  EXPECT_EQ(snap.max, 640u);
+}
+
+TEST(ScopedTimerTest, StopIsIdempotentAndCancelDiscards) {
+  obs::ManualClock clock;
+  Histogram h;
+  obs::ScopedTimer t(&h, &clock);
+  clock.AdvanceNanos(5);
+  t.Stop();
+  clock.AdvanceNanos(50);
+  t.Stop();  // no second sample
+  obs::ScopedTimer cancelled(&h, &clock);
+  cancelled.Cancel();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 5u);
+}
+
+TEST(ScopedTimerTest, NullHistogramNeverReadsClock) {
+  // A poisoned clock proves the disabled path takes no time measurement.
+  class PoisonClock final : public obs::Clock {
+   public:
+    std::uint64_t NowNanos() const override {
+      ADD_FAILURE() << "clock read on disabled timer";
+      return 0;
+    }
+  };
+  PoisonClock clock;
+  obs::ScopedTimer t(nullptr, &clock);
+  t.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// RingTrace eviction accounting (satellite: dropped_events).
+// ---------------------------------------------------------------------------
+
+TraceEvent MakeEvent(std::uint64_t step) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kLockGranted;
+  e.step = step;
+  e.txn = TxnId(1);
+  e.entity = EntityId(2);
+  return e;
+}
+
+TEST(RingTraceTest, CapacityEvictionIncrementsDropped) {
+  core::RingTrace ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) ring.OnEvent(MakeEvent(i));
+  EXPECT_EQ(ring.total_events(), 10u);
+  EXPECT_EQ(ring.dropped_events(), 6u);
+  EXPECT_EQ(ring.events().size(), 4u);
+  EXPECT_EQ(ring.total_events() - ring.dropped_events(), ring.events().size());
+  // The retained window is the most recent suffix.
+  EXPECT_EQ(ring.events().front().step, 6u);
+}
+
+TEST(RingTraceTest, ZeroCapacityDropsEverything) {
+  core::RingTrace ring(0);
+  for (std::uint64_t i = 0; i < 3; ++i) ring.OnEvent(MakeEvent(i));
+  EXPECT_EQ(ring.total_events(), 3u);
+  EXPECT_EQ(ring.dropped_events(), 3u);
+  EXPECT_TRUE(ring.events().empty());
+  // Per-kind counts still accumulate even when nothing is retained.
+  EXPECT_EQ(ring.CountOf(TraceEvent::Kind::kLockGranted), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace export: JSONL lines and the Chrome trace document.
+// ---------------------------------------------------------------------------
+
+TEST(TraceExportTest, JsonLineShape) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kRollback;
+  e.step = 42;
+  e.txn = TxnId(3);
+  e.entity = EntityId();  // invalid -> null
+  e.pc = 12;
+  e.target = 8;
+  e.cost = 4;
+  EXPECT_EQ(core::TraceEventToJsonLine(e),
+            "{\"kind\":\"rollback\",\"step\":42,\"txn\":3,\"entity\":null,"
+            "\"pc\":12,\"target\":8,\"cost\":4}");
+}
+
+TEST(TraceExportTest, JsonlSinkWritesOneLinePerEvent) {
+  std::ostringstream out;
+  core::JsonlTraceSink sink(&out);
+  sink.OnEvent(MakeEvent(1));
+  sink.OnEvent(MakeEvent(2));
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("\"kind\":\"grant\""), std::string::npos);
+}
+
+TEST(TraceExportTest, ChromeTraceCarriesDeadlockInstant) {
+  auto fig = sim::BuildFigure1({});
+  ASSERT_TRUE(fig.ok()) << fig.status().ToString();
+  core::VectorTrace trace;
+  fig->runner->engine().set_trace(&trace);
+  ASSERT_TRUE(fig->TriggerDeadlock().ok());
+
+  const std::string json = core::ChromeTraceJson(trace.events(), "test");
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // process_name
+  EXPECT_NE(json.find("\"cat\":\"deadlock\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"rollback\""), std::string::npos);
+  // Balanced braces/brackets — cheap well-formedness proxy (the CI smoke
+  // job json.load()s the real artifact).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock forensics on the paper's Figure 1.
+// ---------------------------------------------------------------------------
+
+core::EngineOptions MinCostOptions() {
+  core::EngineOptions opt;
+  opt.victim_policy = core::VictimPolicyKind::kMinCost;
+  return opt;
+}
+
+TEST(ForensicsTest, Figure1DumpShowsCycleCostsAndMinCostVictim) {
+  auto fig = sim::BuildFigure1(MinCostOptions());
+  ASSERT_TRUE(fig.ok()) << fig.status().ToString();
+  obs::CollectingDeadlockSink sink;
+  fig->runner->engine().set_forensics(&sink);
+  ASSERT_TRUE(fig->TriggerDeadlock().ok());
+
+  ASSERT_EQ(sink.dumps().size(), 1u);
+  EXPECT_EQ(sink.total_seen(), 1u);
+  const obs::DeadlockDump& dump = sink.dumps()[0];
+  EXPECT_EQ(dump.requester, fig->t2);
+  EXPECT_EQ(dump.requested_entity, fig->e);
+  EXPECT_EQ(dump.num_cycles, 1u);
+  EXPECT_EQ(dump.policy, "min-cost");
+
+  // The paper's costs: T2=4, T3=6, T4=5; victim T2 (also the requester).
+  std::map<TxnId, const obs::DeadlockParticipant*> by_txn;
+  for (const auto& p : dump.participants) by_txn[p.txn] = &p;
+  ASSERT_EQ(by_txn.size(), 3u);
+  EXPECT_EQ(by_txn.at(fig->t2)->cost, 4u);
+  EXPECT_EQ(by_txn.at(fig->t3)->cost, 6u);
+  EXPECT_EQ(by_txn.at(fig->t4)->cost, 5u);
+  EXPECT_TRUE(by_txn.at(fig->t2)->is_requester);
+  EXPECT_TRUE(by_txn.at(fig->t2)->is_victim);
+  EXPECT_FALSE(by_txn.at(fig->t3)->is_victim);
+  EXPECT_FALSE(by_txn.at(fig->t4)->is_victim);
+  EXPECT_EQ(dump.victims, std::vector<TxnId>{fig->t2});
+
+  // The cycle arrives intact (waiter -> holder): T2 waits for T4 on e,
+  // T4 waits for T3 on c, T3 waits for T2 on b.
+  ASSERT_EQ(dump.arcs.size(), 3u);
+  std::map<TxnId, TxnId> waits_for;
+  for (const auto& a : dump.arcs) waits_for.emplace(a.waiter, a.holder);
+  EXPECT_EQ(waits_for.at(fig->t2), fig->t4);
+  EXPECT_EQ(waits_for.at(fig->t4), fig->t3);
+  EXPECT_EQ(waits_for.at(fig->t3), fig->t2);
+}
+
+TEST(ForensicsTest, Figure1DotRendering) {
+  auto fig = sim::BuildFigure1(MinCostOptions());
+  ASSERT_TRUE(fig.ok());
+  obs::CollectingDeadlockSink sink;
+  fig->runner->engine().set_forensics(&sink);
+  ASSERT_TRUE(fig->TriggerDeadlock().ok());
+  ASSERT_EQ(sink.dumps().size(), 1u);
+
+  const std::string dot = obs::DeadlockDumpToDot(sink.dumps()[0]);
+  auto node = [&](TxnId t) { return "T" + std::to_string(t.value()); };
+  EXPECT_NE(dot.find("digraph deadlock_step"), std::string::npos);
+  // Per-participant costs.
+  EXPECT_NE(dot.find("cost=4"), std::string::npos);
+  EXPECT_NE(dot.find("cost=6"), std::string::npos);
+  EXPECT_NE(dot.find("cost=5"), std::string::npos);
+  // The chosen minimum-cost victim is highlighted.
+  EXPECT_NE(dot.find(node(fig->t2) + " [shape=box,style=filled,"
+                     "fillcolor=salmon"),
+            std::string::npos);
+  EXPECT_NE(dot.find("VICTIM"), std::string::npos);
+  // The cycle's arcs, waiter -> holder, labeled with the entity.
+  EXPECT_NE(dot.find(node(fig->t2) + " -> " + node(fig->t4)),
+            std::string::npos);
+  EXPECT_NE(dot.find(node(fig->t4) + " -> " + node(fig->t3)),
+            std::string::npos);
+  EXPECT_NE(dot.find(node(fig->t3) + " -> " + node(fig->t2)),
+            std::string::npos);
+  EXPECT_EQ(sink.dumps()[0].victims.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine probe + metrics export end to end on Figure 1.
+// ---------------------------------------------------------------------------
+
+TEST(EngineProbeTest, Figure1CountsLandInRegistry) {
+  MetricsRegistry reg;
+  obs::ManualClock clock;
+  obs::EngineProbe probe = obs::MakeEngineProbe(&reg, {}, &clock);
+
+  auto fig = sim::BuildFigure1(MinCostOptions());
+  ASSERT_TRUE(fig.ok());
+  fig->runner->engine().set_probe(&probe);
+  ASSERT_TRUE(fig->TriggerDeadlock().ok());
+  core::ExportEngineMetrics(fig->runner->engine(), &reg);
+
+  RegistrySnapshot snap = reg.Snapshot();
+  const MetricSnapshot* deadlocks = snap.Find("pardb_deadlocks_total");
+  ASSERT_NE(deadlocks, nullptr);
+  EXPECT_EQ(deadlocks->counter, 1u);
+  // The min-cost victim was the requester itself.
+  EXPECT_EQ(snap.Find("pardb_victims_requester_total")->counter, 1u);
+  EXPECT_EQ(snap.Find("pardb_victims_preempted_total")->counter, 0u);
+  // Rollback cost histogram carries the paper's cost-4 rollback.
+  const MetricSnapshot* cost = snap.Find("pardb_rollback_cost_ops");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_EQ(cost->hist.count, 1u);
+  EXPECT_EQ(cost->hist.sum, 4u);
+  // The detection phase timer fired (ManualClock: zero-length but counted).
+  EXPECT_GE(snap.Find("pardb_detection_ns")->hist.count, 1u);
+  EXPECT_EQ(snap.Find("pardb_rollback_apply_ns")->hist.count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine live-set regression (satellite: StepAny scan set shrinks).
+// ---------------------------------------------------------------------------
+
+txn::Program TouchProgram(EntityId e) {
+  ProgramBuilder b("touch", 1);
+  auto p = b.LockExclusive(e)
+               .Read(e, 0)
+               .Compute(0, Operand::Var(0), ArithOp::kAdd, Operand::Imm(1))
+               .WriteVar(e, 0)
+               .Commit()
+               .Build();
+  EXPECT_TRUE(p.ok());
+  return std::move(p).value();
+}
+
+TEST(EngineLiveSetTest, CommittedTxnsLeaveTheScanSet) {
+  storage::EntityStore store;
+  auto ids = store.CreateMany(4, 100);
+  core::Engine engine(&store, {});
+  // Disjoint footprints: transactions commit one after another without
+  // conflicts, so the live set must shrink monotonically.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.Spawn(TouchProgram(ids[i])).ok());
+  }
+  EXPECT_EQ(engine.live_txn_count(), 4u);
+
+  std::size_t prev = 4;
+  while (!engine.AllCommitted()) {
+    auto stepped = engine.StepAny();
+    ASSERT_TRUE(stepped.ok());
+    ASSERT_TRUE(stepped.value().has_value());
+    const std::size_t live = engine.live_txn_count();
+    EXPECT_LE(live, prev);
+    prev = live;
+  }
+  EXPECT_EQ(engine.live_txn_count(), 0u);
+  EXPECT_EQ(engine.metrics().commits, 4u);
+  // AllCommitted is now a live-set check, not a full-map scan.
+  EXPECT_TRUE(engine.AllCommitted());
+}
+
+}  // namespace
+}  // namespace pardb

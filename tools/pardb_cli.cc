@@ -6,6 +6,8 @@
 //   pardb parallel [flags]     run the workload sharded over N engines on
 //                              a thread pool (--shards=N --threads=N
 //                              --cross=F --json=FILE)
+//   pardb observe [flags]      run the sim workload fully instrumented and
+//                              print the metrics as Prometheus text
 //   pardb compare [flags]      same workload under every rollback strategy
 //   pardb figure1|figure2|figure3a|figure3b|figure3c
 //                              replay a paper scenario with commentary
@@ -21,6 +23,17 @@
 //   --locks=MIN:MAX --shared=F --zipf=T
 //   --pattern=scattered|clustered|three-phase
 //   --trace                          print the protocol event trace
+//   --log-level=debug|info|warning|error|off   (any subcommand; applied
+//                                    before anything is constructed)
+//
+// Observability flags (sim/parallel/observe):
+//   --metrics-json=FILE              write the metrics registry as JSON
+//   --metrics-prom=FILE              write Prometheus text exposition
+//   --trace-out=FILE                 write a Chrome trace_event JSON
+//                                    (load in Perfetto / about://tracing)
+//   --trace-jsonl=FILE               write the raw event stream as JSONL
+//   --forensics=PREFIX               write each deadlock's waits-for cycle
+//                                    as Graphviz DOT to PREFIX<n>.dot
 //
 // Examples:
 //   pardb sim --txns=500 --concurrency=16 --zipf=0.8
@@ -33,9 +46,14 @@
 #include <sstream>
 
 #include "common/flags.h"
+#include "common/logging.h"
 #include "core/engine.h"
+#include "core/metrics_export.h"
 #include "core/trace.h"
+#include "core/trace_export.h"
 #include "dist/distributed.h"
+#include "obs/forensics.h"
+#include "obs/metrics.h"
 #include "par/report_json.h"
 #include "par/sharded_driver.h"
 #include "sim/driver.h"
@@ -48,10 +66,115 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: pardb <sim|parallel|compare|figure1|figure2|figure3a|"
-               "figure3b|figure3c|dot> [--flags]\n"
+               "usage: pardb <sim|parallel|observe|compare|figure1|figure2|"
+               "figure3a|figure3b|figure3c|dot> [--flags]\n"
                "see the header of tools/pardb_cli.cc for the flag list\n");
   return 2;
+}
+
+// Destinations requested by the shared observability flags. Reading them
+// even in subcommands that ignore them keeps UnusedFlags() quiet and the
+// interface uniform.
+struct ObsOutputs {
+  std::string metrics_json;
+  std::string metrics_prom;
+  std::string trace_out;    // Chrome trace_event JSON
+  std::string trace_jsonl;  // raw event stream
+  std::string forensics;    // DOT file prefix
+
+  bool WantMetrics() const {
+    return !metrics_json.empty() || !metrics_prom.empty();
+  }
+  bool WantTrace() const {
+    return !trace_out.empty() || !trace_jsonl.empty();
+  }
+  bool WantForensics() const { return !forensics.empty(); }
+};
+
+ObsOutputs GetObsOutputs(const Flags& flags) {
+  ObsOutputs o;
+  o.metrics_json = flags.GetString("metrics-json", "");
+  o.metrics_prom = flags.GetString("metrics-prom", "");
+  o.trace_out = flags.GetString("trace-out", "");
+  o.trace_jsonl = flags.GetString("trace-jsonl", "");
+  o.forensics = flags.GetString("forensics", "");
+  return o;
+}
+
+bool WriteFileOrComplain(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << body;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+// The --metrics-json document: the merged registry plus the per-shard view
+// (identical for single-engine commands). tools/metrics_schema.json pins
+// this shape for the CI smoke job.
+std::string MetricsJsonDoc(const std::string& command,
+                           const obs::RegistrySnapshot& per_shard,
+                           const obs::RegistrySnapshot& merged) {
+  std::ostringstream os;
+  os << "{\"command\":\"" << command << "\",\n\"merged\":" << merged.ToJson()
+     << ",\n\"per_shard\":" << per_shard.ToJson() << "\n}\n";
+  return os.str();
+}
+
+// Writes every requested metrics/forensics artifact; returns 0 or 1.
+int WriteObsArtifacts(const ObsOutputs& outs, const std::string& command,
+                      const obs::RegistrySnapshot& per_shard,
+                      const obs::RegistrySnapshot& merged,
+                      const std::vector<obs::DeadlockDump>& dumps) {
+  int rc = 0;
+  if (!outs.metrics_json.empty() &&
+      !WriteFileOrComplain(outs.metrics_json,
+                           MetricsJsonDoc(command, per_shard, merged))) {
+    rc = 1;
+  }
+  if (!outs.metrics_prom.empty() &&
+      !WriteFileOrComplain(outs.metrics_prom, merged.ToPrometheus())) {
+    rc = 1;
+  }
+  if (outs.WantForensics()) {
+    std::size_t i = 0;
+    for (const obs::DeadlockDump& d : dumps) {
+      if (!WriteFileOrComplain(outs.forensics + std::to_string(i) + ".dot",
+                               obs::DeadlockDumpToDot(d))) {
+        rc = 1;
+        break;
+      }
+      ++i;
+    }
+    std::printf("forensics: %zu deadlock dump(s)\n", dumps.size());
+  }
+  return rc;
+}
+
+int WriteTraceArtifacts(const ObsOutputs& outs,
+                        const std::vector<core::ShardTrace>& shards) {
+  int rc = 0;
+  if (!outs.trace_out.empty()) {
+    if (core::WriteChromeTraceFile(outs.trace_out, shards)) {
+      std::printf("wrote %s\n", outs.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", outs.trace_out.c_str());
+      rc = 1;
+    }
+  }
+  if (!outs.trace_jsonl.empty()) {
+    std::ostringstream body;
+    for (const core::ShardTrace& s : shards) {
+      for (const core::TraceEvent& e : s.events) {
+        body << core::TraceEventToJsonLine(e) << "\n";
+      }
+    }
+    if (!WriteFileOrComplain(outs.trace_jsonl, body.str())) rc = 1;
+  }
+  return rc;
 }
 
 Result<rollback::StrategyKind> ParseStrategy(const std::string& s) {
@@ -149,6 +272,14 @@ int RunSim(const Flags& flags) {
     std::fprintf(stderr, "%s\n", opt.status().ToString().c_str());
     return 2;
   }
+  const ObsOutputs outs = GetObsOutputs(flags);
+  obs::MetricsRegistry registry;
+  core::VectorTrace trace;
+  obs::CollectingDeadlockSink forensics(/*max_dumps=*/64);
+  if (outs.WantMetrics()) opt->metrics = &registry;
+  if (outs.WantTrace()) opt->trace = &trace;
+  if (outs.WantForensics()) opt->forensics = &forensics;
+
   auto report = sim::RunSimulation(opt.value());
   if (!report.ok()) {
     std::fprintf(stderr, "simulation failed: %s\n",
@@ -156,7 +287,66 @@ int RunSim(const Flags& flags) {
     return 1;
   }
   PrintReport(report.value());
-  return report->completed ? 0 : 3;
+  int rc = report->completed ? 0 : 3;
+  if (outs.WantMetrics()) {
+    const obs::RegistrySnapshot snap = registry.Snapshot();
+    if (WriteObsArtifacts(outs, "sim", snap, snap, forensics.dumps()) != 0) {
+      rc = 1;
+    }
+  } else if (outs.WantForensics()) {
+    obs::RegistrySnapshot empty;
+    if (WriteObsArtifacts(outs, "sim", empty, empty, forensics.dumps()) != 0) {
+      rc = 1;
+    }
+  }
+  if (outs.WantTrace()) {
+    std::vector<core::ShardTrace> shards(1);
+    shards[0].pid = 0;
+    shards[0].name = "pardb sim";
+    shards[0].events = trace.events();
+    if (WriteTraceArtifacts(outs, shards) != 0) rc = 1;
+  }
+  return rc;
+}
+
+// `pardb observe` — the sim workload with every probe attached; prints the
+// merged metrics as Prometheus text exposition and honors the shared
+// observability flags for file artifacts.
+int RunObserve(const Flags& flags) {
+  auto opt = BuildSimOptions(flags);
+  if (!opt.ok()) {
+    std::fprintf(stderr, "%s\n", opt.status().ToString().c_str());
+    return 2;
+  }
+  const ObsOutputs outs = GetObsOutputs(flags);
+  obs::MetricsRegistry registry;
+  core::VectorTrace trace;
+  obs::CollectingDeadlockSink forensics(/*max_dumps=*/64);
+  opt->metrics = &registry;
+  opt->trace = &trace;
+  opt->forensics = &forensics;
+
+  auto report = sim::RunSimulation(opt.value());
+  if (!report.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const obs::RegistrySnapshot snap = registry.Snapshot();
+  std::printf("%s", snap.ToPrometheus().c_str());
+  std::fprintf(stderr, "# %s\n", report->ToString().c_str());
+  int rc = report->completed ? 0 : 3;
+  if (WriteObsArtifacts(outs, "observe", snap, snap, forensics.dumps()) != 0) {
+    rc = 1;
+  }
+  if (outs.WantTrace()) {
+    std::vector<core::ShardTrace> shards(1);
+    shards[0].pid = 0;
+    shards[0].name = "pardb observe";
+    shards[0].events = trace.events();
+    if (WriteTraceArtifacts(outs, shards) != 0) rc = 1;
+  }
+  return rc;
 }
 
 // `pardb parallel` — the sim workload sharded over N engines on a thread
@@ -182,6 +372,10 @@ int RunParallel(const Flags& flags) {
   opt.num_shards = static_cast<std::uint32_t>(shards.value());
   opt.num_threads = static_cast<std::size_t>(threads.value());
   opt.cross_shard_fraction = cross.value();
+  const ObsOutputs outs = GetObsOutputs(flags);
+  opt.instrument = outs.WantMetrics();
+  opt.collect_traces = outs.WantTrace();
+  opt.collect_forensics = outs.WantForensics();
 
   auto report = par::RunSharded(opt);
   if (!report.ok()) {
@@ -211,7 +405,25 @@ int RunParallel(const Flags& flags) {
     out << par::ShardedReportToJson(report.value()) << "\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return report->completed ? 0 : 3;
+  int rc = report->completed ? 0 : 3;
+  if (opt.instrument || opt.collect_forensics) {
+    if (WriteObsArtifacts(outs, "parallel", report->metrics,
+                          report->merged_metrics, report->forensics) != 0) {
+      rc = 1;
+    }
+  }
+  if (opt.collect_traces) {
+    std::vector<core::ShardTrace> traces;
+    for (std::size_t s = 0; s < report->shard_traces.size(); ++s) {
+      core::ShardTrace t;
+      t.pid = s;
+      t.name = "shard " + std::to_string(s);
+      t.events = report->shard_traces[s];
+      traces.push_back(std::move(t));
+    }
+    if (WriteTraceArtifacts(outs, traces) != 0) rc = 1;
+  }
+  return rc;
 }
 
 int RunCompare(const Flags& flags) {
@@ -409,11 +621,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
   }
+  // Apply the log threshold before any subcommand constructs anything, so
+  // kDebug traces from setup code (engine construction, workload
+  // generation) are not dropped.
+  if (flags->Has("log-level")) {
+    LogLevel level = GetLogLevel();
+    const std::string name = flags->GetString("log-level");
+    if (!ParseLogLevel(name, &level)) {
+      std::fprintf(stderr, "unknown --log-level %s\n", name.c_str());
+      return 2;
+    }
+    SetLogLevel(level);
+  }
   int rc;
   if (mode == "sim") {
     rc = RunSim(flags.value());
   } else if (mode == "parallel") {
     rc = RunParallel(flags.value());
+  } else if (mode == "observe") {
+    rc = RunObserve(flags.value());
   } else if (mode == "compare") {
     rc = RunCompare(flags.value());
   } else if (mode == "run") {
