@@ -312,6 +312,7 @@ Status Engine::ExecuteCommit(TxnContext& ctx) {
   live_.erase(ctx.id);
   waits_for_.RemoveVertex(ctx.id.value());
   if (recorder_ != nullptr) recorder_->OnCommit(ctx.id);
+  if (lineage_ != nullptr) lineage_->OnCommit(ctx.id);
   Emit(TraceEvent::Kind::kCommit, ctx);
   ++metrics_.commits;
   ++metrics_.ops_executed;  // the commit itself
@@ -508,8 +509,17 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
         if (chosen.count(c.txn)) victims.push_back(&c);
       }
     } else {
-      victims.push_back(&ChooseVictim(options_.victim_policy, candidates,
-                                      requester.entry));
+      const VictimCandidate& pick =
+          ChooseVictim(options_.victim_policy, candidates, requester.entry);
+      if (lineage_ != nullptr &&
+          options_.victim_policy == VictimPolicyKind::kMinCostOrdered) {
+        // Theorem 2 actively intervening: the ω-ordered policy rejected the
+        // transaction pure min-cost would have sacrificed.
+        const VictimCandidate& unordered = ChooseVictim(
+            VictimPolicyKind::kMinCost, candidates, requester.entry);
+        if (unordered.txn != pick.txn) lineage_->OnOmegaIntervention();
+      }
+      victims.push_back(&pick);
     }
 
     if (victims.empty()) {
@@ -581,10 +591,30 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
         if (probe_ != nullptr && probe_->victims_preempted != nullptr) {
           probe_->victims_preempted->Inc();
         }
+        if (lineage_ != nullptr) {
+          lineage_->OnPreemption(metrics_.steps, victim->id, requester.id,
+                                 v->actual_target, v->cost);
+        }
       } else {
         requester_rolled_back = true;
         if (probe_ != nullptr && probe_->victims_requester != nullptr) {
           probe_->victims_requester->Inc();
+        }
+        if (lineage_ != nullptr) {
+          // A requester self-rollback is still a preemption in the
+          // Figure 2 sense — the holder it was waiting on knocked it out.
+          // Recording that holder as the aggressor lets the chain depth
+          // keep growing across the paper's mutual T2/T3 alternation,
+          // which is self-rollbacks all the way down.
+          TxnId aggressor = requester.id;
+          for (const graph::Edge& e : cycles.front().edges) {
+            if (TxnId(e.to) == requester.id) {
+              aggressor = TxnId(e.from);
+              break;
+            }
+          }
+          lineage_->OnPreemption(metrics_.steps, victim->id, aggressor,
+                                 v->actual_target, v->cost);
         }
       }
       PARDB_RETURN_IF_ERROR(RollbackTxn(*victim, v->actual_target));
@@ -622,6 +652,10 @@ Status Engine::HandleWoundWait(TxnContext& requester, EntityId entity,
          cand.value().actual_target, cand.value().cost);
     ++metrics_.preemptions;
     ++victim->preempted;
+    if (lineage_ != nullptr) {
+      lineage_->OnPreemption(metrics_.steps, victim->id, requester.id,
+                             cand.value().actual_target, cand.value().cost);
+    }
     metrics_.wasted_ops += cand.value().cost;
     metrics_.ideal_wasted_ops += cand.value().ideal_cost;
     PARDB_RETURN_IF_ERROR(RollbackTxn(*victim, cand.value().actual_target));
@@ -960,6 +994,53 @@ Value Engine::VarValueOf(TxnId txn, txn::VarId var) const {
 std::uint64_t Engine::PreemptionCountOf(TxnId txn) const {
   const TxnContext* ctx = Find(txn);
   return ctx == nullptr ? 0 : ctx->preempted;
+}
+
+obs::WaitsForSnapshot Engine::SnapshotWaitsFor() const {
+  obs::WaitsForSnapshot snap;
+  snap.step = metrics_.steps;
+  snap.commits = metrics_.commits;
+  for (TxnId id : live_) {
+    const TxnContext* ctx = Find(id);
+    if (ctx == nullptr) continue;
+    obs::TxnSnapshot t;
+    t.txn = id;
+    t.entry = ctx->entry;
+    switch (ctx->status) {
+      case TxnStatus::kReady:
+        t.status = "ready";
+        break;
+      case TxnStatus::kWaiting:
+        t.status = "waiting";
+        break;
+      case TxnStatus::kCommitted:
+        t.status = "committed";
+        break;
+    }
+    t.state_index = ctx->pc;
+    t.lock_count = ctx->granted.size();
+    t.preemptions = ctx->preempted;
+    t.chain_len = lineage_ != nullptr ? lineage_->ChainLenOf(id) : 0;
+    for (const auto& [e, m] : locks_.HeldBy(id)) {
+      t.held.push_back(obs::LockGrantRef{e, lock::LockModeName(m)[0]});
+    }
+    const std::optional<lock::PendingRequest> pending = locks_.Waiting(id);
+    if (pending.has_value()) {
+      t.has_request = true;
+      t.requested = obs::LockGrantRef{pending->entity,
+                                      lock::LockModeName(pending->mode)[0]};
+    }
+    snap.txns.push_back(std::move(t));
+  }
+  for (const graph::Edge& e : waits_for_.Edges()) {
+    // Edge: holder (from) -> waiter (to); the snapshot arc reads "waiter
+    // waits for holder", matching the forensic dump's orientation.
+    snap.arcs.push_back(
+        obs::WaitsForArc{TxnId(e.to), TxnId(e.from), EntityId(e.label)});
+  }
+  snap.acyclic = waits_for_.IsAcyclic();
+  snap.forest = waits_for_.IsForest();
+  return snap;
 }
 
 CostDistribution ComputeCostDistribution(std::vector<std::uint32_t> costs) {

@@ -18,7 +18,9 @@
 #include "common/types.h"
 #include "core/trace.h"
 #include "obs/forensics.h"
+#include "obs/lineage.h"
 #include "obs/probe.h"
+#include "obs/snapshot.h"
 #include "core/victim_policy.h"
 #include "graph/digraph.h"
 #include "lock/lock_manager.h"
@@ -262,6 +264,22 @@ class Engine {
   // before any rollback mutates the cycle.
   void set_forensics(obs::DeadlockDumpSink* sink) { forensics_ = sink; }
 
+  // Installs a rollback-lineage tracker (nullptr to detach): fed one event
+  // per preemption (detection victims and wound-wait wounds), an
+  // ω-intervention whenever the ordered victim policy overrides the pure
+  // min-cost choice, and a retirement per commit. Not owned; must outlive
+  // the engine or be detached first.
+  void set_lineage(obs::LineageTracker* lineage) { lineage_ = lineage; }
+
+  // Materializes the full waits-for state at this instant: every live
+  // transaction (status, ω position, state/lock indices, held and
+  // requested locks, preemption lineage), every waits-for arc, and the
+  // Theorem 1 structure flags. Called between steps — the engine is
+  // single-threaded, so the snapshot is internally consistent; callers on
+  // other threads receive a published copy (see obs::LiveHub), never this
+  // engine.
+  obs::WaitsForSnapshot SnapshotWaitsFor() const;
+
   // Transactions spawned but not yet committed — the scan set StepAny
   // schedules from.
   std::size_t live_txn_count() const { return live_.size(); }
@@ -356,6 +374,7 @@ class Engine {
   TraceSink* trace_ = nullptr;                // may be null
   const obs::EngineProbe* probe_ = nullptr;   // may be null
   obs::DeadlockDumpSink* forensics_ = nullptr;  // may be null
+  obs::LineageTracker* lineage_ = nullptr;      // may be null
   lock::LockManager locks_;
   graph::Digraph waits_for_;
   std::map<TxnId, TxnContext> txns_;

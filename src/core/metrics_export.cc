@@ -1,5 +1,7 @@
 #include "core/metrics_export.h"
 
+#include "obs/metric_names.h"
+
 namespace pardb::core {
 
 void ExportEngineMetrics(const Engine& engine, obs::MetricsRegistry* registry,
@@ -8,32 +10,33 @@ void ExportEngineMetrics(const Engine& engine, obs::MetricsRegistry* registry,
   auto Add = [&](const char* name, std::uint64_t v) {
     registry->GetCounter(name, labels)->Inc(v);
   };
-  Add("pardb_steps_total", m.steps);
-  Add("pardb_ops_executed_total", m.ops_executed);
-  Add("pardb_commits_total", m.commits);
-  Add("pardb_lock_waits_total", m.lock_waits);
-  Add("pardb_deadlocks_total", m.deadlocks);
-  Add("pardb_rollbacks_total", m.rollbacks);
-  Add("pardb_partial_rollbacks_total", m.partial_rollbacks);
-  Add("pardb_total_rollbacks_total", m.total_rollbacks);
-  Add("pardb_preemptions_total", m.preemptions);
-  Add("pardb_wounds_total", m.wounds);
-  Add("pardb_deaths_total", m.deaths);
-  Add("pardb_timeouts_total", m.timeouts);
-  Add("pardb_wasted_ops_total", m.wasted_ops);
-  Add("pardb_ideal_wasted_ops_total", m.ideal_wasted_ops);
-  Add("pardb_cycles_found_total", m.cycles_found);
-  Add("pardb_periodic_scans_total", m.periodic_scans);
+  Add(obs::kStepsTotal, m.steps);
+  Add(obs::kOpsExecutedTotal, m.ops_executed);
+  Add(obs::kCommitsTotal, m.commits);
+  Add(obs::kLockWaitsTotal, m.lock_waits);
+  Add(obs::kDeadlocksTotal, m.deadlocks);
+  Add(obs::kRollbacksTotal, m.rollbacks);
+  Add(obs::kPartialRollbacksTotal, m.partial_rollbacks);
+  Add(obs::kTotalRollbacksTotal, m.total_rollbacks);
+  Add(obs::kPreemptionsTotal, m.preemptions);
+  Add(obs::kWoundsTotal, m.wounds);
+  Add(obs::kDeathsTotal, m.deaths);
+  Add(obs::kTimeoutsTotal, m.timeouts);
+  Add(obs::kWastedOpsTotal, m.wasted_ops);
+  Add(obs::kIdealWastedOpsTotal, m.ideal_wasted_ops);
+  Add(obs::kCyclesFoundTotal, m.cycles_found);
+  Add(obs::kPeriodicScansTotal, m.periodic_scans);
 
-  registry->GetGauge("pardb_max_entity_copies", labels)
+  registry->GetGauge(obs::kMaxEntityCopies, labels)
       ->SetMax(static_cast<std::int64_t>(m.max_entity_copies));
-  registry->GetGauge("pardb_max_var_copies", labels)
+  registry->GetGauge(obs::kMaxVarCopies, labels)
       ->SetMax(static_cast<std::int64_t>(m.max_var_copies));
-  registry->GetGauge("pardb_live_txns", labels)
+  registry->GetGauge(obs::kLiveTxns, labels)
       ->Set(static_cast<std::int64_t>(engine.live_txn_count()));
+  registry->GetGauge(obs::kWaitingTxns, labels)
+      ->Set(static_cast<std::int64_t>(engine.lock_manager().WaitingCount()));
 
-  obs::Histogram* costs =
-      registry->GetHistogram("pardb_rollback_cost_ops", labels);
+  obs::Histogram* costs = registry->GetHistogram(obs::kRollbackCostOps, labels);
   for (std::uint32_t c : engine.rollback_cost_samples()) costs->Record(c);
 }
 

@@ -77,4 +77,9 @@ std::string RingTrace::ToString() const {
   return os.str();
 }
 
+std::uint64_t TraceDropped(const TraceSink* sink) {
+  const auto* ring = dynamic_cast<const RingTrace*>(sink);
+  return ring != nullptr ? ring->dropped_events() : 0;
+}
+
 }  // namespace pardb::core

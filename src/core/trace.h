@@ -85,6 +85,11 @@ class VectorTrace final : public TraceSink {
   std::vector<TraceEvent> events_;
 };
 
+// Events `sink` lost: RingTrace eviction count, 0 for every other sink
+// (VectorTrace never drops) and for null. Lets exporters publish
+// pardb_trace_dropped_total uniformly without knowing the sink type.
+std::uint64_t TraceDropped(const TraceSink* sink);
+
 }  // namespace pardb::core
 
 #endif  // PARDB_CORE_TRACE_H_

@@ -131,6 +131,9 @@ class LockManager {
   // Entities txn currently holds, with modes, ordered by entity id.
   std::vector<std::pair<EntityId, LockMode>> HeldBy(TxnId txn) const;
   std::size_t HeldCount(TxnId txn) const;
+  // Transactions currently blocked in some wait queue (the live gauge
+  // pardb_waiting_txns reads this).
+  std::size_t WaitingCount() const { return waiting_.size(); }
 
   // Blockers of txn's pending request under the configured edge policy.
   // Empty when txn is not waiting (or is waiting purely on queue order

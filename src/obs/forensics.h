@@ -72,6 +72,28 @@ class CollectingDeadlockSink final : public DeadlockDumpSink {
   std::uint64_t total_seen_ = 0;
 };
 
+// Forwards each dump to two sinks (either may be null). The engine accepts
+// a single sink; drivers that feed both a collecting sink and the live
+// hub's ring install one of these.
+class FanOutDeadlockSink final : public DeadlockDumpSink {
+ public:
+  FanOutDeadlockSink() = default;
+  FanOutDeadlockSink(DeadlockDumpSink* first, DeadlockDumpSink* second)
+      : first_(first), second_(second) {}
+
+  void set_first(DeadlockDumpSink* s) { first_ = s; }
+  void set_second(DeadlockDumpSink* s) { second_ = s; }
+
+  void OnDeadlock(const DeadlockDump& dump) override {
+    if (first_ != nullptr) first_->OnDeadlock(dump);
+    if (second_ != nullptr) second_->OnDeadlock(dump);
+  }
+
+ private:
+  DeadlockDumpSink* first_ = nullptr;
+  DeadlockDumpSink* second_ = nullptr;
+};
+
 // Writes each dump as DOT to `<prefix><n>.dot` (n counts from 0), up to
 // `max_files` files.
 class DotFileDeadlockSink final : public DeadlockDumpSink {

@@ -1,0 +1,61 @@
+#include "obs/lineage.h"
+
+#include <algorithm>
+
+#include "obs/metric_names.h"
+
+namespace pardb::obs {
+
+void LineageTracker::AttachMetrics(MetricsRegistry* registry,
+                                   const LabelSet& labels) {
+  chain_len_gauge_ = registry->GetGauge(kPreemptionChainLen, labels);
+  omega_counter_ = registry->GetCounter(kOmegaInterventionsTotal, labels);
+  events_counter_ = registry->GetCounter(kLineageEventsTotal, labels);
+}
+
+void LineageTracker::OnPreemption(std::uint64_t step, TxnId victim,
+                                  TxnId aggressor, LockIndex target,
+                                  std::uint64_t cost) {
+  // The aggressor hands its chain on: a victim preempted by a transaction
+  // that was itself preempted sits deeper in the lineage.
+  const std::uint64_t aggressor_chain = ChainLenOf(aggressor);
+  Record& rec = records_[victim];
+  rec.chain_len = std::max(rec.chain_len, aggressor_chain) + 1;
+
+  PreemptionEvent ev;
+  ev.step = step;
+  ev.victim = victim;
+  ev.aggressor = aggressor;
+  ev.target = target;
+  ev.cost = cost;
+  ev.chain_len = rec.chain_len;
+  if (rec.events.size() < max_events_per_txn_) {
+    rec.events.push_back(ev);
+  }
+
+  ++total_events_;
+  max_chain_len_ = std::max(max_chain_len_, rec.chain_len);
+  if (chain_len_gauge_ != nullptr) {
+    chain_len_gauge_->SetMax(static_cast<std::int64_t>(rec.chain_len));
+  }
+  if (events_counter_ != nullptr) events_counter_->Inc();
+}
+
+void LineageTracker::OnOmegaIntervention() {
+  ++omega_interventions_;
+  if (omega_counter_ != nullptr) omega_counter_->Inc();
+}
+
+void LineageTracker::OnCommit(TxnId txn) { records_.erase(txn); }
+
+std::uint64_t LineageTracker::ChainLenOf(TxnId txn) const {
+  auto it = records_.find(txn);
+  return it == records_.end() ? 0 : it->second.chain_len;
+}
+
+const std::vector<PreemptionEvent>* LineageTracker::EventsOf(TxnId txn) const {
+  auto it = records_.find(txn);
+  return it == records_.end() ? nullptr : &it->second.events;
+}
+
+}  // namespace pardb::obs

@@ -1,0 +1,81 @@
+#ifndef PARDB_OBS_METRIC_NAMES_H_
+#define PARDB_OBS_METRIC_NAMES_H_
+
+namespace pardb::obs {
+
+// Canonical pardb_* metric names. Every producer (probe registration,
+// end-of-run export, the sharded driver, the live introspection hub) and
+// every consumer (file writers, the HTTP /metrics endpoint, schemas and
+// tests) must spell names through these constants so the Prometheus
+// exposition cannot drift between the file export and the server.
+
+// Engine aggregate counters (core::ExportEngineMetrics).
+inline constexpr char kStepsTotal[] = "pardb_steps_total";
+inline constexpr char kOpsExecutedTotal[] = "pardb_ops_executed_total";
+inline constexpr char kCommitsTotal[] = "pardb_commits_total";
+inline constexpr char kLockWaitsTotal[] = "pardb_lock_waits_total";
+inline constexpr char kDeadlocksTotal[] = "pardb_deadlocks_total";
+inline constexpr char kRollbacksTotal[] = "pardb_rollbacks_total";
+inline constexpr char kPartialRollbacksTotal[] = "pardb_partial_rollbacks_total";
+inline constexpr char kTotalRollbacksTotal[] = "pardb_total_rollbacks_total";
+inline constexpr char kPreemptionsTotal[] = "pardb_preemptions_total";
+inline constexpr char kWoundsTotal[] = "pardb_wounds_total";
+inline constexpr char kDeathsTotal[] = "pardb_deaths_total";
+inline constexpr char kTimeoutsTotal[] = "pardb_timeouts_total";
+inline constexpr char kWastedOpsTotal[] = "pardb_wasted_ops_total";
+inline constexpr char kIdealWastedOpsTotal[] = "pardb_ideal_wasted_ops_total";
+inline constexpr char kCyclesFoundTotal[] = "pardb_cycles_found_total";
+inline constexpr char kPeriodicScansTotal[] = "pardb_periodic_scans_total";
+
+// Engine aggregate gauges.
+inline constexpr char kMaxEntityCopies[] = "pardb_max_entity_copies";
+inline constexpr char kMaxVarCopies[] = "pardb_max_var_copies";
+inline constexpr char kLiveTxns[] = "pardb_live_txns";
+inline constexpr char kWaitingTxns[] = "pardb_waiting_txns";
+
+// Engine histograms.
+inline constexpr char kRollbackCostOps[] = "pardb_rollback_cost_ops";
+
+// Probe-registered live metrics (obs::MakeEngineProbe / MakeLockProbe).
+inline constexpr char kDetectionNs[] = "pardb_detection_ns";
+inline constexpr char kRollbackApplyNs[] = "pardb_rollback_apply_ns";
+inline constexpr char kLockOpNs[] = "pardb_lock_op_ns";
+inline constexpr char kLockWaitSteps[] = "pardb_lock_wait_steps";
+inline constexpr char kVictimsRequesterTotal[] = "pardb_victims_requester_total";
+inline constexpr char kVictimsPreemptedTotal[] = "pardb_victims_preempted_total";
+inline constexpr char kLockRequestsTotal[] = "pardb_lock_requests_total";
+inline constexpr char kLockGrantsImmediateTotal[] =
+    "pardb_lock_grants_immediate_total";
+inline constexpr char kLockQueuedTotal[] = "pardb_lock_queued_total";
+inline constexpr char kLockGrantsOnReleaseTotal[] =
+    "pardb_lock_grants_on_release_total";
+inline constexpr char kLockCancelsTotal[] = "pardb_lock_cancels_total";
+inline constexpr char kLockMaxQueueDepth[] = "pardb_lock_max_queue_depth";
+
+// Sharded driver / live hub.
+inline constexpr char kShardStepNs[] = "pardb_shard_step_ns";
+// Per-shard EWMA of the sampled step time (gauge, nanoseconds).
+inline constexpr char kShardStepEwmaNs[] = "pardb_shard_step_ewma_ns";
+// max/mean of the per-shard step-time EWMAs, scaled by 1000 (gauge; 1000 =
+// perfectly balanced). The ROADMAP work-stealing item's input signal.
+inline constexpr char kShardLoadSkew[] = "pardb_shard_load_skew";
+
+// Preemption lineage (obs::LineageTracker).
+// High-water mark of any live transaction's preemption chain depth.
+inline constexpr char kPreemptionChainLen[] = "pardb_preemption_chain_len";
+// Times the Theorem 2 ω-ordered policy overrode the unconstrained min-cost
+// victim choice (the cure for Figure 2's infinite mutual preemption).
+inline constexpr char kOmegaInterventionsTotal[] =
+    "pardb_omega_interventions_total";
+// Preemption events recorded into lineage chains.
+inline constexpr char kLineageEventsTotal[] = "pardb_lineage_events_total";
+
+// Trace pipeline.
+inline constexpr char kTraceDroppedTotal[] = "pardb_trace_dropped_total";
+
+// Label keys.
+inline constexpr char kShardLabel[] = "shard";
+
+}  // namespace pardb::obs
+
+#endif  // PARDB_OBS_METRIC_NAMES_H_

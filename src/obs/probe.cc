@@ -1,18 +1,19 @@
 #include "obs/probe.h"
 
+#include "obs/metric_names.h"
+
 namespace pardb::obs {
 
 LockProbe MakeLockProbe(MetricsRegistry* registry, const LabelSet& labels) {
   LockProbe p;
-  p.requests = registry->GetCounter("pardb_lock_requests_total", labels);
+  p.requests = registry->GetCounter(kLockRequestsTotal, labels);
   p.grants_immediate =
-      registry->GetCounter("pardb_lock_grants_immediate_total", labels);
-  p.queued = registry->GetCounter("pardb_lock_queued_total", labels);
+      registry->GetCounter(kLockGrantsImmediateTotal, labels);
+  p.queued = registry->GetCounter(kLockQueuedTotal, labels);
   p.grants_on_release =
-      registry->GetCounter("pardb_lock_grants_on_release_total", labels);
-  p.cancels = registry->GetCounter("pardb_lock_cancels_total", labels);
-  p.max_queue_depth =
-      registry->GetGauge("pardb_lock_max_queue_depth", labels);
+      registry->GetCounter(kLockGrantsOnReleaseTotal, labels);
+  p.cancels = registry->GetCounter(kLockCancelsTotal, labels);
+  p.max_queue_depth = registry->GetGauge(kLockMaxQueueDepth, labels);
   return p;
 }
 
@@ -20,15 +21,12 @@ EngineProbe MakeEngineProbe(MetricsRegistry* registry, const LabelSet& labels,
                             const Clock* clock) {
   EngineProbe p;
   p.clock = clock;
-  p.detection_ns = registry->GetHistogram("pardb_detection_ns", labels);
-  p.rollback_apply_ns =
-      registry->GetHistogram("pardb_rollback_apply_ns", labels);
-  p.lock_op_ns = registry->GetHistogram("pardb_lock_op_ns", labels);
-  p.lock_wait_steps = registry->GetHistogram("pardb_lock_wait_steps", labels);
-  p.victims_requester =
-      registry->GetCounter("pardb_victims_requester_total", labels);
-  p.victims_preempted =
-      registry->GetCounter("pardb_victims_preempted_total", labels);
+  p.detection_ns = registry->GetHistogram(kDetectionNs, labels);
+  p.rollback_apply_ns = registry->GetHistogram(kRollbackApplyNs, labels);
+  p.lock_op_ns = registry->GetHistogram(kLockOpNs, labels);
+  p.lock_wait_steps = registry->GetHistogram(kLockWaitSteps, labels);
+  p.victims_requester = registry->GetCounter(kVictimsRequesterTotal, labels);
+  p.victims_preempted = registry->GetCounter(kVictimsPreemptedTotal, labels);
   p.lock = MakeLockProbe(registry, labels);
   return p;
 }

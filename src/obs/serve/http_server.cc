@@ -1,0 +1,230 @@
+#include "obs/serve/http_server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace pardb::obs {
+
+namespace {
+
+// Accept-loop poll granularity: the upper bound on Stop() latency.
+constexpr int kPollMillis = 50;
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string UrlDecode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = HexVal(s[i + 1]);
+      const int lo = HexVal(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i] == '+' ? ' ' : s[i]);
+  }
+  return out;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+void WriteAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // peer went away; nothing to salvage
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::map<std::string, std::string> ParseQueryString(const std::string& qs) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < qs.size()) {
+    std::size_t amp = qs.find('&', pos);
+    if (amp == std::string::npos) amp = qs.size();
+    const std::string pair = qs.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      if (!pair.empty()) out[UrlDecode(pair)] = "";
+    } else {
+      out[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+HttpResponse HttpResponse::Json(std::string body) {
+  HttpResponse r;
+  r.content_type = "application/json";
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::Text(std::string body) {
+  HttpResponse r;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::NotFound(const std::string& path) {
+  HttpResponse r;
+  r.status = 404;
+  r.body = "no such endpoint: " + path + "\n";
+  return r;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Route(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+Status HttpServer::Start(std::uint16_t port) {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already running");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot bind 127.0.0.1:" +
+                                   std::to_string(port) + ": " +
+                                   std::strerror(errno));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::Internal("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void HttpServer::Loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  // Read until the end of the header block (or 16 KiB — introspection
+  // requests are one line). A short poll keeps a stalled client from
+  // wedging the accept loop.
+  std::string raw;
+  char buf[2048];
+  while (raw.size() < 16384 && raw.find("\r\n\r\n") == std::string::npos &&
+         raw.find("\n\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 1000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t eol = raw.find('\n');
+  if (eol == std::string::npos) return;
+
+  std::istringstream line(raw.substr(0, eol));
+  std::string method, target, version;
+  line >> method >> target >> version;
+
+  HttpResponse resp;
+  if (method != "GET") {
+    resp.status = 405;
+    resp.body = "only GET is supported\n";
+  } else {
+    std::string path = target;
+    std::string qs;
+    const std::size_t qmark = target.find('?');
+    if (qmark != std::string::npos) {
+      path = target.substr(0, qmark);
+      qs = target.substr(qmark + 1);
+    }
+    auto it = routes_.find(path);
+    if (it == routes_.end()) {
+      resp = HttpResponse::NotFound(path);
+    } else {
+      HttpRequest req;
+      req.method = method;
+      req.path = path;
+      req.query = ParseQueryString(qs);
+      resp = it->second(req);
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::ostringstream out;
+  out << "HTTP/1.0 " << resp.status << " " << StatusText(resp.status)
+      << "\r\n"
+      << "Content-Type: " << resp.content_type << "\r\n"
+      << "Content-Length: " << resp.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << resp.body;
+  WriteAll(fd, out.str());
+}
+
+}  // namespace pardb::obs

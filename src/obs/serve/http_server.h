@@ -1,0 +1,90 @@
+#ifndef PARDB_OBS_SERVE_HTTP_SERVER_H_
+#define PARDB_OBS_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace pardb::obs {
+
+// One parsed request. Only what the introspection endpoints need: method,
+// path, and the decoded query parameters. Headers and bodies are ignored.
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/debug/waits-for"
+  std::map<std::string, std::string> query;  // {"format":"dot"}
+
+  std::string QueryOr(const std::string& key, const std::string& fallback) const {
+    auto it = query.find(key);
+    return it == query.end() ? fallback : it->second;
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse Json(std::string body);
+  static HttpResponse Text(std::string body);
+  static HttpResponse NotFound(const std::string& path);
+};
+
+// Minimal dependency-free HTTP/1.0 server for live introspection: a
+// blocking accept loop (poll + accept, so shutdown never races a wakeup)
+// on one background thread, handling one request at a time. Exactly what a
+// /metrics scrape needs, and nothing the TSan par suite could trip over:
+// routes are frozen before Start(), handlers run only on the server
+// thread, and every shared structure they read is internally synchronized
+// (registry snapshots, the live hub's mutex).
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers a handler for an exact path. Must be called before Start().
+  void Route(const std::string& path, Handler handler);
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and spawns the accept thread.
+  // InvalidArgument/Internal on socket errors (port in use, etc.).
+  Status Start(std::uint16_t port);
+
+  // The bound port (useful after Start(0)). 0 when not running.
+  std::uint16_t port() const { return port_; }
+  bool running() const { return listen_fd_ >= 0; }
+
+  // Stops accepting, closes the socket and joins the thread. Idempotent.
+  void Stop();
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void HandleConnection(int fd);
+
+  std::map<std::string, Handler> routes_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+// Decodes "a=1&b=x%2Fy" into a map (exposed for tests).
+std::map<std::string, std::string> ParseQueryString(const std::string& qs);
+
+}  // namespace pardb::obs
+
+#endif  // PARDB_OBS_SERVE_HTTP_SERVER_H_

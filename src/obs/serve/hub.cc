@@ -1,0 +1,164 @@
+#include "obs/serve/hub.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metric_names.h"
+
+namespace pardb::obs {
+
+std::string_view RunPhaseName(RunPhase phase) {
+  switch (phase) {
+    case RunPhase::kIdle:
+      return "idle";
+    case RunPhase::kGenerating:
+      return "generating";
+    case RunPhase::kRunning:
+      return "running";
+    case RunPhase::kAggregating:
+      return "aggregating";
+    case RunPhase::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+LiveHub::LiveHub(const Clock* clock, std::size_t max_deadlocks)
+    : clock_(clock != nullptr ? clock : MonotonicClock::Global()),
+      start_nanos_(clock_->NowNanos()),
+      max_deadlocks_(max_deadlocks) {}
+
+void LiveHub::SetPhase(RunPhase phase) {
+  phase_.store(static_cast<int>(phase), std::memory_order_release);
+}
+
+RunPhase LiveHub::phase() const {
+  return static_cast<RunPhase>(phase_.load(std::memory_order_acquire));
+}
+
+double LiveHub::UptimeSeconds() const {
+  return static_cast<double>(clock_->NowNanos() - start_nanos_) * 1e-9;
+}
+
+void LiveHub::AddRegistry(const MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registries_.push_back(registry);
+}
+
+MetricsRegistry* LiveHub::AddOwnedRegistry(
+    std::unique_ptr<MetricsRegistry> registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsRegistry* raw = registry.get();
+  owned_registries_.push_back(std::move(registry));
+  registries_.push_back(raw);
+  return raw;
+}
+
+void LiveHub::ClearRegistries() {
+  std::lock_guard<std::mutex> lock(mu_);
+  registries_.clear();
+  owned_registries_.clear();
+}
+
+RegistrySnapshot LiveHub::MergedMetrics() const {
+  RefreshSkewGauges();
+  RegistrySnapshot out = hub_registry_.Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const MetricsRegistry* r : registries_) {
+    out.MergeFrom(r->Snapshot());
+  }
+  return out;
+}
+
+void LiveHub::PublishSnapshot(WaitsForSnapshot snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (WaitsForSnapshot& existing : snapshots_) {
+    if (existing.shard == snap.shard) {
+      existing = std::move(snap);
+      return;
+    }
+  }
+  snapshots_.push_back(std::move(snap));
+  std::sort(snapshots_.begin(), snapshots_.end(),
+            [](const WaitsForSnapshot& a, const WaitsForSnapshot& b) {
+              return a.shard < b.shard;
+            });
+}
+
+std::vector<WaitsForSnapshot> LiveHub::Snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_;
+}
+
+DeadlockDumpSink* LiveHub::MakeDeadlockSink(std::uint32_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(std::make_unique<RingSink>(this, shard));
+  return sinks_.back().get();
+}
+
+void LiveHub::RingSink::OnDeadlock(const DeadlockDump& dump) {
+  hub_->RecordDeadlock(shard_, dump);
+}
+
+void LiveHub::RecordDeadlock(std::uint32_t shard, const DeadlockDump& dump) {
+  deadlocks_seen_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  deadlocks_.push_back(ShardDeadlockDump{shard, dump});
+  while (deadlocks_.size() > max_deadlocks_) deadlocks_.pop_front();
+}
+
+std::vector<ShardDeadlockDump> LiveHub::RecentDeadlocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<ShardDeadlockDump>(deadlocks_.begin(), deadlocks_.end());
+}
+
+void LiveHub::RecordShardStep(std::uint32_t shard, std::uint64_t ns) {
+  if (shard >= kMaxShards) return;
+  std::atomic<std::uint64_t>& slot = step_ewma_ns_[shard];
+  const std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  // First sample initializes the EWMA exactly (0 is the empty sentinel), so
+  // a hand-built timing set produces a hand-computable skew.
+  const std::uint64_t next =
+      cur == 0 ? ns
+               : static_cast<std::uint64_t>(
+                     static_cast<std::int64_t>(cur) +
+                     (static_cast<std::int64_t>(ns) -
+                      static_cast<std::int64_t>(cur)) /
+                         8);
+  slot.store(next == 0 ? 1 : next, std::memory_order_relaxed);
+}
+
+std::uint64_t LiveHub::ShardStepEwmaNs(std::uint32_t shard) const {
+  if (shard >= kMaxShards) return 0;
+  return step_ewma_ns_[shard].load(std::memory_order_relaxed);
+}
+
+double LiveHub::LoadSkew() const {
+  std::uint64_t max = 0;
+  std::uint64_t sum = 0;
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < kMaxShards; ++s) {
+    const std::uint64_t v = step_ewma_ns_[s].load(std::memory_order_relaxed);
+    if (v == 0) continue;
+    max = std::max(max, v);
+    sum += v;
+    ++n;
+  }
+  if (n == 0 || sum == 0) return 0.0;
+  const double mean = static_cast<double>(sum) / static_cast<double>(n);
+  return static_cast<double>(max) / mean;
+}
+
+void LiveHub::RefreshSkewGauges() const {
+  hub_registry_.GetGauge(kShardLoadSkew)
+      ->Set(static_cast<std::int64_t>(std::llround(LoadSkew() * 1000.0)));
+  for (std::size_t s = 0; s < kMaxShards; ++s) {
+    const std::uint64_t v = step_ewma_ns_[s].load(std::memory_order_relaxed);
+    if (v == 0) continue;
+    hub_registry_
+        .GetGauge(kShardStepEwmaNs, {{kShardLabel, std::to_string(s)}})
+        ->Set(static_cast<std::int64_t>(v));
+  }
+}
+
+}  // namespace pardb::obs

@@ -1,0 +1,70 @@
+#include "obs/serve/introspection.h"
+
+#include <sstream>
+
+#include "obs/forensics.h"
+
+namespace pardb::obs {
+
+void InstallIntrospectionRoutes(HttpServer* server, LiveHub* hub) {
+  server->Route("/", [](const HttpRequest&) {
+    return HttpResponse::Text(
+        "pardb live introspection\n"
+        "  /metrics                 Prometheus text exposition\n"
+        "  /healthz                 run phase + uptime JSON\n"
+        "  /debug/waits-for         waits-for snapshots (?format=json|dot)\n"
+        "  /debug/deadlocks         recent deadlock forensics "
+        "(?format=json|dot)\n");
+  });
+
+  server->Route("/metrics", [hub](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = hub->MergedMetrics().ToPrometheus();
+    return r;
+  });
+
+  server->Route("/healthz", [hub, server](const HttpRequest&) {
+    std::ostringstream os;
+    os << "{\"phase\":\"" << RunPhaseName(hub->phase())
+       << "\",\"uptime_seconds\":" << hub->UptimeSeconds()
+       << ",\"shards\":" << hub->Snapshots().size()
+       << ",\"deadlocks_seen\":" << hub->deadlocks_seen()
+       << ",\"requests_served\":" << server->requests_served() << "}\n";
+    return HttpResponse::Json(os.str());
+  });
+
+  server->Route("/debug/waits-for", [hub](const HttpRequest& req) {
+    const std::vector<WaitsForSnapshot> snaps = hub->Snapshots();
+    const std::string format = req.QueryOr("format", "json");
+    if (format == "dot") {
+      return HttpResponse::Text(WaitsForSnapshotsToDot(snaps));
+    }
+    if (format == "json") {
+      return HttpResponse::Json(WaitsForSnapshotsToJson(
+          snaps, std::string(RunPhaseName(hub->phase()))));
+    }
+    HttpResponse r;
+    r.status = 400;
+    r.body = "unknown format '" + format + "' (want json or dot)\n";
+    return r;
+  });
+
+  server->Route("/debug/deadlocks", [hub](const HttpRequest& req) {
+    const std::vector<ShardDeadlockDump> dumps = hub->RecentDeadlocks();
+    const std::string format = req.QueryOr("format", "json");
+    if (format == "dot") {
+      if (dumps.empty()) return HttpResponse::Text("// no deadlocks seen\n");
+      return HttpResponse::Text(DeadlockDumpToDot(dumps.back().dump));
+    }
+    if (format == "json") {
+      return HttpResponse::Json(DeadlockDumpsToJson(dumps));
+    }
+    HttpResponse r;
+    r.status = 400;
+    r.body = "unknown format '" + format + "' (want json or dot)\n";
+    return r;
+  });
+}
+
+}  // namespace pardb::obs

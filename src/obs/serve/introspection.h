@@ -1,0 +1,33 @@
+#ifndef PARDB_OBS_SERVE_INTROSPECTION_H_
+#define PARDB_OBS_SERVE_INTROSPECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/serve/http_server.h"
+#include "obs/serve/hub.h"
+
+namespace pardb::obs {
+
+// Wires the live introspection endpoints onto `server`, all reading from
+// `hub` (borrowed; must outlive the server):
+//
+//   GET /metrics                  Prometheus text, merged across every
+//                                 registered registry + hub gauges
+//                                 (pardb_shard_load_skew, step EWMAs)
+//   GET /healthz                  {"phase","uptime_seconds","shards",
+//                                  "deadlocks_seen","requests_served"} JSON
+//   GET /debug/waits-for          per-shard waits-for snapshots;
+//                                 ?format=json (default) | dot
+//   GET /debug/deadlocks          ring of the last K forensic dumps
+//                                 (cycle arcs, costs, victims) as JSON;
+//                                 ?format=dot renders the newest dump
+//   GET /                         plain-text index of the endpoints
+//
+// Call before HttpServer::Start(); handlers run on the server thread and
+// touch only hub-synchronized state.
+void InstallIntrospectionRoutes(HttpServer* server, LiveHub* hub);
+
+}  // namespace pardb::obs
+
+#endif  // PARDB_OBS_SERVE_INTROSPECTION_H_

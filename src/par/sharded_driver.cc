@@ -8,6 +8,8 @@
 #include "analysis/history.h"
 #include "common/random.h"
 #include "core/metrics_export.h"
+#include "obs/lineage.h"
+#include "obs/metric_names.h"
 #include "par/router.h"
 #include "par/thread_pool.h"
 #include "storage/entity_store.h"
@@ -60,6 +62,11 @@ struct ShardRun {
   obs::RegistrySnapshot metrics;  // labeled {{"shard","k"}}
   std::vector<core::TraceEvent> trace_events;
   std::vector<obs::DeadlockDump> forensics;
+  // Hub-owned registry when live introspection is on (so /metrics outlives
+  // the run); null otherwise — RunOneShard then uses a local registry.
+  obs::MetricsRegistry* registry = nullptr;
+  // Hub-owned ring sink, installed alongside any collecting sink.
+  obs::DeadlockDumpSink* hub_sink = nullptr;
 };
 
 // Closed-loop execution of one shard's assigned transactions on its own
@@ -77,21 +84,38 @@ void RunOneShard(const ShardedOptions& options, std::uint32_t shard,
   core::Engine engine(&store, eopt,
                       options.check_serializability ? &recorder : nullptr);
 
-  // Per-shard telemetry: a private registry (no cross-thread sharing at
-  // all), merged after the pool joins.
-  const obs::LabelSet labels{{"shard", std::to_string(shard)}};
-  obs::MetricsRegistry registry;
+  // Per-shard telemetry. Without a hub the registry is private to this
+  // thread and merged after the pool joins; with one it is hub-owned and
+  // scraped live (its counters are lock-free atomics, so the serving thread
+  // reads it safely while this thread writes).
+  const obs::LabelSet labels{{obs::kShardLabel, std::to_string(shard)}};
+  obs::MetricsRegistry local_registry;
+  obs::MetricsRegistry& registry =
+      run.registry != nullptr ? *run.registry : local_registry;
+  obs::LiveHub* hub = options.hub;
   obs::EngineProbe probe;
   obs::Histogram* step_ns = nullptr;
+  obs::LineageTracker lineage;
   if (options.instrument) {
     probe = obs::MakeEngineProbe(&registry, labels);
     engine.set_probe(&probe);
-    step_ns = registry.GetHistogram("pardb_shard_step_ns", labels);
+    step_ns = registry.GetHistogram(obs::kShardStepNs, labels);
+    lineage.AttachMetrics(&registry, labels);
+    engine.set_lineage(&lineage);
   }
   core::VectorTrace trace;
   if (options.collect_traces) engine.set_trace(&trace);
   obs::CollectingDeadlockSink forensics(options.max_forensics_dumps);
-  if (options.collect_forensics) engine.set_forensics(&forensics);
+  obs::FanOutDeadlockSink fanout(&forensics, run.hub_sink);
+  if (options.collect_forensics && run.hub_sink != nullptr) {
+    engine.set_forensics(&fanout);
+  } else if (options.collect_forensics) {
+    engine.set_forensics(&forensics);
+  } else if (run.hub_sink != nullptr) {
+    engine.set_forensics(run.hub_sink);
+  }
+  const std::uint64_t snap_mask =
+      options.hub_snapshot_period == 0 ? 511 : options.hub_snapshot_period - 1;
 
   const std::uint64_t total = run.programs.size();
   std::uint64_t spawned = 0;
@@ -117,7 +141,16 @@ void RunOneShard(const ShardedOptions& options, std::uint32_t shard,
     const std::uint64_t t0 =
         time_step ? probe.EffectiveClock()->NowNanos() : 0;
     auto stepped = engine.StepAny();
-    if (time_step) step_ns->Record(probe.EffectiveClock()->NowNanos() - t0);
+    if (time_step) {
+      const std::uint64_t dt = probe.EffectiveClock()->NowNanos() - t0;
+      step_ns->Record(dt);
+      if (hub != nullptr) hub->RecordShardStep(shard, dt);
+    }
+    if (hub != nullptr && (steps & snap_mask) == 0) {
+      obs::WaitsForSnapshot snap = engine.SnapshotWaitsFor();
+      snap.shard = shard;
+      hub->PublishSnapshot(std::move(snap));
+    }
     if (!stepped.ok()) {
       run.status = stepped.status();
       return;
@@ -136,8 +169,17 @@ void RunOneShard(const ShardedOptions& options, std::uint32_t shard,
   run.result.metrics = engine.metrics();
   run.result.rollback_costs = engine.RollbackCostDistribution();
   run.cost_samples = engine.rollback_cost_samples();
+  if (hub != nullptr) {
+    // Final snapshot: the post-run server shows the end state (normally an
+    // empty graph — every transaction committed).
+    obs::WaitsForSnapshot snap = engine.SnapshotWaitsFor();
+    snap.shard = shard;
+    hub->PublishSnapshot(std::move(snap));
+  }
   if (options.instrument) {
     core::ExportEngineMetrics(engine, &registry, labels);
+    registry.GetCounter(obs::kTraceDroppedTotal, labels)
+        ->Inc(core::TraceDropped(options.collect_traces ? &trace : nullptr));
     run.metrics = registry.Snapshot();
   }
   if (options.collect_traces) run.trace_events = trace.events();
@@ -175,6 +217,7 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
     return Status::InvalidArgument("workload needs at least one entity");
   }
   const std::uint32_t n = options.num_shards;
+  if (options.hub != nullptr) options.hub->SetPhase(obs::RunPhase::kGenerating);
 
   // Phase 1 (serial, deterministic): generate and route the workload.
   // Local transactions draw from one shard's entity pool; with probability
@@ -219,6 +262,22 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
     runs[s].concurrency = std::max<std::uint32_t>(1, base + (s < rem ? 1 : 0));
   }
 
+  // Live introspection: hand each shard a hub-owned registry and a ring
+  // sink *before* the pool starts (hub registration is not safe mid-run),
+  // so the serving thread scrapes live counters while shards execute.
+  if (options.hub != nullptr && options.instrument) {
+    for (std::uint32_t s = 0; s < n; ++s) {
+      runs[s].registry =
+          options.hub->AddOwnedRegistry(std::make_unique<obs::MetricsRegistry>());
+    }
+  }
+  if (options.hub != nullptr) {
+    for (std::uint32_t s = 0; s < n; ++s) {
+      runs[s].hub_sink = options.hub->MakeDeadlockSink(s);
+    }
+    options.hub->SetPhase(obs::RunPhase::kRunning);
+  }
+
   // Phase 2 (parallel): one task per shard; each task reads the shared
   // options and writes only its own ShardRun. ThreadPool::Wait gives the
   // aggregation phase a happens-before edge over every task.
@@ -228,6 +287,9 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
       pool.Submit([&options, s, &runs] { RunOneShard(options, s, runs[s]); });
     }
     pool.Wait();
+  }
+  if (options.hub != nullptr) {
+    options.hub->SetPhase(obs::RunPhase::kAggregating);
   }
 
   std::vector<std::uint32_t> merged_costs;
@@ -260,6 +322,7 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
       SafeRatio(report.aggregate.wasted_ops, report.aggregate.ops_executed);
   report.goodput =
       SafeRatio(report.committed, report.aggregate.ops_executed);
+  if (options.hub != nullptr) options.hub->SetPhase(obs::RunPhase::kDone);
   return report;
 }
 

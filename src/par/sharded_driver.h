@@ -9,6 +9,7 @@
 #include "core/trace.h"
 #include "obs/forensics.h"
 #include "obs/metrics.h"
+#include "obs/serve/hub.h"
 #include "sim/workload.h"
 
 namespace pardb::par {
@@ -67,6 +68,18 @@ struct ShardedOptions {
   // Keep deadlock forensic dumps, up to max_forensics_dumps per shard.
   bool collect_forensics = false;
   std::size_t max_forensics_dumps = 16;
+
+  // Live introspection rendezvous (see obs::LiveHub; borrowed, must outlive
+  // the run). When set and `instrument` is on, each shard's registry is
+  // owned by the hub and registered before the pool starts, so an HTTP
+  // server scraping the hub sees live counters while the run is in flight;
+  // shards additionally publish waits-for snapshots at step boundaries
+  // (every `hub_snapshot_period` steps and once at the end), feed the
+  // per-shard step-time EWMAs behind pardb_shard_load_skew, and route
+  // deadlock dumps into the hub's ring. nullptr: no live introspection, no
+  // extra work on the step loop.
+  obs::LiveHub* hub = nullptr;
+  std::uint64_t hub_snapshot_period = 512;  // must be a power of two
 };
 
 // Deterministic per-shard seed: shards must not share RNG streams, and the

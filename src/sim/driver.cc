@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/metrics_export.h"
+#include "obs/metric_names.h"
 
 namespace pardb::sim {
 
@@ -34,7 +35,26 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
     engine.set_probe(&probe);
   }
   if (options.trace != nullptr) engine.set_trace(options.trace);
-  if (options.forensics != nullptr) engine.set_forensics(options.forensics);
+  obs::LineageTracker lineage;
+  if (options.metrics != nullptr) {
+    lineage.AttachMetrics(options.metrics, options.metric_labels);
+  }
+  engine.set_lineage(&lineage);
+  obs::DeadlockDumpSink* hub_sink =
+      options.hub != nullptr ? options.hub->MakeDeadlockSink(0) : nullptr;
+  obs::FanOutDeadlockSink fanout(options.forensics, hub_sink);
+  if (options.forensics != nullptr && hub_sink != nullptr) {
+    engine.set_forensics(&fanout);
+  } else if (options.forensics != nullptr) {
+    engine.set_forensics(options.forensics);
+  } else if (hub_sink != nullptr) {
+    engine.set_forensics(hub_sink);
+  }
+  if (options.hub != nullptr) {
+    options.hub->SetPhase(obs::RunPhase::kRunning);
+  }
+  const std::uint64_t snap_mask =
+      options.hub_snapshot_period == 0 ? 511 : options.hub_snapshot_period - 1;
   WorkloadGenerator gen(options.workload, options.seed);
 
   std::uint64_t spawned = 0;
@@ -72,6 +92,13 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
     if (!stepped.value().has_value()) {
       return Status::Internal("simulation stalled:\n" + engine.DumpState());
     }
+    if (options.hub != nullptr && (steps & snap_mask) == 0) {
+      options.hub->PublishSnapshot(engine.SnapshotWaitsFor());
+    }
+  }
+  if (options.hub != nullptr) {
+    options.hub->PublishSnapshot(engine.SnapshotWaitsFor());
+    options.hub->SetPhase(obs::RunPhase::kDone);
   }
 
   SimReport report;
@@ -93,6 +120,8 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
   }
   if (options.metrics != nullptr) {
     core::ExportEngineMetrics(engine, options.metrics, options.metric_labels);
+    options.metrics->GetCounter(obs::kTraceDroppedTotal, options.metric_labels)
+        ->Inc(core::TraceDropped(options.trace));
   }
   return report;
 }

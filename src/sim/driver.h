@@ -7,6 +7,7 @@
 #include "core/engine.h"
 #include "obs/forensics.h"
 #include "obs/metrics.h"
+#include "obs/serve/hub.h"
 #include "sim/workload.h"
 
 namespace pardb::sim {
@@ -34,6 +35,13 @@ struct SimOptions {
   obs::DeadlockDumpSink* forensics = nullptr;
   // Clock behind the phase timers; null = monotonic wall clock.
   const obs::Clock* clock = nullptr;
+  // Live introspection rendezvous (borrowed, must outlive the run): the
+  // loop publishes waits-for snapshots as shard 0 every
+  // `hub_snapshot_period` steps (and once at the end), tracks preemption
+  // lineage into `metrics` when set, and routes deadlock dumps into the
+  // hub's ring alongside any `forensics` sink.
+  obs::LiveHub* hub = nullptr;
+  std::uint64_t hub_snapshot_period = 512;  // must be a power of two
 };
 
 struct SimReport {

@@ -200,7 +200,8 @@ Result<Figure1Scenario> BuildFigure1(core::EngineOptions options) {
 // --------------------------------------------------------------------------
 
 Result<Figure2Outcome> RunFigure2MutualPreemption(core::EngineOptions options,
-                                                  int rounds) {
+                                                  int rounds,
+                                                  obs::LineageTracker* lineage) {
   Figure2Outcome out;
   auto fig = BuildFigure1(options);
   if (!fig.ok()) return fig.status();
@@ -210,6 +211,7 @@ Result<Figure2Outcome> RunFigure2MutualPreemption(core::EngineOptions options,
   out.t4 = fig->t4;
   ScenarioRunner& r = *fig->runner;
   core::Engine& eng = r.engine();
+  if (lineage != nullptr) eng.set_lineage(lineage);
 
   auto LastVictims = [&]() -> std::vector<TxnId> {
     if (eng.deadlock_events().empty()) return {};

@@ -97,9 +97,13 @@ struct Figure2Outcome {
 };
 
 // Runs the alternation for `rounds` rounds (each round = two deadlocks)
-// under `options`' victim policy.
-Result<Figure2Outcome> RunFigure2MutualPreemption(core::EngineOptions options,
-                                                  int rounds);
+// under `options`' victim policy. `lineage` (optional, borrowed) is
+// attached to the engine before the first deadlock, so the preemption
+// chains behind pardb_preemption_chain_len can be asserted against the
+// paper's exact Figure 2 schedule.
+Result<Figure2Outcome> RunFigure2MutualPreemption(
+    core::EngineOptions options, int rounds,
+    obs::LineageTracker* lineage = nullptr);
 
 // ---------------------------------------------------------------------------
 // Paper Figure 3 — concurrency graphs with shared and exclusive locks.

@@ -14,7 +14,9 @@
 #include "core/trace_export.h"
 #include "obs/clock.h"
 #include "obs/forensics.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/phase_timer.h"
 #include "obs/probe.h"
 #include "sim/scenario.h"
@@ -452,6 +454,124 @@ TEST(EngineLiveSetTest, CommittedTxnsLeaveTheScanSet) {
   EXPECT_EQ(engine.metrics().commits, 4u);
   // AllCommitted is now a live-set check, not a full-map scan.
   EXPECT_TRUE(engine.AllCommitted());
+}
+
+// ---------------------------------------------------------------------------
+// Live waits-for snapshots vs the post-mortem forensic record.
+// ---------------------------------------------------------------------------
+
+// Captures a live engine snapshot from inside the deadlock sink — the
+// engine has recorded the closing arc but not yet rolled anyone back, so
+// the capture sees the exact instant the forensic dump describes.
+class LiveCaptureSink final : public obs::DeadlockDumpSink {
+ public:
+  explicit LiveCaptureSink(core::Engine* engine) : engine_(engine) {}
+
+  void OnDeadlock(const obs::DeadlockDump& dump) override {
+    dump_ = dump;
+    std::vector<TxnId> members;
+    for (const auto& p : dump.participants) members.push_back(p.txn);
+    full_ = engine_->SnapshotWaitsFor();
+    restricted_ = full_.Restricted(members);
+    fired_ = true;
+  }
+
+  bool fired() const { return fired_; }
+  const obs::DeadlockDump& dump() const { return dump_; }
+  const obs::WaitsForSnapshot& full() const { return full_; }
+  const obs::WaitsForSnapshot& restricted() const { return restricted_; }
+
+ private:
+  core::Engine* engine_;
+  obs::DeadlockDump dump_;
+  obs::WaitsForSnapshot full_;
+  obs::WaitsForSnapshot restricted_;
+  bool fired_ = false;
+};
+
+TEST(SnapshotTest, Figure1SnapshotShowsWaitersLocksAndForestShape) {
+  // Before the deadlock trigger: T1 and T3 wait for b (held by T2), T4
+  // waits for c (held by T3). Acyclic, and with exclusive locks only the
+  // graph is a forest (Theorem 1).
+  auto fig = sim::BuildFigure1(MinCostOptions());
+  ASSERT_TRUE(fig.ok()) << fig.status().ToString();
+  auto snap = fig->runner->engine().SnapshotWaitsFor();
+
+  EXPECT_TRUE(snap.acyclic);
+  EXPECT_TRUE(snap.forest);
+  ASSERT_EQ(snap.txns.size(), 4u);
+  std::map<TxnId, const obs::TxnSnapshot*> by_txn;
+  for (const auto& t : snap.txns) by_txn[t.txn] = &t;
+  EXPECT_EQ(by_txn.at(fig->t2)->status, "ready");
+  EXPECT_EQ(by_txn.at(fig->t3)->status, "waiting");
+  ASSERT_TRUE(by_txn.at(fig->t3)->has_request);
+  EXPECT_EQ(by_txn.at(fig->t3)->requested.entity, fig->b);
+  EXPECT_EQ(by_txn.at(fig->t3)->requested.mode, 'X');
+  ASSERT_FALSE(by_txn.at(fig->t2)->held.empty());
+  for (const auto& grant : by_txn.at(fig->t2)->held) {
+    EXPECT_EQ(grant.mode, 'X');
+  }
+
+  std::map<TxnId, TxnId> waits;
+  for (const auto& a : snap.arcs) waits[a.waiter] = a.holder;
+  EXPECT_EQ(waits.at(fig->t1), fig->t2);
+  EXPECT_EQ(waits.at(fig->t3), fig->t2);
+  EXPECT_EQ(waits.at(fig->t4), fig->t3);
+
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"acyclic\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"forest\":true"), std::string::npos);
+  const std::string dot = snap.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("T" + std::to_string(fig->t2.value())),
+            std::string::npos);
+}
+
+TEST(SnapshotTest, LiveCaptureByteMatchesForensicCycleDot) {
+  // The live /debug/waits-for view of a deadlock instant, restricted to
+  // the cycle members, renders byte-identically to the post-mortem
+  // forensic record of the same instant: both funnel through
+  // WaitsForGraphToDot with the same nodes, entries and arcs.
+  auto fig = sim::BuildFigure1(MinCostOptions());
+  ASSERT_TRUE(fig.ok()) << fig.status().ToString();
+  core::Engine& engine = fig->runner->engine();
+  LiveCaptureSink sink(&engine);
+  engine.set_forensics(&sink);
+  ASSERT_TRUE(fig->TriggerDeadlock().ok());
+  ASSERT_TRUE(sink.fired());
+
+  // The capture really was mid-deadlock: the full graph held the cycle.
+  EXPECT_FALSE(sink.full().acyclic);
+  ASSERT_EQ(sink.restricted().txns.size(), 3u);
+  ASSERT_EQ(sink.restricted().arcs.size(), 3u);
+
+  const std::string live = obs::SnapshotCycleDot(sink.restricted());
+  const std::string forensic = obs::DeadlockDumpToCycleDot(sink.dump());
+  EXPECT_EQ(live, forensic);
+  EXPECT_NE(live.find("digraph waits_for_cycle"), std::string::npos);
+
+  // After resolution the engine's own snapshot is clean again.
+  EXPECT_TRUE(engine.SnapshotWaitsFor().acyclic);
+}
+
+TEST(SnapshotTest, ChainLenSurfacesInSnapshotWhenLineageAttached) {
+  // The ordered policy preempts T4 on the Figure 1 cycle; with a lineage
+  // tracker attached the live snapshot reports T4's chain depth.
+  core::EngineOptions opt;
+  opt.victim_policy = core::VictimPolicyKind::kMinCostOrdered;
+  auto fig = sim::BuildFigure1(opt);
+  ASSERT_TRUE(fig.ok()) << fig.status().ToString();
+  obs::LineageTracker lineage;
+  fig->runner->engine().set_lineage(&lineage);
+  ASSERT_TRUE(fig->TriggerDeadlock().ok());
+
+  auto snap = fig->runner->engine().SnapshotWaitsFor();
+  std::map<TxnId, const obs::TxnSnapshot*> by_txn;
+  for (const auto& t : snap.txns) by_txn[t.txn] = &t;
+  ASSERT_TRUE(by_txn.count(fig->t4));
+  EXPECT_EQ(by_txn.at(fig->t4)->chain_len, 1u);
+  EXPECT_EQ(by_txn.at(fig->t4)->preemptions, 1u);
+  EXPECT_EQ(by_txn.at(fig->t2)->chain_len, 0u);
 }
 
 }  // namespace

@@ -106,7 +106,9 @@ TEST(WorkloadTest, SortedEntitiesLockInOrder) {
     for (const txn::Op& op : p.value().ops()) {
       if (op.code == txn::OpCode::kLockExclusive ||
           op.code == txn::OpCode::kLockShared) {
-        if (prev.valid()) EXPECT_LT(prev, op.entity);
+        if (prev.valid()) {
+          EXPECT_LT(prev, op.entity);
+        }
         prev = op.entity;
       }
     }

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gate on bench_parallel_scaling regressions against checked-in baselines.
+
+Wall-clock throughput is machine-dependent, so the scaling check compares
+the machine-normalized signal instead: speedup_vs_1 per shard count. A
+current speedup more than --max-speedup-drop-pct below the baseline's
+fails the gate. The deterministic engine results (committed transactions
+per shard count) must match the baseline exactly — any drift there is a
+behavior change, not noise. The telemetry-overhead verdict is absolute:
+overhead_pct must stay within --max-overhead-pct.
+
+Usage:
+  check_bench_regression.py \
+      --current BENCH_parallel.json \
+      --baseline bench/baselines/BENCH_parallel.json \
+      --current-overhead BENCH_parallel_overhead.json \
+      [--max-speedup-drop-pct 15] [--max-overhead-pct 5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_scaling(current, baseline, max_drop_pct):
+    failures = []
+    base_by_shards = {row["shards"]: row for row in baseline}
+    for row in current:
+        shards = row["shards"]
+        base = base_by_shards.get(shards)
+        if base is None:
+            continue
+        committed = row["report"]["committed"]
+        base_committed = base["report"]["committed"]
+        if committed != base_committed:
+            failures.append(
+                f"shards={shards}: committed {committed} != baseline "
+                f"{base_committed} (deterministic result drifted)")
+        if shards == 1:
+            continue  # speedup_vs_1 is 1.0 by construction
+        speedup = row["speedup_vs_1"]
+        base_speedup = base["speedup_vs_1"]
+        floor = base_speedup * (1.0 - max_drop_pct / 100.0)
+        verdict = "ok" if speedup >= floor else "FAIL"
+        print(f"shards={shards}: speedup {speedup:.3f} vs baseline "
+              f"{base_speedup:.3f} (floor {floor:.3f}) {verdict}")
+        if speedup < floor:
+            failures.append(
+                f"shards={shards}: speedup {speedup:.3f} dropped more than "
+                f"{max_drop_pct}% below baseline {base_speedup:.3f}")
+    return failures
+
+
+def check_overhead(overhead, max_overhead_pct):
+    pct = overhead["overhead_pct"]
+    print(f"telemetry overhead {pct:.2f}% (budget {max_overhead_pct}%)")
+    if pct > max_overhead_pct:
+        return [f"telemetry overhead {pct:.2f}% exceeds budget "
+                f"{max_overhead_pct}%"]
+    return []
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current-overhead")
+    ap.add_argument("--max-speedup-drop-pct", type=float, default=15.0)
+    ap.add_argument("--max-overhead-pct", type=float, default=5.0)
+    args = ap.parse_args()
+
+    failures = check_scaling(load(args.current), load(args.baseline),
+                             args.max_speedup_drop_pct)
+    if args.current_overhead:
+        failures += check_overhead(load(args.current_overhead),
+                                   args.max_overhead_pct)
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

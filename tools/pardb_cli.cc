@@ -13,6 +13,9 @@
 //                              replay a paper scenario with commentary
 //   pardb dot [flags]          emit the waits-for graph of a contended
 //                              moment as Graphviz DOT
+//   pardb serve [flags]        replay the sim workload in a loop while the
+//                              introspection server runs (--port=N
+//                              --duration=SECS, plus the sim flags)
 //
 // Common flags (sim/compare/dot):
 //   --strategy=mcs|sdg|total         rollback state strategy [mcs]
@@ -35,15 +38,27 @@
 //   --forensics=PREFIX               write each deadlock's waits-for cycle
 //                                    as Graphviz DOT to PREFIX<n>.dot
 //
+// Live introspection (sim/parallel):
+//   --serve=PORT                     start an HTTP server on 127.0.0.1:PORT
+//                                    (0 = ephemeral, port printed) serving
+//                                    /metrics /healthz /debug/waits-for
+//                                    /debug/deadlocks while the run is in
+//                                    flight
+//   --serve-linger=SECS              keep serving this long after the run
+//                                    finishes (default 0)
+//
 // Examples:
 //   pardb sim --txns=500 --concurrency=16 --zipf=0.8
 //   pardb compare --txns=300 --concurrency=12
 //   pardb figure1
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include "common/flags.h"
 #include "common/logging.h"
@@ -54,6 +69,9 @@
 #include "dist/distributed.h"
 #include "obs/forensics.h"
 #include "obs/metrics.h"
+#include "obs/serve/http_server.h"
+#include "obs/serve/hub.h"
+#include "obs/serve/introspection.h"
 #include "par/report_json.h"
 #include "par/sharded_driver.h"
 #include "sim/driver.h"
@@ -67,9 +85,54 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: pardb <sim|parallel|observe|compare|figure1|figure2|"
-               "figure3a|figure3b|figure3c|dot> [--flags]\n"
+               "figure3a|figure3b|figure3c|dot|serve> [--flags]\n"
                "see the header of tools/pardb_cli.cc for the flag list\n");
   return 2;
+}
+
+// --serve / --serve-linger, shared by sim and parallel.
+struct ServeConfig {
+  bool enabled = false;
+  int port = 0;          // 0 = ephemeral
+  double linger = 0.0;   // seconds to keep serving after the run
+};
+
+Result<ServeConfig> GetServeConfig(const Flags& flags) {
+  ServeConfig c;
+  if (!flags.Has("serve")) return c;
+  PARDB_ASSIGN_OR_RETURN(auto port, flags.GetInt("serve", 0));
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("--serve expects a port in [0,65535]");
+  }
+  c.enabled = true;
+  c.port = static_cast<int>(port);
+  PARDB_ASSIGN_OR_RETURN(c.linger, flags.GetDouble("serve-linger", 0.0));
+  return c;
+}
+
+// Builds the introspection server over `hub` and starts it. Prints the
+// bound endpoint so scripts scraping an ephemeral port can find it.
+Result<std::unique_ptr<obs::HttpServer>> StartIntrospectionServer(
+    obs::LiveHub* hub, int port) {
+  auto server = std::make_unique<obs::HttpServer>();
+  obs::InstallIntrospectionRoutes(server.get(), hub);
+  PARDB_RETURN_IF_ERROR(server->Start(static_cast<std::uint16_t>(port)));
+  std::printf("serving http://127.0.0.1:%u  "
+              "(/metrics /healthz /debug/waits-for /debug/deadlocks)\n",
+              server->port());
+  std::fflush(stdout);
+  return server;
+}
+
+void LingerThenStop(obs::HttpServer* server, double seconds) {
+  if (server == nullptr) return;
+  if (seconds > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<std::int64_t>(seconds * 1000)));
+  }
+  server->Stop();
+  std::printf("introspection server stopped after %llu request(s)\n",
+              (unsigned long long)server->requests_served());
 }
 
 // Destinations requested by the shared observability flags. Reading them
@@ -273,10 +336,30 @@ int RunSim(const Flags& flags) {
     return 2;
   }
   const ObsOutputs outs = GetObsOutputs(flags);
+  auto serve = GetServeConfig(flags);
+  if (!serve.ok()) {
+    std::fprintf(stderr, "%s\n", serve.status().ToString().c_str());
+    return 2;
+  }
   obs::MetricsRegistry registry;
   core::VectorTrace trace;
   obs::CollectingDeadlockSink forensics(/*max_dumps=*/64);
-  if (outs.WantMetrics()) opt->metrics = &registry;
+  obs::LiveHub hub;
+  std::unique_ptr<obs::HttpServer> server;
+  obs::MetricsRegistry* reg = &registry;
+  if (serve->enabled) {
+    // The live registry must outlive the run (the server keeps answering
+    // during --serve-linger), so the hub owns it.
+    reg = hub.AddOwnedRegistry(std::make_unique<obs::MetricsRegistry>());
+    opt->hub = &hub;
+    auto started = StartIntrospectionServer(&hub, serve->port);
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+      return 1;
+    }
+    server = std::move(started).value();
+  }
+  if (outs.WantMetrics() || serve->enabled) opt->metrics = reg;
   if (outs.WantTrace()) opt->trace = &trace;
   if (outs.WantForensics()) opt->forensics = &forensics;
 
@@ -287,9 +370,10 @@ int RunSim(const Flags& flags) {
     return 1;
   }
   PrintReport(report.value());
+  LingerThenStop(server.get(), serve->linger);
   int rc = report->completed ? 0 : 3;
   if (outs.WantMetrics()) {
-    const obs::RegistrySnapshot snap = registry.Snapshot();
+    const obs::RegistrySnapshot snap = reg->Snapshot();
     if (WriteObsArtifacts(outs, "sim", snap, snap, forensics.dumps()) != 0) {
       rc = 1;
     }
@@ -373,9 +457,26 @@ int RunParallel(const Flags& flags) {
   opt.num_threads = static_cast<std::size_t>(threads.value());
   opt.cross_shard_fraction = cross.value();
   const ObsOutputs outs = GetObsOutputs(flags);
+  auto serve = GetServeConfig(flags);
+  if (!serve.ok()) {
+    std::fprintf(stderr, "%s\n", serve.status().ToString().c_str());
+    return 2;
+  }
   opt.instrument = outs.WantMetrics();
   opt.collect_traces = outs.WantTrace();
   opt.collect_forensics = outs.WantForensics();
+  obs::LiveHub hub;
+  std::unique_ptr<obs::HttpServer> server;
+  if (serve->enabled) {
+    opt.hub = &hub;
+    opt.instrument = true;  // live /metrics needs the per-shard registries
+    auto started = StartIntrospectionServer(&hub, serve->port);
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+      return 1;
+    }
+    server = std::move(started).value();
+  }
 
   auto report = par::RunSharded(opt);
   if (!report.ok()) {
@@ -384,6 +485,7 @@ int RunParallel(const Flags& flags) {
     return 1;
   }
   std::printf("%s\n", report->ToString().c_str());
+  LingerThenStop(server.get(), serve->linger);
   for (const par::ShardResult& s : report->shards) {
     std::printf("  shard %u%s: assigned=%llu committed=%llu deadlocks=%llu "
                 "rollbacks=%llu wasted=%llu serializable=%s\n",
@@ -611,6 +713,60 @@ int RunDot(const Flags& flags) {
   return 0;
 }
 
+// `pardb serve` — replay mode: loops the sim workload (seed advancing each
+// iteration) with the introspection server up the whole time, so dashboards
+// and curl have a moving target to look at. Flags: --port=N (default 8080,
+// 0 = ephemeral), --duration=SECS of serving time (default 10), plus the
+// usual sim flags for the replayed workload.
+int RunServe(const Flags& flags) {
+  auto opt = BuildSimOptions(flags);
+  if (!opt.ok()) {
+    std::fprintf(stderr, "%s\n", opt.status().ToString().c_str());
+    return 2;
+  }
+  auto port = flags.GetInt("port", 8080);
+  auto duration = flags.GetDouble("duration", 10.0);
+  if (!port.ok() || !duration.ok()) return 2;
+
+  obs::LiveHub hub;
+  obs::MetricsRegistry* reg =
+      hub.AddOwnedRegistry(std::make_unique<obs::MetricsRegistry>());
+  opt->metrics = reg;
+  opt->hub = &hub;
+  auto started = StartIntrospectionServer(&hub, static_cast<int>(port.value()));
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<obs::HttpServer> server = std::move(started).value();
+
+  const auto t_end = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(
+                         static_cast<std::int64_t>(duration.value() * 1000));
+  std::uint64_t iterations = 0;
+  std::uint64_t committed = 0;
+  do {
+    auto report = sim::RunSimulation(opt.value());
+    if (!report.ok()) {
+      std::fprintf(stderr, "replay iteration %llu failed: %s\n",
+                   (unsigned long long)iterations,
+                   report.status().ToString().c_str());
+      server->Stop();
+      return 1;
+    }
+    committed += report->committed;
+    ++iterations;
+    opt->seed = opt->seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    opt->engine.seed = opt->seed;
+  } while (std::chrono::steady_clock::now() < t_end);
+  std::printf("replayed %llu iteration(s), %llu commits\n",
+              (unsigned long long)iterations, (unsigned long long)committed);
+  server->Stop();
+  std::printf("introspection server stopped after %llu request(s)\n",
+              (unsigned long long)server->requests_served());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -646,6 +802,8 @@ int main(int argc, char** argv) {
     rc = RunPrograms(flags.value());
   } else if (mode == "dot") {
     rc = RunDot(flags.value());
+  } else if (mode == "serve") {
+    rc = RunServe(flags.value());
   } else {
     rc = RunFigure(mode);
   }
