@@ -62,13 +62,21 @@ void PrintReproduction() {
   bool first = true;
   for (std::uint32_t shards : {1, 2, 4, 8}) {
     const auto opt = Base(shards, 2400);
-    const auto start = std::chrono::steady_clock::now();
-    auto rep = par::RunSharded(opt);
-    const double elapsed = Seconds(start, std::chrono::steady_clock::now());
+    // Median of 3: the speedup gate in check_bench_regression.py compares
+    // single numbers, and one descheduled run would dominate a lone sample.
+    std::vector<double> times;
+    Result<par::ShardedReport> rep = par::RunSharded(opt);
+    for (int round = 0; round < 3; ++round) {
+      const auto start = std::chrono::steady_clock::now();
+      rep = par::RunSharded(opt);
+      times.push_back(Seconds(start, std::chrono::steady_clock::now()));
+    }
     if (!rep.ok()) {
       std::cerr << "sharded run failed: " << rep.status() << "\n";
       continue;
     }
+    std::sort(times.begin(), times.end());
+    const double elapsed = times[times.size() / 2];
     if (shards == 1) base_elapsed = elapsed;
     const double speedup = elapsed > 0 ? base_elapsed / elapsed : 0.0;
     t.AddRow(shards, rep->committed, rep->cross_shard_fraction,
@@ -135,6 +143,76 @@ void PrintInstrumentationOverhead() {
        << ",\"budget_pct\":5}\n";
 }
 
+// Skew-adaptive scheduling: time-slicing + stealing + LPT submission
+// against legacy run-to-completion on a skewed 8-shard / 4-worker
+// workload. Two hot shards arise naturally: shard 0 homes the
+// Zipf(0.9)-hot keys (hot_shard_routing) and shard 7 is the coordinator
+// for a 20% cross-shard mix. Run-to-completion pulls shards in index
+// order, so the heavy coordinator starts only after a wave of light
+// shards — the Graham list-scheduling pathology. The comparison is pinned
+// on SchedulerStats::virtual_makespan_steps, which is bit-deterministic
+// on any machine (wall-clock is reported for information; on few-core
+// hosts it mostly reflects the serial step total, which both schedulers
+// share exactly). A uniform low-cross-shard config guards the other
+// side: time-slicing's quantum bookkeeping must not cost wall time.
+par::ShardedOptions SkewBase(double zipf_theta, par::ShardScheduler sched) {
+  auto opt = Base(8, 2400);
+  opt.num_threads = 4;
+  opt.workload.zipf_theta = zipf_theta;
+  opt.cross_shard_fraction = 0.2;
+  opt.coordinator_shard = 7;
+  opt.hot_shard_routing = true;
+  opt.scheduler = sched;
+  return opt;
+}
+
+void PrintSkewComparison() {
+  Section(
+      "Skew-adaptive scheduler vs run-to-completion (8 shards / 4 workers)");
+  Table t({"zipf", "scheduler", "committed", "virtual makespan (steps)",
+           "virtual speedup", "elapsed (s)", "steals"});
+  std::ofstream json("BENCH_parallel_skew.json");
+  json << "[\n";
+  bool first = true;
+  for (double zipf : {0.0, 0.9}) {
+    std::uint64_t rtc_makespan = 0;
+    for (auto sched : {par::ShardScheduler::kRunToCompletion,
+                       par::ShardScheduler::kTimeSlice}) {
+      const bool rtc = sched == par::ShardScheduler::kRunToCompletion;
+      const auto opt = SkewBase(zipf, sched);
+      const auto start = std::chrono::steady_clock::now();
+      auto rep = par::RunSharded(opt);
+      const double elapsed = Seconds(start, std::chrono::steady_clock::now());
+      if (!rep.ok()) {
+        std::cerr << "sharded run failed: " << rep.status() << "\n";
+        continue;
+      }
+      const std::uint64_t makespan = rep->scheduler.virtual_makespan_steps;
+      if (rtc) rtc_makespan = makespan;
+      const double speedup =
+          makespan > 0 ? static_cast<double>(rtc_makespan) /
+                             static_cast<double>(makespan)
+                       : 0.0;
+      t.AddRow(zipf, rtc ? "run-to-completion" : "timeslice+steal",
+               rep->committed, makespan, speedup, elapsed,
+               rep->scheduler.steals);
+      json << (first ? "" : ",\n") << " {\"zipf_theta\":" << zipf
+           << ",\"scheduler\":\"" << (rtc ? "rtc" : "timeslice") << "\""
+           << ",\"committed\":" << rep->committed
+           << ",\"virtual_makespan_steps\":" << makespan
+           << ",\"virtual_speedup_vs_rtc\":" << speedup
+           << ",\"elapsed_seconds\":" << elapsed
+           << ",\"steals\":" << rep->scheduler.steals << "}";
+      first = false;
+    }
+  }
+  json << "\n]\n";
+  t.Print();
+  std::cout << "(wrote BENCH_parallel_skew.json; committed counts and "
+               "virtual makespans are deterministic — elapsed and steals "
+               "vary with the host)\n";
+}
+
 void BM_ShardedThroughput(benchmark::State& state) {
   const auto shards = static_cast<std::uint32_t>(state.range(0));
   for (auto _ : state) {
@@ -151,6 +229,7 @@ BENCHMARK(BM_ShardedThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 int main(int argc, char** argv) {
   PrintReproduction();
+  PrintSkewComparison();
   PrintInstrumentationOverhead();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -930,6 +930,26 @@ Result<std::optional<TxnId>> Engine::StepAny() {
   return std::optional<TxnId>(pick);
 }
 
+Result<QuantumResult> Engine::StepQuantum(std::uint64_t max_steps,
+                                          bool stop_after_commit) {
+  QuantumResult qr;
+  while (qr.steps < max_steps && !live_.empty()) {
+    const std::uint64_t commits_before = metrics_.commits;
+    auto stepped = StepAny();
+    if (!stepped.ok()) return stepped.status();
+    if (!stepped.value().has_value()) {
+      qr.ran_dry = true;
+      return qr;
+    }
+    ++qr.steps;
+    if (stop_after_commit && metrics_.commits > commits_before) {
+      qr.committed = true;
+      return qr;
+    }
+  }
+  return qr;
+}
+
 Status Engine::RunToCompletion(std::uint64_t max_steps) {
   for (std::uint64_t i = 0; i < max_steps; ++i) {
     if (AllCommitted()) return Status::OK();

@@ -173,6 +173,14 @@ CostDistribution ComputeCostDistribution(std::vector<std::uint32_t> costs);
 
 enum class TxnStatus { kReady, kWaiting, kCommitted };
 
+// What one StepQuantum call did and why it returned (see StepQuantum).
+struct QuantumResult {
+  std::uint64_t steps = 0;  // StepAny calls that stepped a transaction
+  bool ran_dry = false;     // stopped early: no transaction was ready
+  bool committed = false;   // stopped early: a step committed a transaction
+                            // (only with stop_after_commit)
+};
+
 // What one StepTxn performed.
 enum class StepOutcome {
   kExecuted,    // one op completed
@@ -211,6 +219,19 @@ class Engine {
   // Steps one ready transaction chosen by the scheduler. Returns the
   // transaction stepped, or nullopt when none is ready.
   Result<std::optional<TxnId>> StepAny();
+
+  // Runs up to `max_steps` scheduler steps (StepAny) as one bounded
+  // quantum. Stops early when every spawned transaction has committed,
+  // when no transaction is ready (`ran_dry` — a stall for a self-contained
+  // engine), or, with `stop_after_commit`, right after any step that
+  // commits a transaction (so a driver can refill its multiprogramming
+  // level at exactly the points a per-step loop would). The engine keeps
+  // no per-quantum state: chopping a run into quanta of any sizes yields
+  // the identical step sequence as one unbounded quantum, which is what
+  // lets the sharded driver time-slice shards across worker threads
+  // without disturbing per-shard determinism.
+  Result<QuantumResult> StepQuantum(std::uint64_t max_steps,
+                                    bool stop_after_commit = false);
 
   // Runs until every spawned transaction commits; fails with
   // ResourceExhausted after max_steps or Internal if no transaction is

@@ -60,6 +60,14 @@ inline constexpr char kShardStepEwmaNs[] = "pardb_shard_step_ewma_ns";
 // perfectly balanced). The ROADMAP work-stealing item's input signal.
 inline constexpr char kShardLoadSkew[] = "pardb_shard_load_skew";
 
+// Work-stealing scheduler (par::RunSharded on par::StealingPool).
+// Quanta executed on a worker other than the one that queued them.
+inline constexpr char kStealsTotal[] = "pardb_steals_total";
+// Per-worker busy/wall fraction scaled by 1000 (gauge; labeled by worker).
+inline constexpr char kWorkerUtilization[] = "pardb_worker_utilization";
+// Engine steps per scheduler quantum (histogram; shows adaptive shrink).
+inline constexpr char kQuantumSteps[] = "pardb_quantum_steps";
+
 // Preemption lineage (obs::LineageTracker).
 // High-water mark of any live transaction's preemption chain depth.
 inline constexpr char kPreemptionChainLen[] = "pardb_preemption_chain_len";
@@ -75,6 +83,7 @@ inline constexpr char kTraceDroppedTotal[] = "pardb_trace_dropped_total";
 
 // Label keys.
 inline constexpr char kShardLabel[] = "shard";
+inline constexpr char kWorkerLabel[] = "worker";
 
 }  // namespace pardb::obs
 

@@ -1,17 +1,22 @@
 #include "par/sharded_driver.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <utility>
 
 #include "analysis/history.h"
+#include "common/bits.h"
 #include "common/random.h"
 #include "core/metrics_export.h"
+#include "dist/distributed.h"
 #include "obs/lineage.h"
 #include "obs/metric_names.h"
 #include "par/router.h"
-#include "par/thread_pool.h"
+#include "par/stealing_pool.h"
 #include "storage/entity_store.h"
 
 namespace pardb::par {
@@ -53,6 +58,40 @@ core::EngineMetrics SumMetrics(const std::vector<ShardResult>& shards) {
   return m;
 }
 
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Per-shard state that persists across quanta: the engine and everything
+// wired into it. Exactly one quantum task per shard is ever in flight (the
+// task is the shard's ready token), so although quanta migrate between
+// workers, this struct is only ever touched by one thread at a time, and
+// the pool's queue transfer orders each quantum's writes before the next
+// quantum's reads.
+struct ShardExec {
+  ShardExec(std::size_t max_dumps, obs::DeadlockDumpSink* hub_sink)
+      : forensics(max_dumps), fanout(&forensics, hub_sink) {}
+
+  storage::EntityStore store;
+  analysis::HistoryRecorder recorder;
+  obs::MetricsRegistry local_registry;
+  obs::EngineProbe probe;
+  obs::LineageTracker lineage;
+  core::VectorTrace trace;
+  obs::CollectingDeadlockSink forensics;
+  obs::FanOutDeadlockSink fanout;
+  std::unique_ptr<core::Engine> engine;
+  obs::MetricsRegistry* registry = nullptr;  // hub-owned or &local_registry
+  obs::Histogram* step_ns = nullptr;
+
+  std::uint64_t spawned = 0;
+  std::uint64_t steps = 0;         // engine steps consumed (budget account)
+  std::uint64_t next_snap_at = 0;  // steps threshold for next hub snapshot
+};
+
 struct ShardRun {
   std::vector<txn::Program> programs;
   std::uint32_t concurrency = 1;
@@ -63,127 +102,291 @@ struct ShardRun {
   std::vector<core::TraceEvent> trace_events;
   std::vector<obs::DeadlockDump> forensics;
   // Hub-owned registry when live introspection is on (so /metrics outlives
-  // the run); null otherwise — RunOneShard then uses a local registry.
+  // the run); null otherwise — the shard then uses its exec's local
+  // registry.
   obs::MetricsRegistry* registry = nullptr;
   // Hub-owned ring sink, installed alongside any collecting sink.
   obs::DeadlockDumpSink* hub_sink = nullptr;
+  std::unique_ptr<ShardExec> exec;
 };
 
-// Closed-loop execution of one shard's assigned transactions on its own
-// engine. Runs entirely on one pool thread; touches only `run`.
-void RunOneShard(const ShardedOptions& options, std::uint32_t shard,
-                 ShardRun& run) {
+// Builds the shard's engine and telemetry wiring; runs on whichever worker
+// executes the shard's first quantum.
+void InitShardExec(const ShardedOptions& options, std::uint32_t shard,
+                   ShardRun& run) {
   run.result.shard = shard;
   run.result.assigned = run.programs.size();
-
-  storage::EntityStore store;
-  store.CreateMany(options.workload.num_entities, options.initial_value);
-  analysis::HistoryRecorder recorder;
+  run.exec = std::make_unique<ShardExec>(options.max_forensics_dumps,
+                                         run.hub_sink);
+  ShardExec& ex = *run.exec;
+  ex.store.CreateMany(options.workload.num_entities, options.initial_value);
   core::EngineOptions eopt = options.engine;
   eopt.seed = DeriveShardSeed(options.seed, shard);
-  core::Engine engine(&store, eopt,
-                      options.check_serializability ? &recorder : nullptr);
+  ex.engine = std::make_unique<core::Engine>(
+      &ex.store, eopt, options.check_serializability ? &ex.recorder : nullptr);
+  core::Engine& engine = *ex.engine;
 
   // Per-shard telemetry. Without a hub the registry is private to this
-  // thread and merged after the pool joins; with one it is hub-owned and
+  // shard and merged after the pool joins; with one it is hub-owned and
   // scraped live (its counters are lock-free atomics, so the serving thread
-  // reads it safely while this thread writes).
+  // reads it safely while a worker writes).
   const obs::LabelSet labels{{obs::kShardLabel, std::to_string(shard)}};
-  obs::MetricsRegistry local_registry;
-  obs::MetricsRegistry& registry =
-      run.registry != nullptr ? *run.registry : local_registry;
-  obs::LiveHub* hub = options.hub;
-  obs::EngineProbe probe;
-  obs::Histogram* step_ns = nullptr;
-  obs::LineageTracker lineage;
+  ex.registry = run.registry != nullptr ? run.registry : &ex.local_registry;
   if (options.instrument) {
-    probe = obs::MakeEngineProbe(&registry, labels);
-    engine.set_probe(&probe);
-    step_ns = registry.GetHistogram(obs::kShardStepNs, labels);
-    lineage.AttachMetrics(&registry, labels);
-    engine.set_lineage(&lineage);
+    ex.probe = obs::MakeEngineProbe(ex.registry, labels);
+    engine.set_probe(&ex.probe);
+    ex.step_ns = ex.registry->GetHistogram(obs::kShardStepNs, labels);
+    ex.lineage.AttachMetrics(ex.registry, labels);
+    engine.set_lineage(&ex.lineage);
   }
-  core::VectorTrace trace;
-  if (options.collect_traces) engine.set_trace(&trace);
-  obs::CollectingDeadlockSink forensics(options.max_forensics_dumps);
-  obs::FanOutDeadlockSink fanout(&forensics, run.hub_sink);
+  if (options.collect_traces) engine.set_trace(&ex.trace);
   if (options.collect_forensics && run.hub_sink != nullptr) {
-    engine.set_forensics(&fanout);
+    engine.set_forensics(&ex.fanout);
   } else if (options.collect_forensics) {
-    engine.set_forensics(&forensics);
+    engine.set_forensics(&ex.forensics);
   } else if (run.hub_sink != nullptr) {
     engine.set_forensics(run.hub_sink);
   }
-  const std::uint64_t snap_mask =
-      options.hub_snapshot_period == 0 ? 511 : options.hub_snapshot_period - 1;
+  // Rounded up so callers may pass any cadence (it used to be masked as
+  // period-1 and silently misbehaved for non-powers-of-two).
+  ex.next_snap_at = RoundUpPowerOfTwo(
+      options.hub_snapshot_period == 0 ? 512 : options.hub_snapshot_period);
+}
 
-  const std::uint64_t total = run.programs.size();
-  std::uint64_t spawned = 0;
-  std::uint64_t steps = 0;
-  bool completed = true;
-  while (engine.metrics().commits < total) {
-    if (++steps > options.max_steps_per_shard) {
-      completed = false;
-      break;
-    }
-    while (spawned < total &&
-           spawned - engine.metrics().commits < run.concurrency) {
-      auto id = engine.Spawn(std::move(run.programs[spawned]));
-      if (!id.ok()) {
-        run.status = id.status();
-        return;
-      }
-      ++spawned;
-    }
-    // Sampled step-loop timing: every 64th iteration, cheap enough to stay
-    // within the instrumentation overhead budget.
-    const bool time_step = step_ns != nullptr && (steps & 0x3F) == 0;
-    const std::uint64_t t0 =
-        time_step ? probe.EffectiveClock()->NowNanos() : 0;
-    auto stepped = engine.StepAny();
-    if (time_step) {
-      const std::uint64_t dt = probe.EffectiveClock()->NowNanos() - t0;
-      step_ns->Record(dt);
-      if (hub != nullptr) hub->RecordShardStep(shard, dt);
-    }
-    if (hub != nullptr && (steps & snap_mask) == 0) {
-      obs::WaitsForSnapshot snap = engine.SnapshotWaitsFor();
-      snap.shard = shard;
-      hub->PublishSnapshot(std::move(snap));
-    }
-    if (!stepped.ok()) {
-      run.status = stepped.status();
-      return;
-    }
-    if (!stepped.value().has_value()) {
-      run.status = Status::Internal("shard " + std::to_string(shard) +
-                                    " stalled:\n" + engine.DumpState());
-      return;
-    }
-  }
-
+// Finalizes the shard's slice of the report once it committed everything
+// (or exhausted its step budget).
+void FinishShard(const ShardedOptions& options, std::uint32_t shard,
+                 ShardRun& run, bool completed) {
+  ShardExec& ex = *run.exec;
+  core::Engine& engine = *ex.engine;
   run.result.committed = engine.metrics().commits;
   run.result.completed = completed;
-  run.result.serializable = !options.check_serializability ||
-                            recorder.IsConflictSerializable();
+  run.result.serializable =
+      !options.check_serializability || ex.recorder.IsConflictSerializable();
   run.result.metrics = engine.metrics();
   run.result.rollback_costs = engine.RollbackCostDistribution();
   run.cost_samples = engine.rollback_cost_samples();
-  if (hub != nullptr) {
+  if (options.hub != nullptr) {
     // Final snapshot: the post-run server shows the end state (normally an
     // empty graph — every transaction committed).
     obs::WaitsForSnapshot snap = engine.SnapshotWaitsFor();
     snap.shard = shard;
-    hub->PublishSnapshot(std::move(snap));
+    options.hub->PublishSnapshot(std::move(snap));
   }
   if (options.instrument) {
-    core::ExportEngineMetrics(engine, &registry, labels);
-    registry.GetCounter(obs::kTraceDroppedTotal, labels)
-        ->Inc(core::TraceDropped(options.collect_traces ? &trace : nullptr));
-    run.metrics = registry.Snapshot();
+    const obs::LabelSet labels{{obs::kShardLabel, std::to_string(shard)}};
+    core::ExportEngineMetrics(engine, ex.registry, labels);
+    ex.registry->GetCounter(obs::kTraceDroppedTotal, labels)
+        ->Inc(core::TraceDropped(options.collect_traces ? &ex.trace : nullptr));
+    run.metrics = ex.registry->Snapshot();
   }
-  if (options.collect_traces) run.trace_events = trace.events();
-  if (options.collect_forensics) run.forensics = forensics.dumps();
+  if (options.collect_traces) run.trace_events = ex.trace.events();
+  if (options.collect_forensics) run.forensics = ex.forensics.dumps();
+}
+
+// Shared scheduler state: the pool, the per-shard step-time EWMAs feeding
+// adaptive quantum sizing, and the scheduler's own metrics. EWMA slots are
+// written only by the owning shard's quantum (single writer) and read by
+// every shard when sizing a quantum — hence atomics, relaxed.
+struct SchedulerCtx {
+  const ShardedOptions* options = nullptr;
+  std::vector<ShardRun>* runs = nullptr;
+  StealingPool* pool = nullptr;
+  std::uint32_t num_shards = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> ewma_ns;
+
+  obs::Histogram* quantum_hist = nullptr;  // null when !instrument
+  obs::Counter* steals_counter = nullptr;
+  std::vector<obs::Gauge*> util_gauges;
+  std::atomic<std::uint64_t> steals_published{0};
+  std::atomic<std::uint64_t> quanta{0};
+
+  void UpdateEwma(std::uint32_t shard, std::uint64_t v) {
+    std::atomic<std::uint64_t>& slot = ewma_ns[shard];
+    const std::uint64_t old = slot.load(std::memory_order_relaxed);
+    if (old == 0) {
+      slot.store(std::max<std::uint64_t>(1, v), std::memory_order_relaxed);
+      return;
+    }
+    const std::int64_t delta =
+        (static_cast<std::int64_t>(v) - static_cast<std::int64_t>(old)) / 8;
+    const std::int64_t next = static_cast<std::int64_t>(old) + delta;
+    slot.store(next > 0 ? static_cast<std::uint64_t>(next) : 1,
+               std::memory_order_relaxed);
+  }
+
+  // Quantum size for the shard's next slice. Hot shards (step EWMA above
+  // the mean) get proportionally shorter quanta, so they come back to the
+  // queue while there is still stealable work behind them; cold shards run
+  // the full quantum.
+  std::uint64_t QuantumFor(std::uint32_t shard) const {
+    const ShardedOptions& o = *options;
+    if (o.scheduler == ShardScheduler::kRunToCompletion) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    const std::uint64_t base = std::max<std::uint64_t>(1, o.quantum_steps);
+    if (!o.adaptive_quantum) return base;
+    const std::uint64_t own = ewma_ns[shard].load(std::memory_order_relaxed);
+    if (own == 0) return base;
+    std::uint64_t sum = 0, reporting = 0;
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      const std::uint64_t v = ewma_ns[s].load(std::memory_order_relaxed);
+      if (v > 0) {
+        sum += v;
+        ++reporting;
+      }
+    }
+    if (reporting == 0) return base;
+    const std::uint64_t mean = std::max<std::uint64_t>(1, sum / reporting);
+    const std::uint64_t lo = std::min(
+        std::max<std::uint64_t>(1, o.min_quantum_steps), base);
+    return std::clamp(base * mean / own, lo, base);
+  }
+
+  // Publishes live scheduler metrics: the steal counter advances by the
+  // delta since the last publication (CAS winner increments its range, so
+  // concurrent refreshers never double-count) and per-worker utilization
+  // gauges are recomputed as busy/wall, scaled by 1000.
+  void RefreshSchedulerMetrics() {
+    if (steals_counter != nullptr) {
+      std::uint64_t cur = pool->steals();
+      std::uint64_t prev = steals_published.load(std::memory_order_relaxed);
+      while (prev < cur) {
+        if (steals_published.compare_exchange_weak(
+                prev, cur, std::memory_order_relaxed)) {
+          steals_counter->Inc(cur - prev);
+          break;
+        }
+      }
+    }
+    if (!util_gauges.empty()) {
+      const std::uint64_t up = pool->uptime_nanos();
+      if (up == 0) return;
+      for (std::size_t w = 0; w < util_gauges.size(); ++w) {
+        util_gauges[w]->Set(static_cast<std::int64_t>(
+            pool->busy_nanos(w) / (up / 1000 + 1)));
+      }
+    }
+  }
+};
+
+// Advances shard by at most `max_q` engine steps. Returns true when the
+// shard still has work. The step sequence this produces is identical for
+// every chopping of the run into quanta: spawning tops the
+// multiprogramming level up at exactly the points a per-step loop would
+// (quantum start and after every commit — between commits the refill
+// condition cannot change).
+bool RunShardQuantum(const ShardedOptions& options, std::uint32_t shard,
+                     ShardRun& run, SchedulerCtx& ctx, std::uint64_t max_q) {
+  if (run.exec == nullptr) InitShardExec(options, shard, run);
+  ShardExec& ex = *run.exec;
+  core::Engine& engine = *ex.engine;
+  obs::LiveHub* hub = options.hub;
+  const std::uint64_t total = run.programs.size();
+  const std::uint64_t t0 = NowNanos();
+  std::uint64_t q_steps = 0;
+  bool completed = true;
+  bool finished = false;
+  while (q_steps < max_q) {
+    if (engine.metrics().commits >= total) {
+      finished = true;
+      break;
+    }
+    if (ex.steps >= options.max_steps_per_shard) {
+      completed = false;
+      finished = true;
+      break;
+    }
+    while (ex.spawned < total &&
+           ex.spawned - engine.metrics().commits < run.concurrency) {
+      auto id = engine.Spawn(std::move(run.programs[ex.spawned]));
+      if (!id.ok()) {
+        run.status = id.status();
+        return false;
+      }
+      ++ex.spawned;
+    }
+    const std::uint64_t budget =
+        std::min(max_q - q_steps, options.max_steps_per_shard - ex.steps);
+    auto quantum = engine.StepQuantum(budget, /*stop_after_commit=*/true);
+    if (!quantum.ok()) {
+      run.status = quantum.status();
+      return false;
+    }
+    q_steps += quantum.value().steps;
+    ex.steps += quantum.value().steps;
+    // ran_dry: a step found no ready transaction. steps == 0 without a
+    // commit: every live transaction terminated yet commits < total. Both
+    // mean the shard can make no further progress.
+    if (quantum.value().ran_dry ||
+        (quantum.value().steps == 0 && !quantum.value().committed)) {
+      run.status = Status::Internal("shard " + std::to_string(shard) +
+                                    " stalled:\n" + engine.DumpState());
+      return false;
+    }
+    if (hub != nullptr && ex.steps >= ex.next_snap_at) {
+      obs::WaitsForSnapshot snap = engine.SnapshotWaitsFor();
+      snap.shard = shard;
+      hub->PublishSnapshot(std::move(snap));
+      const std::uint64_t period = RoundUpPowerOfTwo(
+          options.hub_snapshot_period == 0 ? 512
+                                           : options.hub_snapshot_period);
+      ex.next_snap_at = (ex.steps / period + 1) * period;
+    }
+  }
+  // Quantum-granularity timing: one clock pair per quantum (cheaper than
+  // the old 1-in-64 per-step sampling) whose per-step mean feeds the
+  // pardb_shard_step_ns histogram, the hub's skew EWMAs, and the adaptive
+  // quantum sizing.
+  if (q_steps > 0) {
+    const std::uint64_t per_step = (NowNanos() - t0) / q_steps;
+    ctx.UpdateEwma(shard, per_step);
+    if (ex.step_ns != nullptr) ex.step_ns->Record(per_step);
+    if (hub != nullptr) hub->RecordShardStep(shard, per_step);
+  }
+  if (ctx.quantum_hist != nullptr) ctx.quantum_hist->Record(q_steps);
+  if (finished) {
+    FinishShard(options, shard, run, completed);
+    return false;
+  }
+  return true;
+}
+
+// Deterministic makespan of greedy list scheduling: each job (a shard's
+// whole step chain — chains are sequential and cannot be split across
+// workers) goes to the earliest-free virtual worker, in submission order.
+// This is what the pool's pull semantics converge to with one core per
+// worker, so it models multi-core wall-clock while staying bit-identical
+// across machines and runs.
+std::uint64_t VirtualMakespanSteps(const std::vector<std::uint64_t>& costs,
+                                   const std::vector<std::uint32_t>& order,
+                                   std::size_t workers) {
+  if (order.empty() || workers == 0) return 0;
+  std::vector<std::uint64_t> busy(workers, 0);
+  for (std::uint32_t job : order) {
+    std::size_t w = 0;
+    for (std::size_t i = 1; i < workers; ++i) {
+      if (busy[i] < busy[w]) w = i;
+    }
+    busy[w] += costs[job];
+  }
+  return *std::max_element(busy.begin(), busy.end());
+}
+
+// Submits the shard's next quantum. The submitted task is the shard's
+// ready token: a successor is only scheduled after the current quantum
+// returns, so a shard can never run on two workers at once, while the
+// task itself may be stolen onto any worker.
+void ScheduleShard(SchedulerCtx* ctx, std::uint32_t shard) {
+  ctx->pool->Submit([ctx, shard] {
+    const bool more = RunShardQuantum(*ctx->options, shard,
+                                      (*ctx->runs)[shard], *ctx,
+                                      ctx->QuantumFor(shard));
+    const std::uint64_t q =
+        ctx->quanta.fetch_add(1, std::memory_order_relaxed) + 1;
+    if ((q & 31) == 0) ctx->RefreshSchedulerMetrics();
+    if (more) ScheduleShard(ctx, shard);
+  });
 }
 
 }  // namespace
@@ -237,6 +440,11 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
   sim::WorkloadGenerator global(options.workload,
                                 DeriveShardSeed(options.seed, 0x20000u));
   Rng route_rng(DeriveShardSeed(options.seed, 0x30000u));
+  // Hot-shard routing: home a local transaction where a global
+  // Zipf-distributed entity draw lives, so load follows the hot keys'
+  // placement instead of spreading uniformly.
+  ZipfianGenerator home_zipf(options.workload.num_entities,
+                             options.workload.zipf_theta);
 
   std::vector<ShardRun> runs(n);
   ShardedReport report;
@@ -244,10 +452,20 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
   for (std::uint64_t t = 0; t < options.total_txns; ++t) {
     const bool want_cross = populated.empty() ||
                             route_rng.Bernoulli(options.cross_shard_fraction);
-    sim::WorkloadGenerator& gen =
-        want_cross ? global
-                   : *local[populated[route_rng.Uniform(populated.size())]];
-    auto program = gen.Next();
+    sim::WorkloadGenerator* gen = &global;
+    if (!want_cross) {
+      std::uint32_t home = 0;
+      if (options.hot_shard_routing) {
+        home = dist::SiteOfEntity(EntityId(home_zipf.Next(route_rng)), n);
+        if (local[home] == nullptr) {
+          home = populated[route_rng.Uniform(populated.size())];
+        }
+      } else {
+        home = populated[route_rng.Uniform(populated.size())];
+      }
+      gen = local[home].get();
+    }
+    auto program = gen->Next();
     if (!program.ok()) return program.status();
     const Route route =
         RouteProgram(program.value(), n, options.coordinator_shard);
@@ -265,11 +483,17 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
   // Live introspection: hand each shard a hub-owned registry and a ring
   // sink *before* the pool starts (hub registration is not safe mid-run),
   // so the serving thread scrapes live counters while shards execute.
+  obs::MetricsRegistry sched_local;
+  obs::MetricsRegistry* sched_registry = nullptr;
   if (options.hub != nullptr && options.instrument) {
     for (std::uint32_t s = 0; s < n; ++s) {
       runs[s].registry =
           options.hub->AddOwnedRegistry(std::make_unique<obs::MetricsRegistry>());
     }
+    sched_registry =
+        options.hub->AddOwnedRegistry(std::make_unique<obs::MetricsRegistry>());
+  } else if (options.instrument) {
+    sched_registry = &sched_local;
   }
   if (options.hub != nullptr) {
     for (std::uint32_t s = 0; s < n; ++s) {
@@ -278,15 +502,75 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
     options.hub->SetPhase(obs::RunPhase::kRunning);
   }
 
-  // Phase 2 (parallel): one task per shard; each task reads the shared
-  // options and writes only its own ShardRun. ThreadPool::Wait gives the
-  // aggregation phase a happens-before edge over every task.
+  // Phase 2 (parallel): each shard advances as a chain of quantum tasks on
+  // a work-stealing pool (one chain link in flight per shard — the ready
+  // token). Pool Wait gives the aggregation phase a happens-before edge
+  // over every quantum.
+  const std::size_t workers =
+      options.num_threads == 0 ? n : options.num_threads;
   {
-    ThreadPool pool(options.num_threads == 0 ? n : options.num_threads);
+    StealingPool pool(workers);
+    SchedulerCtx ctx;
+    ctx.options = &options;
+    ctx.runs = &runs;
+    ctx.pool = &pool;
+    ctx.num_shards = n;
+    ctx.ewma_ns =
+        std::make_unique<std::atomic<std::uint64_t>[]>(n);
     for (std::uint32_t s = 0; s < n; ++s) {
-      pool.Submit([&options, s, &runs] { RunOneShard(options, s, runs[s]); });
+      ctx.ewma_ns[s].store(0, std::memory_order_relaxed);
     }
+    if (sched_registry != nullptr) {
+      ctx.quantum_hist = sched_registry->GetHistogram(obs::kQuantumSteps);
+      ctx.steals_counter = sched_registry->GetCounter(obs::kStealsTotal);
+      for (std::size_t w = 0; w < pool.num_threads(); ++w) {
+        ctx.util_gauges.push_back(sched_registry->GetGauge(
+            obs::kWorkerUtilization,
+            {{obs::kWorkerLabel, std::to_string(w)}}));
+      }
+    }
+    // Submission order is the scheduler's list order. kRunToCompletion
+    // keeps shard order (the legacy driver's semantics, and the skew
+    // pathology: a heavy late shard starts only after a light wave).
+    // kTimeSlice submits longest-assigned-first — routing already told us
+    // each shard's work, so this is LPT list scheduling, with stealing
+    // absorbing whatever per-transaction variance LPT cannot see. Order
+    // never affects report contents, only wall-clock.
+    std::vector<std::uint32_t> order(n);
+    for (std::uint32_t s = 0; s < n; ++s) order[s] = s;
+    if (options.scheduler == ShardScheduler::kTimeSlice) {
+      std::stable_sort(order.begin(), order.end(),
+                       [&runs](std::uint32_t a, std::uint32_t b) {
+                         return runs[a].programs.size() >
+                                runs[b].programs.size();
+                       });
+    }
+    for (std::uint32_t s : order) ScheduleShard(&ctx, s);
     pool.Wait();
+    ctx.RefreshSchedulerMetrics();
+
+    std::vector<std::uint64_t> step_costs(n);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      step_costs[s] = runs[s].result.metrics.steps;
+    }
+    report.scheduler.virtual_makespan_steps =
+        VirtualMakespanSteps(step_costs, order, workers);
+    report.scheduler.num_workers = pool.num_threads();
+    report.scheduler.steals = pool.steals();
+    report.scheduler.quanta = ctx.quanta.load(std::memory_order_relaxed);
+    const std::uint64_t up = pool.uptime_nanos();
+    if (up > 0) {
+      double sum = 0.0, lo = 1.0;
+      for (std::size_t w = 0; w < pool.num_threads(); ++w) {
+        const double u =
+            static_cast<double>(pool.busy_nanos(w)) / static_cast<double>(up);
+        sum += u;
+        lo = std::min(lo, u);
+      }
+      report.scheduler.mean_worker_utilization =
+          sum / static_cast<double>(pool.num_threads());
+      report.scheduler.min_worker_utilization = lo;
+    }
   }
   if (options.hub != nullptr) {
     options.hub->SetPhase(obs::RunPhase::kAggregating);
@@ -305,6 +589,9 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
     for (obs::DeadlockDump& d : runs[s].forensics) {
       report.forensics.push_back(std::move(d));
     }
+  }
+  if (sched_registry != nullptr) {
+    report.metrics.MergeFrom(sched_registry->Snapshot());
   }
   if (options.instrument) {
     report.merged_metrics = report.metrics.WithoutLabel("shard");

@@ -33,6 +33,24 @@ namespace pardb::par {
 // serializability is a per-shard property (reported per shard and as the
 // conjunction), not a global one.
 
+// How shard work is laid onto worker threads.
+enum class ShardScheduler {
+  // One run-to-completion task per shard: a worker picks a shard and keeps
+  // it until it finishes. Simple, but under load skew the hottest shard
+  // pins one worker while the rest go idle once the light shards drain.
+  kRunToCompletion,
+  // Cooperative time-slicing on a work-stealing pool: each shard advances
+  // in bounded quanta (at most quantum_steps engine steps), each quantum is
+  // one task, and a shard's next quantum is submitted only after the
+  // previous one returns — the in-flight task is the shard's ready token,
+  // so no engine is ever touched by two threads. Idle workers steal queued
+  // quanta, so shards migrate between workers and oversharding
+  // (num_shards > num_threads) load-balances instead of queueing. Because
+  // a shard's step sequence is independent of where its quanta run, the
+  // report stays bit-identical to kRunToCompletion.
+  kTimeSlice,
+};
+
 struct ShardedOptions {
   std::uint32_t num_shards = 4;
   // Shard that executes cross-shard transactions (must be < num_shards).
@@ -57,6 +75,26 @@ struct ShardedOptions {
   bool check_serializability = true;
   Value initial_value = 100;
 
+  // Scheduling. None of these affect the report's contents (shard step
+  // sequences are quantum-invariant) — only wall-clock behaviour.
+  ShardScheduler scheduler = ShardScheduler::kTimeSlice;
+  // kTimeSlice: upper bound on engine steps per quantum.
+  std::uint64_t quantum_steps = 256;
+  // kTimeSlice: scale each shard's quantum by mean/own of the online
+  // per-shard step-time EWMAs, so hot shards (slow steps) run shorter
+  // quanta and return to the queue while stealable work is still
+  // available. Clamped to [min_quantum_steps, quantum_steps].
+  bool adaptive_quantum = true;
+  std::uint64_t min_quantum_steps = 32;
+
+  // Workload skew: when true, a shard-local transaction's home shard is
+  // the home of an entity drawn Zipf(workload.zipf_theta)-distributed from
+  // the full universe, so traffic concentrates on the shards that own the
+  // hot keys (the hot-key skew regime work stealing targets). When false
+  // (default), local transactions spread uniformly over populated shards.
+  // zipf_theta = 0 makes both modes uniform.
+  bool hot_shard_routing = false;
+
   // Telemetry. With `instrument`, every shard engine runs fully probed
   // against a private registry labeled {{"shard","k"}}; the snapshots land
   // in ShardedReport::metrics (per-shard) and merged_metrics (labels folded
@@ -79,7 +117,7 @@ struct ShardedOptions {
   // deadlock dumps into the hub's ring. nullptr: no live introspection, no
   // extra work on the step loop.
   obs::LiveHub* hub = nullptr;
-  std::uint64_t hub_snapshot_period = 512;  // must be a power of two
+  std::uint64_t hub_snapshot_period = 512;  // rounded up to a power of two
 };
 
 // Deterministic per-shard seed: shards must not share RNG streams, and the
@@ -94,6 +132,27 @@ struct ShardResult {
   bool serializable = true;
   core::EngineMetrics metrics;
   core::CostDistribution rollback_costs;
+};
+
+// How the run was scheduled onto workers. Timing-dependent by nature, so
+// it is excluded from ShardedReportToJson and ToString (which determinism
+// tests byte-compare); it still lands in the metrics registry
+// (pardb_steals_total, pardb_worker_utilization, pardb_quantum_steps).
+struct SchedulerStats {
+  std::size_t num_workers = 0;
+  std::uint64_t steals = 0;   // quanta executed on a non-owning worker
+  std::uint64_t quanta = 0;   // scheduling tasks executed in total
+  // busy/wall per worker, then averaged / min'd over workers.
+  double mean_worker_utilization = 0.0;
+  double min_worker_utilization = 0.0;
+  // Deterministic makespan model, in engine steps: greedy list-schedule of
+  // the actual submission order over the realized per-shard step counts on
+  // num_workers virtual workers (each shard is a sequential chain, so a
+  // worker runs it start to finish; the next shard goes to the
+  // earliest-free worker — exactly the pool's pull semantics with one real
+  // core per worker). Unlike the wall-clock fields this is bit-reproducible
+  // on any machine, so bench baselines pin scheduler comparisons on it.
+  std::uint64_t virtual_makespan_steps = 0;
 };
 
 struct ShardedReport {
@@ -129,6 +188,8 @@ struct ShardedReport {
   // Deadlock dumps across shards, in shard order (empty without
   // collect_forensics).
   std::vector<obs::DeadlockDump> forensics;
+
+  SchedulerStats scheduler;
 
   std::string ToString() const;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/bits.h"
 #include "core/metrics_export.h"
 #include "obs/metric_names.h"
 
@@ -53,8 +54,13 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
   if (options.hub != nullptr) {
     options.hub->SetPhase(obs::RunPhase::kRunning);
   }
+  // Rounded up to a power of two so any requested cadence yields a valid
+  // mask (period - 1 alone silently misfires for non-powers-of-two).
   const std::uint64_t snap_mask =
-      options.hub_snapshot_period == 0 ? 511 : options.hub_snapshot_period - 1;
+      RoundUpPowerOfTwo(options.hub_snapshot_period == 0
+                            ? 512
+                            : options.hub_snapshot_period) -
+      1;
   WorkloadGenerator gen(options.workload, options.seed);
 
   std::uint64_t spawned = 0;

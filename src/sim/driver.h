@@ -41,7 +41,7 @@ struct SimOptions {
   // lineage into `metrics` when set, and routes deadlock dumps into the
   // hub's ring alongside any `forensics` sink.
   obs::LiveHub* hub = nullptr;
-  std::uint64_t hub_snapshot_period = 512;  // must be a power of two
+  std::uint64_t hub_snapshot_period = 512;  // rounded up to a power of two
 };
 
 struct SimReport {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/bits.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/random.h"
@@ -242,6 +243,29 @@ TEST(FlagsTest, DoubleValues) {
   auto f = ParseArgs({"--theta=0.99"});
   ASSERT_TRUE(f.ok());
   EXPECT_DOUBLE_EQ(f->GetDouble("theta", 0).value(), 0.99);
+}
+
+TEST(BitsTest, RoundUpPowerOfTwo) {
+  EXPECT_EQ(RoundUpPowerOfTwo(0), 1u);
+  EXPECT_EQ(RoundUpPowerOfTwo(1), 1u);
+  EXPECT_EQ(RoundUpPowerOfTwo(2), 2u);
+  EXPECT_EQ(RoundUpPowerOfTwo(3), 4u);
+  EXPECT_EQ(RoundUpPowerOfTwo(4), 4u);
+  EXPECT_EQ(RoundUpPowerOfTwo(5), 8u);
+  EXPECT_EQ(RoundUpPowerOfTwo(100), 128u);   // the hub snapshot case
+  EXPECT_EQ(RoundUpPowerOfTwo(512), 512u);
+  EXPECT_EQ(RoundUpPowerOfTwo(513), 1024u);
+  EXPECT_EQ(RoundUpPowerOfTwo(1ULL << 63), 1ULL << 63);
+  // Saturates above 2^63: result stays a power of two and result - 1 a
+  // valid all-ones mask.
+  EXPECT_EQ(RoundUpPowerOfTwo((1ULL << 63) + 1), 1ULL << 63);
+  EXPECT_EQ(RoundUpPowerOfTwo(~0ULL), 1ULL << 63);
+}
+
+TEST(BitsTest, RoundUpPowerOfTwoIsConstexpr) {
+  static_assert(RoundUpPowerOfTwo(100) == 128, "usable as a mask at compile time");
+  static_assert((RoundUpPowerOfTwo(100) & (RoundUpPowerOfTwo(100) - 1)) == 0,
+                "always a power of two");
 }
 
 TEST(LoggingTest, LevelGating) {

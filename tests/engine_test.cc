@@ -569,6 +569,96 @@ TEST(VertexCutTest, HubCheaperThanPair) {
   EXPECT_EQ(r.total_cost, 3u);
 }
 
+// ---------------------------------------------------------------------------
+// StepQuantum: bounded quanta must not disturb the step sequence
+// ---------------------------------------------------------------------------
+
+// Spawns a contended crossing-lock-order mix (deadlocks included) into a
+// fresh engine over `store`.
+void SpawnContendedMix(Engine& engine, const std::vector<EntityId>& ids) {
+  for (int i = 0; i < 8; ++i) {
+    const EntityId a = ids[i % 4];
+    const EntityId b = ids[(i + 1) % 4];
+    auto t = engine.Spawn(i % 2 == 0 ? TwoLockProgram(a, b, 1, "fwd")
+                                     : TwoLockProgram(b, a, 1, "rev"));
+    ASSERT_TRUE(t.ok());
+  }
+}
+
+TEST(StepQuantumTest, ChoppingIntoArbitraryQuantaMatchesOneUnboundedRun) {
+  EngineOptions opt;
+  opt.scheduler = SchedulerKind::kRandom;
+  opt.seed = 5;
+
+  storage::EntityStore store_a;
+  auto ids_a = store_a.CreateMany(8, 100);
+  Engine a(&store_a, opt);
+  SpawnContendedMix(a, ids_a);
+  ASSERT_TRUE(a.RunToCompletion().ok());
+
+  storage::EntityStore store_b;
+  auto ids_b = store_b.CreateMany(8, 100);
+  Engine b(&store_b, opt);
+  SpawnContendedMix(b, ids_b);
+  // Ragged quantum sizes, nothing aligned with commits or deadlocks: the
+  // engine keeps no per-quantum state, so the step sequence must be the
+  // one RunToCompletion produced.
+  const std::uint64_t budgets[] = {1, 2, 3, 5, 7};
+  for (std::size_t i = 0; !b.AllCommitted(); ++i) {
+    auto qr = b.StepQuantum(budgets[i % 5]);
+    ASSERT_TRUE(qr.ok()) << qr.status().ToString();
+    ASSERT_FALSE(qr->ran_dry);
+    ASSERT_LT(i, 10'000u) << "quantum loop failed to converge";
+  }
+
+  EXPECT_EQ(a.metrics().commits, b.metrics().commits);
+  EXPECT_EQ(a.metrics().rollbacks, b.metrics().rollbacks);
+  EXPECT_EQ(a.metrics().deadlocks, b.metrics().deadlocks);
+  EXPECT_EQ(a.metrics().ops_executed, b.metrics().ops_executed);
+  EXPECT_EQ(a.metrics().lock_waits, b.metrics().lock_waits);
+  for (std::size_t i = 0; i < ids_a.size(); ++i) {
+    EXPECT_EQ(store_a.Get(ids_a[i]).value().value,
+              store_b.Get(ids_b[i]).value().value);
+  }
+}
+
+TEST_F(EngineTest, StepQuantumStopsRightAfterACommitWhenAsked) {
+  Init();
+  ASSERT_TRUE(engine_->Spawn(IncrementProgram(EntityId(0), 1)).ok());
+  ASSERT_TRUE(engine_->Spawn(IncrementProgram(EntityId(1), 1)).ok());
+  auto qr = engine_->StepQuantum(1000, /*stop_after_commit=*/true);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(qr->committed);
+  EXPECT_EQ(engine_->metrics().commits, 1u);  // stopped at the first commit
+  EXPECT_FALSE(engine_->AllCommitted());
+  qr = engine_->StepQuantum(1000, /*stop_after_commit=*/true);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(qr->committed);
+  EXPECT_TRUE(engine_->AllCommitted());
+}
+
+TEST_F(EngineTest, StepQuantumRespectsTheStepBudget) {
+  Init();
+  ASSERT_TRUE(engine_->Spawn(IncrementProgram(EntityId(0), 1)).ok());
+  auto qr = engine_->StepQuantum(2);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr->steps, 2u);
+  EXPECT_FALSE(qr->ran_dry);
+  EXPECT_FALSE(qr->committed);
+  EXPECT_FALSE(engine_->AllCommitted());
+  ASSERT_TRUE(engine_->StepQuantum(1000).ok());
+  EXPECT_TRUE(engine_->AllCommitted());
+}
+
+TEST_F(EngineTest, StepQuantumOnEmptyEngineDoesNothing) {
+  Init();
+  auto qr = engine_->StepQuantum(100);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr->steps, 0u);
+  EXPECT_FALSE(qr->ran_dry);
+  EXPECT_FALSE(qr->committed);
+}
+
 TEST(VertexCutTest, EmptyCyclesNoVictims) {
   VertexCutResult r = SolveVertexCut({}, {});
   EXPECT_TRUE(r.members.empty());

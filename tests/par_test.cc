@@ -9,10 +9,17 @@
 #include <cmath>
 #include <set>
 
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "dist/distributed.h"
+#include "obs/serve/hub.h"
 #include "par/report_json.h"
 #include "par/router.h"
 #include "par/sharded_driver.h"
+#include "par/stealing_pool.h"
 #include "par/thread_pool.h"
 #include "txn/program.h"
 
@@ -120,6 +127,110 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
     }
   }  // ~ThreadPool waits for the queue
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(StealingPoolTest, ReusableAcrossWaitBatches) {
+  StealingPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  EXPECT_EQ(pool.current_worker(), -1);  // the test body is not a worker
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();  // pool is reusable after Wait
+    EXPECT_EQ(count.load(), (batch + 1) * 100);
+  }
+}
+
+TEST(StealingPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> count{0};
+  {
+    StealingPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~StealingPool waits for the queues
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(StealingPoolTest, TasksSubmittedFromInsideATaskFinishBeforeWaitReturns) {
+  // The sharded driver's quantum chain: each task resubmits the next from
+  // inside a worker, landing on that worker's own deque. Wait() must cover
+  // the whole chain, not just the externally submitted head.
+  StealingPool pool(3);
+  std::atomic<int> count{0};
+  std::atomic<int> remaining{200};
+  std::function<void()> step = [&] {
+    EXPECT_GE(pool.current_worker(), 0);
+    EXPECT_LT(pool.current_worker(), 3);
+    count.fetch_add(1, std::memory_order_relaxed);
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) > 1) {
+      pool.Submit(step);
+    }
+  };
+  pool.Submit(step);
+  pool.Wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(StealingPoolTest, SelfResubmittingChainNeverOverlapsItself) {
+  // A chain's next link is submitted by the previous one, so at most one
+  // link is ever runnable — the structural ready-token the sharded driver
+  // relies on so no engine is touched by two threads.
+  StealingPool pool(4);
+  std::atomic<bool> inside{false};
+  std::atomic<int> overlaps{0};
+  std::atomic<int> left{500};
+  std::function<void()> quantum = [&] {
+    if (inside.exchange(true, std::memory_order_acq_rel)) {
+      overlaps.fetch_add(1, std::memory_order_relaxed);
+    }
+    inside.store(false, std::memory_order_release);
+    if (left.fetch_sub(1, std::memory_order_acq_rel) > 1) {
+      pool.Submit(quantum);
+    }
+  };
+  pool.Submit(quantum);
+  pool.Wait();
+  EXPECT_EQ(overlaps.load(), 0);
+  EXPECT_EQ(left.load(), 0);
+}
+
+TEST(StealingPoolTest, IdleWorkerStealsFromABusyWorkersDeque) {
+  // One worker parks inside a task after pushing a second task onto its
+  // own deque; only a steal by the other worker can run it.
+  StealingPool pool(2);
+  std::atomic<bool> stolen_ran{false};
+  pool.Submit([&] {
+    pool.Submit([&] { stolen_ran.store(true, std::memory_order_release); });
+    while (!stolen_ran.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  pool.Wait();
+  EXPECT_TRUE(stolen_ran.load());
+  EXPECT_GE(pool.steals(), 1u);
+}
+
+TEST(StealingPoolTest, EveryTaskRunsExactlyOnceAndCountersAddUp) {
+  StealingPool pool(4);
+  constexpr int kTasks = 300;
+  std::vector<std::atomic<int>> runs(kTasks);  // value-initialized to 0
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&runs, i] { runs[i].fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+  std::uint64_t executed = 0;
+  for (std::size_t w = 0; w < pool.num_threads(); ++w) {
+    executed += pool.tasks_executed(w);
+    EXPECT_LE(pool.busy_nanos(w), pool.uptime_nanos());
+  }
+  EXPECT_EQ(executed, static_cast<std::uint64_t>(kTasks));
+  EXPECT_LE(pool.steals(), executed);
 }
 
 ShardedOptions SmallOptions(std::uint32_t shards, std::uint64_t seed) {
@@ -239,6 +350,107 @@ TEST(ShardedDriverTest, AggregateMatchesShardSums) {
   EXPECT_EQ(rep->aggregate.rollbacks, rollbacks);
   EXPECT_EQ(rep->aggregate.ops_executed, ops);
   EXPECT_EQ(rep->rollback_costs.count, costs);
+}
+
+TEST(ShardedDriverTest, ReportBitIdenticalAcrossSchedulersWorkersAndQuanta) {
+  // The scheduler decides only *where and when* quanta run, never what a
+  // shard computes — so the report must be byte-identical across
+  // run-to-completion vs time-slicing, any worker count, any quantum size,
+  // and repeated runs.
+  auto opt = SmallOptions(4, 13);
+  opt.scheduler = ShardScheduler::kTimeSlice;
+  opt.num_threads = 4;
+  auto golden_rep = RunSharded(opt);
+  ASSERT_TRUE(golden_rep.ok());
+  const std::string golden = ShardedReportToJson(golden_rep.value());
+
+  for (int rep = 0; rep < 4; ++rep) {  // 5 runs total with the golden one
+    auto r = RunSharded(opt);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(golden, ShardedReportToJson(r.value())) << "repeat " << rep;
+  }
+  for (auto sched : {ShardScheduler::kTimeSlice,
+                     ShardScheduler::kRunToCompletion}) {
+    for (std::size_t workers : {1u, 2u, 4u, 7u}) {
+      auto v = opt;
+      v.scheduler = sched;
+      v.num_threads = workers;
+      auto r = RunSharded(v);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(golden, ShardedReportToJson(r.value()))
+          << "scheduler=" << (sched == ShardScheduler::kTimeSlice ? "ts" : "rtc")
+          << " workers=" << workers;
+    }
+  }
+  // Ragged quanta, adaptation off: still the same step sequences.
+  auto v = opt;
+  v.quantum_steps = 7;
+  v.min_quantum_steps = 1;
+  v.adaptive_quantum = false;
+  auto r = RunSharded(v);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(golden, ShardedReportToJson(r.value()));
+}
+
+TEST(ShardedDriverTest, SchedulerStatsAreFilledAndMakespanIsBounded) {
+  auto opt = SmallOptions(4, 11);
+  opt.scheduler = ShardScheduler::kTimeSlice;
+  opt.num_threads = 2;
+  opt.quantum_steps = 64;
+  auto rep = RunSharded(opt);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->scheduler.num_workers, 2u);
+  EXPECT_GE(rep->scheduler.quanta, 4u);  // at least one per shard
+  std::uint64_t total_steps = 0, max_shard_steps = 0;
+  for (const ShardResult& s : rep->shards) {
+    total_steps += s.metrics.steps;
+    max_shard_steps = std::max(max_shard_steps, s.metrics.steps);
+  }
+  // Greedy list scheduling on 2 virtual workers: the makespan sits between
+  // perfect parallelism's lower bounds and the fully serial upper bound.
+  EXPECT_GE(rep->scheduler.virtual_makespan_steps, max_shard_steps);
+  EXPECT_GE(rep->scheduler.virtual_makespan_steps, (total_steps + 1) / 2);
+  EXPECT_LE(rep->scheduler.virtual_makespan_steps, total_steps);
+}
+
+TEST(ShardedDriverTest, HotShardRoutingIsDeterministicAndChangesPlacement) {
+  auto hot = SmallOptions(4, 9);
+  hot.workload.zipf_theta = 0.9;
+  hot.cross_shard_fraction = 0.0;  // isolate the local-routing change
+  hot.hot_shard_routing = true;
+  auto a = RunSharded(hot);
+  ASSERT_TRUE(a.ok());
+  auto b = RunSharded(hot);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShardedReportToJson(a.value()), ShardedReportToJson(b.value()));
+  EXPECT_EQ(a->committed, hot.total_txns);
+  EXPECT_TRUE(a->serializable);
+
+  auto uniform = hot;
+  uniform.hot_shard_routing = false;
+  auto u = RunSharded(uniform);
+  ASSERT_TRUE(u.ok());
+  // Zipf-homed placement must actually differ from the uniform spread.
+  bool differs = false;
+  for (std::size_t s = 0; s < a->shards.size(); ++s) {
+    differs |= a->shards[s].assigned != u->shards[s].assigned;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ShardedDriverTest, NonPowerOfTwoHubSnapshotPeriodRoundsUpAndPublishes) {
+  // hub_snapshot_period = 100 used to corrupt the cadence mask (100 & 99
+  // is not a power-of-two mask); it now rounds up to 128 internally.
+  obs::LiveHub hub;
+  auto opt = SmallOptions(2, 7);
+  opt.hub = &hub;
+  opt.hub_snapshot_period = 100;
+  auto rep = RunSharded(opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_TRUE(rep->completed);
+  EXPECT_EQ(rep->committed, opt.total_txns);
+  auto snaps = hub.Snapshots();
+  EXPECT_EQ(snaps.size(), 2u);  // the end-of-run snapshot per shard
 }
 
 TEST(ShardedDriverTest, JsonIsWellFormedEnoughToGrep) {

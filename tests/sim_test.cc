@@ -154,6 +154,25 @@ TEST(SimDriverTest, DeterministicReports) {
   EXPECT_EQ(a->metrics.commits, b->metrics.commits);
 }
 
+TEST(SimDriverTest, NonPowerOfTwoHubSnapshotPeriodRoundsUpAndPublishes) {
+  // A period of 100 used to be masked as-is (100 & 99 is not a valid
+  // cadence mask); the driver now rounds it up to 128 internally.
+  obs::LiveHub hub;
+  SimOptions opt;
+  opt.workload.num_entities = 8;
+  opt.workload.min_locks = 2;
+  opt.workload.max_locks = 4;
+  opt.concurrency = 4;
+  opt.total_txns = 40;
+  opt.seed = 11;
+  opt.hub = &hub;
+  opt.hub_snapshot_period = 100;
+  auto report = RunSimulation(opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->committed, 40u);
+  EXPECT_EQ(hub.Snapshots().size(), 1u);  // sim publishes as shard 0
+}
+
 TEST(SimDriverTest, SortedEntitiesNeverDeadlock) {
   // The hierarchical-order control: deadlock-free by construction.
   SimOptions opt;

@@ -433,10 +433,14 @@ int RunObserve(const Flags& flags) {
   return rc;
 }
 
-// `pardb parallel` — the sim workload sharded over N engines on a thread
-// pool (src/par). Extra flags: --shards, --threads (0 = one per shard),
-// --cross (fraction of transactions drawn across shard boundaries),
-// --json=FILE (write the machine-readable report).
+// `pardb parallel` — the sim workload sharded over N engines on a
+// work-stealing pool (src/par). Extra flags: --shards, --threads (0 = one
+// per shard; oversharding --shards > --threads load-balances via
+// stealing), --cross (fraction of transactions drawn across shard
+// boundaries), --scheduler=timeslice|rtc, --quantum-steps,
+// --min-quantum-steps, --no-adaptive-quantum, --hot-routing (route local
+// transactions to Zipf-hot shards), --json=FILE (write the
+// machine-readable report).
 int RunParallel(const Flags& flags) {
   auto sim_opt = BuildSimOptions(flags);
   if (!sim_opt.ok()) {
@@ -452,10 +456,29 @@ int RunParallel(const Flags& flags) {
   auto shards = flags.GetInt("shards", 4);
   auto threads = flags.GetInt("threads", 0);
   auto cross = flags.GetDouble("cross", 0.05);
-  if (!shards.ok() || !threads.ok() || !cross.ok()) return 2;
+  auto coord = flags.GetInt("coordinator", 0);
+  if (!shards.ok() || !threads.ok() || !cross.ok() || !coord.ok()) return 2;
+  opt.coordinator_shard = static_cast<std::uint32_t>(coord.value());
   opt.num_shards = static_cast<std::uint32_t>(shards.value());
   opt.num_threads = static_cast<std::size_t>(threads.value());
   opt.cross_shard_fraction = cross.value();
+  const std::string sched = flags.GetString("scheduler", "timeslice");
+  if (sched == "rtc") {
+    opt.scheduler = par::ShardScheduler::kRunToCompletion;
+  } else if (sched == "timeslice") {
+    opt.scheduler = par::ShardScheduler::kTimeSlice;
+  } else {
+    std::fprintf(stderr, "unknown --scheduler=%s (timeslice|rtc)\n",
+                 sched.c_str());
+    return 2;
+  }
+  auto quantum = flags.GetInt("quantum-steps", 256);
+  auto min_quantum = flags.GetInt("min-quantum-steps", 32);
+  if (!quantum.ok() || !min_quantum.ok()) return 2;
+  opt.quantum_steps = static_cast<std::uint64_t>(quantum.value());
+  opt.min_quantum_steps = static_cast<std::uint64_t>(min_quantum.value());
+  opt.adaptive_quantum = !flags.GetBool("no-adaptive-quantum", false);
+  opt.hot_shard_routing = flags.GetBool("hot-routing", false);
   const ObsOutputs outs = GetObsOutputs(flags);
   auto serve = GetServeConfig(flags);
   if (!serve.ok()) {
@@ -485,6 +508,14 @@ int RunParallel(const Flags& flags) {
     return 1;
   }
   std::printf("%s\n", report->ToString().c_str());
+  std::printf("scheduler: workers=%zu quanta=%llu steals=%llu "
+              "util(mean=%.2f min=%.2f) virtual_makespan=%llu\n",
+              report->scheduler.num_workers,
+              (unsigned long long)report->scheduler.quanta,
+              (unsigned long long)report->scheduler.steals,
+              report->scheduler.mean_worker_utilization,
+              report->scheduler.min_worker_utilization,
+              (unsigned long long)report->scheduler.virtual_makespan_steps);
   LingerThenStop(server.get(), serve->linger);
   for (const par::ShardResult& s : report->shards) {
     std::printf("  shard %u%s: assigned=%llu committed=%llu deadlocks=%llu "
