@@ -207,7 +207,11 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   // Admits a transaction (an execution instance of `program`). Entry order
-  // defines the Theorem 2 ordering.
+  // defines the Theorem 2 ordering. Late admission is first-class: Spawn
+  // may be called at any point between steps — mid-run admissions join the
+  // StepAny/StepQuantum live set exactly as if present from the start,
+  // which is what lets drivers stream arrivals in (closed-loop refill,
+  // pipelined admission) without a pre-materialized workload.
   Result<TxnId> Spawn(txn::Program program);
   Result<TxnId> Spawn(std::shared_ptr<const txn::Program> program);
 

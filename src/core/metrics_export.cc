@@ -40,4 +40,47 @@ void ExportEngineMetrics(const Engine& engine, obs::MetricsRegistry* registry,
   for (std::uint32_t c : engine.rollback_cost_samples()) costs->Record(c);
 }
 
+void EngineMetricsExporter::Export(const Engine& engine,
+                                   obs::MetricsRegistry* registry,
+                                   const obs::LabelSet& labels) {
+  const EngineMetrics& m = engine.metrics();
+  auto Add = [&](const char* name, std::uint64_t cur, std::uint64_t prev) {
+    if (cur > prev) registry->GetCounter(name, labels)->Inc(cur - prev);
+  };
+  Add(obs::kStepsTotal, m.steps, last_.steps);
+  Add(obs::kOpsExecutedTotal, m.ops_executed, last_.ops_executed);
+  Add(obs::kCommitsTotal, m.commits, last_.commits);
+  Add(obs::kLockWaitsTotal, m.lock_waits, last_.lock_waits);
+  Add(obs::kDeadlocksTotal, m.deadlocks, last_.deadlocks);
+  Add(obs::kRollbacksTotal, m.rollbacks, last_.rollbacks);
+  Add(obs::kPartialRollbacksTotal, m.partial_rollbacks,
+      last_.partial_rollbacks);
+  Add(obs::kTotalRollbacksTotal, m.total_rollbacks, last_.total_rollbacks);
+  Add(obs::kPreemptionsTotal, m.preemptions, last_.preemptions);
+  Add(obs::kWoundsTotal, m.wounds, last_.wounds);
+  Add(obs::kDeathsTotal, m.deaths, last_.deaths);
+  Add(obs::kTimeoutsTotal, m.timeouts, last_.timeouts);
+  Add(obs::kWastedOpsTotal, m.wasted_ops, last_.wasted_ops);
+  Add(obs::kIdealWastedOpsTotal, m.ideal_wasted_ops, last_.ideal_wasted_ops);
+  Add(obs::kCyclesFoundTotal, m.cycles_found, last_.cycles_found);
+  Add(obs::kPeriodicScansTotal, m.periodic_scans, last_.periodic_scans);
+
+  registry->GetGauge(obs::kMaxEntityCopies, labels)
+      ->SetMax(static_cast<std::int64_t>(m.max_entity_copies));
+  registry->GetGauge(obs::kMaxVarCopies, labels)
+      ->SetMax(static_cast<std::int64_t>(m.max_var_copies));
+  registry->GetGauge(obs::kLiveTxns, labels)
+      ->Set(static_cast<std::int64_t>(engine.live_txn_count()));
+  registry->GetGauge(obs::kWaitingTxns, labels)
+      ->Set(static_cast<std::int64_t>(engine.lock_manager().WaitingCount()));
+
+  const std::vector<std::uint32_t>& samples = engine.rollback_cost_samples();
+  obs::Histogram* costs = registry->GetHistogram(obs::kRollbackCostOps, labels);
+  for (std::size_t i = cost_samples_exported_; i < samples.size(); ++i) {
+    costs->Record(samples[i]);
+  }
+  cost_samples_exported_ = samples.size();
+  last_ = m;
+}
+
 }  // namespace pardb::core

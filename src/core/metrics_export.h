@@ -15,6 +15,25 @@ namespace pardb::core {
 void ExportEngineMetrics(const Engine& engine, obs::MetricsRegistry* registry,
                          const obs::LabelSet& labels = {});
 
+// Repeatable variant for live scraping: remembers what it already exported
+// and advances each counter by the delta since the previous Export, so a
+// shard can publish its engine aggregates at every hub-snapshot boundary
+// and the totals stay exact (no double counting). Histogram samples are
+// exported incrementally too — rollback_cost_samples() is append-only (a
+// bounded sample retaining the first 65536 costs), so the next-index
+// cursor never re-records a sample. Gauges are overwritten as in the
+// one-shot export. One exporter per (engine, registry, labels) triple.
+class EngineMetricsExporter {
+ public:
+  // Exports the delta since the previous call (everything, on the first).
+  void Export(const Engine& engine, obs::MetricsRegistry* registry,
+              const obs::LabelSet& labels = {});
+
+ private:
+  EngineMetrics last_;
+  std::size_t cost_samples_exported_ = 0;
+};
+
 }  // namespace pardb::core
 
 #endif  // PARDB_CORE_METRICS_EXPORT_H_

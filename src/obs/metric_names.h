@@ -68,6 +68,20 @@ inline constexpr char kWorkerUtilization[] = "pardb_worker_utilization";
 // Engine steps per scheduler quantum (histogram; shows adaptive shrink).
 inline constexpr char kQuantumSteps[] = "pardb_quantum_steps";
 
+// Admission pipeline (par::RunSharded streaming phase 1).
+// Wall seconds per driver phase, scaled by 1000 (gauge; labeled
+// {phase="generate"|"execute"|"aggregate"}; generate and execute overlap
+// in pipelined mode, so their sum may exceed the run's wall time).
+inline constexpr char kPhaseSeconds[] = "pardb_phase_seconds";
+// Programs materialized but not yet admitted, per shard (gauge).
+inline constexpr char kAdmissionQueueDepth[] = "pardb_admission_queue_depth";
+// Producer pushes that found a full queue and had to wait (backpressure).
+inline constexpr char kAdmissionBlockedTotal[] =
+    "pardb_admission_blocked_total";
+// Deterministic lower bound on the fraction of generation work overlapped
+// with execution, scaled by 1000 (gauge; 0 in batch mode — see DESIGN D11).
+inline constexpr char kOverlapFraction[] = "pardb_overlap_fraction";
+
 // Preemption lineage (obs::LineageTracker).
 // High-water mark of any live transaction's preemption chain depth.
 inline constexpr char kPreemptionChainLen[] = "pardb_preemption_chain_len";
@@ -84,6 +98,7 @@ inline constexpr char kTraceDroppedTotal[] = "pardb_trace_dropped_total";
 // Label keys.
 inline constexpr char kShardLabel[] = "shard";
 inline constexpr char kWorkerLabel[] = "worker";
+inline constexpr char kPhaseLabel[] = "phase";
 
 }  // namespace pardb::obs
 

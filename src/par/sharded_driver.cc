@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "analysis/history.h"
@@ -15,6 +17,7 @@
 #include "dist/distributed.h"
 #include "obs/lineage.h"
 #include "obs/metric_names.h"
+#include "par/admission_queue.h"
 #include "par/router.h"
 #include "par/stealing_pool.h"
 #include "storage/entity_store.h"
@@ -65,6 +68,22 @@ std::uint64_t NowNanos() {
           .count());
 }
 
+double Seconds(std::uint64_t nanos) {
+  return static_cast<double>(nanos) * 1e-9;
+}
+
+// Materialized-but-unadmitted program accounting: the producer increments
+// on generate, and each shard's AdmissionQueue decrements inside its pop
+// critical section (set_materialized_counter) — so a freed slot is never
+// visible to the producer before the decrement, and the high-water mark
+// is bounded by num_shards * capacity + 1. The peak is a producer-side
+// high-water mark: only the producer writes it, right after its own
+// increment.
+struct AdmissionShared {
+  std::atomic<std::int64_t> materialized{0};
+  std::atomic<std::int64_t> peak{0};
+};
+
 // Per-shard state that persists across quanta: the engine and everything
 // wired into it. Exactly one quantum task per shard is ever in flight (the
 // task is the shard's ready token), so although quanta migrate between
@@ -86,14 +105,23 @@ struct ShardExec {
   std::unique_ptr<core::Engine> engine;
   obs::MetricsRegistry* registry = nullptr;  // hub-owned or &local_registry
   obs::Histogram* step_ns = nullptr;
+  obs::LabelSet labels;
+  // Delta exporter behind the interim (hub-cadence) and final engine
+  // aggregate publications — repeated exports never double-count.
+  core::EngineMetricsExporter exporter;
 
   std::uint64_t spawned = 0;
   std::uint64_t steps = 0;         // engine steps consumed (budget account)
   std::uint64_t next_snap_at = 0;  // steps threshold for next hub snapshot
+  bool eos = false;  // pipelined: end-of-stream token observed
 };
 
 struct ShardRun {
+  // Batch mode: the shard's routed programs, materialized up front.
   std::vector<txn::Program> programs;
+  // Pipelined mode: programs stream through this queue instead (programs
+  // stays empty); null in batch mode.
+  std::unique_ptr<AdmissionQueue> queue;
   std::uint32_t concurrency = 1;
   Status status = Status::OK();
   ShardResult result;
@@ -115,7 +143,6 @@ struct ShardRun {
 void InitShardExec(const ShardedOptions& options, std::uint32_t shard,
                    ShardRun& run) {
   run.result.shard = shard;
-  run.result.assigned = run.programs.size();
   run.exec = std::make_unique<ShardExec>(options.max_forensics_dumps,
                                          run.hub_sink);
   ShardExec& ex = *run.exec;
@@ -130,7 +157,8 @@ void InitShardExec(const ShardedOptions& options, std::uint32_t shard,
   // shard and merged after the pool joins; with one it is hub-owned and
   // scraped live (its counters are lock-free atomics, so the serving thread
   // reads it safely while a worker writes).
-  const obs::LabelSet labels{{obs::kShardLabel, std::to_string(shard)}};
+  ex.labels = obs::LabelSet{{obs::kShardLabel, std::to_string(shard)}};
+  const obs::LabelSet& labels = ex.labels;
   ex.registry = run.registry != nullptr ? run.registry : &ex.local_registry;
   if (options.instrument) {
     ex.probe = obs::MakeEngineProbe(ex.registry, labels);
@@ -174,8 +202,10 @@ void FinishShard(const ShardedOptions& options, std::uint32_t shard,
     options.hub->PublishSnapshot(std::move(snap));
   }
   if (options.instrument) {
-    const obs::LabelSet labels{{obs::kShardLabel, std::to_string(shard)}};
-    core::ExportEngineMetrics(engine, ex.registry, labels);
+    const obs::LabelSet& labels = ex.labels;
+    // Final delta on top of any interim (hub-cadence) exports: the
+    // registry ends at exactly the engine's aggregates.
+    ex.exporter.Export(engine, ex.registry, labels);
     ex.registry->GetCounter(obs::kTraceDroppedTotal, labels)
         ->Inc(core::TraceDropped(options.collect_traces ? &ex.trace : nullptr));
     run.metrics = ex.registry->Snapshot();
@@ -270,25 +300,48 @@ struct SchedulerCtx {
   }
 };
 
-// Advances shard by at most `max_q` engine steps. Returns true when the
-// shard still has work. The step sequence this produces is identical for
-// every chopping of the run into quanta: spawning tops the
-// multiprogramming level up at exactly the points a per-step loop would
-// (quantum start and after every commit — between commits the refill
-// condition cannot change).
-bool RunShardQuantum(const ShardedOptions& options, std::uint32_t shard,
-                     ShardRun& run, SchedulerCtx& ctx, std::uint64_t max_q) {
+// What a quantum left behind: more work queued (reschedule), a yield
+// (pipelined shard drained-but-open below its multiprogramming level —
+// reschedule, but nothing useful could run), or done (finished or failed).
+enum class QuantumOutcome { kMore, kYield, kDone };
+
+// Advances shard by at most `max_q` engine steps. The step sequence this
+// produces is identical for every chopping of the run into quanta:
+// spawning tops the multiprogramming level up at exactly the points a
+// per-step loop would (quantum start and after every commit — between
+// commits the refill condition cannot change).
+//
+// The pipelined path preserves that sequence against a stream that
+// materializes over time by one rule: the shard steps only when its level
+// is topped up or the end-of-stream token arrived. Below level with the
+// queue open-but-empty, the batch path would have admitted more programs
+// before stepping — so the shard yields its quantum instead of stepping
+// early, and the admission order plus every refill point land exactly
+// where the batch run put them.
+QuantumOutcome RunShardQuantum(const ShardedOptions& options,
+                               std::uint32_t shard, ShardRun& run,
+                               SchedulerCtx& ctx, std::uint64_t max_q) {
   if (run.exec == nullptr) InitShardExec(options, shard, run);
   ShardExec& ex = *run.exec;
   core::Engine& engine = *ex.engine;
   obs::LiveHub* hub = options.hub;
-  const std::uint64_t total = run.programs.size();
+  AdmissionQueue* queue = run.queue.get();
+  const std::uint64_t total = run.programs.size();  // batch mode only
   const std::uint64_t t0 = NowNanos();
   std::uint64_t q_steps = 0;
   bool completed = true;
   bool finished = false;
+  bool yielded = false;
+  auto fail = [&](Status status) {
+    run.status = std::move(status);
+    if (queue != nullptr) queue->Abandon();
+    return QuantumOutcome::kDone;
+  };
   while (q_steps < max_q) {
-    if (engine.metrics().commits >= total) {
+    // Terminal check: batch knows the shard's total up front; pipelined
+    // knows it once the end-of-stream token has been observed.
+    if (queue == nullptr ? engine.metrics().commits >= total
+                         : (ex.eos && engine.metrics().commits >= ex.spawned)) {
       finished = true;
       break;
     }
@@ -297,37 +350,73 @@ bool RunShardQuantum(const ShardedOptions& options, std::uint32_t shard,
       finished = true;
       break;
     }
-    while (ex.spawned < total &&
-           ex.spawned - engine.metrics().commits < run.concurrency) {
-      auto id = engine.Spawn(std::move(run.programs[ex.spawned]));
-      if (!id.ok()) {
-        run.status = id.status();
-        return false;
+    if (queue == nullptr) {
+      while (ex.spawned < total &&
+             ex.spawned - engine.metrics().commits < run.concurrency) {
+        auto id = engine.Spawn(std::move(run.programs[ex.spawned]));
+        if (!id.ok()) return fail(id.status());
+        ++ex.spawned;
       }
-      ++ex.spawned;
+    } else {
+      while (!ex.eos &&
+             ex.spawned - engine.metrics().commits < run.concurrency) {
+        txn::Program program;
+        AdmissionQueue::Pop r = queue->TryPop(&program);
+        if (r == AdmissionQueue::Pop::kEmpty && q_steps == 0) {
+          // Nothing ran this quantum yet: give the producer a moment
+          // before yielding, so a starved shard doesn't cycle through the
+          // scheduler at full speed doing nothing.
+          r = queue->WaitPop(&program, std::chrono::microseconds(200));
+        }
+        if (r == AdmissionQueue::Pop::kClosed) {
+          ex.eos = true;
+          break;
+        }
+        if (r == AdmissionQueue::Pop::kEmpty) {
+          yielded = true;
+          break;
+        }
+        // materialized was already decremented inside the pop — under the
+        // queue mutex, so the producer can't refill the slot first and
+        // push the high-water mark past num_shards * capacity + 1.
+        auto id = engine.Spawn(std::move(program));
+        if (!id.ok()) return fail(id.status());
+        ++ex.spawned;
+      }
+      if (yielded) break;
+      if (ex.eos && engine.metrics().commits >= ex.spawned) {
+        // The token arrived mid-refill with nothing left to run; the
+        // batch loop exits at its terminal check without stepping here.
+        finished = true;
+        break;
+      }
     }
     const std::uint64_t budget =
         std::min(max_q - q_steps, options.max_steps_per_shard - ex.steps);
     auto quantum = engine.StepQuantum(budget, /*stop_after_commit=*/true);
-    if (!quantum.ok()) {
-      run.status = quantum.status();
-      return false;
-    }
+    if (!quantum.ok()) return fail(quantum.status());
     q_steps += quantum.value().steps;
     ex.steps += quantum.value().steps;
     // ran_dry: a step found no ready transaction. steps == 0 without a
-    // commit: every live transaction terminated yet commits < total. Both
-    // mean the shard can make no further progress.
+    // commit: every live transaction terminated yet more remain. Both mean
+    // the shard can make no further progress. (A yield never reaches this
+    // point — the pipelined refill breaks out before stepping.)
     if (quantum.value().ran_dry ||
         (quantum.value().steps == 0 && !quantum.value().committed)) {
-      run.status = Status::Internal("shard " + std::to_string(shard) +
-                                    " stalled:\n" + engine.DumpState());
-      return false;
+      return fail(Status::Internal("shard " + std::to_string(shard) +
+                                   " stalled:\n" + engine.DumpState()));
     }
     if (hub != nullptr && ex.steps >= ex.next_snap_at) {
       obs::WaitsForSnapshot snap = engine.SnapshotWaitsFor();
       snap.shard = shard;
       hub->PublishSnapshot(std::move(snap));
+      // Publish the engine aggregates (including any new rollback-cost
+      // samples) at the same cadence, so /metrics histogram quantiles are
+      // live during the run instead of end-of-run only. The exporter
+      // advances by deltas; the final FinishShard export stays exact.
+      if (options.instrument) {
+        ex.exporter.Export(engine, ex.registry, ex.labels);
+      }
       const std::uint64_t period = RoundUpPowerOfTwo(
           options.hub_snapshot_period == 0 ? 512
                                            : options.hub_snapshot_period);
@@ -344,12 +433,17 @@ bool RunShardQuantum(const ShardedOptions& options, std::uint32_t shard,
     if (ex.step_ns != nullptr) ex.step_ns->Record(per_step);
     if (hub != nullptr) hub->RecordShardStep(shard, per_step);
   }
-  if (ctx.quantum_hist != nullptr) ctx.quantum_hist->Record(q_steps);
+  // Yield quanta stay out of the histogram: a starved shard would flood
+  // the distribution with zeros that say nothing about quantum sizing.
+  if (ctx.quantum_hist != nullptr && !yielded) ctx.quantum_hist->Record(q_steps);
   if (finished) {
     FinishShard(options, shard, run, completed);
-    return false;
+    // Normally the queue is already drained+closed; on a step-budget
+    // overrun it is not, and the producer must not block on it forever.
+    if (queue != nullptr) queue->Abandon();
+    return QuantumOutcome::kDone;
   }
-  return true;
+  return yielded ? QuantumOutcome::kYield : QuantumOutcome::kMore;
 }
 
 // Deterministic makespan of greedy list scheduling: each job (a shard's
@@ -373,20 +467,91 @@ std::uint64_t VirtualMakespanSteps(const std::vector<std::uint64_t>& costs,
   return *std::max_element(busy.begin(), busy.end());
 }
 
+// Phase 1: the deterministic generation + routing sweep, shared verbatim
+// by the batch and pipelined paths — same seeded generators, same routing
+// draws, same emission order, so the per-shard program streams are
+// identical by construction and only *where* a program lands (the shard's
+// materialized vector vs its admission queue) differs between modes.
+// `cross_shard_txns` and `routed` are written only by the calling thread.
+// Local transactions draw from one shard's entity pool; with probability
+// cross_shard_fraction a transaction draws from the full universe. The
+// authoritative routing decision is always the footprint hash.
+Status GenerateAndRoute(
+    const ShardedOptions& options, std::uint32_t n,
+    std::uint64_t* cross_shard_txns, std::vector<std::uint64_t>* routed,
+    const std::function<void(std::uint32_t, txn::Program)>& emit) {
+  auto universes = ShardEntityUniverses(options.workload.num_entities, n);
+  std::vector<std::uint32_t> populated;
+  std::vector<std::unique_ptr<sim::WorkloadGenerator>> local(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (universes[s].empty()) continue;
+    sim::WorkloadOptions w = options.workload;
+    w.entity_universe = universes[s];
+    local[s] = std::make_unique<sim::WorkloadGenerator>(
+        w, DeriveShardSeed(options.seed, 0x10000u + s));
+    populated.push_back(s);
+  }
+  sim::WorkloadGenerator global(options.workload,
+                                DeriveShardSeed(options.seed, 0x20000u));
+  Rng route_rng(DeriveShardSeed(options.seed, 0x30000u));
+  // Hot-shard routing: home a local transaction where a global
+  // Zipf-distributed entity draw lives, so load follows the hot keys'
+  // placement instead of spreading uniformly.
+  ZipfianGenerator home_zipf(options.workload.num_entities,
+                             options.workload.zipf_theta);
+  for (std::uint64_t t = 0; t < options.total_txns; ++t) {
+    const bool want_cross = populated.empty() ||
+                            route_rng.Bernoulli(options.cross_shard_fraction);
+    sim::WorkloadGenerator* gen = &global;
+    if (!want_cross) {
+      std::uint32_t home = 0;
+      if (options.hot_shard_routing) {
+        home = dist::SiteOfEntity(EntityId(home_zipf.Next(route_rng)), n);
+        if (local[home] == nullptr) {
+          home = populated[route_rng.Uniform(populated.size())];
+        }
+      } else {
+        home = populated[route_rng.Uniform(populated.size())];
+      }
+      gen = local[home].get();
+    }
+    auto program = gen->Next();
+    if (!program.ok()) return program.status();
+    const Route route =
+        RouteProgram(program.value(), n, options.coordinator_shard);
+    if (route.cross_shard) ++*cross_shard_txns;
+    ++(*routed)[route.shard];
+    emit(route.shard, std::move(program).value());
+  }
+  return Status::OK();
+}
+
 // Submits the shard's next quantum. The submitted task is the shard's
 // ready token: a successor is only scheduled after the current quantum
 // returns, so a shard can never run on two workers at once, while the
 // task itself may be stolen onto any worker.
-void ScheduleShard(SchedulerCtx* ctx, std::uint32_t shard) {
-  ctx->pool->Submit([ctx, shard] {
-    const bool more = RunShardQuantum(*ctx->options, shard,
-                                      (*ctx->runs)[shard], *ctx,
-                                      ctx->QuantumFor(shard));
+void ScheduleShard(SchedulerCtx* ctx, std::uint32_t shard,
+                   bool yielded = false) {
+  auto task = [ctx, shard] {
+    const QuantumOutcome out = RunShardQuantum(*ctx->options, shard,
+                                               (*ctx->runs)[shard], *ctx,
+                                               ctx->QuantumFor(shard));
     const std::uint64_t q =
         ctx->quanta.fetch_add(1, std::memory_order_relaxed) + 1;
     if ((q & 31) == 0) ctx->RefreshSchedulerMetrics();
-    if (more) ScheduleShard(ctx, shard);
-  });
+    if (out != QuantumOutcome::kDone) {
+      ScheduleShard(ctx, shard, out == QuantumOutcome::kYield);
+    }
+  };
+  // A yielded quantum made no progress and is waiting on the producer; it
+  // must go to the global FIFO, not the worker's own LIFO deque, or the
+  // worker would pop it right back and starve the sibling chains — one of
+  // which may be the very shard the producer is blocked pushing to.
+  if (yielded) {
+    ctx->pool->SubmitGlobal(std::move(task));
+  } else {
+    ctx->pool->Submit(std::move(task));
+  }
 }
 
 }  // namespace
@@ -420,60 +585,17 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
     return Status::InvalidArgument("workload needs at least one entity");
   }
   const std::uint32_t n = options.num_shards;
-  if (options.hub != nullptr) options.hub->SetPhase(obs::RunPhase::kGenerating);
-
-  // Phase 1 (serial, deterministic): generate and route the workload.
-  // Local transactions draw from one shard's entity pool; with probability
-  // cross_shard_fraction a transaction draws from the full universe. The
-  // authoritative routing decision is always the footprint hash.
-  auto universes = ShardEntityUniverses(options.workload.num_entities, n);
-  std::vector<std::uint32_t> populated;
-  std::vector<std::unique_ptr<sim::WorkloadGenerator>> local(n);
-  for (std::uint32_t s = 0; s < n; ++s) {
-    if (universes[s].empty()) continue;
-    sim::WorkloadOptions w = options.workload;
-    w.entity_universe = universes[s];
-    local[s] = std::make_unique<sim::WorkloadGenerator>(
-        w, DeriveShardSeed(options.seed, 0x10000u + s));
-    populated.push_back(s);
-  }
-  sim::WorkloadGenerator global(options.workload,
-                                DeriveShardSeed(options.seed, 0x20000u));
-  Rng route_rng(DeriveShardSeed(options.seed, 0x30000u));
-  // Hot-shard routing: home a local transaction where a global
-  // Zipf-distributed entity draw lives, so load follows the hot keys'
-  // placement instead of spreading uniformly.
-  ZipfianGenerator home_zipf(options.workload.num_entities,
-                             options.workload.zipf_theta);
 
   std::vector<ShardRun> runs(n);
   ShardedReport report;
   report.num_shards = n;
-  for (std::uint64_t t = 0; t < options.total_txns; ++t) {
-    const bool want_cross = populated.empty() ||
-                            route_rng.Bernoulli(options.cross_shard_fraction);
-    sim::WorkloadGenerator* gen = &global;
-    if (!want_cross) {
-      std::uint32_t home = 0;
-      if (options.hot_shard_routing) {
-        home = dist::SiteOfEntity(EntityId(home_zipf.Next(route_rng)), n);
-        if (local[home] == nullptr) {
-          home = populated[route_rng.Uniform(populated.size())];
-        }
-      } else {
-        home = populated[route_rng.Uniform(populated.size())];
-      }
-      gen = local[home].get();
-    }
-    auto program = gen->Next();
-    if (!program.ok()) return program.status();
-    const Route route =
-        RouteProgram(program.value(), n, options.coordinator_shard);
-    if (route.cross_shard) ++report.cross_shard_txns;
-    runs[route.shard].programs.push_back(std::move(program).value());
-  }
+  const std::size_t queue_capacity =
+      std::max<std::size_t>(1, options.admission_queue_capacity);
+  report.admission.pipelined = options.pipeline;
+  report.admission.queue_capacity = options.pipeline ? queue_capacity : 0;
 
-  // Multiprogramming level: split over shards, at least 1 each.
+  // Multiprogramming level: split over shards, at least 1 each. Needed
+  // before phase 1 now — pipelined consumers start while it runs.
   const std::uint32_t base = options.concurrency / n;
   const std::uint32_t rem = options.concurrency % n;
   for (std::uint32_t s = 0; s < n; ++s) {
@@ -499,8 +621,44 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
     for (std::uint32_t s = 0; s < n; ++s) {
       runs[s].hub_sink = options.hub->MakeDeadlockSink(s);
     }
-    options.hub->SetPhase(obs::RunPhase::kRunning);
   }
+
+  // Phase 1: generation + routing. Batch mode runs the sweep serially up
+  // front (the legacy design the pipeline is measured against); pipelined
+  // mode defers it to a producer thread that overlaps with phase 2,
+  // feeding per-shard bounded queues created here.
+  std::vector<std::uint64_t> routed(n, 0);
+  std::uint64_t cross_txns = 0;
+  AdmissionShared admission_shared;
+  Status producer_status = Status::OK();
+  double generate_seconds = 0.0;
+  std::thread producer;
+  if (!options.pipeline) {
+    if (options.hub != nullptr) {
+      options.hub->SetPhase(obs::RunPhase::kGenerating);
+    }
+    const std::uint64_t g0 = NowNanos();
+    Status gen = GenerateAndRoute(
+        options, n, &cross_txns, &routed,
+        [&runs](std::uint32_t shard, txn::Program program) {
+          runs[shard].programs.push_back(std::move(program));
+        });
+    if (!gen.ok()) return gen;
+    generate_seconds = Seconds(NowNanos() - g0);
+    // Everything exists at once before any engine runs.
+    report.admission.peak_materialized_programs = options.total_txns;
+  } else {
+    for (std::uint32_t s = 0; s < n; ++s) {
+      runs[s].queue = std::make_unique<AdmissionQueue>(queue_capacity);
+      runs[s].queue->set_materialized_counter(&admission_shared.materialized);
+      if (sched_registry != nullptr) {
+        runs[s].queue->set_depth_gauge(sched_registry->GetGauge(
+            obs::kAdmissionQueueDepth,
+            {{obs::kShardLabel, std::to_string(s)}}));
+      }
+    }
+  }
+  if (options.hub != nullptr) options.hub->SetPhase(obs::RunPhase::kRunning);
 
   // Phase 2 (parallel): each shard advances as a chain of quantum tasks on
   // a work-stealing pool (one chain link in flight per shard — the ready
@@ -508,6 +666,7 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
   // over every quantum.
   const std::size_t workers =
       options.num_threads == 0 ? n : options.num_threads;
+  const std::uint64_t e0 = NowNanos();
   {
     StealingPool pool(workers);
     SchedulerCtx ctx;
@@ -529,12 +688,46 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
             {{obs::kWorkerLabel, std::to_string(w)}}));
       }
     }
+    if (options.pipeline) {
+      // The producer is phase 1, running concurrently with the pool. It
+      // pushes every routed program in generation order (blocking on full
+      // queues — backpressure) and then delivers the end-of-stream token
+      // to every shard, on every exit path: a consumer waits for its token
+      // even when generation failed, and a dead consumer's queue is
+      // abandoned rather than blocking, so neither side can wedge the
+      // other.
+      producer = std::thread([&options, &runs, &routed, &cross_txns,
+                              &admission_shared, &producer_status,
+                              &generate_seconds, n] {
+        const std::uint64_t g0 = NowNanos();
+        Status gen = GenerateAndRoute(
+            options, n, &cross_txns, &routed,
+            [&runs, &admission_shared](std::uint32_t shard,
+                                       txn::Program program) {
+              const std::int64_t now =
+                  admission_shared.materialized.fetch_add(
+                      1, std::memory_order_relaxed) +
+                  1;
+              if (now >
+                  admission_shared.peak.load(std::memory_order_relaxed)) {
+                admission_shared.peak.store(now, std::memory_order_relaxed);
+              }
+              runs[shard].queue->Push(std::move(program));
+            });
+        for (std::uint32_t s = 0; s < n; ++s) runs[s].queue->Close();
+        producer_status = std::move(gen);
+        generate_seconds = Seconds(NowNanos() - g0);
+      });
+    }
     // Submission order is the scheduler's list order. kRunToCompletion
     // keeps shard order (the legacy driver's semantics, and the skew
     // pathology: a heavy late shard starts only after a light wave).
-    // kTimeSlice submits longest-assigned-first — routing already told us
-    // each shard's work, so this is LPT list scheduling, with stealing
-    // absorbing whatever per-transaction variance LPT cannot see. Order
+    // Batch kTimeSlice submits longest-assigned-first — routing already
+    // told us each shard's work, so this is LPT list scheduling, with
+    // stealing absorbing whatever per-transaction variance LPT cannot see.
+    // Pipelined mode cannot know assignments up front (programs is empty,
+    // so the sort is a stable no-op and shards submit in shard order);
+    // stealing plus time-slicing carries the load balancing alone. Order
     // never affects report contents, only wall-clock.
     std::vector<std::uint32_t> order(n);
     for (std::uint32_t s = 0; s < n; ++s) order[s] = s;
@@ -547,6 +740,7 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
     }
     for (std::uint32_t s : order) ScheduleShard(&ctx, s);
     pool.Wait();
+    if (producer.joinable()) producer.join();
     ctx.RefreshSchedulerMetrics();
 
     std::vector<std::uint64_t> step_costs(n);
@@ -572,13 +766,57 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
       report.scheduler.min_worker_utilization = lo;
     }
   }
+  const double execute_seconds = Seconds(NowNanos() - e0);
+  if (!producer_status.ok()) return producer_status;
   if (options.hub != nullptr) {
     options.hub->SetPhase(obs::RunPhase::kAggregating);
   }
 
+  report.cross_shard_txns = cross_txns;
+  report.admission.generate_seconds = generate_seconds;
+  report.admission.execute_seconds = execute_seconds;
+  if (options.pipeline) {
+    report.admission.peak_materialized_programs =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            0, admission_shared.peak.load(std::memory_order_relaxed)));
+    // Deterministic overlap lower bound: shard s's program j >= capacity
+    // can only be pushed after program j - capacity was popped, i.e. after
+    // execution on s began, so at least routed[s] - capacity of its
+    // generation work overlapped with phase 2.
+    std::uint64_t overlapped = 0;
+    std::uint64_t blocked = 0;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      overlapped +=
+          routed[s] > queue_capacity ? routed[s] - queue_capacity : 0;
+      blocked += runs[s].queue->blocked_pushes();
+    }
+    report.admission.producer_blocked_pushes = blocked;
+    report.admission.overlap_fraction =
+        SafeRatio(overlapped, options.total_txns);
+  }
+  if (sched_registry != nullptr) {
+    auto PhaseGauge = [&sched_registry](const char* phase) {
+      return sched_registry->GetGauge(obs::kPhaseSeconds,
+                                      {{obs::kPhaseLabel, phase}});
+    };
+    // Gauges are integral, so seconds are scaled by 1000 (milliseconds) —
+    // the pardb_worker_utilization convention.
+    PhaseGauge("generate")
+        ->Set(static_cast<std::int64_t>(generate_seconds * 1000.0));
+    PhaseGauge("execute")
+        ->Set(static_cast<std::int64_t>(execute_seconds * 1000.0));
+    sched_registry->GetGauge(obs::kOverlapFraction)
+        ->Set(static_cast<std::int64_t>(
+            report.admission.overlap_fraction * 1000.0));
+    sched_registry->GetCounter(obs::kAdmissionBlockedTotal)
+        ->Inc(report.admission.producer_blocked_pushes);
+  }
+
+  const std::uint64_t a0 = NowNanos();
   std::vector<std::uint32_t> merged_costs;
   for (std::uint32_t s = 0; s < n; ++s) {
     if (!runs[s].status.ok()) return runs[s].status;
+    runs[s].result.assigned = routed[s];
     report.shards.push_back(runs[s].result);
     merged_costs.insert(merged_costs.end(), runs[s].cost_samples.begin(),
                         runs[s].cost_samples.end());
@@ -591,6 +829,9 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
     }
   }
   if (sched_registry != nullptr) {
+    sched_registry
+        ->GetGauge(obs::kPhaseSeconds, {{obs::kPhaseLabel, "aggregate"}})
+        ->Set(static_cast<std::int64_t>(Seconds(NowNanos() - a0) * 1000.0));
     report.metrics.MergeFrom(sched_registry->Snapshot());
   }
   if (options.instrument) {

@@ -87,6 +87,20 @@ struct ShardedOptions {
   bool adaptive_quantum = true;
   std::uint64_t min_quantum_steps = 32;
 
+  // Streaming admission (pipelined phase 1): generation + routing run on a
+  // producer thread that feeds per-shard bounded SPSC queues while shard
+  // quanta execute, so the formerly-serial phase 1 overlaps with phase 2.
+  // The producer blocks when a shard's queue is full (backpressure bounds
+  // materialized-but-unadmitted programs to num_shards *
+  // admission_queue_capacity) and closes every queue when the sweep ends
+  // (the end-of-stream token); a shard whose queue is drained-but-open
+  // yields its quantum instead of stepping, which is exactly what keeps
+  // the report byte-identical to the batch path (see DESIGN D11): a shard
+  // steps only when its multiprogramming level is topped up or the stream
+  // has ended, the same rule the batch refill loop enforces.
+  bool pipeline = true;
+  std::size_t admission_queue_capacity = 32;  // clamped to >= 1
+
   // Workload skew: when true, a shard-local transaction's home shard is
   // the home of an entity drawn Zipf(workload.zipf_theta)-distributed from
   // the full universe, so traffic concentrates on the shards that own the
@@ -155,6 +169,31 @@ struct SchedulerStats {
   std::uint64_t virtual_makespan_steps = 0;
 };
 
+// How admission was pipelined. The wall-clock fields are timing-dependent
+// and excluded from ShardedReportToJson / ToString (byte-compared by the
+// determinism tests); overlap_fraction and peak_materialized_programs in
+// *batch* mode are deterministic, and in pipelined mode overlap_fraction
+// still is (it depends only on routing counts and the queue capacity).
+struct AdmissionStats {
+  bool pipelined = false;
+  std::size_t queue_capacity = 0;
+  double generate_seconds = 0.0;  // producer thread active (wall)
+  double execute_seconds = 0.0;   // pool start to pool join (wall)
+  // Deterministic lower bound on the fraction of generation work that
+  // overlapped with execution: sum over shards of max(0, assigned -
+  // capacity) / total. Program j >= capacity can only enter shard s's
+  // queue after program j - capacity was popped, i.e. after s started
+  // executing — so at least that much of the sweep ran concurrently with
+  // phase 2. Batch mode: 0.
+  double overlap_fraction = 0.0;
+  // High-water mark of programs generated but not yet admitted to an
+  // engine. Batch mode materializes everything: total_txns. Pipelined:
+  // bounded by num_shards * queue_capacity (+1 in the producer's hand).
+  std::uint64_t peak_materialized_programs = 0;
+  // Producer pushes that found a full queue and waited (backpressure).
+  std::uint64_t producer_blocked_pushes = 0;
+};
+
 struct ShardedReport {
   std::uint32_t num_shards = 1;
   std::vector<ShardResult> shards;
@@ -190,6 +229,7 @@ struct ShardedReport {
   std::vector<obs::DeadlockDump> forensics;
 
   SchedulerStats scheduler;
+  AdmissionStats admission;
 
   std::string ToString() const;
 };

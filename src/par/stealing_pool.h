@@ -47,6 +47,15 @@ class StealingPool {
   // From a worker of this pool: pushes onto that worker's own deque.
   void Submit(std::function<void()> task);
 
+  // Always pushes onto the shared injection queue, even from a worker.
+  // For tasks that made no progress and expect some *other* task to
+  // unblock them (a pipelined shard yielding on a drained-but-open
+  // admission queue): the worker's own-deque LIFO pop would run the
+  // resubmitted task again immediately, starving the sibling chains —
+  // including the one the producer is blocked on — whereas the injection
+  // queue is FIFO, so every runnable chain gets a turn first.
+  void SubmitGlobal(std::function<void()> task);
+
   // Blocks until all tasks submitted so far have completed.
   void Wait();
 

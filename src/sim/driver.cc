@@ -65,9 +65,15 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
 
   std::uint64_t spawned = 0;
   std::vector<TxnId> all_txns;
+  // Programs are generated one admission at a time (gen.Next inside
+  // SpawnOne), never batch-materialized: at most one exists outside the
+  // engine at any moment.
+  std::uint64_t peak_materialized = 0;
+  core::EngineMetricsExporter exporter;
   auto SpawnOne = [&]() -> Status {
     auto program = gen.Next();
     if (!program.ok()) return program.status();
+    peak_materialized = std::max<std::uint64_t>(peak_materialized, 1);
     auto id = engine.Spawn(std::move(program).value());
     if (!id.ok()) return id.status();
     all_txns.push_back(id.value());
@@ -100,6 +106,13 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
     }
     if (options.hub != nullptr && (steps & snap_mask) == 0) {
       options.hub->PublishSnapshot(engine.SnapshotWaitsFor());
+      // Live scraping: publish the engine aggregates (including new
+      // rollback-cost samples) at the snapshot cadence so /metrics shows
+      // histogram quantiles mid-run. Delta export — the final export
+      // below still lands on the exact totals.
+      if (options.metrics != nullptr) {
+        exporter.Export(engine, options.metrics, options.metric_labels);
+      }
     }
   }
   if (options.hub != nullptr) {
@@ -124,8 +137,9 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
     report.max_preemptions_single_txn = std::max(
         report.max_preemptions_single_txn, engine.PreemptionCountOf(t));
   }
+  report.peak_materialized_programs = peak_materialized;
   if (options.metrics != nullptr) {
-    core::ExportEngineMetrics(engine, options.metrics, options.metric_labels);
+    exporter.Export(engine, options.metrics, options.metric_labels);
     options.metrics->GetCounter(obs::kTraceDroppedTotal, options.metric_labels)
         ->Inc(core::TraceDropped(options.trace));
   }

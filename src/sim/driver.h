@@ -61,6 +61,11 @@ struct SimReport {
   double goodput = 0.0;
   double deadlocks_per_txn = 0.0;
   std::uint64_t max_preemptions_single_txn = 0;
+  // High-water mark of programs generated but not yet admitted to the
+  // engine. The closed loop generates lazily (WorkloadGenerator::Next at
+  // each admission), so this is 1 — nothing is batch-materialized. Kept
+  // out of ToString (golden-string compared); the CLI stats line shows it.
+  std::uint64_t peak_materialized_programs = 0;
 
   std::string ToString() const;
 };

@@ -456,6 +456,36 @@ TEST(EngineLiveSetTest, CommittedTxnsLeaveTheScanSet) {
   EXPECT_TRUE(engine.AllCommitted());
 }
 
+TEST(EngineMetricsExporterTest, RepeatedDeltaExportsLandOnExactTotals) {
+  // The stateful exporter is called mid-run at the hub snapshot cadence
+  // and once at the end; counters must advance by deltas so the final
+  // registry equals the engine totals, not a multiple of them.
+  storage::EntityStore store;
+  auto ids = store.CreateMany(4, 100);
+  core::Engine engine(&store, {});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.Spawn(TouchProgram(ids[i])).ok());
+  }
+  MetricsRegistry reg;
+  core::EngineMetricsExporter exporter;
+  while (!engine.AllCommitted()) {
+    auto stepped = engine.StepAny();
+    ASSERT_TRUE(stepped.ok());
+    ASSERT_TRUE(stepped.value().has_value());
+    exporter.Export(engine, &reg);  // export after *every* step
+  }
+  exporter.Export(engine, &reg);  // final export: must be a no-op delta
+  RegistrySnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.Find("pardb_steps_total")->counter, engine.metrics().steps);
+  EXPECT_EQ(snap.Find("pardb_commits_total")->counter,
+            engine.metrics().commits);
+  EXPECT_EQ(snap.Find("pardb_ops_executed_total")->counter,
+            engine.metrics().ops_executed);
+  const MetricSnapshot* cost = snap.Find("pardb_rollback_cost_ops");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_EQ(cost->hist.count, engine.rollback_cost_samples().size());
+}
+
 // ---------------------------------------------------------------------------
 // Live waits-for snapshots vs the post-mortem forensic record.
 // ---------------------------------------------------------------------------

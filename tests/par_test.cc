@@ -9,12 +9,15 @@
 #include <cmath>
 #include <set>
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "dist/distributed.h"
+#include "obs/metric_names.h"
+#include "par/admission_queue.h"
 #include "obs/serve/hub.h"
 #include "par/report_json.h"
 #include "par/router.h"
@@ -462,6 +465,172 @@ TEST(ShardedDriverTest, JsonIsWellFormedEnoughToGrep) {
   EXPECT_NE(json.find("\"cross_shard_fraction\":"), std::string::npos);
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(AdmissionQueueTest, DeliversFifoThenReportsClosedForever) {
+  AdmissionQueue q(8);
+  for (std::uint64_t e = 0; e < 5; ++e) q.Push(LockProgram({EntityId(e)}));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  txn::Program p;
+  for (std::uint64_t e = 0; e < 5; ++e) {
+    ASSERT_EQ(q.TryPop(&p), AdmissionQueue::Pop::kItem);
+    EXPECT_EQ(p.op(0).entity, EntityId(e));  // FIFO: admission order is
+  }                                          // generation order
+  EXPECT_EQ(q.TryPop(&p), AdmissionQueue::Pop::kClosed);
+  EXPECT_EQ(q.WaitPop(&p, std::chrono::microseconds(1)),
+            AdmissionQueue::Pop::kClosed);  // end-of-stream is sticky
+  EXPECT_EQ(q.pushed(), 5u);
+  EXPECT_EQ(q.popped(), 5u);
+}
+
+TEST(AdmissionQueueTest, BackpressureBlocksProducerWithoutDropping) {
+  // Producer blocks on a full queue, nothing is dropped, and the consumer
+  // observes the end-of-stream token exactly once. Runs under TSan in CI.
+  constexpr std::size_t kCapacity = 4;
+  constexpr std::uint64_t kItems = 64;
+  AdmissionQueue q(kCapacity);
+  std::atomic<std::uint64_t> produced{0};
+  std::thread producer([&q, &produced] {
+    for (std::uint64_t e = 0; e < kItems; ++e) {
+      q.Push(LockProgram({EntityId(e)}));
+      produced.fetch_add(1, std::memory_order_release);
+    }
+    q.Close();
+  });
+  // With no consumer the producer must wedge at capacity, not run ahead.
+  while (q.depth() < kCapacity) std::this_thread::yield();
+  EXPECT_LE(produced.load(std::memory_order_acquire), kCapacity);
+
+  txn::Program p;
+  std::uint64_t next = 0, closed_seen = 0;
+  for (;;) {
+    auto r = q.WaitPop(&p, std::chrono::microseconds(100));
+    if (r == AdmissionQueue::Pop::kEmpty) continue;
+    if (r == AdmissionQueue::Pop::kClosed) {
+      ++closed_seen;
+      break;
+    }
+    EXPECT_EQ(p.op(0).entity, EntityId(next));  // in order, none dropped
+    ++next;
+  }
+  producer.join();
+  EXPECT_EQ(next, kItems);
+  EXPECT_EQ(closed_seen, 1u);
+  EXPECT_EQ(q.pushed(), kItems);
+  EXPECT_EQ(q.popped(), kItems);
+  EXPECT_GE(q.blocked_pushes(), 1u);  // backpressure actually engaged
+  EXPECT_EQ(q.TryPop(&p), AdmissionQueue::Pop::kClosed);
+}
+
+TEST(AdmissionQueueTest, AbandonUnblocksProducerAndDiscards) {
+  // Consumer death (shard failure) must not wedge the producer mid-sweep.
+  AdmissionQueue q(1);
+  q.Push(LockProgram({EntityId(0)}));  // queue now full
+  std::thread producer([&q] {
+    for (std::uint64_t e = 1; e < 8; ++e) q.Push(LockProgram({EntityId(e)}));
+    q.Close();
+  });
+  q.Abandon();
+  producer.join();  // every Push returned despite nobody popping
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.depth(), 0u);
+  txn::Program p;
+  EXPECT_EQ(q.TryPop(&p), AdmissionQueue::Pop::kClosed);
+}
+
+TEST(ShardedDriverTest, PipelinedReportMatchesBatchByteForByte) {
+  // The pipelined-admission determinism contract: streaming generation
+  // through bounded queues must reproduce the batch report exactly — same
+  // routing sweep, same refill points, same step sequences — across queue
+  // capacities, worker counts, and both shard schedulers.
+  auto opt = SmallOptions(4, 13);
+  opt.pipeline = false;
+  auto batch = RunSharded(opt);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_FALSE(batch->admission.pipelined);
+  EXPECT_EQ(batch->admission.overlap_fraction, 0.0);
+  EXPECT_EQ(batch->admission.peak_materialized_programs, opt.total_txns);
+  const std::string golden = ShardedReportToJson(batch.value());
+
+  for (std::size_t capacity : {1u, 8u, 1024u}) {
+    for (std::size_t workers : {1u, 4u, 7u}) {
+      auto v = opt;
+      v.pipeline = true;
+      v.admission_queue_capacity = capacity;
+      v.num_threads = workers;
+      auto r = RunSharded(v);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(golden, ShardedReportToJson(r.value()))
+          << "capacity=" << capacity << " workers=" << workers;
+      EXPECT_TRUE(r->admission.pipelined);
+      EXPECT_EQ(r->admission.queue_capacity, capacity);
+      // Backpressure bounds materialization: one program per queue slot
+      // plus at most one in the producer's hand.
+      EXPECT_LE(r->admission.peak_materialized_programs,
+                opt.num_shards * capacity + 1);
+    }
+  }
+  // Time-sliced quanta over streaming queues: still the same report.
+  auto ts = opt;
+  ts.pipeline = true;
+  ts.scheduler = ShardScheduler::kTimeSlice;
+  ts.quantum_steps = 7;
+  ts.min_quantum_steps = 1;
+  ts.adaptive_quantum = false;
+  auto r = RunSharded(ts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(golden, ShardedReportToJson(r.value())) << "time-sliced";
+}
+
+TEST(ShardedDriverTest, OverlapFractionIsTheDeterministicRoutingFormula) {
+  // overlap = sum over shards of max(0, assigned - capacity) / total: a
+  // function of routing counts and the capacity only, so it is exactly
+  // reproducible — the single-CPU CI proxy for pipelining effectiveness.
+  auto opt = SmallOptions(4, 17);
+  opt.admission_queue_capacity = 4;
+  auto rep = RunSharded(opt);  // pipeline defaults on
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  ASSERT_TRUE(rep->admission.pipelined);
+  std::uint64_t overflow = 0;
+  for (const ShardResult& s : rep->shards) {
+    if (s.assigned > opt.admission_queue_capacity) {
+      overflow += s.assigned - opt.admission_queue_capacity;
+    }
+  }
+  const double expected =
+      static_cast<double>(overflow) / static_cast<double>(opt.total_txns);
+  EXPECT_EQ(rep->admission.overlap_fraction, expected);
+  EXPECT_GT(rep->admission.overlap_fraction, 0.0);
+  auto again = RunSharded(opt);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->admission.overlap_fraction,
+            rep->admission.overlap_fraction);
+}
+
+TEST(ShardedDriverTest, InterimHubExportsDoNotDoubleCountTotals) {
+  // A tight snapshot cadence makes every shard export its engine
+  // aggregates many times mid-run (live /metrics quantiles). The delta
+  // exporter must still land the merged registry on the exact totals.
+  obs::LiveHub hub;
+  auto opt = SmallOptions(2, 7);
+  opt.hub = &hub;
+  opt.hub_snapshot_period = 16;
+  auto rep = RunSharded(opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  for (const ShardResult& s : rep->shards) {
+    const obs::LabelSet labels{{obs::kShardLabel, std::to_string(s.shard)}};
+    const auto* steps = rep->metrics.Find(obs::kStepsTotal, labels);
+    ASSERT_NE(steps, nullptr) << "shard " << s.shard;
+    EXPECT_EQ(steps->counter, s.metrics.steps) << "shard " << s.shard;
+    const auto* commits = rep->metrics.Find(obs::kCommitsTotal, labels);
+    ASSERT_NE(commits, nullptr) << "shard " << s.shard;
+    EXPECT_EQ(commits->counter, s.metrics.commits) << "shard " << s.shard;
+    const auto* costs = rep->metrics.Find(obs::kRollbackCostOps, labels);
+    ASSERT_NE(costs, nullptr) << "shard " << s.shard;
+    EXPECT_EQ(costs->hist.count, s.rollback_costs.count)
+        << "shard " << s.shard;
+  }
 }
 
 }  // namespace

@@ -136,6 +136,9 @@ TEST(SimDriverTest, SmallContentedRunCompletesSerializably) {
   EXPECT_EQ(report->committed, 40u);
   EXPECT_TRUE(report->serializable);
   EXPECT_GT(report->metrics.ops_executed, 0u);
+  // Incremental generation: programs are drawn one admission at a time,
+  // never batch-materialized ahead of the engine.
+  EXPECT_EQ(report->peak_materialized_programs, 1u);
 }
 
 TEST(SimDriverTest, DeterministicReports) {

@@ -20,6 +20,16 @@ more than --max-uniform-drop-pct of wall time (quantum bookkeeping
 budget) — skipped when the host reports a single CPU, where elapsed
 times are too noisy relative to the tiny absolute difference.
 
+The pipeline check gates streaming admission (BENCH_parallel_pipeline.json):
+the pipelined run's report JSON must be byte-identical to the batch run's
+(the determinism contract), committed counts must match the baseline
+exactly, and the deterministic overlap fraction — the provable share of
+generation work emitted after execution started — must stay at or above
+--min-overlap-fraction and must not drift from the baseline. The
+wall-clock speedup over batch is gated at --min-pipeline-speedup only on
+hosts with >= 4 CPUs: the producer needs a core of its own, and CI
+runners below that report pure noise (informational there).
+
 Usage:
   check_bench_regression.py \
       --current BENCH_parallel.json \
@@ -27,8 +37,11 @@ Usage:
       --current-overhead BENCH_parallel_overhead.json \
       --current-skew BENCH_parallel_skew.json \
       --skew-baseline bench/baselines/BENCH_parallel_skew.json \
+      --current-pipeline BENCH_parallel_pipeline.json \
+      --pipeline-baseline bench/baselines/BENCH_parallel_pipeline.json \
       [--max-speedup-drop-pct 15] [--max-overhead-pct 5] \
-      [--min-skew-speedup 1.3] [--max-uniform-drop-pct 5]
+      [--min-skew-speedup 1.3] [--max-uniform-drop-pct 5] \
+      [--min-overlap-fraction 0.8] [--min-pipeline-speedup 1.25]
 """
 
 import argparse
@@ -115,6 +128,48 @@ def check_skew(current, baseline, min_skew_speedup, max_uniform_drop_pct):
     return failures
 
 
+def check_pipeline(current, baseline, min_overlap, min_speedup):
+    failures = []
+    if not current.get("report_json_identical_to_batch", False):
+        failures.append(
+            "pipeline: pipelined report JSON differs from batch "
+            "(determinism contract broken)")
+    for field in ("committed",):
+        cur = current["pipelined"][field]
+        base = baseline["pipelined"][field] if baseline else cur
+        if cur != base:
+            failures.append(
+                f"pipeline: {field} {cur} != baseline {base} "
+                f"(deterministic result drifted)")
+    overlap = current["pipelined"]["overlap_fraction"]
+    verdict = "ok" if overlap >= min_overlap else "FAIL"
+    print(f"pipeline: overlap fraction {overlap:.3f} "
+          f"(floor {min_overlap}) {verdict}")
+    if overlap < min_overlap:
+        failures.append(
+            f"pipeline: overlap fraction {overlap:.3f} below floor "
+            f"{min_overlap}")
+    if baseline:
+        base_overlap = baseline["pipelined"]["overlap_fraction"]
+        if overlap != base_overlap:
+            failures.append(
+                f"pipeline: overlap fraction {overlap} != baseline "
+                f"{base_overlap} (routing or capacity drifted)")
+    speedup = current["speedup_vs_batch"]
+    if os.cpu_count() and os.cpu_count() >= 4:
+        verdict = "ok" if speedup >= min_speedup else "FAIL"
+        print(f"pipeline: wall speedup vs batch {speedup:.3f} "
+              f"(floor {min_speedup}) {verdict}")
+        if speedup < min_speedup:
+            failures.append(
+                f"pipeline: wall speedup {speedup:.3f} below floor "
+                f"{min_speedup}")
+    else:
+        print(f"pipeline: wall speedup vs batch {speedup:.3f} "
+              f"(informational; host has < 4 CPUs, gate skipped)")
+    return failures
+
+
 def check_overhead(overhead, max_overhead_pct):
     pct = overhead["overhead_pct"]
     print(f"telemetry overhead {pct:.2f}% (budget {max_overhead_pct}%)")
@@ -131,10 +186,14 @@ def main():
     ap.add_argument("--current-overhead")
     ap.add_argument("--current-skew")
     ap.add_argument("--skew-baseline")
+    ap.add_argument("--current-pipeline")
+    ap.add_argument("--pipeline-baseline")
     ap.add_argument("--max-speedup-drop-pct", type=float, default=15.0)
     ap.add_argument("--max-overhead-pct", type=float, default=5.0)
     ap.add_argument("--min-skew-speedup", type=float, default=1.3)
     ap.add_argument("--max-uniform-drop-pct", type=float, default=5.0)
+    ap.add_argument("--min-overlap-fraction", type=float, default=0.8)
+    ap.add_argument("--min-pipeline-speedup", type=float, default=1.25)
     args = ap.parse_args()
 
     failures = check_scaling(load(args.current), load(args.baseline),
@@ -144,6 +203,11 @@ def main():
             load(args.current_skew),
             load(args.skew_baseline) if args.skew_baseline else [],
             args.min_skew_speedup, args.max_uniform_drop_pct)
+    if args.current_pipeline:
+        failures += check_pipeline(
+            load(args.current_pipeline),
+            load(args.pipeline_baseline) if args.pipeline_baseline else None,
+            args.min_overlap_fraction, args.min_pipeline_speedup)
     if args.current_overhead:
         failures += check_overhead(load(args.current_overhead),
                                    args.max_overhead_pct)

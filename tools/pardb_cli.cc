@@ -327,6 +327,8 @@ void PrintReport(const sim::SimReport& r) {
               (unsigned long long)r.metrics.timeouts);
   std::printf("  space peaks: %zu entity copies, %zu var copies (one txn)\n",
               r.metrics.max_entity_copies, r.metrics.max_var_copies);
+  std::printf("  generation: peak_materialized_programs=%llu\n",
+              (unsigned long long)r.peak_materialized_programs);
 }
 
 int RunSim(const Flags& flags) {
@@ -439,8 +441,9 @@ int RunObserve(const Flags& flags) {
 // stealing), --cross (fraction of transactions drawn across shard
 // boundaries), --scheduler=timeslice|rtc, --quantum-steps,
 // --min-quantum-steps, --no-adaptive-quantum, --hot-routing (route local
-// transactions to Zipf-hot shards), --json=FILE (write the
-// machine-readable report).
+// transactions to Zipf-hot shards), --pipeline / --no-pipeline (streaming
+// admission, on by default), --queue-capacity (per-shard admission queue
+// bound), --json=FILE (write the machine-readable report).
 int RunParallel(const Flags& flags) {
   auto sim_opt = BuildSimOptions(flags);
   if (!sim_opt.ok()) {
@@ -479,6 +482,11 @@ int RunParallel(const Flags& flags) {
   opt.min_quantum_steps = static_cast<std::uint64_t>(min_quantum.value());
   opt.adaptive_quantum = !flags.GetBool("no-adaptive-quantum", false);
   opt.hot_shard_routing = flags.GetBool("hot-routing", false);
+  opt.pipeline =
+      flags.GetBool("pipeline", true) && !flags.GetBool("no-pipeline", false);
+  auto qcap = flags.GetInt("queue-capacity", 32);
+  if (!qcap.ok()) return 2;
+  opt.admission_queue_capacity = static_cast<std::size_t>(qcap.value());
   const ObsOutputs outs = GetObsOutputs(flags);
   auto serve = GetServeConfig(flags);
   if (!serve.ok()) {
@@ -516,6 +524,16 @@ int RunParallel(const Flags& flags) {
               report->scheduler.mean_worker_utilization,
               report->scheduler.min_worker_utilization,
               (unsigned long long)report->scheduler.virtual_makespan_steps);
+  std::printf("admission: pipelined=%s queue_capacity=%zu overlap=%.3f "
+              "peak_materialized=%llu blocked_pushes=%llu "
+              "generate_s=%.3f execute_s=%.3f\n",
+              report->admission.pipelined ? "yes" : "no",
+              report->admission.queue_capacity,
+              report->admission.overlap_fraction,
+              (unsigned long long)report->admission.peak_materialized_programs,
+              (unsigned long long)report->admission.producer_blocked_pushes,
+              report->admission.generate_seconds,
+              report->admission.execute_seconds);
   LingerThenStop(server.get(), serve->linger);
   for (const par::ShardResult& s : report->shards) {
     std::printf("  shard %u%s: assigned=%llu committed=%llu deadlocks=%llu "
