@@ -44,6 +44,9 @@ par::ShardedOptions Base(std::uint32_t shards, std::uint64_t total_txns) {
   opt.total_txns = total_txns;
   opt.seed = 21;
   opt.engine.scheduler = core::SchedulerKind::kRandom;
+  // Baselines predate locks-mode cross-shard execution; pin the original
+  // replica routing (bench_cross_shard covers the locks path).
+  opt.xshard = par::XShardMode::kReplica;
   return opt;
 }
 

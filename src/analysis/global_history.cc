@@ -1,0 +1,137 @@
+#include "analysis/global_history.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pardb::analysis {
+
+void GlobalHistory::Add(std::uint64_t key,
+                        const std::vector<AccessEvent>& events) {
+  auto& log = logs_[key];
+  log.insert(log.end(), events.begin(), events.end());
+}
+
+std::map<std::uint64_t, std::vector<std::uint64_t>>
+GlobalHistory::BuildPrecedence(bool* divergence) const {
+  *divergence = false;
+  struct EntityAccesses {
+    std::map<std::uint64_t, std::uint64_t> writers;            // version -> key
+    std::map<std::uint64_t, std::set<std::uint64_t>> readers;  // version seen
+  };
+  std::map<EntityId, EntityAccesses> per_entity;
+  for (const auto& [key, events] : logs_) {
+    for (const AccessEvent& e : events) {
+      auto& ea = per_entity[e.entity];
+      if (e.is_write) {
+        auto [it, inserted] = ea.writers.try_emplace(e.version, key);
+        // Two distinct merged transactions publishing the same version of
+        // the same entity means two stores evolved it independently.
+        if (!inserted && it->second != key) *divergence = true;
+      } else {
+        ea.readers[e.version].insert(key);
+      }
+    }
+  }
+
+  std::map<std::uint64_t, std::vector<std::uint64_t>> out;
+  for (const auto& [key, events] : logs_) {
+    (void)events;
+    out.try_emplace(key);
+  }
+  auto AddEdge = [&out](std::uint64_t a, std::uint64_t b) {
+    if (a == b) return;
+    out[a].push_back(b);
+  };
+  for (const auto& [entity, ea] : per_entity) {
+    (void)entity;
+    std::uint64_t prev_writer = 0;
+    bool has_prev = false;
+    for (const auto& [version, writer] : ea.writers) {
+      (void)version;
+      if (has_prev) AddEdge(prev_writer, writer);
+      prev_writer = writer;
+      has_prev = true;
+    }
+    for (const auto& [version, readers] : ea.readers) {
+      auto wit = ea.writers.find(version);
+      for (std::uint64_t r : readers) {
+        if (wit != ea.writers.end()) AddEdge(wit->second, r);
+        auto nit = ea.writers.upper_bound(version);
+        if (nit != ea.writers.end()) AddEdge(r, nit->second);
+      }
+    }
+  }
+  for (auto& [v, nbrs] : out) {
+    (void)v;
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return out;
+}
+
+namespace {
+
+// Iterative 3-color DFS; returns a cycle's vertices or empty when acyclic
+// (the HistoryRecorder convention).
+std::vector<std::uint64_t> FindCycle(
+    const std::map<std::uint64_t, std::vector<std::uint64_t>>& g) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::uint64_t, Color> color;
+  for (const auto& [v, _] : g) color[v] = Color::kWhite;
+  struct Frame {
+    std::uint64_t v;
+    std::size_t next = 0;
+  };
+  for (const auto& [root, _] : g) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> stack{{root, 0}};
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& nbrs = g.at(f.v);
+      if (f.next < nbrs.size()) {
+        std::uint64_t u = nbrs[f.next++];
+        auto cit = color.find(u);
+        if (cit == color.end()) continue;
+        if (cit->second == Color::kGray) {
+          std::vector<std::uint64_t> cycle;
+          bool in_cycle = false;
+          for (const Frame& fr : stack) {
+            if (fr.v == u) in_cycle = true;
+            if (in_cycle) cycle.push_back(fr.v);
+          }
+          return cycle;
+        }
+        if (cit->second == Color::kWhite) {
+          cit->second = Color::kGray;
+          stack.push_back(Frame{u, 0});
+        }
+      } else {
+        color[f.v] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+bool GlobalHistory::IsConflictSerializable() const {
+  bool divergence = false;
+  auto g = BuildPrecedence(&divergence);
+  return !divergence && FindCycle(g).empty();
+}
+
+bool GlobalHistory::HasReplicaDivergence() const {
+  bool divergence = false;
+  BuildPrecedence(&divergence);
+  return divergence;
+}
+
+std::vector<std::uint64_t> GlobalHistory::WitnessCycle() const {
+  bool divergence = false;
+  return FindCycle(BuildPrecedence(&divergence));
+}
+
+}  // namespace pardb::analysis

@@ -46,6 +46,16 @@ void HistoryRecorder::OnCommit(TxnId txn) {
   active_.erase(it);
 }
 
+std::vector<HistoryRecorder::CommittedTxn> HistoryRecorder::CommittedLog()
+    const {
+  std::vector<CommittedTxn> out;
+  out.reserve(committed_.size());
+  for (const auto& [txn, log] : committed_) {
+    out.push_back(CommittedTxn{txn, log.entry, log.events});
+  }
+  return out;
+}
+
 std::map<std::uint64_t, std::vector<std::uint64_t>>
 HistoryRecorder::BuildPrecedence() const {
   // Per entity: committed publishes ordered by version, and committed reads

@@ -51,6 +51,17 @@ class HistoryRecorder {
 
   std::size_t committed_count() const { return committed_.size(); }
 
+  // One committed transaction's access log, exported for cross-engine
+  // merging (GlobalHistory fuses several recorders' logs under renamed
+  // keys to check *global* conflict-serializability).
+  struct CommittedTxn {
+    TxnId txn;
+    Timestamp entry = 0;
+    std::vector<AccessEvent> events;
+  };
+  // The committed projection in txn-id order.
+  std::vector<CommittedTxn> CommittedLog() const;
+
   // True iff the committed projection is conflict-serializable (its
   // precedence graph is acyclic).
   bool IsConflictSerializable() const;

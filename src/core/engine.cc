@@ -72,6 +72,75 @@ Result<TxnId> Engine::Spawn(std::shared_ptr<const txn::Program> program) {
   return id;
 }
 
+Result<TxnId> Engine::SpawnSub(txn::Program program, std::size_t hold_pc) {
+  auto id = Spawn(std::move(program));
+  if (!id.ok()) return id.status();
+  TxnContext* ctx = Find(id.value());
+  ctx->hold_pc = hold_pc;
+  ctx->seal_deferred = true;
+  return id;
+}
+
+bool Engine::AtHold(TxnId txn) const {
+  const TxnContext* ctx = Find(txn);
+  return ctx != nullptr && ctx->status == TxnStatus::kReady &&
+         ctx->hold_pc != kNoHold && ctx->pc >= ctx->hold_pc;
+}
+
+Status Engine::ReleaseHold(TxnId txn) {
+  TxnContext* ctx = Find(txn);
+  if (ctx == nullptr) return Status::NotFound("unknown transaction");
+  ctx->hold_pc = kNoHold;
+  if (ctx->seal_deferred) {
+    ctx->seal_deferred = false;
+    // Apply the deferred §5 seal now that the sub has passed its last lock
+    // request and can no longer be a (distributed) rollback victim.
+    if (options_.use_last_lock_declaration &&
+        options_.handling == DeadlockHandling::kDetection) {
+      auto last = ctx->program->LastLockRequestPosition();
+      if (last.has_value() && ctx->pc > *last) {
+        ctx->strategy->OnLastLockGranted();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<VictimCandidate> Engine::PlanConflictRelease(
+    TxnId txn,
+    const std::vector<std::pair<EntityId, lock::LockMode>>& conflicts) const {
+  const TxnContext* ctx = Find(txn);
+  if (ctx == nullptr) return Status::NotFound("unknown transaction");
+  return MakeCandidate(*ctx, conflicts, /*is_requester=*/false);
+}
+
+Status Engine::ApplyExternalRollback(TxnId txn, LockIndex target,
+                                     std::uint64_t cost,
+                                     std::uint64_t ideal_cost) {
+  TxnContext* victim = Find(txn);
+  if (victim == nullptr) return Status::NotFound("unknown transaction");
+  if (victim->status == TxnStatus::kCommitted) {
+    return Status::FailedPrecondition(
+        "cannot roll back a committed transaction");
+  }
+  metrics_.wasted_ops += cost;
+  metrics_.ideal_wasted_ops += ideal_cost;
+  ++metrics_.preemptions;
+  ++victim->preempted;
+  return RollbackTxn(*victim, target);
+}
+
+Status Engine::SetBackoff(TxnId txn, bool on) {
+  TxnContext* ctx = Find(txn);
+  if (ctx == nullptr) return Status::NotFound("unknown transaction");
+  if (on && ctx->status == TxnStatus::kCommitted) {
+    return Status::FailedPrecondition(
+        "cannot back off a committed transaction");
+  }
+  ctx->backoff = on;
+  return Status::OK();
+}
+
 Engine::TxnContext* Engine::Find(TxnId txn) {
   auto it = txns_.find(txn);
   return it == txns_.end() ? nullptr : &it->second;
@@ -256,7 +325,8 @@ Status Engine::RegisterGrant(TxnContext& ctx, EntityId entity,
   // request can never become a rollback victim. The prevention schemes
   // wound *running* holders, so their history must stay live.
   if (options_.use_last_lock_declaration &&
-      options_.handling == DeadlockHandling::kDetection) {
+      options_.handling == DeadlockHandling::kDetection &&
+      !ctx.seal_deferred) {
     auto last = ctx.program->LastLockRequestPosition();
     if (last.has_value() && *last == ctx.pc) {
       ctx.strategy->OnLastLockGranted();
@@ -882,7 +952,9 @@ Result<std::optional<TxnId>> Engine::StepAny() {
     std::vector<TxnId> ready;
     for (TxnId id : live_) {  // id order, like the txns_ scan it replaces
       const TxnContext* ctx = Find(id);
-      if (ctx != nullptr && ctx->status == TxnStatus::kReady) {
+      if (ctx != nullptr && ctx->status == TxnStatus::kReady &&
+          !ctx->backoff &&
+          !(ctx->hold_pc != kNoHold && ctx->pc >= ctx->hold_pc)) {
         ready.push_back(id);
       }
     }

@@ -215,6 +215,53 @@ class Engine {
   Result<TxnId> Spawn(txn::Program program);
   Result<TxnId> Spawn(std::shared_ptr<const txn::Program> program);
 
+  // Cross-shard sub-transactions -------------------------------------------
+  //
+  // A shard-spanning transaction executes as one sub-transaction per home
+  // shard, each an ordinary local transaction except for a *hold point*: the
+  // program position (= its lock-acquisition count) at which it parks until
+  // an external coordinator releases it. While parked the scheduler skips it
+  // (it holds its locks but never runs), so the coordinator can line up the
+  // global lock point across shards. Because a held sub might still be
+  // rolled back by a *global* cycle, its §5 last-lock seal is deferred: the
+  // strategy keeps recording past the last local lock grant and is sealed
+  // only at ReleaseHold().
+
+  // Spawns `program` as a sub-transaction that parks at pc == hold_pc.
+  Result<TxnId> SpawnSub(txn::Program program, std::size_t hold_pc);
+
+  // True iff txn is parked at its hold point (ready, pc >= hold_pc).
+  bool AtHold(TxnId txn) const;
+
+  // Clears the hold point, letting the scheduler run txn to completion, and
+  // applies the deferred §5 seal (under detection the sub can no longer be
+  // a rollback victim once the coordinator commits to the global order).
+  Status ReleaseHold(TxnId txn);
+
+  // Prices rolling txn back far enough to stop conflicting over `conflicts`
+  // (the §3.1 candidate computation, exposed for a global victim search
+  // across shards). Does not mutate anything.
+  Result<VictimCandidate> PlanConflictRelease(
+      TxnId txn,
+      const std::vector<std::pair<EntityId, lock::LockMode>>& conflicts) const;
+
+  // Executes a partial rollback decided by an external coordinator (the
+  // distributed analogue of a detection victim): accounts the cost as a
+  // preemption and rolls txn back to lock state `target`. The victim may be
+  // parked at a hold point (not waiting) — its pending request, if any, is
+  // cancelled like a local victim's.
+  Status ApplyExternalRollback(TxnId txn, LockIndex target,
+                               std::uint64_t cost, std::uint64_t ideal_cost);
+
+  // Parks (`on`) or unparks a ready transaction without touching its locks:
+  // while backed off the scheduler skips it, so it cannot re-request what a
+  // rollback just released. The coordinator backs a distributed-rollback
+  // victim off for one epoch so the cycle's beneficiaries make durable
+  // progress before the victim re-contends (otherwise the coordinator and a
+  // shard's local detection can re-create the identical cycle forever — the
+  // cross-layer analogue of Figure 2's infinite mutual preemption).
+  Status SetBackoff(TxnId txn, bool on);
+
   // Executes the next operation of `txn` (granting its pending lock counts
   // as progress only via HandleGrant on a release; a waiting transaction
   // returns kIdle).
@@ -316,6 +363,8 @@ class Engine {
   std::string DumpState() const;
 
  private:
+  static constexpr std::size_t kNoHold = static_cast<std::size_t>(-1);
+
   struct LockRecord {
     EntityId entity;
     lock::LockMode mode;
@@ -335,6 +384,15 @@ class Engine {
     bool in_shrinking_phase = false;
     // Engine step at which the current wait began (kTimeout bookkeeping).
     std::uint64_t wait_since = 0;
+    // Cross-shard sub-transaction state (see SpawnSub): park at this pc
+    // until ReleaseHold; kNoHold for ordinary transactions.
+    std::size_t hold_pc = kNoHold;
+    // Defer the §5 last-lock seal until ReleaseHold (a held sub can still
+    // be a distributed-rollback victim).
+    bool seal_deferred = false;
+    // Coordinator-imposed backoff (SetBackoff): the scheduler skips the
+    // transaction so it cannot re-request the locks it just released.
+    bool backoff = false;
   };
 
   // Op execution ------------------------------------------------------------

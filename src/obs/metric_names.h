@@ -92,6 +92,31 @@ inline constexpr char kOmegaInterventionsTotal[] =
 // Preemption events recorded into lineage chains.
 inline constexpr char kLineageEventsTotal[] = "pardb_lineage_events_total";
 
+// Cross-shard coordination (par::XShardMode::kLocks; see DESIGN D12).
+inline constexpr char kXShardGlobalTxnsTotal[] = "pardb_xshard_global_txns_total";
+inline constexpr char kXShardSubTxnsTotal[] = "pardb_xshard_sub_txns_total";
+inline constexpr char kXShardGlobalCommitsTotal[] =
+    "pardb_xshard_global_commits_total";
+// Union-of-forests merges, cycles found only in the union, and globals
+// removed by distributed partial rollback.
+inline constexpr char kXShardMergesTotal[] = "pardb_xshard_merges_total";
+inline constexpr char kXShardGlobalCyclesTotal[] =
+    "pardb_xshard_global_cycles_total";
+inline constexpr char kXShardDistributedRollbacksTotal[] =
+    "pardb_xshard_distributed_rollbacks_total";
+inline constexpr char kXShardOmegaExclusionsTotal[] =
+    "pardb_xshard_omega_exclusions_total";
+// 2PC accounting: per-shard prepare/resolve exchanges, total simulated
+// coordinator<->shard messages, and wall-clock phase timers (histograms,
+// nanoseconds; never part of the deterministic report).
+inline constexpr char kXShardPreparesTotal[] = "pardb_xshard_prepares_total";
+inline constexpr char kXShardResolvesTotal[] = "pardb_xshard_resolves_total";
+inline constexpr char kXShardMessagesTotal[] = "pardb_xshard_messages_total";
+inline constexpr char kXShardPrepareNs[] = "pardb_xshard_prepare_ns";
+inline constexpr char kXShardResolveNs[] = "pardb_xshard_resolve_ns";
+// Driver epochs run (gauge).
+inline constexpr char kXShardEpochs[] = "pardb_xshard_epochs";
+
 // Trace pipeline.
 inline constexpr char kTraceDroppedTotal[] = "pardb_trace_dropped_total";
 

@@ -56,16 +56,26 @@ const char* StatusText(int status) {
   }
 }
 
+// Writes the whole response, riding out signal interruptions. A client
+// that disconnects mid-response must cost at most the truncated write:
+// MSG_NOSIGNAL (or SO_NOSIGPIPE where that's the spelling) turns the
+// would-be fatal SIGPIPE into an EPIPE return, and EINTR is retried
+// instead of abandoning a response a signal happened to interrupt.
 void WriteAll(int fd, const std::string& data) {
+#ifdef MSG_NOSIGNAL
+  constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+  constexpr int kSendFlags = 0;
+#ifdef SO_NOSIGPIPE
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+#endif
   std::size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-#ifdef MSG_NOSIGNAL
-                             MSG_NOSIGNAL
-#else
-                             0
-#endif
-    );
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, kSendFlags);
+    if (n < 0 && errno == EINTR) continue;  // interrupted, not gone: retry
     if (n <= 0) return;  // peer went away; nothing to salvage
     off += static_cast<std::size_t>(n);
   }

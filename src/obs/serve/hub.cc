@@ -90,6 +90,16 @@ std::vector<WaitsForSnapshot> LiveHub::Snapshots() const {
   return snapshots_;
 }
 
+void LiveHub::PublishGlobalSnapshot(WaitsForSnapshot snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  global_snapshot_ = std::move(snap);
+}
+
+std::optional<WaitsForSnapshot> LiveHub::GlobalSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return global_snapshot_;
+}
+
 DeadlockDumpSink* LiveHub::MakeDeadlockSink(std::uint32_t shard) {
   std::lock_guard<std::mutex> lock(mu_);
   sinks_.push_back(std::make_unique<RingSink>(this, shard));

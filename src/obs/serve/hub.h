@@ -6,6 +6,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -68,6 +69,14 @@ class LiveHub {
   // Latest snapshot of every shard that published one, in shard order.
   std::vector<WaitsForSnapshot> Snapshots() const;
 
+  // The cross-shard union view (/debug/waits-for?scope=global): the merged
+  // waits-for graph the xshard coordinator detects global cycles on.
+  // Published from the driver's coordinate phase at merge cadence.
+  void PublishGlobalSnapshot(WaitsForSnapshot snap);
+  // Latest published union view; has_value() only when a locks-mode run
+  // has published one.
+  std::optional<WaitsForSnapshot> GlobalSnapshot() const;
+
   // Deadlock ring ----------------------------------------------------------
 
   // A DeadlockDumpSink that records into this hub's ring, tagged with
@@ -122,6 +131,7 @@ class LiveHub {
   std::vector<const MetricsRegistry*> registries_;
   std::vector<std::unique_ptr<MetricsRegistry>> owned_registries_;
   std::vector<WaitsForSnapshot> snapshots_;  // latest per shard, shard order
+  std::optional<WaitsForSnapshot> global_snapshot_;  // latest union view
   std::deque<ShardDeadlockDump> deadlocks_;
   std::vector<std::unique_ptr<RingSink>> sinks_;
   std::atomic<std::uint64_t> deadlocks_seen_{0};

@@ -12,7 +12,8 @@ void InstallIntrospectionRoutes(HttpServer* server, LiveHub* hub) {
         "pardb live introspection\n"
         "  /metrics                 Prometheus text exposition\n"
         "  /healthz                 run phase + uptime JSON\n"
-        "  /debug/waits-for         waits-for snapshots (?format=json|dot)\n"
+        "  /debug/waits-for         waits-for snapshots "
+        "(?format=json|dot&scope=shards|global)\n"
         "  /debug/deadlocks         recent deadlock forensics "
         "(?format=json|dot)\n");
   });
@@ -35,7 +36,20 @@ void InstallIntrospectionRoutes(HttpServer* server, LiveHub* hub) {
   });
 
   server->Route("/debug/waits-for", [hub](const HttpRequest& req) {
-    const std::vector<WaitsForSnapshot> snaps = hub->Snapshots();
+    const std::string scope = req.QueryOr("scope", "shards");
+    std::vector<WaitsForSnapshot> snaps;
+    if (scope == "global") {
+      // The union-of-forests view a locks-mode run publishes at merge
+      // cadence; an empty document until (or unless) one has been merged.
+      if (auto snap = hub->GlobalSnapshot()) snaps.push_back(*std::move(snap));
+    } else if (scope == "shards") {
+      snaps = hub->Snapshots();
+    } else {
+      HttpResponse r;
+      r.status = 400;
+      r.body = "unknown scope '" + scope + "' (want shards or global)\n";
+      return r;
+    }
     const std::string format = req.QueryOr("format", "json");
     if (format == "dot") {
       return HttpResponse::Text(WaitsForSnapshotsToDot(snaps));

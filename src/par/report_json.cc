@@ -44,8 +44,25 @@ std::string ShardedReportToJson(const ShardedReport& report, int indent) {
      << ",\"cross_shard_txns\":" << report.cross_shard_txns
      << ",\"cross_shard_fraction\":" << Num(report.cross_shard_fraction)
      << ",\"wasted_fraction\":" << Num(report.wasted_fraction)
-     << ",\"goodput\":" << Num(report.goodput) << ",\n"
-     << pad << " \"aggregate\":";
+     << ",\"goodput\":" << Num(report.goodput)
+     << ",\"global_serializable\":"
+     << (report.global_serializable ? "true" : "false") << ",\n"
+     << pad << " \"xshard\":";
+  {
+    const xshard::XShardStats& x = report.xshard;
+    os << "{\"mode\":\"" << (report.xshard_locks ? "locks" : "replica")
+       << "\",\"epochs\":" << x.epochs << ",\"global_txns\":" << x.global_txns
+       << ",\"sub_txns\":" << x.sub_txns
+       << ",\"sub_commits\":" << x.sub_commits
+       << ",\"global_commits\":" << x.global_commits
+       << ",\"merges\":" << x.merges
+       << ",\"global_cycles\":" << x.global_cycles
+       << ",\"distributed_rollbacks\":" << x.distributed_rollbacks
+       << ",\"omega_exclusions\":" << x.omega_exclusions
+       << ",\"prepares\":" << x.prepares << ",\"resolves\":" << x.resolves
+       << ",\"messages\":" << x.messages << "}";
+  }
+  os << ",\n" << pad << " \"aggregate\":";
   AppendMetrics(os, report.aggregate);
   os << ",\n" << pad << " \"rollback_costs\":";
   AppendCosts(os, report.rollback_costs);

@@ -20,12 +20,25 @@ std::vector<EntityId> EntityFootprint(const txn::Program& program) {
   return footprint;
 }
 
+namespace {
+
+// splitmix64 finalizer: a cheap deterministic spread for footprint-free
+// programs, which any shard may execute correctly.
+std::uint32_t HashShard(std::uint64_t txn_seq, std::uint32_t num_shards) {
+  std::uint64_t z = txn_seq + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<std::uint32_t>(z % num_shards);
+}
+
+}  // namespace
+
 Route RouteProgram(const txn::Program& program, std::uint32_t num_shards,
-                   std::uint32_t coordinator_shard) {
-  Route route{coordinator_shard, false};
+                   std::uint32_t coordinator_shard, std::uint64_t txn_seq) {
   if (num_shards <= 1) return Route{0, false};
   bool first = true;
-  std::uint32_t home = coordinator_shard;
+  std::uint32_t home = 0;
   for (EntityId e : EntityFootprint(program)) {
     const std::uint32_t s = dist::SiteOfEntity(e, num_shards);
     if (first) {
@@ -35,8 +48,13 @@ Route RouteProgram(const txn::Program& program, std::uint32_t num_shards,
       return Route{coordinator_shard, true};
     }
   }
-  if (!first) route.shard = home;
-  return route;
+  if (first) {
+    // Lock-free program: no footprint constrains it. Hashing the admission
+    // sequence keeps the placement deterministic without loading the
+    // coordinator (the busiest shard under any cross-shard traffic).
+    return Route{HashShard(txn_seq, num_shards), false};
+  }
+  return Route{home, false};
 }
 
 std::vector<std::vector<EntityId>> ShardEntityUniverses(

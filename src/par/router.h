@@ -27,10 +27,13 @@ struct Route {
 };
 
 // Shard that owns every entity in `program`'s footprint, or the
-// coordinator when the footprint spans shards. Lock-free programs run on
-// the coordinator too (they touch nothing, so any placement is correct).
+// coordinator when the footprint spans shards. Lock-free programs touch
+// nothing, so any placement is correct — they are spread by a hash of
+// `txn_seq` (their admission sequence number) rather than piled onto the
+// coordinator, which is the busiest shard.
 Route RouteProgram(const txn::Program& program, std::uint32_t num_shards,
-                   std::uint32_t coordinator_shard);
+                   std::uint32_t coordinator_shard,
+                   std::uint64_t txn_seq = 0);
 
 // Partition of the dense entity range [0, num_entities) into per-shard
 // pools under dist::SiteOfEntity. Every entity appears in exactly one

@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/global_history.h"
 #include "analysis/history.h"
 #include "common/bits.h"
 #include "common/random.h"
@@ -20,6 +21,7 @@
 #include "par/admission_queue.h"
 #include "par/router.h"
 #include "par/stealing_pool.h"
+#include "par/xshard/global_graph.h"
 #include "storage/entity_store.h"
 
 namespace pardb::par {
@@ -475,11 +477,13 @@ std::uint64_t VirtualMakespanSteps(const std::vector<std::uint64_t>& costs,
 // `cross_shard_txns` and `routed` are written only by the calling thread.
 // Local transactions draw from one shard's entity pool; with probability
 // cross_shard_fraction a transaction draws from the full universe. The
-// authoritative routing decision is always the footprint hash.
+// authoritative routing decision is always the footprint hash. `emit`
+// receives (shard, spans_shards, program); the xshard locks path diverts
+// spanning programs to the global admission queue instead of a shard.
 Status GenerateAndRoute(
     const ShardedOptions& options, std::uint32_t n,
     std::uint64_t* cross_shard_txns, std::vector<std::uint64_t>* routed,
-    const std::function<void(std::uint32_t, txn::Program)>& emit) {
+    const std::function<void(std::uint32_t, bool, txn::Program)>& emit) {
   auto universes = ShardEntityUniverses(options.workload.num_entities, n);
   std::vector<std::uint32_t> populated;
   std::vector<std::unique_ptr<sim::WorkloadGenerator>> local(n);
@@ -518,10 +522,10 @@ Status GenerateAndRoute(
     auto program = gen->Next();
     if (!program.ok()) return program.status();
     const Route route =
-        RouteProgram(program.value(), n, options.coordinator_shard);
+        RouteProgram(program.value(), n, options.coordinator_shard, t);
     if (route.cross_shard) ++*cross_shard_txns;
     ++(*routed)[route.shard];
-    emit(route.shard, std::move(program).value());
+    emit(route.shard, route.cross_shard, std::move(program).value());
   }
   return Status::OK();
 }
@@ -554,6 +558,397 @@ void ScheduleShard(SchedulerCtx* ctx, std::uint32_t shard,
   }
 }
 
+// Merged-history conflict-serializability (the global invariant): every
+// shard's committed log, renamed into one key space. With a coordinator
+// the slices of each global transaction fuse under its global sequence
+// number; without one (the replica path) every transaction keeps a
+// shard-qualified key and the check fails on replica divergence.
+bool CheckGlobalSerializability(const std::vector<ShardRun>& runs,
+                                std::uint32_t n,
+                                const xshard::Coordinator* coord) {
+  analysis::GlobalHistory merged;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (runs[s].exec == nullptr) continue;
+    for (const auto& c : runs[s].exec->recorder.CommittedLog()) {
+      std::uint64_t key = analysis::GlobalHistory::LocalKey(s, c.txn);
+      if (coord != nullptr) {
+        if (auto g = coord->GlobalOf(s, c.txn); g.has_value()) {
+          key = analysis::GlobalHistory::GlobalKey(*g);
+        }
+      }
+      merged.Add(key, c.events);
+    }
+  }
+  return merged.IsConflictSerializable();
+}
+
+// Publishes the union-of-forests view for /debug/waits-for?scope=global:
+// global transactions appear under their global sequence number, purely
+// local transactions under a shard-tagged id (bit 63 set, shard in bits
+// 48..62 — the xshard::LocalNode encoding).
+void PublishGlobalWaitsFor(obs::LiveHub* hub, const xshard::Coordinator& coord,
+                           const std::vector<core::Engine*>& engines,
+                           std::uint64_t epoch) {
+  std::vector<const graph::Digraph*> graphs;
+  graphs.reserve(engines.size());
+  for (const core::Engine* e : engines) graphs.push_back(&e->waits_for());
+  const xshard::MergedGraph merged = xshard::MergeWaitsFor(graphs, coord);
+  obs::WaitsForSnapshot snap;
+  snap.shard = 0;  // scope=global; the shard field is not meaningful here
+  snap.step = epoch;
+  snap.commits = coord.stats().global_commits;
+  std::map<graph::VertexId, bool> waits;  // vertex -> has an incoming wait
+  for (const xshard::MergedEdge& e : merged.edges) {
+    snap.arcs.push_back(obs::WaitsForArc{TxnId(e.to), TxnId(e.from), e.entity});
+    waits.try_emplace(e.from, false);
+    waits[e.to] = true;
+  }
+  for (const auto& [vertex, waiting] : waits) {
+    obs::TxnSnapshot txn;
+    txn.txn = TxnId(vertex);
+    txn.entry = xshard::IsGlobalNode(vertex) ? vertex : 0;
+    txn.status = waiting ? "waiting" : "ready";
+    snap.txns.push_back(std::move(txn));
+  }
+  snap.acyclic = merged.graph.IsAcyclic();
+  snap.forest = merged.graph.IsForest();
+  hub->PublishGlobalSnapshot(std::move(snap));
+}
+
+// The kLocks execution path: epochs of a single-threaded coordinate phase
+// (2PC polling, admission, union merge + distributed partial rollback)
+// followed by one parallel quantum per shard. Epoch content is a pure
+// function of the options and each shard's deterministic state, so the
+// report is bit-identical across runs and worker counts.
+Result<ShardedReport> RunShardedLocks(const ShardedOptions& options) {
+  const std::uint32_t n = options.num_shards;
+  std::vector<ShardRun> runs(n);
+  ShardedReport report;
+  report.num_shards = n;
+  report.xshard_locks = true;
+  // Phase 1 always runs in batch mode here: the coordinate phase admits
+  // from materialized queues, which is what makes every epoch's admission
+  // deterministic. (Streaming admission would tie epoch content to
+  // producer timing.)
+  report.admission.pipelined = false;
+  report.admission.queue_capacity = 0;
+
+  const std::uint32_t base = options.concurrency / n;
+  const std::uint32_t rem = options.concurrency % n;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    runs[s].concurrency = std::max<std::uint32_t>(1, base + (s < rem ? 1 : 0));
+  }
+
+  obs::MetricsRegistry sched_local;
+  obs::MetricsRegistry* sched_registry = nullptr;
+  if (options.hub != nullptr && options.instrument) {
+    for (std::uint32_t s = 0; s < n; ++s) {
+      runs[s].registry = options.hub->AddOwnedRegistry(
+          std::make_unique<obs::MetricsRegistry>());
+    }
+    sched_registry = options.hub->AddOwnedRegistry(
+        std::make_unique<obs::MetricsRegistry>());
+  } else if (options.instrument) {
+    sched_registry = &sched_local;
+  }
+  if (options.hub != nullptr) {
+    for (std::uint32_t s = 0; s < n; ++s) {
+      runs[s].hub_sink = options.hub->MakeDeadlockSink(s);
+    }
+    options.hub->SetPhase(obs::RunPhase::kGenerating);
+  }
+
+  // Phase 1: generation + routing, spanning programs diverted to the
+  // global admission queue (in generation order — their ω order).
+  std::vector<std::uint64_t> routed(n, 0);
+  std::uint64_t cross_txns = 0;
+  std::vector<txn::Program> globals;
+  const std::uint64_t g0 = NowNanos();
+  Status gen = GenerateAndRoute(
+      options, n, &cross_txns, &routed,
+      [&runs, &globals](std::uint32_t shard, bool cross,
+                        txn::Program program) {
+        if (cross) {
+          globals.push_back(std::move(program));
+        } else {
+          runs[shard].programs.push_back(std::move(program));
+        }
+      });
+  if (!gen.ok()) return gen;
+  report.admission.generate_seconds = Seconds(NowNanos() - g0);
+  report.admission.peak_materialized_programs = options.total_txns;
+  report.cross_shard_txns = cross_txns;
+  if (options.hub != nullptr) options.hub->SetPhase(obs::RunPhase::kRunning);
+
+  // Shard engines, built up front on this thread (their seeds and state
+  // never depend on construction order, but serial init keeps the hub
+  // registration story identical to the replica path).
+  for (std::uint32_t s = 0; s < n; ++s) InitShardExec(options, s, runs[s]);
+  std::vector<core::Engine*> engines;
+  engines.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    engines.push_back(runs[s].exec->engine.get());
+  }
+
+  xshard::Coordinator::Options copt;
+  copt.num_shards = n;
+  copt.max_active_globals =
+      std::max<std::uint32_t>(1, options.xshard_max_active_globals);
+  if (sched_registry != nullptr) {
+    copt.prepare_ns = sched_registry->GetHistogram(obs::kXShardPrepareNs);
+    copt.resolve_ns = sched_registry->GetHistogram(obs::kXShardResolveNs);
+  }
+  xshard::Coordinator coord(engines, copt);
+
+  const std::uint64_t epoch_steps =
+      std::max<std::uint64_t>(1, options.xshard_epoch_steps);
+  const std::uint64_t merge_period =
+      std::max<std::uint64_t>(1, options.xshard_merge_period);
+  std::vector<std::uint64_t> next_local(n, 0);
+  std::vector<std::uint64_t> spawned_local(n, 0);
+  std::size_t next_global = 0;
+  std::uint64_t epoch = 0;
+  int zero_epochs = 0;
+  bool completed = true;
+  Status run_status = Status::OK();
+
+  const std::size_t workers =
+      options.num_threads == 0 ? n : options.num_threads;
+  const std::uint64_t e0 = NowNanos();
+  {
+    StealingPool pool(workers);
+    std::vector<std::uint64_t> epoch_shard_steps(n, 0);
+    for (;; ++epoch) {
+      // ---- Coordinate (single-threaded; every engine is quiescent) ----
+      auto polled = coord.Poll();
+      if (!polled.ok()) {
+        run_status = polled.status();
+        break;
+      }
+      std::uint64_t progress = polled.value();
+      // Local admission: top each shard's level up from its queue. Slice
+      // commits are subtracted out so subs never consume local slots.
+      for (std::uint32_t s = 0; s < n && run_status.ok(); ++s) {
+        const std::uint64_t local_commits =
+            engines[s]->metrics().commits - coord.sub_commits_on(s);
+        std::uint64_t live_locals = spawned_local[s] - local_commits;
+        while (next_local[s] < runs[s].programs.size() &&
+               live_locals < runs[s].concurrency) {
+          auto id =
+              engines[s]->Spawn(std::move(runs[s].programs[next_local[s]]));
+          if (!id.ok()) {
+            run_status = id.status();
+            break;
+          }
+          ++next_local[s];
+          ++spawned_local[s];
+          ++live_locals;
+          ++progress;
+        }
+      }
+      if (!run_status.ok()) break;
+      // Global admission, in ω order.
+      while (next_global < globals.size() && coord.CanAdmit()) {
+        auto seq = coord.Admit(std::move(globals[next_global]));
+        if (!seq.ok()) {
+          run_status = seq.status();
+          break;
+        }
+        ++next_global;
+        ++progress;
+      }
+      if (!run_status.ok()) break;
+      // Union merge + distributed partial rollback: on the configured
+      // cadence, and forced after a zero-progress epoch — the only benign
+      // reason nothing moved is a global cycle awaiting the next merge.
+      if (epoch % merge_period == 0 || zero_epochs > 0) {
+        auto merged = coord.MergeAndResolve();
+        if (!merged.ok()) {
+          run_status = merged;
+          break;
+        }
+        if (options.hub != nullptr) {
+          PublishGlobalWaitsFor(options.hub, coord, engines, epoch);
+          for (std::uint32_t s = 0; s < n; ++s) {
+            obs::WaitsForSnapshot snap = engines[s]->SnapshotWaitsFor();
+            snap.shard = s;
+            options.hub->PublishSnapshot(std::move(snap));
+          }
+        }
+      }
+      // Termination: everything admitted, every global retired, every
+      // engine drained.
+      bool done = next_global == globals.size() && coord.AllDone();
+      for (std::uint32_t s = 0; done && s < n; ++s) {
+        done = next_local[s] == runs[s].programs.size() &&
+               engines[s]->live_txn_count() == 0;
+      }
+      if (done) break;
+      bool budget_left = false;
+      for (std::uint32_t s = 0; s < n; ++s) {
+        budget_left =
+            budget_left || runs[s].exec->steps < options.max_steps_per_shard;
+      }
+      if (!budget_left) {
+        completed = false;
+        break;
+      }
+      // ---- Step (parallel): one bounded quantum per shard ----
+      for (std::uint32_t s = 0; s < n; ++s) {
+        epoch_shard_steps[s] = 0;
+        ShardExec& ex = *runs[s].exec;
+        if (ex.steps >= options.max_steps_per_shard ||
+            engines[s]->live_txn_count() == 0) {
+          continue;
+        }
+        const std::uint64_t budget = std::min(
+            epoch_steps, options.max_steps_per_shard - ex.steps);
+        obs::LiveHub* hub = options.hub;
+        pool.Submit([s, budget, hub, &runs, &engines, &epoch_shard_steps] {
+          // ran_dry is routine here (a shard whose transactions all wait
+          // on another shard has nothing to do this epoch); real stalls
+          // are caught by the zero-progress counter below.
+          const std::uint64_t t0 = NowNanos();
+          auto q = engines[s]->StepQuantum(budget, /*stop_after_commit=*/false);
+          if (!q.ok()) {
+            runs[s].status = q.status();
+            return;
+          }
+          epoch_shard_steps[s] = q.value().steps;
+          runs[s].exec->steps += q.value().steps;
+          // Feed the hub's skew EWMAs (wall clock: gauges only, never the
+          // deterministic report).
+          if (hub != nullptr && q.value().steps > 0) {
+            hub->RecordShardStep(s, (NowNanos() - t0) / q.value().steps);
+          }
+        });
+      }
+      pool.Wait();
+      for (std::uint32_t s = 0; s < n; ++s) {
+        if (!runs[s].status.ok()) run_status = runs[s].status;
+        progress += epoch_shard_steps[s];
+      }
+      if (!run_status.ok()) break;
+      if (progress == 0) {
+        // One grace epoch: the first zero-progress epoch forces a merge
+        // above; a second in a row means nothing can ever move again.
+        if (++zero_epochs >= 2) {
+          std::ostringstream os;
+          os << "xshard run stalled at epoch " << epoch << " ("
+             << coord.active() << " globals in flight)";
+          for (std::uint32_t s = 0; s < n; ++s) {
+            os << "\n--- shard " << s << " ---\n" << engines[s]->DumpState();
+          }
+          run_status = Status::Internal(os.str());
+          break;
+        }
+      } else {
+        zero_epochs = 0;
+      }
+    }
+    if (run_status.ok()) {
+      // Observe the final slice commits (the loop may exit right after the
+      // step phase that committed them).
+      auto polled = coord.Poll();
+      if (!polled.ok()) run_status = polled.status();
+    }
+    report.scheduler.num_workers = pool.num_threads();
+    report.scheduler.steals = pool.steals();
+    report.scheduler.quanta = epoch * n;
+    const std::uint64_t up = pool.uptime_nanos();
+    if (up > 0) {
+      double sum = 0.0, lo = 1.0;
+      for (std::size_t w = 0; w < pool.num_threads(); ++w) {
+        const double u =
+            static_cast<double>(pool.busy_nanos(w)) / static_cast<double>(up);
+        sum += u;
+        lo = std::min(lo, u);
+      }
+      report.scheduler.mean_worker_utilization =
+          sum / static_cast<double>(pool.num_threads());
+      report.scheduler.min_worker_utilization = lo;
+    }
+  }
+  report.admission.execute_seconds = Seconds(NowNanos() - e0);
+  if (!run_status.ok()) return run_status;
+  if (options.hub != nullptr) {
+    options.hub->SetPhase(obs::RunPhase::kAggregating);
+  }
+
+  report.xshard = coord.stats();
+  report.xshard.epochs = epoch;
+  if (sched_registry != nullptr) {
+    const xshard::XShardStats& xs = report.xshard;
+    auto Set = [&](const char* name, std::uint64_t v) {
+      sched_registry->GetCounter(name)->Inc(v);
+    };
+    Set(obs::kXShardGlobalTxnsTotal, xs.global_txns);
+    Set(obs::kXShardSubTxnsTotal, xs.sub_txns);
+    Set(obs::kXShardGlobalCommitsTotal, xs.global_commits);
+    Set(obs::kXShardMergesTotal, xs.merges);
+    Set(obs::kXShardGlobalCyclesTotal, xs.global_cycles);
+    Set(obs::kXShardDistributedRollbacksTotal, xs.distributed_rollbacks);
+    Set(obs::kXShardOmegaExclusionsTotal, xs.omega_exclusions);
+    Set(obs::kXShardPreparesTotal, xs.prepares);
+    Set(obs::kXShardResolvesTotal, xs.resolves);
+    Set(obs::kXShardMessagesTotal, xs.messages);
+    sched_registry->GetGauge(obs::kXShardEpochs)
+        ->Set(static_cast<std::int64_t>(xs.epochs));
+    auto PhaseGauge = [&sched_registry](const char* phase) {
+      return sched_registry->GetGauge(obs::kPhaseSeconds,
+                                      {{obs::kPhaseLabel, phase}});
+    };
+    PhaseGauge("generate")->Set(static_cast<std::int64_t>(
+        report.admission.generate_seconds * 1000.0));
+    PhaseGauge("execute")->Set(static_cast<std::int64_t>(
+        report.admission.execute_seconds * 1000.0));
+  }
+
+  std::vector<std::uint32_t> merged_costs;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    FinishShard(options, s, runs[s], completed);
+    runs[s].result.assigned = routed[s];
+    report.shards.push_back(runs[s].result);
+    merged_costs.insert(merged_costs.end(), runs[s].cost_samples.begin(),
+                        runs[s].cost_samples.end());
+    report.metrics.MergeFrom(runs[s].metrics);
+    if (options.collect_traces) {
+      report.shard_traces.push_back(std::move(runs[s].trace_events));
+    }
+    for (obs::DeadlockDump& d : runs[s].forensics) {
+      report.forensics.push_back(std::move(d));
+    }
+  }
+  if (sched_registry != nullptr) {
+    report.metrics.MergeFrom(sched_registry->Snapshot());
+  }
+  if (options.instrument) {
+    report.merged_metrics = report.metrics.WithoutLabel("shard");
+  }
+  report.aggregate = SumMetrics(report.shards);
+  report.rollback_costs =
+      core::ComputeCostDistribution(std::move(merged_costs));
+  // Whole transactions: a global's slices collapse into one commit.
+  report.committed = report.aggregate.commits - report.xshard.sub_commits +
+                     report.xshard.global_commits;
+  for (const ShardResult& s : report.shards) {
+    report.completed = report.completed && s.completed;
+    report.serializable = report.serializable && s.serializable;
+  }
+  std::uint64_t routed_total = 0;
+  for (std::uint64_t r : routed) routed_total += r;
+  report.cross_shard_fraction = SafeRatio(report.cross_shard_txns, routed_total);
+  report.wasted_fraction =
+      SafeRatio(report.aggregate.wasted_ops, report.aggregate.ops_executed);
+  report.goodput = SafeRatio(report.committed, report.aggregate.ops_executed);
+  if (options.check_serializability) {
+    report.global_serializable = CheckGlobalSerializability(runs, n, &coord);
+    report.serializable = report.serializable && report.global_serializable;
+  }
+  if (options.hub != nullptr) options.hub->SetPhase(obs::RunPhase::kDone);
+  return report;
+}
+
 }  // namespace
 
 std::uint64_t DeriveShardSeed(std::uint64_t seed, std::uint32_t shard) {
@@ -583,6 +978,16 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
   }
   if (options.workload.num_entities == 0) {
     return Status::InvalidArgument("workload needs at least one entity");
+  }
+  if (options.xshard == XShardMode::kLocks && options.num_shards > 1) {
+    // Distributed partial rollback rides on the detection machinery (the
+    // union merge extends it across shards); the other handling modes have
+    // no notion of an externally chosen victim.
+    if (options.engine.handling != core::DeadlockHandling::kDetection) {
+      return Status::InvalidArgument(
+          "xshard=locks requires engine.handling == kDetection");
+    }
+    return RunShardedLocks(options);
   }
   const std::uint32_t n = options.num_shards;
 
@@ -640,7 +1045,7 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
     const std::uint64_t g0 = NowNanos();
     Status gen = GenerateAndRoute(
         options, n, &cross_txns, &routed,
-        [&runs](std::uint32_t shard, txn::Program program) {
+        [&runs](std::uint32_t shard, bool, txn::Program program) {
           runs[shard].programs.push_back(std::move(program));
         });
     if (!gen.ok()) return gen;
@@ -702,7 +1107,7 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
         const std::uint64_t g0 = NowNanos();
         Status gen = GenerateAndRoute(
             options, n, &cross_txns, &routed,
-            [&runs, &admission_shared](std::uint32_t shard,
+            [&runs, &admission_shared](std::uint32_t shard, bool,
                                        txn::Program program) {
               const std::int64_t now =
                   admission_shared.materialized.fetch_add(
@@ -844,12 +1249,19 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
     report.completed = report.completed && s.completed;
     report.serializable = report.serializable && s.serializable;
   }
-  report.cross_shard_fraction =
-      SafeRatio(report.cross_shard_txns, options.total_txns);
+  // Denominator: what routing actually processed, not the requested total
+  // — the two differ when admission aborts early (abandoned queues).
+  std::uint64_t routed_total = 0;
+  for (std::uint64_t r : routed) routed_total += r;
+  report.cross_shard_fraction = SafeRatio(report.cross_shard_txns, routed_total);
   report.wasted_fraction =
       SafeRatio(report.aggregate.wasted_ops, report.aggregate.ops_executed);
   report.goodput =
       SafeRatio(report.committed, report.aggregate.ops_executed);
+  if (options.check_serializability) {
+    report.global_serializable =
+        CheckGlobalSerializability(runs, n, /*coord=*/nullptr);
+  }
   if (options.hub != nullptr) options.hub->SetPhase(obs::RunPhase::kDone);
   return report;
 }

@@ -10,6 +10,7 @@
 #include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/serve/hub.h"
+#include "par/xshard/coordinator.h"
 #include "sim/workload.h"
 
 namespace pardb::par {
@@ -26,12 +27,16 @@ namespace pardb::par {
 // engine itself.
 //
 // The model matches §3.3's observation: conflicts confined to one site
-// are cheap, and only cross-site transactions need coordination. Here the
-// coordinator executes cross-shard transactions against its own replica
-// of the database — a stand-in for a distributed commit, good enough to
-// measure how the cross-shard fraction erodes scaling. Consequently
-// serializability is a per-shard property (reported per shard and as the
-// conjunction), not a global one.
+// are cheap, and only cross-site transactions need coordination. How a
+// cross-shard transaction is coordinated is XShardMode's choice: the
+// default (kLocks) splits it into per-shard sub-transactions that really
+// lock their slices on their home shards, with a union-of-forests merge
+// detecting global deadlocks and removing them by distributed partial
+// rollback (DESIGN D12) — serializability is then a *global* property,
+// checked over the merged commit log. The legacy mode (kReplica) keeps
+// the old shortcut — the coordinator executes cross-shard transactions
+// against its own replica — which is measurably non-serializable across
+// shards and is retained as the regression baseline.
 
 // How shard work is laid onto worker threads.
 enum class ShardScheduler {
@@ -51,10 +56,35 @@ enum class ShardScheduler {
   kTimeSlice,
 };
 
+// How shard-spanning transactions execute.
+enum class XShardMode {
+  // Genuine distributed execution: per-shard sub-transactions under one
+  // global ω position, global cycles removed by distributed partial
+  // rollback. Requires engine.handling == kDetection, runs phase 1 in
+  // batch mode (pipeline is ignored), and drives the shards in epochs —
+  // a single-threaded coordinate step followed by a parallel quantum per
+  // shard — so the report is bit-identical across worker counts.
+  kLocks,
+  // Legacy shortcut: the coordinator shard executes cross-shard
+  // transactions against its own full replica. Fast, but globally
+  // non-serializable (the replica's writes diverge from the home
+  // shards'); kept for comparison and as the regression witness.
+  kReplica,
+};
+
 struct ShardedOptions {
   std::uint32_t num_shards = 4;
   // Shard that executes cross-shard transactions (must be < num_shards).
   std::uint32_t coordinator_shard = 0;
+  // Cross-shard execution mode (see XShardMode). With a single shard the
+  // modes coincide and the driver uses the plain path.
+  XShardMode xshard = XShardMode::kLocks;
+  // kLocks epoch shape: engine steps per shard per epoch, union-merge
+  // cadence in epochs, and the cap on globals concurrently in flight. All
+  // three are part of the deterministic report's identity.
+  std::uint64_t xshard_epoch_steps = 256;
+  std::uint64_t xshard_merge_period = 1;
+  std::uint32_t xshard_max_active_globals = 8;
   // Template for every shard's engine; engine.seed is overridden with
   // DeriveShardSeed(seed, shard).
   core::EngineOptions engine;
@@ -211,6 +241,19 @@ struct ShardedReport {
   // spans more than one shard (they serialize through the coordinator).
   std::uint64_t cross_shard_txns = 0;
   double cross_shard_fraction = 0.0;
+
+  // Cross-shard execution (see XShardMode / xshard::Coordinator). In
+  // kLocks mode `committed` above counts whole transactions (a global
+  // transaction counts once, not once per slice); per-shard
+  // ShardResult::committed still counts engine commits, slices included.
+  bool xshard_locks = false;
+  xshard::XShardStats xshard;
+  // Conflict-serializability of the *merged* committed projection across
+  // shards (analysis::GlobalHistory); computed whenever
+  // check_serializability is on. kLocks keeps it true; kReplica fails it
+  // as soon as the coordinator's replica writes diverge from a home
+  // shard's.
+  bool global_serializable = true;
 
   double wasted_fraction = 0.0;
   double goodput = 0.0;

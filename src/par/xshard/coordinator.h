@@ -1,0 +1,147 @@
+#ifndef PARDB_PAR_XSHARD_COORDINATOR_H_
+#define PARDB_PAR_XSHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/engine.h"
+#include "obs/metrics.h"
+#include "par/xshard/global_graph.h"
+#include "par/xshard/split.h"
+#include "txn/program.h"
+
+namespace pardb::par::xshard {
+
+// Deterministic counters for the cross-shard layer. These feed the
+// xshard section of the sharded report, so every field must be a pure
+// function of (options, workload seed) — wall-clock time lives in the
+// optional histograms on Coordinator::Options instead.
+struct XShardStats {
+  std::uint64_t epochs = 0;           // driver epochs run (set by the driver)
+  std::uint64_t global_txns = 0;      // cross-shard transactions admitted
+  std::uint64_t sub_txns = 0;         // per-shard slices spawned
+  std::uint64_t sub_commits = 0;      // slice commits observed
+  std::uint64_t global_commits = 0;   // globals with every slice committed
+  std::uint64_t merges = 0;           // union-of-forests merges run
+  std::uint64_t global_cycles = 0;    // cycles found only in the union
+  std::uint64_t distributed_rollbacks = 0;  // global victims rolled back
+  std::uint64_t omega_exclusions = 0;  // Theorem 2 overrode the min-cost pick
+  std::uint64_t prepares = 0;         // 2PC prepare exchanges (per shard)
+  std::uint64_t resolves = 0;         // 2PC resolve exchanges (per shard)
+  std::uint64_t messages = 0;         // simulated coordinator<->shard messages
+};
+
+// Lifecycle coordinator for shard-spanning transactions (DESIGN D12).
+//
+// A global transaction is split into per-shard slices that share one
+// global sequence number — the transaction's ω-order position (Theorem 2).
+// Each slice acquires its locks on its home engine and parks at its hold
+// point; when every slice holds (the global lock point), a 2PC-style
+// prepare/resolve exchange releases them together and they commit
+// independently. Until that point the global transaction is distributed
+// and rollbackable, and a cycle through two or more globals in the merged
+// waits-for union is removed by *distributed partial rollback*: the
+// min-cost non-ω-senior victim is rolled back, on exactly the shards where
+// it blocks a cycle member, to the latest lock state that releases those
+// conflicts.
+//
+// All methods run on the driver's coordinate phase (single-threaded, the
+// shard engines quiescent), so the coordinator needs no locking and its
+// decisions are deterministic.
+class Coordinator : public SubResolver {
+ public:
+  struct Options {
+    std::uint32_t num_shards = 1;
+    // Globals concurrently in flight; bounds coordinator admission the way
+    // ShardedOptions::concurrency_per_shard bounds local admission.
+    std::uint32_t max_active_globals = 8;
+    // Wall-clock 2PC phase timers (registry histograms, nanoseconds); both
+    // optional and excluded from deterministic reports.
+    obs::Histogram* prepare_ns = nullptr;
+    obs::Histogram* resolve_ns = nullptr;
+  };
+
+  Coordinator(std::vector<core::Engine*> engines, Options options);
+
+  // True when another global transaction may be admitted now.
+  bool CanAdmit() const { return active_.size() < options_.max_active_globals; }
+
+  // Splits `program` and spawns its slices (held at their lock points).
+  // Returns the global sequence number.
+  Result<std::uint64_t> Admit(txn::Program program);
+
+  // One coordination round: advances every active global's 2PC state
+  // machine (prepare when all slices hold, resolve by releasing the holds,
+  // retire when all slices committed). Returns the number of state
+  // transitions, the coordinator's contribution to the epoch progress
+  // signal.
+  Result<std::uint64_t> Poll();
+
+  // Union-of-forests merge + distributed partial rollback, repeated until
+  // the merged graph has no cycle through a global transaction.
+  Status MergeAndResolve();
+
+  bool AllDone() const { return active_.empty(); }
+  std::size_t active() const { return active_.size(); }
+  const XShardStats& stats() const { return stats_; }
+  XShardStats& mutable_stats() { return stats_; }
+  // Slice commits observed on `shard` so far — what the driver subtracts
+  // from the engine's commit counter to recover its *local* commit count
+  // for admission-level accounting.
+  std::uint64_t sub_commits_on(std::uint32_t shard) const {
+    return sub_commits_by_shard_[shard];
+  }
+
+  // (shard, local txn id) -> global sequence number, for every slice ever
+  // spawned. The merged-history checker uses this to fuse per-shard commit
+  // logs under global keys.
+  const std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t>&
+  sub_index() const {
+    return sub_index_;
+  }
+
+  // SubResolver: renames slices of *live* globals during the merge.
+  std::optional<std::uint64_t> GlobalOf(std::uint32_t shard,
+                                        TxnId txn) const override;
+
+ private:
+  enum class Phase { kAcquiring, kReleased };
+
+  struct Participant {
+    std::uint32_t shard = 0;
+    TxnId txn;
+    bool committed = false;
+  };
+
+  struct GlobalTxn {
+    std::uint64_t seq = 0;
+    Phase phase = Phase::kAcquiring;
+    std::vector<Participant> participants;
+  };
+
+  Status ResolveComponent(const MergedGraph& merged,
+                          const std::vector<graph::VertexId>& component,
+                          bool* resolved);
+
+  std::vector<core::Engine*> engines_;
+  Options options_;
+  XShardStats stats_;
+  std::vector<GlobalTxn> txns_;        // indexed by seq
+  std::vector<std::uint64_t> active_;  // seqs still in flight, ascending
+  std::vector<std::uint64_t> sub_commits_by_shard_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> sub_index_;
+  // Slices of distributed-rollback victims backed off until the next merge
+  // (one epoch): re-running them immediately lets the coordinator and a
+  // shard's local detection re-create the identical cycle forever.
+  std::vector<std::pair<std::uint32_t, TxnId>> backed_off_;
+};
+
+}  // namespace pardb::par::xshard
+
+#endif  // PARDB_PAR_XSHARD_COORDINATOR_H_

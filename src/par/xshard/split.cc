@@ -1,0 +1,163 @@
+#include "par/xshard/split.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "dist/distributed.h"
+
+namespace pardb::par::xshard {
+
+namespace {
+
+constexpr std::uint32_t kUnowned = static_cast<std::uint32_t>(-1);
+
+// Owner shard of an operand's variable, or kUnowned for immediates and
+// variables nothing has assigned yet.
+std::uint32_t OperandOwner(const txn::Operand& operand,
+                           const std::vector<std::uint32_t>& var_owner) {
+  if (operand.kind != txn::Operand::Kind::kVar) return kUnowned;
+  if (operand.var >= var_owner.size()) return kUnowned;
+  return var_owner[operand.var];
+}
+
+}  // namespace
+
+Result<std::vector<SubProgram>> SplitProgram(const txn::Program& program,
+                                             std::uint32_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("SplitProgram: num_shards must be > 0");
+  }
+  // Shard of every op, in program order. Commit is per-sub and skipped.
+  // Variables are pinned to the shard of the entity they first flow from
+  // (or to); a variable bridging two shards would need a value shipped
+  // between engines with disjoint stores, which the slices cannot do.
+  std::vector<std::uint32_t> var_owner(program.num_vars(), kUnowned);
+  const std::uint32_t fallback_shard =
+      program.NumLockRequests() == 0
+          ? 0
+          : dist::SiteOfEntity(
+                program.op(program.LockRequestPositions().front()).entity,
+                num_shards);
+  struct Classified {
+    std::size_t index;
+    std::uint32_t shard;
+    bool is_lock;
+  };
+  std::vector<Classified> classified;
+  classified.reserve(program.size());
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const txn::Op& op = program.op(i);
+    std::uint32_t shard = kUnowned;
+    bool is_lock = false;
+    switch (op.code) {
+      case txn::OpCode::kLockShared:
+      case txn::OpCode::kLockExclusive:
+        shard = dist::SiteOfEntity(op.entity, num_shards);
+        is_lock = true;
+        break;
+      case txn::OpCode::kUnlock:
+        return Status::InvalidArgument(
+            "SplitProgram: early unlock is not splittable (the hold point "
+            "must dominate every release)");
+      case txn::OpCode::kRead: {
+        shard = dist::SiteOfEntity(op.entity, num_shards);
+        if (op.dst < var_owner.size()) {
+          if (var_owner[op.dst] != kUnowned && var_owner[op.dst] != shard) {
+            return Status::InvalidArgument(
+                "SplitProgram: variable flows across shards");
+          }
+          var_owner[op.dst] = shard;
+        }
+        break;
+      }
+      case txn::OpCode::kWrite: {
+        shard = dist::SiteOfEntity(op.entity, num_shards);
+        const std::uint32_t src = OperandOwner(op.a, var_owner);
+        if (src != kUnowned && src != shard) {
+          return Status::InvalidArgument(
+              "SplitProgram: variable flows across shards");
+        }
+        break;
+      }
+      case txn::OpCode::kCompute: {
+        const std::uint32_t a = OperandOwner(op.a, var_owner);
+        const std::uint32_t b = OperandOwner(op.b, var_owner);
+        const std::uint32_t dst =
+            op.dst < var_owner.size() ? var_owner[op.dst] : kUnowned;
+        for (std::uint32_t owner : {a, b, dst}) {
+          if (owner == kUnowned) continue;
+          if (shard == kUnowned) {
+            shard = owner;
+          } else if (shard != owner) {
+            return Status::InvalidArgument(
+                "SplitProgram: variable flows across shards");
+          }
+        }
+        if (shard == kUnowned) shard = fallback_shard;
+        if (op.dst < var_owner.size()) var_owner[op.dst] = shard;
+        break;
+      }
+      case txn::OpCode::kCommit:
+        continue;
+    }
+    classified.push_back({i, shard, is_lock});
+  }
+
+  // Assemble one slice per touched shard: locks in original order, then the
+  // body in original order, then Commit.
+  std::map<std::uint32_t, std::pair<std::vector<std::size_t>,
+                                    std::vector<std::size_t>>>
+      by_shard;
+  for (const Classified& c : classified) {
+    auto& bucket = by_shard[c.shard];
+    (c.is_lock ? bucket.first : bucket.second).push_back(c.index);
+  }
+
+  std::vector<SubProgram> subs;
+  subs.reserve(by_shard.size());
+  for (const auto& [shard, bucket] : by_shard) {
+    txn::ProgramBuilder builder(
+        program.name() + "/s" + std::to_string(shard), program.num_vars());
+    for (std::size_t v = 0; v < program.initial_vars().size(); ++v) {
+      builder.InitVar(static_cast<txn::VarId>(v), program.initial_vars()[v]);
+    }
+    for (std::size_t i : bucket.first) {
+      const txn::Op& op = program.op(i);
+      if (op.code == txn::OpCode::kLockShared) {
+        builder.LockShared(op.entity);
+      } else {
+        builder.LockExclusive(op.entity);
+      }
+    }
+    for (std::size_t i : bucket.second) {
+      const txn::Op& op = program.op(i);
+      switch (op.code) {
+        case txn::OpCode::kRead:
+          builder.Read(op.entity, op.dst);
+          break;
+        case txn::OpCode::kWrite:
+          builder.Write(op.entity, op.a);
+          break;
+        case txn::OpCode::kCompute:
+          builder.Compute(op.dst, op.a, op.arith, op.b);
+          break;
+        default:
+          return Status::Internal("SplitProgram: unexpected body op");
+      }
+    }
+    builder.Commit();
+    auto built = builder.Build();
+    if (!built.ok()) return built.status();
+    SubProgram sub;
+    sub.shard = shard;
+    sub.hold_pc = bucket.first.size();
+    sub.program = std::move(built.value());
+    subs.push_back(std::move(sub));
+  }
+  return subs;
+}
+
+}  // namespace pardb::par::xshard

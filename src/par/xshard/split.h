@@ -1,0 +1,51 @@
+#ifndef PARDB_PAR_XSHARD_SPLIT_H_
+#define PARDB_PAR_XSHARD_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "txn/program.h"
+
+namespace pardb::par::xshard {
+
+// One per-shard slice of a cross-shard transaction. The slice is a valid
+// stand-alone program: it locks the global transaction's entities that live
+// on `shard`, then (after the global lock point) performs the accesses to
+// those entities, then commits. `hold_pc` is the program counter at which
+// the slice has acquired every lock it will ever request — the engine parks
+// the sub-transaction there until the cross-shard coordinator has seen all
+// sibling slices reach their own hold points (the 2PC prepare), at which
+// point the holds are released together (the resolve) and the slices run
+// their bodies and commit independently.
+struct SubProgram {
+  std::uint32_t shard = 0;
+  txn::Program program;
+  std::size_t hold_pc = 0;
+};
+
+// Splits `program` into per-shard sub-programs under the
+// dist::SiteOfEntity partition. Each sub keeps the original relative order
+// of its lock requests and of its body operations, so the global lock
+// acquisition order (the concatenation of the per-shard prefixes) is a
+// reordering of the original only across shards — never within one.
+//
+// Requirements (all hold for sim::Workload-generated programs):
+//  * no kUnlock ops (strict 2PL: everything releases at commit);
+//  * every local variable flows within one shard — a var read from an
+//    entity on shard A must not be written to an entity on shard B, since
+//    the slices execute on engines with disjoint stores. Violations return
+//    InvalidArgument.
+//
+// Deferring the body to after the hold point is semantics-preserving under
+// 2PL: every entity the body touches is locked by the slice's prefix, so
+// its value cannot change between the original position and the deferred
+// one. Returns the slices ordered by shard id; a program whose footprint
+// lives on a single shard yields one slice (callers should route that case
+// directly instead).
+Result<std::vector<SubProgram>> SplitProgram(const txn::Program& program,
+                                             std::uint32_t num_shards);
+
+}  // namespace pardb::par::xshard
+
+#endif  // PARDB_PAR_XSHARD_SPLIT_H_

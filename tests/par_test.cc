@@ -238,6 +238,11 @@ TEST(StealingPoolTest, EveryTaskRunsExactlyOnceAndCountersAddUp) {
 
 ShardedOptions SmallOptions(std::uint32_t shards, std::uint64_t seed) {
   ShardedOptions opt;
+  // These tests pin the original coordinator-replica routing: their
+  // assertions (committed == assigned per shard, overlap formula, pipeline
+  // equivalence) describe that path. Locks-mode runs are covered by
+  // xshard_test.
+  opt.xshard = XShardMode::kReplica;
   opt.num_shards = shards;
   opt.workload.num_entities = 64;
   opt.workload.min_locks = 2;

@@ -166,6 +166,45 @@ TEST(HttpServerTest, ServesRoutesOverRealSocket) {
   server.Stop();  // idempotent
 }
 
+// A client that disconnects while the server is still writing a large
+// response must not take the server down (historically the write raced
+// the close into SIGPIPE); the next request must still be served.
+TEST(HttpServerTest, SurvivesClientDisconnectMidResponse) {
+  // Large enough that the kernel cannot buffer the whole body, so the
+  // server is still send()ing when the client closes.
+  const std::string big(8 * 1024 * 1024, 'x');
+  HttpServer server;
+  server.Route("/big", [&big](const HttpRequest&) {
+    return HttpResponse::Text(big);
+  });
+  server.Route("/ping", [](const HttpRequest&) {
+    return HttpResponse::Text("pong\n");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = "GET /big HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  // Read just the first chunk, then hang up with the rest in flight.
+  char buf[1024];
+  ASSERT_GT(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+
+  auto ping = HttpFetch(server.port(), "/ping");
+  ASSERT_TRUE(ping.ok);
+  EXPECT_EQ(ping.status, 200);
+  EXPECT_EQ(ping.body, "pong\n");
+  server.Stop();
+}
+
 // ---------------------------------------------------------------------------
 // LiveHub: load skew, uptime, phases, deadlock ring
 // ---------------------------------------------------------------------------

@@ -30,6 +30,14 @@ wall-clock speedup over batch is gated at --min-pipeline-speedup only on
 hosts with >= 4 CPUs: the producer needs a core of its own, and CI
 runners below that report pure noise (informational there).
 
+The cross-shard check gates locks-mode execution (BENCH_cross_shard.json):
+every sweep point's report must be byte-identical across repeated runs and
+worker counts, the merged commit log must stay conflict-serializable, the
+deterministic committed/goodput values must match the baseline exactly,
+and goodput at the 5% cross-shard point must retain at least
+--min-cross-goodput of the shard-local (0%) goodput — coordination cost
+is budgeted, not unbounded.
+
 Usage:
   check_bench_regression.py \
       --current BENCH_parallel.json \
@@ -39,9 +47,12 @@ Usage:
       --skew-baseline bench/baselines/BENCH_parallel_skew.json \
       --current-pipeline BENCH_parallel_pipeline.json \
       --pipeline-baseline bench/baselines/BENCH_parallel_pipeline.json \
+      --current-cross-shard BENCH_cross_shard.json \
+      --cross-shard-baseline bench/baselines/BENCH_cross_shard.json \
       [--max-speedup-drop-pct 15] [--max-overhead-pct 5] \
       [--min-skew-speedup 1.3] [--max-uniform-drop-pct 5] \
-      [--min-overlap-fraction 0.8] [--min-pipeline-speedup 1.25]
+      [--min-overlap-fraction 0.8] [--min-pipeline-speedup 1.25] \
+      [--min-cross-goodput 0.8]
 """
 
 import argparse
@@ -170,6 +181,46 @@ def check_pipeline(current, baseline, min_overlap, min_speedup):
     return failures
 
 
+def check_cross_shard(current, baseline, min_goodput_ratio):
+    failures = []
+    base_by_frac = {row["cross_shard_fraction"]: row for row in baseline}
+    goodput_at = {}
+    for row in current:
+        frac = row["cross_shard_fraction"]
+        goodput_at[frac] = row["goodput"]
+        if not row.get("report_deterministic", False):
+            failures.append(
+                f"cross-shard frac={frac}: report not byte-identical across "
+                f"runs/worker counts (determinism contract broken)")
+        if not row["report"]["global_serializable"]:
+            failures.append(
+                f"cross-shard frac={frac}: merged commit log not "
+                f"conflict-serializable")
+        base = base_by_frac.get(frac)
+        if base is None:
+            continue
+        for field in ("committed", "goodput"):
+            if row["report"][field] != base["report"][field]:
+                failures.append(
+                    f"cross-shard frac={frac}: {field} {row['report'][field]} "
+                    f"!= baseline {base['report'][field]} "
+                    f"(deterministic result drifted)")
+    # Cross-shard coordination must not crater goodput: the 5% point has to
+    # retain at least min_goodput_ratio of the shard-local (0%) goodput.
+    if 0.0 in goodput_at and 0.05 in goodput_at and goodput_at[0.0] > 0:
+        ratio = goodput_at[0.05] / goodput_at[0.0]
+        verdict = "ok" if ratio >= min_goodput_ratio else "FAIL"
+        print(f"cross-shard: goodput@0.05 / goodput@0 = {ratio:.3f} "
+              f"(floor {min_goodput_ratio}) {verdict}")
+        if ratio < min_goodput_ratio:
+            failures.append(
+                f"cross-shard: goodput ratio {ratio:.3f} below floor "
+                f"{min_goodput_ratio}")
+    else:
+        failures.append("cross-shard: missing 0 or 0.05 fraction row")
+    return failures
+
+
 def check_overhead(overhead, max_overhead_pct):
     pct = overhead["overhead_pct"]
     print(f"telemetry overhead {pct:.2f}% (budget {max_overhead_pct}%)")
@@ -188,12 +239,15 @@ def main():
     ap.add_argument("--skew-baseline")
     ap.add_argument("--current-pipeline")
     ap.add_argument("--pipeline-baseline")
+    ap.add_argument("--current-cross-shard")
+    ap.add_argument("--cross-shard-baseline")
     ap.add_argument("--max-speedup-drop-pct", type=float, default=15.0)
     ap.add_argument("--max-overhead-pct", type=float, default=5.0)
     ap.add_argument("--min-skew-speedup", type=float, default=1.3)
     ap.add_argument("--max-uniform-drop-pct", type=float, default=5.0)
     ap.add_argument("--min-overlap-fraction", type=float, default=0.8)
     ap.add_argument("--min-pipeline-speedup", type=float, default=1.25)
+    ap.add_argument("--min-cross-goodput", type=float, default=0.8)
     args = ap.parse_args()
 
     failures = check_scaling(load(args.current), load(args.baseline),
@@ -208,6 +262,12 @@ def main():
             load(args.current_pipeline),
             load(args.pipeline_baseline) if args.pipeline_baseline else None,
             args.min_overlap_fraction, args.min_pipeline_speedup)
+    if args.current_cross_shard:
+        failures += check_cross_shard(
+            load(args.current_cross_shard),
+            load(args.cross_shard_baseline) if args.cross_shard_baseline
+            else [],
+            args.min_cross_goodput)
     if args.current_overhead:
         failures += check_overhead(load(args.current_overhead),
                                    args.max_overhead_pct)

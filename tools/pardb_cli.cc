@@ -443,7 +443,9 @@ int RunObserve(const Flags& flags) {
 // --min-quantum-steps, --no-adaptive-quantum, --hot-routing (route local
 // transactions to Zipf-hot shards), --pipeline / --no-pipeline (streaming
 // admission, on by default), --queue-capacity (per-shard admission queue
-// bound), --json=FILE (write the machine-readable report).
+// bound), --xshard=locks|replica (true shard-spanning transactions with
+// distributed partial rollback, or the legacy coordinator-replica
+// shortcut), --json=FILE (write the machine-readable report).
 int RunParallel(const Flags& flags) {
   auto sim_opt = BuildSimOptions(flags);
   if (!sim_opt.ok()) {
@@ -487,6 +489,16 @@ int RunParallel(const Flags& flags) {
   auto qcap = flags.GetInt("queue-capacity", 32);
   if (!qcap.ok()) return 2;
   opt.admission_queue_capacity = static_cast<std::size_t>(qcap.value());
+  const std::string xshard = flags.GetString("xshard", "locks");
+  if (xshard == "locks") {
+    opt.xshard = par::XShardMode::kLocks;
+  } else if (xshard == "replica") {
+    opt.xshard = par::XShardMode::kReplica;
+  } else {
+    std::fprintf(stderr, "unknown --xshard=%s (locks|replica)\n",
+                 xshard.c_str());
+    return 2;
+  }
   const ObsOutputs outs = GetObsOutputs(flags);
   auto serve = GetServeConfig(flags);
   if (!serve.ok()) {
@@ -534,6 +546,24 @@ int RunParallel(const Flags& flags) {
               (unsigned long long)report->admission.producer_blocked_pushes,
               report->admission.generate_seconds,
               report->admission.execute_seconds);
+  if (report->xshard_locks) {
+    const par::xshard::XShardStats& x = report->xshard;
+    std::printf("xshard: mode=locks epochs=%llu globals=%llu subs=%llu "
+                "merges=%llu global_cycles=%llu distributed_rollbacks=%llu "
+                "omega_exclusions=%llu prepares=%llu resolves=%llu "
+                "messages=%llu global_serializable=%s\n",
+                (unsigned long long)x.epochs,
+                (unsigned long long)x.global_txns,
+                (unsigned long long)x.sub_txns,
+                (unsigned long long)x.merges,
+                (unsigned long long)x.global_cycles,
+                (unsigned long long)x.distributed_rollbacks,
+                (unsigned long long)x.omega_exclusions,
+                (unsigned long long)x.prepares,
+                (unsigned long long)x.resolves,
+                (unsigned long long)x.messages,
+                report->global_serializable ? "yes" : "NO");
+  }
   LingerThenStop(server.get(), serve->linger);
   for (const par::ShardResult& s : report->shards) {
     std::printf("  shard %u%s: assigned=%llu committed=%llu deadlocks=%llu "
