@@ -190,14 +190,18 @@ void PrintPipelineComparison() {
 
 // Telemetry overhead: the same 4-shard run with the metric probes attached
 // (counters, sampled timers — trace sink disabled, the production default)
-// against ShardedOptions::instrument = false. Medians of `kRounds`
-// alternating runs keep scheduler noise out of the comparison. The budget
-// is 5%; BENCH_parallel_overhead.json records the verdict.
+// against ShardedOptions::instrument = false, plus a third variant adding
+// the D13 lifecycle timelines on top of the instrumented run (the shipping
+// default). Medians of `kRounds` alternating runs keep scheduler noise out
+// of the comparison. The budget is 5% for each increment;
+// BENCH_parallel_overhead.json records both verdicts and
+// check_bench_regression.py gates on them.
 void PrintInstrumentationOverhead() {
   constexpr int kRounds = 5;
-  auto once = [](bool instrument) {
+  auto once = [](bool instrument, bool txnlife) {
     auto opt = Base(4, 2400);
     opt.instrument = instrument;
+    opt.txnlife = txnlife;
     const auto start = std::chrono::steady_clock::now();
     auto rep = par::RunSharded(opt);
     const double elapsed = Seconds(start, std::chrono::steady_clock::now());
@@ -207,30 +211,42 @@ void PrintInstrumentationOverhead() {
     }
     return elapsed;
   };
-  (void)once(false);  // warm-up
-  std::vector<double> on, off;
+  (void)once(false, false);  // warm-up
+  std::vector<double> off, on, life;
   for (int i = 0; i < kRounds; ++i) {
-    off.push_back(once(false));
-    on.push_back(once(true));
+    off.push_back(once(false, false));
+    on.push_back(once(true, false));
+    life.push_back(once(true, true));
   }
-  std::sort(on.begin(), on.end());
-  std::sort(off.begin(), off.end());
-  const double base = off[kRounds / 2];
-  const double instr = on[kRounds / 2];
+  // Minimum, not median: host interference only ever adds time, so the
+  // fastest round is the least-contaminated estimate of each variant's
+  // true cost and the overhead ratios stay stable on noisy CI runners.
+  const double base = *std::min_element(off.begin(), off.end());
+  const double instr = *std::min_element(on.begin(), on.end());
+  const double timeline = *std::min_element(life.begin(), life.end());
   const double overhead_pct =
       base > 0 ? (instr - base) / base * 100.0 : 0.0;
+  // Timeline increment against the instrumented run it rides on, not the
+  // bare baseline — the question is what the D13 stamps add.
+  const double timeline_overhead_pct =
+      instr > 0 ? (timeline - instr) / instr * 100.0 : 0.0;
 
-  Section("Telemetry overhead (4 shards, metrics on vs off, median of 5)");
-  Table t({"variant", "elapsed (s)", "overhead vs off (%)"});
+  Section("Telemetry overhead (4 shards, min of 5)");
+  Table t({"variant", "elapsed (s)", "overhead (%)"});
   t.AddRow("instrument=off", base, 0.0);
   t.AddRow("instrument=on", instr, overhead_pct);
+  t.AddRow("  + txnlife", timeline, timeline_overhead_pct);
   t.Print();
-  std::cout << "(budget: 5%; trace collection stays off in both variants)\n";
+  std::cout << "(budget: 5% per increment; trace collection stays off in "
+               "all variants; txnlife overhead is measured against the "
+               "instrumented run)\n";
 
   std::ofstream json("BENCH_parallel_overhead.json");
   json << "{\"baseline_seconds\":" << base
        << ",\"instrumented_seconds\":" << instr
        << ",\"overhead_pct\":" << overhead_pct
+       << ",\"timeline_seconds\":" << timeline
+       << ",\"timeline_overhead_pct\":" << timeline_overhead_pct
        << ",\"budget_pct\":5}\n";
 }
 

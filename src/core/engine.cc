@@ -69,6 +69,7 @@ Result<TxnId> Engine::Spawn(std::shared_ptr<const txn::Program> program) {
   (void)inserted;
   live_.insert(id);
   Emit(TraceEvent::Kind::kSpawn, it->second);
+  if (txnlife_ != nullptr) txnlife_->OnAdmit(id, metrics_.steps);
   return id;
 }
 
@@ -127,6 +128,13 @@ Status Engine::ApplyExternalRollback(TxnId txn, LockIndex target,
   metrics_.ideal_wasted_ops += ideal_cost;
   ++metrics_.preemptions;
   ++victim->preempted;
+  if (txnlife_ != nullptr) {
+    // The coordinator's victim decision resolves a *global* cycle this
+    // shard cannot see; the causing transaction is unknown here.
+    txnlife_->OnRollback(victim->id, metrics_.steps,
+                         obs::RollbackCause::kTwoPCAbort, TxnId(),
+                         /*cycle=*/0, cost);
+  }
   return RollbackTxn(*victim, target);
 }
 
@@ -198,6 +206,7 @@ Result<StepOutcome> Engine::ExecuteOp(TxnContext& ctx) {
       ctx.strategy->OnVarWrite(op.dst, value.value(), lock_index);
       ++ctx.pc;
       ++metrics_.ops_executed;
+      if (txnlife_ != nullptr) txnlife_->OnStep(ctx.id, metrics_.steps);
       return StepOutcome::kExecuted;
     }
     case txn::OpCode::kWrite: {
@@ -205,6 +214,7 @@ Result<StepOutcome> Engine::ExecuteOp(TxnContext& ctx) {
                                   lock_index);
       ++ctx.pc;
       ++metrics_.ops_executed;
+      if (txnlife_ != nullptr) txnlife_->OnStep(ctx.id, metrics_.steps);
       return StepOutcome::kExecuted;
     }
     case txn::OpCode::kCompute: {
@@ -225,6 +235,7 @@ Result<StepOutcome> Engine::ExecuteOp(TxnContext& ctx) {
       ctx.strategy->OnVarWrite(op.dst, v, lock_index);
       ++ctx.pc;
       ++metrics_.ops_executed;
+      if (txnlife_ != nullptr) txnlife_->OnStep(ctx.id, metrics_.steps);
       return StepOutcome::kExecuted;
     }
     case txn::OpCode::kUnlock: {
@@ -232,6 +243,7 @@ Result<StepOutcome> Engine::ExecuteOp(TxnContext& ctx) {
       ctx.in_shrinking_phase = true;
       ++ctx.pc;
       ++metrics_.ops_executed;
+      if (txnlife_ != nullptr) txnlife_->OnStep(ctx.id, metrics_.steps);
       return StepOutcome::kExecuted;
     }
     case txn::OpCode::kCommit: {
@@ -275,6 +287,7 @@ Result<StepOutcome> Engine::ExecuteLock(TxnContext& ctx, const txn::Op& op) {
   ctx.wait_since = metrics_.steps;
   ++metrics_.lock_waits;
   Emit(TraceEvent::Kind::kBlocked, ctx, op.entity);
+  if (txnlife_ != nullptr) txnlife_->OnBlock(ctx.id, metrics_.steps, op.entity);
   RefreshWaitEdges(op.entity);
   switch (options_.handling) {
     case DeadlockHandling::kDetection: {
@@ -309,10 +322,12 @@ Result<StepOutcome> Engine::ExecuteLock(TxnContext& ctx, const txn::Op& op) {
 
 Status Engine::RegisterGrant(TxnContext& ctx, EntityId entity,
                              lock::LockMode mode, bool is_upgrade) {
-  if (ctx.status == TxnStatus::kWaiting && probe_ != nullptr &&
-      probe_->lock_wait_steps != nullptr) {
-    // Wait duration in engine steps — deterministic, unlike wall time.
-    probe_->lock_wait_steps->Record(metrics_.steps - ctx.wait_since);
+  if (ctx.status == TxnStatus::kWaiting) {
+    if (probe_ != nullptr && probe_->lock_wait_steps != nullptr) {
+      // Wait duration in engine steps — deterministic, unlike wall time.
+      probe_->lock_wait_steps->Record(metrics_.steps - ctx.wait_since);
+    }
+    if (txnlife_ != nullptr) txnlife_->OnWake(ctx.id, metrics_.steps);
   }
   const LockIndex lock_state = ctx.granted.size();
   ctx.granted.push_back(LockRecord{entity, mode, is_upgrade, ctx.pc});
@@ -336,6 +351,7 @@ Status Engine::RegisterGrant(TxnContext& ctx, EntityId entity,
   ctx.status = TxnStatus::kReady;
   ++metrics_.ops_executed;
   Emit(TraceEvent::Kind::kLockGranted, ctx, entity);
+  if (txnlife_ != nullptr) txnlife_->OnStep(ctx.id, metrics_.steps);
   return Status::OK();
 }
 
@@ -384,6 +400,7 @@ Status Engine::ExecuteCommit(TxnContext& ctx) {
   if (recorder_ != nullptr) recorder_->OnCommit(ctx.id);
   if (lineage_ != nullptr) lineage_->OnCommit(ctx.id);
   Emit(TraceEvent::Kind::kCommit, ctx);
+  if (txnlife_ != nullptr) txnlife_->OnCommit(ctx.id, metrics_.steps, ctx.pc);
   ++metrics_.commits;
   ++metrics_.ops_executed;  // the commit itself
   return Status::OK();
@@ -497,6 +514,7 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
 
     // Choose victims.
     std::vector<const VictimCandidate*> victims;
+    bool omega_intervened = false;
     const bool cost_based =
         options_.victim_policy == VictimPolicyKind::kMinCost ||
         options_.victim_policy == VictimPolicyKind::kMinCostOrdered;
@@ -581,13 +599,16 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
     } else {
       const VictimCandidate& pick =
           ChooseVictim(options_.victim_policy, candidates, requester.entry);
-      if (lineage_ != nullptr &&
+      if ((lineage_ != nullptr || txnlife_ != nullptr) &&
           options_.victim_policy == VictimPolicyKind::kMinCostOrdered) {
         // Theorem 2 actively intervening: the ω-ordered policy rejected the
         // transaction pure min-cost would have sacrificed.
         const VictimCandidate& unordered = ChooseVictim(
             VictimPolicyKind::kMinCost, candidates, requester.entry);
-        if (unordered.txn != pick.txn) lineage_->OnOmegaIntervention();
+        if (unordered.txn != pick.txn) {
+          omega_intervened = true;
+          if (lineage_ != nullptr) lineage_->OnOmegaIntervention();
+        }
       }
       victims.push_back(&pick);
     }
@@ -655,6 +676,9 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
       }
       metrics_.wasted_ops += v->cost;
       metrics_.ideal_wasted_ops += v->ideal_cost;
+      // Whose conflict knocked this victim out: the requester for a
+      // preemption; for a requester self-rollback, the holder it waited on.
+      TxnId causing = requester.id;
       if (!v->is_requester) {
         ++metrics_.preemptions;
         ++victim->preempted;
@@ -670,22 +694,31 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
         if (probe_ != nullptr && probe_->victims_requester != nullptr) {
           probe_->victims_requester->Inc();
         }
-        if (lineage_ != nullptr) {
-          // A requester self-rollback is still a preemption in the
-          // Figure 2 sense — the holder it was waiting on knocked it out.
-          // Recording that holder as the aggressor lets the chain depth
-          // keep growing across the paper's mutual T2/T3 alternation,
-          // which is self-rollbacks all the way down.
-          TxnId aggressor = requester.id;
-          for (const graph::Edge& e : cycles.front().edges) {
-            if (TxnId(e.to) == requester.id) {
-              aggressor = TxnId(e.from);
-              break;
-            }
+        // A requester self-rollback is still a preemption in the
+        // Figure 2 sense — the holder it was waiting on knocked it out.
+        // Recording that holder as the aggressor lets the chain depth
+        // keep growing across the paper's mutual T2/T3 alternation,
+        // which is self-rollbacks all the way down.
+        for (const graph::Edge& e : cycles.front().edges) {
+          if (TxnId(e.to) == requester.id) {
+            causing = TxnId(e.from);
+            break;
           }
-          lineage_->OnPreemption(metrics_.steps, victim->id, aggressor,
+        }
+        if (lineage_ != nullptr) {
+          lineage_->OnPreemption(metrics_.steps, victim->id, causing,
                                  v->actual_target, v->cost);
         }
+      }
+      if (txnlife_ != nullptr) {
+        const obs::RollbackCause cause =
+            v->is_requester ? obs::RollbackCause::kSelfRollback
+            : omega_intervened ? obs::RollbackCause::kOmegaPreemption
+                               : obs::RollbackCause::kDeadlockVictim;
+        // metrics_.deadlocks is the 1-based ordinal of this deadlock, which
+        // is exactly the book's cycle encoding (0 = none).
+        txnlife_->OnRollback(victim->id, metrics_.steps, cause, causing,
+                             metrics_.deadlocks, v->cost);
       }
       PARDB_RETURN_IF_ERROR(RollbackTxn(*victim, v->actual_target));
     }
@@ -726,6 +759,11 @@ Status Engine::HandleWoundWait(TxnContext& requester, EntityId entity,
       lineage_->OnPreemption(metrics_.steps, victim->id, requester.id,
                              cand.value().actual_target, cand.value().cost);
     }
+    if (txnlife_ != nullptr) {
+      txnlife_->OnRollback(victim->id, metrics_.steps,
+                           obs::RollbackCause::kWoundWait, requester.id,
+                           /*cycle=*/0, cand.value().cost);
+    }
     metrics_.wasted_ops += cand.value().cost;
     metrics_.ideal_wasted_ops += cand.value().ideal_cost;
     PARDB_RETURN_IF_ERROR(RollbackTxn(*victim, cand.value().actual_target));
@@ -758,15 +796,15 @@ Result<bool> Engine::HandleWaitDie(TxnContext& requester, EntityId entity) {
   // otherwise it dies: it is rolled back to the latest lock state at which
   // it holds no lock that an *older* transaction is currently queued for —
   // locally available information only — and retries from there.
-  bool older_blocker = false;
+  TxnId older_blocker;
   for (TxnId b : locks_.BlockersOf(requester.id)) {
     const TxnContext* blocker = Find(b);
     if (blocker != nullptr && blocker->entry < requester.entry) {
-      older_blocker = true;
+      older_blocker = b;
       break;
     }
   }
-  if (!older_blocker) return false;  // wait (old waits for young only)
+  if (!older_blocker.valid()) return false;  // wait (old waits for young only)
 
   const Timestamp entry = requester.entry;
   auto target = SelfRollbackTarget(
@@ -774,6 +812,12 @@ Result<bool> Engine::HandleWaitDie(TxnContext& requester, EntityId entity) {
   if (!target.ok()) return target.status();
   ++metrics_.deaths;
   Emit(TraceEvent::Kind::kDeath, requester, entity, target.value());
+  if (txnlife_ != nullptr) {
+    txnlife_->OnRollback(requester.id, metrics_.steps,
+                         obs::RollbackCause::kWaitDie, older_blocker,
+                         /*cycle=*/0,
+                         RollbackCostOf(requester, target.value()));
+  }
   PARDB_RETURN_IF_ERROR(RollbackTxn(requester, target.value()));
   return true;
 }
@@ -796,6 +840,11 @@ Status Engine::ExpireTimeouts() {
     if (!target.ok()) return target.status();
     ++metrics_.timeouts;
     Emit(TraceEvent::Kind::kTimeout, *ctx, EntityId(), target.value());
+    if (txnlife_ != nullptr) {
+      txnlife_->OnRollback(ctx->id, metrics_.steps,
+                           obs::RollbackCause::kTimeout, TxnId(),
+                           /*cycle=*/0, RollbackCostOf(*ctx, target.value()));
+    }
     PARDB_RETURN_IF_ERROR(RollbackTxn(*ctx, target.value()));
   }
   return Status::OK();
@@ -840,14 +889,18 @@ Status Engine::PeriodicScan() {
   return Status::Internal("periodic scan did not converge");
 }
 
+std::uint64_t Engine::RollbackCostOf(const TxnContext& victim,
+                                     LockIndex target) const {
+  return victim.pc - (target < victim.granted.size()
+                          ? victim.granted[target].op_index
+                          : victim.pc);
+}
+
 Status Engine::RollbackTxn(TxnContext& victim, LockIndex target) {
   obs::ScopedTimer rollback_timer(
       probe_ != nullptr ? probe_->rollback_apply_ns : nullptr,
       probe_ != nullptr ? probe_->clock : nullptr);
-  const std::uint64_t cost =
-      victim.pc - (target < victim.granted.size()
-                       ? victim.granted[target].op_index
-                       : victim.pc);
+  const std::uint64_t cost = RollbackCostOf(victim, target);
   Emit(TraceEvent::Kind::kRollback, victim, EntityId(), target, cost);
   if (rollback_costs_.size() < 65536) {
     rollback_costs_.push_back(static_cast<std::uint32_t>(cost));

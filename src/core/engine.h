@@ -21,6 +21,7 @@
 #include "obs/lineage.h"
 #include "obs/probe.h"
 #include "obs/snapshot.h"
+#include "obs/txnlife.h"
 #include "core/victim_policy.h"
 #include "graph/digraph.h"
 #include "lock/lock_manager.h"
@@ -343,6 +344,12 @@ class Engine {
   // the engine or be detached first.
   void set_lineage(obs::LineageTracker* lineage) { lineage_ = lineage; }
 
+  // Installs a transaction-lifecycle book (nullptr to detach): stamped at
+  // admit, every executed op, block/wake, cause-tagged rollback and commit.
+  // Not owned; must outlive the engine or be detached first. Like lineage,
+  // written only from the thread stepping this engine.
+  void set_txnlife(obs::TxnLifeBook* book) { txnlife_ = book; }
+
   // Materializes the full waits-for state at this instant: every live
   // transaction (status, ω position, state/lock indices, held and
   // requested locks, preemption lineage), every waits-for arc, and the
@@ -438,6 +445,10 @@ class Engine {
       const TxnContext& member,
       const std::vector<std::pair<EntityId, lock::LockMode>>& conflicts,
       bool is_requester) const;
+  // Ops lost by rolling `victim` back to lock state `target` (the redo a
+  // rollback to that target pays).
+  std::uint64_t RollbackCostOf(const TxnContext& victim,
+                               LockIndex target) const;
   // Rolls `victim` back to lock state `target` (which its strategy can
   // restore exactly). Releases/downgrades undone locks, cancels its wait,
   // rewinds the recorder and resets the program counter.
@@ -458,6 +469,7 @@ class Engine {
   const obs::EngineProbe* probe_ = nullptr;   // may be null
   obs::DeadlockDumpSink* forensics_ = nullptr;  // may be null
   obs::LineageTracker* lineage_ = nullptr;      // may be null
+  obs::TxnLifeBook* txnlife_ = nullptr;         // may be null
   lock::LockManager locks_;
   graph::Digraph waits_for_;
   std::map<TxnId, TxnContext> txns_;

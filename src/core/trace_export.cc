@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
 
 namespace pardb::core {
 
@@ -154,6 +156,56 @@ void EmitShard(std::ostringstream& os, bool& first, const ShardTrace& shard) {
   }
 }
 
+// Flow arrows for cross-shard transactions: each global's slices (sorted
+// by spawn step, ties by pid) chain through ph "s" -> "t"... -> "f" events
+// sharing the global sequence number as the flow id. Each flow event binds
+// to the enclosing txn slice on its (pid, tid) track at the slice's spawn
+// step, which is where Perfetto anchors the arrow; bp:"e" makes the finish
+// bind to the enclosing slice rather than the next one.
+void EmitFlows(std::ostringstream& os, bool& first,
+               const std::vector<ShardTrace>& shards,
+               const std::vector<GlobalSlice>& flows) {
+  if (flows.empty()) return;
+  // (pid, tid) -> first spawn step in that shard's stream.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> spawn_step;
+  for (const ShardTrace& shard : shards) {
+    for (const TraceEvent& e : shard.events) {
+      if (e.kind != TraceEvent::Kind::kSpawn || !e.txn.valid()) continue;
+      spawn_step.try_emplace({shard.pid, e.txn.value()}, e.step);
+    }
+  }
+  std::map<std::uint64_t, std::vector<GlobalSlice>> by_global;
+  for (const GlobalSlice& s : flows) by_global[s.global].push_back(s);
+  for (auto& [global, slices] : by_global) {
+    struct Anchor {
+      std::uint64_t pid, tid, ts;
+    };
+    std::vector<Anchor> anchors;
+    for (const GlobalSlice& s : slices) {
+      auto it = spawn_step.find({s.pid, s.tid});
+      if (it == spawn_step.end()) continue;  // slice never spawned (trace cut)
+      anchors.push_back(Anchor{s.pid, s.tid, it->second});
+    }
+    if (anchors.size() < 2) continue;  // nothing to link
+    std::sort(anchors.begin(), anchors.end(), [](const Anchor& a,
+                                                 const Anchor& b) {
+      return a.ts != b.ts ? a.ts < b.ts : a.pid < b.pid;
+    });
+    std::ostringstream name;
+    name << "global G" << global;
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+      const Anchor& a = anchors[i];
+      const bool last = i + 1 == anchors.size();
+      const char* ph = i == 0 ? "s" : (last ? "f" : "t");
+      std::ostringstream extra;
+      extra << ",\"id\":" << global;
+      if (last) extra << ",\"bp\":\"e\"";
+      EmitEvent(os, first, ph, name.str(), "xshard", a.pid, a.tid, a.ts,
+                extra.str());
+    }
+  }
+}
+
 }  // namespace
 
 std::string TraceEventToJsonLine(const TraceEvent& event) {
@@ -168,11 +220,13 @@ std::string TraceEventToJsonLine(const TraceEvent& event) {
   return os.str();
 }
 
-std::string ChromeTraceJson(const std::vector<ShardTrace>& shards) {
+std::string ChromeTraceJson(const std::vector<ShardTrace>& shards,
+                            const std::vector<GlobalSlice>& flows) {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const ShardTrace& shard : shards) EmitShard(os, first, shard);
+  EmitFlows(os, first, shards, flows);
   os << "\n]}\n";
   return os.str();
 }
@@ -187,10 +241,11 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
 }
 
 bool WriteChromeTraceFile(const std::string& path,
-                          const std::vector<ShardTrace>& shards) {
+                          const std::vector<ShardTrace>& shards,
+                          const std::vector<GlobalSlice>& flows) {
   std::ofstream out(path);
   if (!out) return false;
-  out << ChromeTraceJson(shards);
+  out << ChromeTraceJson(shards, flows);
   return static_cast<bool>(out);
 }
 

@@ -37,6 +37,17 @@ struct ShardTrace {
   std::vector<TraceEvent> events;  // in emission order
 };
 
+// One slice of a cross-shard (global) transaction: the shard-local
+// transaction `tid` running on process `pid` belongs to the global
+// transaction with sequence number `global`. The sharded driver fills
+// these from the coordinator's slice index so the Chrome trace can draw
+// flow arrows linking a split transaction's slices across shard tracks.
+struct GlobalSlice {
+  std::uint64_t global = 0;  // global sequence number (the flow id)
+  std::uint64_t pid = 0;     // home shard of the slice
+  std::uint64_t tid = 0;     // local txn id on that shard
+};
+
 // Renders engine events as a Chrome trace_event JSON document (loadable in
 // Perfetto / about://tracing). Timestamps are engine steps expressed as
 // microseconds; pid = shard, tid = transaction. Mapping:
@@ -46,17 +57,25 @@ struct ShardTrace {
 //  * kDeadlock             -> instant "deadlock E<n>"
 //  * kRollback/kWound/
 //    kDeath/kTimeout       -> instant with target/cost args
+//  * GlobalSlice groups    -> ph "s"/"t"/"f" flow events ("global G<seq>")
+//                             binding the slices of one global transaction
+//                             — and its 2PC prepare/resolve points — into
+//                             one arrow chain across shard tracks, ordered
+//                             by each slice's spawn step
 // Slices left open at the end of a shard's stream are closed at its last
 // step so partial runs still load.
-std::string ChromeTraceJson(const std::vector<ShardTrace>& shards);
+std::string ChromeTraceJson(const std::vector<ShardTrace>& shards,
+                            const std::vector<GlobalSlice>& flows = {});
 
 // Convenience for a single-engine run.
 std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
                             const std::string& process_name = "pardb");
 
-// Writes `ChromeTraceJson(shards)` to `path`. Returns false on I/O failure.
+// Writes `ChromeTraceJson(shards, flows)` to `path`. Returns false on I/O
+// failure.
 bool WriteChromeTraceFile(const std::string& path,
-                          const std::vector<ShardTrace>& shards);
+                          const std::vector<ShardTrace>& shards,
+                          const std::vector<GlobalSlice>& flows = {});
 
 }  // namespace pardb::core
 

@@ -120,10 +120,32 @@ inline constexpr char kXShardEpochs[] = "pardb_xshard_epochs";
 // Trace pipeline.
 inline constexpr char kTraceDroppedTotal[] = "pardb_trace_dropped_total";
 
+// Transaction lifecycle timelines (obs::TxnLifeBook; see DESIGN D13).
+// Steps executed and then rolled back, attributed to the decision that
+// caused the loss (labeled {cause="deadlock_victim"|...}).
+inline constexpr char kWastedStepsTotal[] = "pardb_wasted_steps_total";
+// Rollback events per cause (same label set as the wasted-steps counter).
+inline constexpr char kRollbackCauseTotal[] = "pardb_rollback_cause_total";
+// wasted / executed steps, parts-per-million (gauge; the paper's "loss of
+// progress" as a live ratio).
+inline constexpr char kReworkRatioPpm[] = "pardb_rework_ratio_ppm";
+// End-to-end latency components, recorded once per commit. Step-valued
+// histograms except queue wait, which is wall nanoseconds sampled on the
+// admission queue (wall data never enters the deterministic report).
+inline constexpr char kTxnE2eSteps[] = "pardb_txn_e2e_steps";
+inline constexpr char kTxnLockWaitSteps[] = "pardb_txn_lock_wait_steps";
+inline constexpr char kTxnExecSteps[] = "pardb_txn_exec_steps";
+inline constexpr char kTxnRedoSteps[] = "pardb_txn_redo_steps";
+inline constexpr char kTxnQueueWaitNs[] = "pardb_txn_queue_wait_ns";
+// Timeline events evicted from a book's bounded ring (mirrors
+// pardb_trace_dropped_total; asserted 0 in the CI observability smoke).
+inline constexpr char kTxnlifeDroppedTotal[] = "pardb_txnlife_dropped_total";
+
 // Label keys.
 inline constexpr char kShardLabel[] = "shard";
 inline constexpr char kWorkerLabel[] = "worker";
 inline constexpr char kPhaseLabel[] = "phase";
+inline constexpr char kCauseLabel[] = "cause";
 
 }  // namespace pardb::obs
 

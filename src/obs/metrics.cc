@@ -110,12 +110,16 @@ HistogramSnapshot Histogram::Snapshot() const {
 }
 
 std::uint64_t HistogramSnapshot::Quantile(std::uint64_t p) const {
+  return QuantilePerMille(p * 10);
+}
+
+std::uint64_t HistogramSnapshot::QuantilePerMille(std::uint64_t pm) const {
   if (count == 0) return 0;
-  // Nearest rank, as in core::ComputeCostDistribution: the percentile-P
-  // sample has rank ceil(count * P / 100), clamped to [1, count].
+  // Nearest rank, as in core::ComputeCostDistribution: the per-mille-PM
+  // sample has rank ceil(count * PM / 1000), clamped to [1, count].
   const std::uint64_t rank =
       std::min<std::uint64_t>(count, std::max<std::uint64_t>(
-                                         1, (count * p + 99) / 100));
+                                         1, (count * pm + 999) / 1000));
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
     cum += counts[i];
@@ -287,7 +291,9 @@ std::string RegistrySnapshot::ToJson(int indent) const {
         os << "\"count\":" << m.hist.count << ",\"sum\":" << m.hist.sum
            << ",\"max\":" << m.hist.max << ",\"p50\":" << m.hist.Quantile(50)
            << ",\"p95\":" << m.hist.Quantile(95)
-           << ",\"p99\":" << m.hist.Quantile(99) << ",\"buckets\":[";
+           << ",\"p99\":" << m.hist.Quantile(99)
+           << ",\"p999\":" << m.hist.QuantilePerMille(999)
+           << ",\"buckets\":[";
         // Only non-empty buckets: the bound table is long and mostly zeros.
         bool bf = true;
         for (std::size_t i = 0; i < m.hist.counts.size(); ++i) {
@@ -358,6 +364,12 @@ std::string RegistrySnapshot::ToPrometheus() const {
            << "\n";
         os << m.name << "_count" << Labels(m.labels) << " " << m.hist.count
            << "\n";
+        os << m.name << Labels(m.labels, "quantile", "0.5") << " "
+           << m.hist.Quantile(50) << "\n";
+        os << m.name << Labels(m.labels, "quantile", "0.99") << " "
+           << m.hist.Quantile(99) << "\n";
+        os << m.name << Labels(m.labels, "quantile", "0.999") << " "
+           << m.hist.QuantilePerMille(999) << "\n";
         break;
       }
     }

@@ -61,6 +61,10 @@ struct HistogramSnapshot {
   // max, which is exact for the top of the distribution). 0 when empty.
   std::uint64_t Quantile(std::uint64_t p) const;
 
+  // Same nearest-rank convention at per-mille resolution (p999 = 999):
+  // rank ceil(count * pm / 1000). Quantile(p) == QuantilePerMille(p * 10).
+  std::uint64_t QuantilePerMille(std::uint64_t pm) const;
+
   // Bucket-wise sum. Returns false (and leaves *this untouched) when the
   // bound vectors differ.
   bool MergeFrom(const HistogramSnapshot& other);
@@ -123,11 +127,13 @@ struct RegistrySnapshot {
                              const LabelSet& labels = {}) const;
 
   // {"metrics":[{"name":...,"labels":{...},"type":...,...}]} with
-  // histograms carrying count/sum/max/p50/p95/p99 and the bucket table.
+  // histograms carrying count/sum/max/p50/p95/p99/p999 and the bucket table.
   std::string ToJson(int indent = 0) const;
 
   // Prometheus text exposition (counters, gauges, and histograms as
-  // cumulative _bucket/_sum/_count series) for a future serving mode.
+  // cumulative _bucket/_sum/_count series plus summary-style
+  // {quantile="0.5"|"0.99"|"0.999"} lines so percentiles are grep-able on a
+  // live scrape without bucket arithmetic).
   std::string ToPrometheus() const;
 };
 

@@ -61,7 +61,8 @@ const char* StatusText(int status) {
 // MSG_NOSIGNAL (or SO_NOSIGPIPE where that's the spelling) turns the
 // would-be fatal SIGPIPE into an EPIPE return, and EINTR is retried
 // instead of abandoning a response a signal happened to interrupt.
-void WriteAll(int fd, const std::string& data) {
+// Returns false once the peer is gone (the SSE loop's exit signal).
+bool WriteAll(int fd, const std::string& data) {
 #ifdef MSG_NOSIGNAL
   constexpr int kSendFlags = MSG_NOSIGNAL;
 #else
@@ -76,9 +77,10 @@ void WriteAll(int fd, const std::string& data) {
     const ssize_t n =
         ::send(fd, data.data() + off, data.size() - off, kSendFlags);
     if (n < 0 && errno == EINTR) continue;  // interrupted, not gone: retry
-    if (n <= 0) return;  // peer went away; nothing to salvage
+    if (n <= 0) return false;  // peer went away; nothing to salvage
     off += static_cast<std::size_t>(n);
   }
+  return true;
 }
 
 }  // namespace
@@ -127,6 +129,10 @@ void HttpServer::Route(const std::string& path, Handler handler) {
   routes_[path] = std::move(handler);
 }
 
+void HttpServer::RouteStream(const std::string& path, StreamHandler handler) {
+  stream_routes_[path] = std::move(handler);
+}
+
 Status HttpServer::Start(std::uint16_t port) {
   if (listen_fd_ >= 0) return Status::FailedPrecondition("already running");
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -164,6 +170,15 @@ void HttpServer::Stop() {
   if (listen_fd_ < 0) return;
   stopping_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
+  // No new stream threads can appear after the accept thread exits; each
+  // live one sees stopping_ within its ~100ms pacing and winds down.
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    for (std::thread& t : stream_threads_) {
+      if (t.joinable()) t.join();
+    }
+    stream_threads_.clear();
+  }
   ::close(listen_fd_);
   listen_fd_ = -1;
   port_ = 0;
@@ -176,12 +191,11 @@ void HttpServer::Loop() {
     if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
-    HandleConnection(conn);
-    ::close(conn);
+    if (!HandleConnection(conn)) ::close(conn);
   }
 }
 
-void HttpServer::HandleConnection(int fd) {
+bool HttpServer::HandleConnection(int fd) {
   // Read until the end of the header block (or 16 KiB — introspection
   // requests are one line). A short poll keeps a stalled client from
   // wedging the accept loop.
@@ -196,7 +210,7 @@ void HttpServer::HandleConnection(int fd) {
     raw.append(buf, static_cast<std::size_t>(n));
   }
   const std::size_t eol = raw.find('\n');
-  if (eol == std::string::npos) return;
+  if (eol == std::string::npos) return false;
 
   std::istringstream line(raw.substr(0, eol));
   std::string method, target, version;
@@ -214,14 +228,36 @@ void HttpServer::HandleConnection(int fd) {
       path = target.substr(0, qmark);
       qs = target.substr(qmark + 1);
     }
+    HttpRequest req;
+    req.method = method;
+    req.path = path;
+    req.query = ParseQueryString(qs);
+    if (auto st = stream_routes_.find(path);
+        st != stream_routes_.end() && req.QueryOr("stream", "") == "sse") {
+      // Hand the connection to a stream thread: headers now, then the
+      // handler paces itself against the hub until the client leaves or
+      // Stop() flips stopping_. The thread owns (and closes) the fd.
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      const StreamHandler* handler = &st->second;  // map entry outlives threads
+      std::lock_guard<std::mutex> lock(stream_mu_);
+      stream_threads_.emplace_back([this, fd, req = std::move(req), handler] {
+        if (WriteAll(fd,
+                     "HTTP/1.0 200 OK\r\n"
+                     "Content-Type: text/event-stream\r\n"
+                     "Cache-Control: no-cache\r\n"
+                     "Connection: close\r\n\r\n")) {
+          (*handler)(
+              req, [fd](const std::string& chunk) { return WriteAll(fd, chunk); },
+              stopping_);
+        }
+        ::close(fd);
+      });
+      return true;
+    }
     auto it = routes_.find(path);
     if (it == routes_.end()) {
       resp = HttpResponse::NotFound(path);
     } else {
-      HttpRequest req;
-      req.method = method;
-      req.path = path;
-      req.query = ParseQueryString(qs);
       resp = it->second(req);
     }
   }
@@ -235,6 +271,7 @@ void HttpServer::HandleConnection(int fd) {
       << "Connection: close\r\n\r\n"
       << resp.body;
   WriteAll(fd, out.str());
+  return false;
 }
 
 }  // namespace pardb::obs

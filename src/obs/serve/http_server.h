@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/status.h"
 
@@ -52,8 +54,26 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
+  // Streaming handler: invoked after the response headers have gone out
+  // (200, text/event-stream, no Content-Length). `write` appends raw bytes
+  // to the open connection and returns false once the client disconnected;
+  // `stopping` flips true when Stop() was called. The handler owns its
+  // pacing and MUST observe both signals at least every ~100ms so shutdown
+  // stays prompt — the server joins every stream thread in Stop().
+  using StreamWriter = std::function<bool(const std::string&)>;
+  using StreamHandler = std::function<void(
+      const HttpRequest&, const StreamWriter&, const std::atomic<bool>&)>;
+
   // Registers a handler for an exact path. Must be called before Start().
   void Route(const std::string& path, Handler handler);
+
+  // Registers a streaming (Server-Sent Events) handler for an exact path.
+  // A request for the path is handed to it only when its query string has
+  // stream=sse; anything else falls through to the regular Route handler.
+  // Each live stream runs on its own detached-until-Stop thread, so a
+  // long-lived subscriber never blocks the accept loop (and a /metrics
+  // scrape proceeds mid-stream). Must be called before Start().
+  void RouteStream(const std::string& path, StreamHandler handler);
 
   // Binds 127.0.0.1:`port` (0 = ephemeral) and spawns the accept thread.
   // InvalidArgument/Internal on socket errors (port in use, etc.).
@@ -72,14 +92,21 @@ class HttpServer {
 
  private:
   void Loop();
-  void HandleConnection(int fd);
+  // Returns true when the connection was handed off to a stream thread
+  // (which then owns and closes the fd); false when the caller must close.
+  bool HandleConnection(int fd);
 
   std::map<std::string, Handler> routes_;
+  std::map<std::string, StreamHandler> stream_routes_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::thread thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};
+  // Live (and finished-but-unjoined) stream threads; spawned only by the
+  // accept thread, joined in Stop() after the accept thread exits.
+  std::mutex stream_mu_;
+  std::vector<std::thread> stream_threads_;
 };
 
 // Decodes "a=1&b=x%2Fy" into a map (exposed for tests).

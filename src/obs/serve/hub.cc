@@ -71,18 +71,25 @@ RegistrySnapshot LiveHub::MergedMetrics() const {
 }
 
 void LiveHub::PublishSnapshot(WaitsForSnapshot snap) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (WaitsForSnapshot& existing : snapshots_) {
-    if (existing.shard == snap.shard) {
-      existing = std::move(snap);
-      return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool replaced = false;
+    for (WaitsForSnapshot& existing : snapshots_) {
+      if (existing.shard == snap.shard) {
+        existing = std::move(snap);
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      snapshots_.push_back(std::move(snap));
+      std::sort(snapshots_.begin(), snapshots_.end(),
+                [](const WaitsForSnapshot& a, const WaitsForSnapshot& b) {
+                  return a.shard < b.shard;
+                });
     }
   }
-  snapshots_.push_back(std::move(snap));
-  std::sort(snapshots_.begin(), snapshots_.end(),
-            [](const WaitsForSnapshot& a, const WaitsForSnapshot& b) {
-              return a.shard < b.shard;
-            });
+  snapshot_version_.fetch_add(1, std::memory_order_release);
 }
 
 std::vector<WaitsForSnapshot> LiveHub::Snapshots() const {
@@ -91,13 +98,43 @@ std::vector<WaitsForSnapshot> LiveHub::Snapshots() const {
 }
 
 void LiveHub::PublishGlobalSnapshot(WaitsForSnapshot snap) {
-  std::lock_guard<std::mutex> lock(mu_);
-  global_snapshot_ = std::move(snap);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    global_snapshot_ = std::move(snap);
+  }
+  snapshot_version_.fetch_add(1, std::memory_order_release);
 }
 
 std::optional<WaitsForSnapshot> LiveHub::GlobalSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return global_snapshot_;
+}
+
+void LiveHub::PublishTxnLife(TxnLifeDigest digest) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool replaced = false;
+    for (TxnLifeDigest& existing : txnlife_) {
+      if (existing.shard == digest.shard) {
+        existing = std::move(digest);
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      txnlife_.push_back(std::move(digest));
+      std::sort(txnlife_.begin(), txnlife_.end(),
+                [](const TxnLifeDigest& a, const TxnLifeDigest& b) {
+                  return a.shard < b.shard;
+                });
+    }
+  }
+  snapshot_version_.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<TxnLifeDigest> LiveHub::TxnLifeDigests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return txnlife_;
 }
 
 DeadlockDumpSink* LiveHub::MakeDeadlockSink(std::uint32_t shard) {

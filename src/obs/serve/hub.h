@@ -15,6 +15,7 @@
 #include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
+#include "obs/txnlife.h"
 
 namespace pardb::obs {
 
@@ -77,6 +78,21 @@ class LiveHub {
   // has published one.
   std::optional<WaitsForSnapshot> GlobalSnapshot() const;
 
+  // Transaction-lifecycle digests ------------------------------------------
+
+  // Publishes `digest` as shard `digest.shard`'s latest lifecycle digest
+  // (replacing any previous one). Called from the owning shard's thread at
+  // snapshot cadence; powers /debug/txn and /debug/slowest.
+  void PublishTxnLife(TxnLifeDigest digest);
+  // Latest digest of every shard that published one, in shard order.
+  std::vector<TxnLifeDigest> TxnLifeDigests() const;
+
+  // Monotonic counter bumped on every waits-for or lifecycle publish. The
+  // SSE stream polls it to detect fresh state without holding the hub lock.
+  std::uint64_t snapshot_version() const {
+    return snapshot_version_.load(std::memory_order_acquire);
+  }
+
   // Deadlock ring ----------------------------------------------------------
 
   // A DeadlockDumpSink that records into this hub's ring, tagged with
@@ -132,6 +148,8 @@ class LiveHub {
   std::vector<std::unique_ptr<MetricsRegistry>> owned_registries_;
   std::vector<WaitsForSnapshot> snapshots_;  // latest per shard, shard order
   std::optional<WaitsForSnapshot> global_snapshot_;  // latest union view
+  std::vector<TxnLifeDigest> txnlife_;       // latest per shard, shard order
+  std::atomic<std::uint64_t> snapshot_version_{0};
   std::deque<ShardDeadlockDump> deadlocks_;
   std::vector<std::unique_ptr<RingSink>> sinks_;
   std::atomic<std::uint64_t> deadlocks_seen_{0};

@@ -1,10 +1,45 @@
 #include "obs/serve/introspection.h"
 
+#include <chrono>
+#include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "obs/forensics.h"
+#include "obs/txnlife.h"
 
 namespace pardb::obs {
+
+namespace {
+
+// One SSE frame. The data payload may span lines (the snapshot JSON is
+// pretty-printed), so every line gets its own `data:` field, per the spec.
+std::string SseEvent(const std::string& event, const std::string& payload) {
+  std::ostringstream os;
+  os << "event: " << event << "\n";
+  std::size_t pos = 0;
+  while (pos <= payload.size()) {
+    std::size_t nl = payload.find('\n', pos);
+    if (nl == std::string::npos) nl = payload.size();
+    os << "data: " << payload.substr(pos, nl - pos) << "\n";
+    pos = nl + 1;
+  }
+  os << "\n";
+  return os.str();
+}
+
+// Strictly parsed non-negative integer query parameter; false on junk.
+bool ParseUint(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace
 
 void InstallIntrospectionRoutes(HttpServer* server, LiveHub* hub) {
   server->Route("/", [](const HttpRequest&) {
@@ -13,9 +48,14 @@ void InstallIntrospectionRoutes(HttpServer* server, LiveHub* hub) {
         "  /metrics                 Prometheus text exposition\n"
         "  /healthz                 run phase + uptime JSON\n"
         "  /debug/waits-for         waits-for snapshots "
-        "(?format=json|dot&scope=shards|global)\n"
+        "(?format=json|dot&scope=shards|global; ?stream=sse subscribes to "
+        "snapshot updates)\n"
         "  /debug/deadlocks         recent deadlock forensics "
-        "(?format=json|dot)\n");
+        "(?format=json|dot)\n"
+        "  /debug/txn               lifecycle timeline of one transaction "
+        "(?id=N)\n"
+        "  /debug/slowest           slowest committed transactions by "
+        "end-to-end steps (?k=10)\n");
   });
 
   server->Route("/metrics", [hub](const HttpRequest&) {
@@ -62,6 +102,68 @@ void InstallIntrospectionRoutes(HttpServer* server, LiveHub* hub) {
     r.status = 400;
     r.body = "unknown format '" + format + "' (want json or dot)\n";
     return r;
+  });
+
+  // SSE subscription: one `snapshot` event per hub publication epoch. The
+  // hub bumps snapshot_version() on every publish, so the stream polls the
+  // version (cheap atomic read, no hub lock) and only serializes + sends
+  // when something actually changed — a burst of per-shard publications
+  // coalesces into one event. `max_events` bounds the stream (tests); 0
+  // streams until the client disconnects or the server stops.
+  server->RouteStream(
+      "/debug/waits-for",
+      [hub](const HttpRequest& req, const HttpServer::StreamWriter& write,
+            const std::atomic<bool>& stopping) {
+        std::uint64_t max_events = 0;
+        ParseUint(req.QueryOr("max_events", ""), &max_events);
+        const std::string phase_scope = req.QueryOr("scope", "shards");
+        std::uint64_t sent = 0;
+        std::uint64_t last_version = 0;
+        bool first = true;
+        while (!stopping.load(std::memory_order_acquire)) {
+          const std::uint64_t version = hub->snapshot_version();
+          if (first || version != last_version) {
+            first = false;
+            last_version = version;
+            std::vector<WaitsForSnapshot> snaps;
+            if (phase_scope == "global") {
+              if (auto snap = hub->GlobalSnapshot()) {
+                snaps.push_back(*std::move(snap));
+              }
+            } else {
+              snaps = hub->Snapshots();
+            }
+            const std::string payload = WaitsForSnapshotsToJson(
+                snaps, std::string(RunPhaseName(hub->phase())));
+            if (!write(SseEvent("snapshot", payload))) return;
+            if (max_events != 0 && ++sent >= max_events) return;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        }
+      });
+
+  server->Route("/debug/txn", [hub](const HttpRequest& req) {
+    std::uint64_t id = 0;
+    if (!ParseUint(req.QueryOr("id", ""), &id)) {
+      HttpResponse r;
+      r.status = 400;
+      r.body = "missing or malformed id (want /debug/txn?id=N)\n";
+      return r;
+    }
+    return HttpResponse::Json(TxnByIdJson(hub->TxnLifeDigests(), id));
+  });
+
+  server->Route("/debug/slowest", [hub](const HttpRequest& req) {
+    std::uint64_t k = 10;
+    const std::string k_s = req.QueryOr("k", "10");
+    if (!ParseUint(k_s, &k)) {
+      HttpResponse r;
+      r.status = 400;
+      r.body = "malformed k (want /debug/slowest?k=N)\n";
+      return r;
+    }
+    return HttpResponse::Json(
+        SlowestTxnsJson(hub->TxnLifeDigests(), static_cast<std::size_t>(k)));
   });
 
   server->Route("/debug/deadlocks", [hub](const HttpRequest& req) {

@@ -18,10 +18,17 @@ namespace pardb::obs {
 //   GET /healthz                  {"phase","uptime_seconds","shards",
 //                                  "deadlocks_seen","requests_served"} JSON
 //   GET /debug/waits-for          per-shard waits-for snapshots;
-//                                 ?format=json (default) | dot
+//                                 ?format=json (default) | dot;
+//                                 ?stream=sse subscribes: one SSE
+//                                 `snapshot` event per hub publication
+//                                 epoch (?max_events=N bounds the stream)
 //   GET /debug/deadlocks          ring of the last K forensic dumps
 //                                 (cycle arcs, costs, victims) as JSON;
 //                                 ?format=dot renders the newest dump
+//   GET /debug/txn?id=N           lifecycle timeline of transaction N
+//                                 across published shard digests (D13)
+//   GET /debug/slowest?k=K        top-K committed transactions by
+//                                 end-to-end steps, slowest first
 //   GET /                         plain-text index of the endpoints
 //
 // Call before HttpServer::Start(); handlers run on the server thread and

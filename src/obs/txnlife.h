@@ -1,0 +1,262 @@
+#ifndef PARDB_OBS_TXNLIFE_H_
+#define PARDB_OBS_TXNLIFE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace pardb::obs {
+
+// ---------------------------------------------------------------------------
+// Per-transaction lifecycle timelines (DESIGN D13).
+//
+// Every transaction carries a compact timeline record stamped at admit,
+// first step, each block/wake, each rollback (tagged with the decision that
+// caused the loss and the causing transaction/cycle) and commit — in
+// virtual step time always, in wall time on a sampled subset of events.
+// The records power the wasted-work ledger (pardb_wasted_steps_total by
+// cause — the first direct measurement of the paper's partial-vs-total
+// claim), the end-to-end latency histograms (queue wait / lock wait /
+// execution / rollback-redo components, p50/p99/p999), and the live
+// /debug/txn and /debug/slowest endpoints.
+//
+// Timeline data NEVER enters the deterministic byte-compared reports:
+// books hang off engines through the same borrowed-observer pattern as
+// traces and lineage, and everything they publish flows through the
+// metrics registry or the LiveHub.
+// ---------------------------------------------------------------------------
+
+// Why a transaction lost executed work. The taxonomy covers every rollback
+// call site in the engine plus the coordinator's distributed aborts.
+enum class RollbackCause : std::uint8_t {
+  kDeadlockVictim = 0,  // detection preempted a cycle holder (min cost, §3.1)
+  kOmegaPreemption,     // the Theorem 2 ω-ordered policy overrode min-cost
+  kSelfRollback,        // the requester itself was the cheapest victim
+  kWoundWait,           // an older requester wounded this holder
+  kWaitDie,             // this younger requester died on conflict
+  kTimeout,             // the wait expired
+  kTwoPCAbort,          // coordinator-applied distributed partial rollback
+};
+
+inline constexpr std::size_t kNumRollbackCauses = 7;
+
+// Canonical label value for {cause="..."} metric instances and JSON.
+std::string_view RollbackCauseName(RollbackCause cause);
+
+// One timeline event. `wall_ns` is 0 unless the event was wall-sampled
+// (admit/commit always are; interior events every wall_sample_period-th).
+struct TxnLifeEvent {
+  enum class Kind : std::uint8_t {
+    kAdmit,
+    kFirstStep,
+    kBlock,
+    kWake,
+    kRollback,
+    kCommit,
+  };
+
+  Kind kind = Kind::kAdmit;
+  RollbackCause cause = RollbackCause::kDeadlockVictim;  // kRollback only
+  std::uint64_t txn = 0;      // local TxnId value
+  std::uint64_t step = 0;     // engine step counter at emission
+  std::uint64_t wall_ns = 0;  // sampled wall clock, 0 = not sampled
+  std::uint64_t detail = 0;   // entity (block), cost (rollback), pc (commit)
+  std::uint64_t causing = 0;  // causing TxnId value + 1, 0 = none
+  std::uint64_t cycle = 0;    // deadlock ordinal + 1, 0 = none
+};
+
+std::string_view TxnLifeEventKindName(TxnLifeEvent::Kind kind);
+
+// Timeline summary of one transaction, the unit the hub publishes and the
+// debug endpoints serialize. `events` holds the ring-retained window for
+// this transaction (possibly empty once evicted).
+struct TxnTimelineRecord {
+  static constexpr std::uint64_t kUnset = ~0ULL;
+
+  std::uint64_t txn = 0;
+  std::uint32_t shard = 0;
+  bool committed = false;
+  std::uint64_t admit_step = kUnset;
+  std::uint64_t first_step = kUnset;
+  std::uint64_t commit_step = kUnset;
+  std::uint64_t admit_ns = 0;
+  std::uint64_t commit_ns = 0;
+  std::uint64_t queue_wait_ns = 0;
+  std::uint64_t lock_wait_steps = 0;
+  std::uint64_t exec_steps = 0;  // ops executed, redo included
+  std::uint64_t redo_steps = 0;  // sum of rollback costs (lost then redone)
+  std::uint64_t blocks = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t e2e_steps = 0;  // commit_step - admit_step, 0 while open
+  std::vector<TxnLifeEvent> events;
+};
+
+// What a shard publishes to the LiveHub at snapshot cadence: the ledger
+// totals plus a bounded set of full records (top-k slowest committed and
+// the most recently admitted), with per-record events recovered from the
+// ring in one pass.
+struct TxnLifeDigest {
+  std::uint32_t shard = 0;
+  std::uint64_t txns = 0;       // records in the book
+  std::uint64_t committed = 0;  // of which committed
+  std::uint64_t steps_executed = 0;
+  std::uint64_t wasted_steps = 0;
+  std::uint64_t total_events = 0;
+  std::uint64_t dropped_events = 0;
+  std::array<std::uint64_t, kNumRollbackCauses> wasted_by_cause{};
+  std::array<std::uint64_t, kNumRollbackCauses> rollbacks_by_cause{};
+  std::vector<TxnTimelineRecord> slowest;  // descending e2e_steps
+  std::vector<TxnTimelineRecord> recent;   // ascending txn id
+};
+
+// Per-engine lifecycle book. Single-threaded by design, like the engine
+// that feeds it (the same discipline as LineageTracker): one book per
+// engine/shard, written only by that shard's thread. Live visibility goes
+// through attached metrics (lock-free registry objects) and through
+// Digest(), which the shard thread materializes and hands to the hub.
+//
+// Storage is structure-of-arrays over dense local txn ids (the engine
+// assigns them sequentially) plus one bounded event ring shared by all
+// transactions; ring eviction is counted, mirroring RingTrace.
+class TxnLifeBook {
+ public:
+  struct Options {
+    std::size_t ring_capacity = 4096;      // timeline events retained
+    std::uint64_t wall_sample_period = 64; // interior-event wall sampling
+    const Clock* clock = nullptr;          // null = monotonic wall clock
+  };
+
+  TxnLifeBook() : TxnLifeBook(Options{}) {}
+  explicit TxnLifeBook(Options options);
+
+  // Engine hooks -----------------------------------------------------------
+
+  void OnAdmit(TxnId txn, std::uint64_t step);
+  // Called once per executed op; stamps the first step and counts work.
+  void OnStep(TxnId txn, std::uint64_t step);
+  void OnBlock(TxnId txn, std::uint64_t step, EntityId entity);
+  void OnWake(TxnId txn, std::uint64_t step);
+  void OnRollback(TxnId txn, std::uint64_t step, RollbackCause cause,
+                  TxnId causing, std::uint64_t cycle, std::uint64_t cost);
+  void OnCommit(TxnId txn, std::uint64_t step, StateIndex pc);
+
+  // Driver-side stamp: wall nanoseconds the program spent in the admission
+  // queue before Spawn (measured by the queue, carried to the book on the
+  // shard thread — no cross-thread engine reads).
+  void RecordQueueWait(TxnId txn, std::uint64_t wait_ns);
+
+  // Registers the ledger metric set in `registry` (wasted-steps and
+  // rollback counters per cause — eagerly, so every cause series exists at
+  // 0 —, the rework-ratio gauge, the latency component histograms and the
+  // dropped-events counter). Updates happen inline at stamp time; there is
+  // no separate export step. The registry must outlive the book.
+  void AttachMetrics(MetricsRegistry* registry, const LabelSet& labels = {});
+
+  // Ledger introspection ---------------------------------------------------
+
+  const std::array<std::uint64_t, kNumRollbackCauses>& wasted_by_cause()
+      const {
+    return wasted_by_cause_;
+  }
+  const std::array<std::uint64_t, kNumRollbackCauses>& rollbacks_by_cause()
+      const {
+    return rollbacks_by_cause_;
+  }
+  std::uint64_t wasted_steps() const { return wasted_steps_; }
+  std::uint64_t steps_executed() const { return steps_executed_; }
+  std::uint64_t txns() const { return admitted_; }
+  std::uint64_t committed() const { return committed_; }
+  std::uint64_t total_events() const { return total_events_; }
+  // Events evicted from the ring because it was full.
+  std::uint64_t dropped_events() const { return dropped_events_; }
+
+  // Timeline materialization (shard thread only) ---------------------------
+
+  bool Has(TxnId txn) const;
+  // Full record with its ring-retained events.
+  TxnTimelineRecord RecordOf(TxnId txn, std::uint32_t shard = 0) const;
+  TxnLifeDigest Digest(std::uint32_t shard, std::size_t top_k = 64,
+                       std::size_t recent = 128) const;
+
+ private:
+  struct Columns {
+    // Parallel per-txn columns, indexed by local txn id.
+    std::vector<std::uint64_t> admit_step;
+    std::vector<std::uint64_t> first_step;
+    std::vector<std::uint64_t> commit_step;
+    std::vector<std::uint64_t> admit_ns;
+    std::vector<std::uint64_t> commit_ns;
+    std::vector<std::uint64_t> queue_wait_ns;
+    std::vector<std::uint64_t> lock_wait_steps;
+    std::vector<std::uint64_t> block_since;  // kUnset when not blocked
+    std::vector<std::uint64_t> exec_steps;
+    std::vector<std::uint64_t> redo_steps;
+    std::vector<std::uint32_t> blocks;
+    std::vector<std::uint32_t> rollbacks;
+  };
+
+  bool Known(TxnId txn) const {
+    return txn.valid() && txn.value() < cols_.admit_step.size() &&
+           cols_.admit_step[txn.value()] != TxnTimelineRecord::kUnset;
+  }
+  void EnsureRow(std::uint64_t id);
+  void PushEvent(TxnLifeEvent event, bool always_wall);
+  std::uint64_t SampledWall(bool always) const;
+  void UpdateReworkGauge();
+  TxnTimelineRecord SummaryOf(std::uint64_t id, std::uint32_t shard) const;
+
+  Options options_;
+  const Clock* clock_;
+  Columns cols_;
+
+  // Bounded event ring (oldest evicted first).
+  std::vector<TxnLifeEvent> ring_;
+  std::size_t ring_head_ = 0;  // index of the oldest retained event
+  std::uint64_t total_events_ = 0;
+  std::uint64_t dropped_events_ = 0;
+
+  // Ledger.
+  std::uint64_t admitted_ = 0;
+  std::uint64_t committed_ = 0;
+  std::uint64_t steps_executed_ = 0;
+  std::uint64_t wasted_steps_ = 0;
+  std::array<std::uint64_t, kNumRollbackCauses> wasted_by_cause_{};
+  std::array<std::uint64_t, kNumRollbackCauses> rollbacks_by_cause_{};
+
+  // Attached registry objects (all may be null).
+  std::array<Counter*, kNumRollbackCauses> wasted_counters_{};
+  std::array<Counter*, kNumRollbackCauses> cause_counters_{};
+  Gauge* rework_ppm_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  Histogram* e2e_steps_hist_ = nullptr;
+  Histogram* lock_wait_hist_ = nullptr;
+  Histogram* exec_hist_ = nullptr;
+  Histogram* redo_hist_ = nullptr;
+  Histogram* queue_wait_hist_ = nullptr;
+};
+
+// JSON rendering for the live endpoints -------------------------------------
+
+// One record as a JSON object (timeline events included). Pinned by
+// tools/txnlife_schema.json.
+std::string TxnTimelineToJson(const TxnTimelineRecord& record);
+
+// /debug/slowest?k= : top-k committed transactions by end-to-end steps
+// across all published shard digests, slowest first.
+std::string SlowestTxnsJson(const std::vector<TxnLifeDigest>& digests,
+                            std::size_t k);
+
+// /debug/txn?id= : every published record whose local txn id equals `id`
+// (one per shard at most), plus the ledger context of each owning shard.
+std::string TxnByIdJson(const std::vector<TxnLifeDigest>& digests,
+                        std::uint64_t id);
+
+}  // namespace pardb::obs
+
+#endif  // PARDB_OBS_TXNLIFE_H_

@@ -17,7 +17,7 @@ void AdmissionQueue::Push(txn::Program program) {
     DecrementMaterialized(1);
     return;
   }
-  items_.push_back(std::move(program));
+  items_.push_back(Item{std::move(program), clock_->NowNanos()});
   pushed_.fetch_add(1, std::memory_order_relaxed);
   UpdateGauge(items_.size());
   lock.unlock();
@@ -33,11 +33,17 @@ void AdmissionQueue::Close() {
   not_empty_.notify_all();
 }
 
-AdmissionQueue::Pop AdmissionQueue::TryPop(txn::Program* out) {
+AdmissionQueue::Pop AdmissionQueue::TryPop(txn::Program* out,
+                                           std::uint64_t* wait_ns) {
   std::unique_lock<std::mutex> lock(mu_);
   if (items_.empty()) return closed_ ? Pop::kClosed : Pop::kEmpty;
-  *out = std::move(items_.front());
+  Item item = std::move(items_.front());
   items_.pop_front();
+  *out = std::move(item.program);
+  if (wait_ns != nullptr) {
+    const std::uint64_t now = clock_->NowNanos();
+    *wait_ns = now > item.enqueue_ns ? now - item.enqueue_ns : 0;
+  }
   popped_.fetch_add(1, std::memory_order_relaxed);
   UpdateGauge(items_.size());
   DecrementMaterialized(1);
@@ -47,13 +53,19 @@ AdmissionQueue::Pop AdmissionQueue::TryPop(txn::Program* out) {
 }
 
 AdmissionQueue::Pop AdmissionQueue::WaitPop(txn::Program* out,
-                                            std::chrono::microseconds timeout) {
+                                            std::chrono::microseconds timeout,
+                                            std::uint64_t* wait_ns) {
   std::unique_lock<std::mutex> lock(mu_);
   not_empty_.wait_for(lock, timeout,
                       [this] { return !items_.empty() || closed_; });
   if (items_.empty()) return closed_ ? Pop::kClosed : Pop::kEmpty;
-  *out = std::move(items_.front());
+  Item item = std::move(items_.front());
   items_.pop_front();
+  *out = std::move(item.program);
+  if (wait_ns != nullptr) {
+    const std::uint64_t now = clock_->NowNanos();
+    *wait_ns = now > item.enqueue_ns ? now - item.enqueue_ns : 0;
+  }
   popped_.fetch_add(1, std::memory_order_relaxed);
   UpdateGauge(items_.size());
   DecrementMaterialized(1);

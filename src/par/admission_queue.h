@@ -8,6 +8,7 @@
 #include <deque>
 #include <mutex>
 
+#include "obs/clock.h"
 #include "obs/metrics.h"
 #include "txn/program.h"
 
@@ -59,6 +60,14 @@ class AdmissionQueue {
     materialized_ = counter;
   }
 
+  // Clock behind the per-item queue-wait stamps (null = monotonic wall
+  // clock). Stamps are taken and differenced inside the queue's own mutex —
+  // the wait a pop reports never involves a cross-thread engine read. Set
+  // before the producer starts.
+  void set_clock(const obs::Clock* clock) {
+    clock_ = clock != nullptr ? clock : obs::MonotonicClock::Global();
+  }
+
   // Producer side. Push blocks while the queue is at capacity (unless
   // abandoned, in which case the program is dropped on the floor — the
   // producer still runs its full generation sweep so sibling shards see
@@ -69,9 +78,13 @@ class AdmissionQueue {
 
   // Consumer side. TryPop never blocks; WaitPop blocks up to `timeout`
   // for an item or the end-of-stream token (kEmpty on timeout), letting a
-  // drained-but-open shard yield its quantum without hot-spinning.
-  Pop TryPop(txn::Program* out);
-  Pop WaitPop(txn::Program* out, std::chrono::microseconds timeout);
+  // drained-but-open shard yield its quantum without hot-spinning. When
+  // `wait_ns` is non-null a kItem pop writes the wall nanoseconds the item
+  // spent queued (enqueue-to-pop), for the lifecycle book's queue-wait
+  // component.
+  Pop TryPop(txn::Program* out, std::uint64_t* wait_ns = nullptr);
+  Pop WaitPop(txn::Program* out, std::chrono::microseconds timeout,
+              std::uint64_t* wait_ns = nullptr);
 
   // Consumer gave up (failure path): unblocks and no-ops the producer.
   void Abandon();
@@ -100,11 +113,17 @@ class AdmissionQueue {
     }
   }
 
+  struct Item {
+    txn::Program program;
+    std::uint64_t enqueue_ns;
+  };
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;   // producer waits here
   std::condition_variable not_empty_;  // consumer (WaitPop) waits here
-  std::deque<txn::Program> items_;
+  std::deque<Item> items_;
+  const obs::Clock* clock_ = obs::MonotonicClock::Global();
   bool closed_ = false;
   bool abandoned_ = false;
   std::atomic<std::uint64_t> pushed_{0};

@@ -63,6 +63,15 @@ core::EngineMetrics SumMetrics(const std::vector<ShardResult>& shards) {
   return m;
 }
 
+void SumLedgers(ShardedReport& report) {
+  for (const ShardResult& s : report.shards) {
+    for (std::size_t c = 0; c < obs::kNumRollbackCauses; ++c) {
+      report.wasted_by_cause[c] += s.wasted_by_cause[c];
+      report.rollbacks_by_cause[c] += s.rollbacks_by_cause[c];
+    }
+  }
+}
+
 std::uint64_t NowNanos() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -101,6 +110,7 @@ struct ShardExec {
   obs::MetricsRegistry local_registry;
   obs::EngineProbe probe;
   obs::LineageTracker lineage;
+  obs::TxnLifeBook txnlife;
   core::VectorTrace trace;
   obs::CollectingDeadlockSink forensics;
   obs::FanOutDeadlockSink fanout;
@@ -169,6 +179,10 @@ void InitShardExec(const ShardedOptions& options, std::uint32_t shard,
     ex.lineage.AttachMetrics(ex.registry, labels);
     engine.set_lineage(&ex.lineage);
   }
+  if (options.txnlife) {
+    if (options.instrument) ex.txnlife.AttachMetrics(ex.registry, labels);
+    engine.set_txnlife(&ex.txnlife);
+  }
   if (options.collect_traces) engine.set_trace(&ex.trace);
   if (options.collect_forensics && run.hub_sink != nullptr) {
     engine.set_forensics(&ex.fanout);
@@ -196,6 +210,13 @@ void FinishShard(const ShardedOptions& options, std::uint32_t shard,
   run.result.metrics = engine.metrics();
   run.result.rollback_costs = engine.RollbackCostDistribution();
   run.cost_samples = engine.rollback_cost_samples();
+  if (options.txnlife) {
+    run.result.wasted_by_cause = ex.txnlife.wasted_by_cause();
+    run.result.rollbacks_by_cause = ex.txnlife.rollbacks_by_cause();
+    if (options.hub != nullptr) {
+      options.hub->PublishTxnLife(ex.txnlife.Digest(shard));
+    }
+  }
   if (options.hub != nullptr) {
     // Final snapshot: the post-run server shows the end state (normally an
     // empty graph — every transaction committed).
@@ -363,12 +384,14 @@ QuantumOutcome RunShardQuantum(const ShardedOptions& options,
       while (!ex.eos &&
              ex.spawned - engine.metrics().commits < run.concurrency) {
         txn::Program program;
-        AdmissionQueue::Pop r = queue->TryPop(&program);
+        std::uint64_t queue_wait_ns = 0;
+        AdmissionQueue::Pop r = queue->TryPop(&program, &queue_wait_ns);
         if (r == AdmissionQueue::Pop::kEmpty && q_steps == 0) {
           // Nothing ran this quantum yet: give the producer a moment
           // before yielding, so a starved shard doesn't cycle through the
           // scheduler at full speed doing nothing.
-          r = queue->WaitPop(&program, std::chrono::microseconds(200));
+          r = queue->WaitPop(&program, std::chrono::microseconds(200),
+                             &queue_wait_ns);
         }
         if (r == AdmissionQueue::Pop::kClosed) {
           ex.eos = true;
@@ -383,6 +406,12 @@ QuantumOutcome RunShardQuantum(const ShardedOptions& options,
         // push the high-water mark past num_shards * capacity + 1.
         auto id = engine.Spawn(std::move(program));
         if (!id.ok()) return fail(id.status());
+        // Queue-wait stamp: measured by the queue under its own mutex,
+        // carried to the book here on the shard thread (wall clock only —
+        // never enters the deterministic report).
+        if (options.txnlife) {
+          ex.txnlife.RecordQueueWait(id.value(), queue_wait_ns);
+        }
         ++ex.spawned;
       }
       if (yielded) break;
@@ -419,6 +448,7 @@ QuantumOutcome RunShardQuantum(const ShardedOptions& options,
       if (options.instrument) {
         ex.exporter.Export(engine, ex.registry, ex.labels);
       }
+      if (options.txnlife) hub->PublishTxnLife(ex.txnlife.Digest(shard));
       const std::uint64_t period = RoundUpPowerOfTwo(
           options.hub_snapshot_period == 0 ? 512
                                            : options.hub_snapshot_period);
@@ -773,6 +803,11 @@ Result<ShardedReport> RunShardedLocks(const ShardedOptions& options) {
             obs::WaitsForSnapshot snap = engines[s]->SnapshotWaitsFor();
             snap.shard = s;
             options.hub->PublishSnapshot(std::move(snap));
+            // Coordinate phase: every engine (and its book) is quiescent,
+            // so the single-threaded digest is safe here.
+            if (options.txnlife) {
+              options.hub->PublishTxnLife(runs[s].exec->txnlife.Digest(s));
+            }
           }
         }
       }
@@ -919,6 +954,14 @@ Result<ShardedReport> RunShardedLocks(const ShardedOptions& options) {
       report.forensics.push_back(std::move(d));
     }
   }
+  if (options.collect_traces) {
+    // Slice index for the Chrome trace's flow arrows: one entry per slice
+    // the coordinator ever spawned, under its global sequence number.
+    for (const auto& [key, seq] : coord.sub_index()) {
+      report.flow_slices.push_back(
+          core::GlobalSlice{seq, key.first, key.second});
+    }
+  }
   if (sched_registry != nullptr) {
     report.metrics.MergeFrom(sched_registry->Snapshot());
   }
@@ -926,6 +969,7 @@ Result<ShardedReport> RunShardedLocks(const ShardedOptions& options) {
     report.merged_metrics = report.metrics.WithoutLabel("shard");
   }
   report.aggregate = SumMetrics(report.shards);
+  SumLedgers(report);
   report.rollback_costs =
       core::ComputeCostDistribution(std::move(merged_costs));
   // Whole transactions: a global's slices collapse into one commit.
@@ -1243,6 +1287,7 @@ Result<ShardedReport> RunSharded(const ShardedOptions& options) {
     report.merged_metrics = report.metrics.WithoutLabel("shard");
   }
   report.aggregate = SumMetrics(report.shards);
+  SumLedgers(report);
   report.rollback_costs = core::ComputeCostDistribution(std::move(merged_costs));
   report.committed = report.aggregate.commits;
   for (const ShardResult& s : report.shards) {

@@ -1,15 +1,18 @@
 #ifndef PARDB_PAR_SHARDED_DRIVER_H_
 #define PARDB_PAR_SHARDED_DRIVER_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/trace.h"
+#include "core/trace_export.h"
 #include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/serve/hub.h"
+#include "obs/txnlife.h"
 #include "par/xshard/coordinator.h"
 #include "sim/workload.h"
 
@@ -145,6 +148,12 @@ struct ShardedOptions {
   // out). Timings never enter ShardedReportToJson, which determinism tests
   // compare byte-for-byte.
   bool instrument = true;
+  // Per-transaction lifecycle timelines (DESIGN D13): one TxnLifeBook per
+  // shard engine, stamped on the shard's own thread, digested to the hub at
+  // snapshot cadence. Drives the per-cause wasted-work ledger, the latency
+  // component histograms and the /debug/txn endpoints. Off only for
+  // overhead measurements.
+  bool txnlife = true;
   // Retain each shard's full trace-event stream (for Chrome/JSONL export).
   bool collect_traces = false;
   // Keep deadlock forensic dumps, up to max_forensics_dumps per shard.
@@ -176,6 +185,11 @@ struct ShardResult {
   bool serializable = true;
   core::EngineMetrics metrics;
   core::CostDistribution rollback_costs;
+  // Per-cause wasted-work ledger from the shard's lifecycle book (all zero
+  // when ShardedOptions::txnlife is off). Excluded from ShardedReportToJson
+  // — live visibility goes through pardb_wasted_steps_total{cause}.
+  std::array<std::uint64_t, obs::kNumRollbackCauses> wasted_by_cause{};
+  std::array<std::uint64_t, obs::kNumRollbackCauses> rollbacks_by_cause{};
 };
 
 // How the run was scheduled onto workers. Timing-dependent by nature, so
@@ -258,6 +272,10 @@ struct ShardedReport {
   double wasted_fraction = 0.0;
   double goodput = 0.0;
 
+  // Summed per-cause wasted-work ledger over shards (see ShardResult).
+  std::array<std::uint64_t, obs::kNumRollbackCauses> wasted_by_cause{};
+  std::array<std::uint64_t, obs::kNumRollbackCauses> rollbacks_by_cause{};
+
   // Telemetry (populated per ShardedOptions::instrument/collect_*).
   // `metrics` carries every shard's registry snapshot side by side
   // (distinguished by the "shard" label); `merged_metrics` folds the shard
@@ -267,6 +285,10 @@ struct ShardedReport {
   // One event stream per shard, in shard order (empty without
   // collect_traces).
   std::vector<std::vector<core::TraceEvent>> shard_traces;
+  // Cross-shard slice index for Chrome-trace flow arrows: every (global
+  // seq, shard, local txn) slice the coordinator ever spawned. kLocks mode
+  // with collect_traces only; empty otherwise.
+  std::vector<core::GlobalSlice> flow_slices;
   // Deadlock dumps across shards, in shard order (empty without
   // collect_forensics).
   std::vector<obs::DeadlockDump> forensics;

@@ -41,6 +41,14 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
     lineage.AttachMetrics(options.metrics, options.metric_labels);
   }
   engine.set_lineage(&lineage);
+  obs::TxnLifeBook txnlife(obs::TxnLifeBook::Options{
+      /*ring_capacity=*/4096, /*wall_sample_period=*/64, options.clock});
+  if (options.txnlife) {
+    if (options.metrics != nullptr) {
+      txnlife.AttachMetrics(options.metrics, options.metric_labels);
+    }
+    engine.set_txnlife(&txnlife);
+  }
   obs::DeadlockDumpSink* hub_sink =
       options.hub != nullptr ? options.hub->MakeDeadlockSink(0) : nullptr;
   obs::FanOutDeadlockSink fanout(options.forensics, hub_sink);
@@ -106,6 +114,7 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
     }
     if (options.hub != nullptr && (steps & snap_mask) == 0) {
       options.hub->PublishSnapshot(engine.SnapshotWaitsFor());
+      if (options.txnlife) options.hub->PublishTxnLife(txnlife.Digest(0));
       // Live scraping: publish the engine aggregates (including new
       // rollback-cost samples) at the snapshot cadence so /metrics shows
       // histogram quantiles mid-run. Delta export — the final export
@@ -117,6 +126,7 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
   }
   if (options.hub != nullptr) {
     options.hub->PublishSnapshot(engine.SnapshotWaitsFor());
+    if (options.txnlife) options.hub->PublishTxnLife(txnlife.Digest(0));
     options.hub->SetPhase(obs::RunPhase::kDone);
   }
 
@@ -138,6 +148,8 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
         report.max_preemptions_single_txn, engine.PreemptionCountOf(t));
   }
   report.peak_materialized_programs = peak_materialized;
+  report.wasted_by_cause = txnlife.wasted_by_cause();
+  report.rollbacks_by_cause = txnlife.rollbacks_by_cause();
   if (options.metrics != nullptr) {
     exporter.Export(engine, options.metrics, options.metric_labels);
     options.metrics->GetCounter(obs::kTraceDroppedTotal, options.metric_labels)

@@ -4,10 +4,13 @@
 #include <cstdint>
 #include <string>
 
+#include <array>
+
 #include "core/engine.h"
 #include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/serve/hub.h"
+#include "obs/txnlife.h"
 #include "sim/workload.h"
 
 namespace pardb::sim {
@@ -42,6 +45,11 @@ struct SimOptions {
   // hub's ring alongside any `forensics` sink.
   obs::LiveHub* hub = nullptr;
   std::uint64_t hub_snapshot_period = 512;  // rounded up to a power of two
+  // Per-transaction lifecycle timelines (DESIGN D13): stamped in the engine,
+  // ledgered per rollback cause, digested to the hub at snapshot cadence.
+  // Off only for overhead measurements — the report's per-cause ledger and
+  // the /debug/txn endpoints are empty without it.
+  bool txnlife = true;
 };
 
 struct SimReport {
@@ -66,6 +74,13 @@ struct SimReport {
   // each admission), so this is 1 — nothing is batch-materialized. Kept
   // out of ToString (golden-string compared); the CLI stats line shows it.
   std::uint64_t peak_materialized_programs = 0;
+  // Wasted-work ledger from the lifecycle book: steps executed and then
+  // rolled back, attributed to the decision that caused the loss, and the
+  // rollback event count per cause. All zero when SimOptions::txnlife is
+  // off. Kept out of ToString (golden-string compared); the partial-vs-
+  // total bench reports these per policy.
+  std::array<std::uint64_t, obs::kNumRollbackCauses> wasted_by_cause{};
+  std::array<std::uint64_t, obs::kNumRollbackCauses> rollbacks_by_cause{};
 
   std::string ToString() const;
 };

@@ -93,11 +93,13 @@ Result<core::StepOutcome> Figure1Scenario::TriggerDeadlock() {
   return runner->StepOne(t2);
 }
 
-Result<Figure1Scenario> BuildFigure1(core::EngineOptions options) {
+Result<Figure1Scenario> BuildFigure1(core::EngineOptions options,
+                                     obs::TxnLifeBook* txnlife) {
   options = PaperModel(options);
   Figure1Scenario fig;
   fig.runner = std::make_unique<ScenarioRunner>(options);
   ScenarioRunner& r = *fig.runner;
+  if (txnlife != nullptr) r.engine().set_txnlife(txnlife);
 
   const EntityId h1 = r.AddEntity("h1");
   const EntityId h2 = r.AddEntity("h2");
@@ -201,9 +203,10 @@ Result<Figure1Scenario> BuildFigure1(core::EngineOptions options) {
 
 Result<Figure2Outcome> RunFigure2MutualPreemption(core::EngineOptions options,
                                                   int rounds,
-                                                  obs::LineageTracker* lineage) {
+                                                  obs::LineageTracker* lineage,
+                                                  obs::TxnLifeBook* txnlife) {
   Figure2Outcome out;
-  auto fig = BuildFigure1(options);
+  auto fig = BuildFigure1(options, txnlife);
   if (!fig.ok()) return fig.status();
   out.t1 = fig->t1;
   out.t2 = fig->t2;

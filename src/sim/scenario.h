@@ -66,8 +66,11 @@ struct Figure1Scenario {
 };
 
 // `options` should use exclusive-lock-only semantics; the victim policy
-// under test decides the outcome (the paper uses min-cost).
-Result<Figure1Scenario> BuildFigure1(core::EngineOptions options);
+// under test decides the outcome (the paper uses min-cost). `txnlife`
+// (optional, borrowed) is attached before the transactions spawn, so the
+// book sees the full admit-to-resolution lifecycle.
+Result<Figure1Scenario> BuildFigure1(core::EngineOptions options,
+                                     obs::TxnLifeBook* txnlife = nullptr);
 
 // ---------------------------------------------------------------------------
 // Paper Figure 2 — potentially infinite mutual preemption.
@@ -97,13 +100,15 @@ struct Figure2Outcome {
 };
 
 // Runs the alternation for `rounds` rounds (each round = two deadlocks)
-// under `options`' victim policy. `lineage` (optional, borrowed) is
-// attached to the engine before the first deadlock, so the preemption
-// chains behind pardb_preemption_chain_len can be asserted against the
-// paper's exact Figure 2 schedule.
+// under `options`' victim policy. `lineage` and `txnlife` (optional,
+// borrowed) are attached to the engine before the first deadlock, so the
+// preemption chains behind pardb_preemption_chain_len and the D13
+// wasted-work ledger can be asserted against the paper's exact Figure 2
+// schedule.
 Result<Figure2Outcome> RunFigure2MutualPreemption(
     core::EngineOptions options, int rounds,
-    obs::LineageTracker* lineage = nullptr);
+    obs::LineageTracker* lineage = nullptr,
+    obs::TxnLifeBook* txnlife = nullptr);
 
 // ---------------------------------------------------------------------------
 // Paper Figure 3 — concurrency graphs with shared and exclusive locks.

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -163,6 +164,57 @@ TEST(HistogramTest, MergedShardsEqualPooledAtEveryExportedQuantile) {
   ASSERT_EQ(merged.counts, want.counts);
   for (std::uint64_t p : {50u, 95u, 99u, 100u}) {
     EXPECT_EQ(merged.Quantile(p), want.Quantile(p)) << "p" << p;
+  }
+  for (std::uint64_t pm : {500u, 990u, 999u}) {
+    EXPECT_EQ(merged.QuantilePerMille(pm), want.QuantilePerMille(pm))
+        << "p" << pm;
+  }
+}
+
+TEST(HistogramTest, TailQuantilesFollowNearestRankAtSmallN) {
+  // n = 1: every quantile, including p999, is the lone sample.
+  {
+    Histogram h;
+    h.Record(32);
+    const HistogramSnapshot s = h.Snapshot();
+    EXPECT_EQ(s.Quantile(50), 32u);
+    EXPECT_EQ(s.Quantile(99), 32u);
+    EXPECT_EQ(s.QuantilePerMille(999), 32u);
+  }
+  // Distinct powers of two sit exactly on DefaultBounds, so the histogram
+  // quantile must equal the exact nearest-rank value sorted[ceil(n*q)-1].
+  // n = 19: p99 rank ceil(18.81) = 19 — already the max, one sample early.
+  // n = 20: p99 rank ceil(19.8) = 20 and p999 rank ceil(19.98) = 20 — the
+  // tail quantiles saturate at the max until n is large enough to shed it.
+  for (std::size_t n : {std::size_t{19}, std::size_t{20}}) {
+    Histogram h;
+    for (std::size_t i = 0; i < n; ++i) h.Record(1ULL << i);
+    const HistogramSnapshot s = h.Snapshot();
+    const auto nearest = [n](std::uint64_t pm) {
+      const std::size_t rank = (n * pm + 999) / 1000;  // ceil
+      return 1ULL << (rank - 1);
+    };
+    EXPECT_EQ(s.Quantile(50), nearest(500)) << "n=" << n;
+    EXPECT_EQ(s.Quantile(99), nearest(990)) << "n=" << n;
+    EXPECT_EQ(s.QuantilePerMille(999), nearest(999)) << "n=" << n;
+    EXPECT_EQ(s.QuantilePerMille(999), s.max) << "n=" << n;
+  }
+  // n = 100: p99 detaches from the max (rank 99 of 100) while p999 still
+  // saturates (rank ceil(99.9) = 100).
+  {
+    Histogram h;
+    std::vector<std::uint64_t> sorted;
+    for (std::size_t i = 0; i < 100; ++i) {
+      const std::uint64_t v = 1ULL << (i % 20);
+      h.Record(v);
+      sorted.push_back(v);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    const HistogramSnapshot s = h.Snapshot();
+    EXPECT_EQ(s.Quantile(50), sorted[49]);
+    EXPECT_EQ(s.Quantile(99), sorted[98]);
+    EXPECT_EQ(s.QuantilePerMille(999), sorted[99]);
+    EXPECT_EQ(s.QuantilePerMille(999), s.max);
   }
 }
 

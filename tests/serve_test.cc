@@ -447,7 +447,8 @@ TEST(ServeIntegrationTest, EndpointsServeWhileShardedRunIsInFlight) {
     while (!done.load(std::memory_order_acquire)) {
       for (const char* target :
            {"/metrics", "/healthz", "/debug/waits-for",
-            "/debug/waits-for?format=dot", "/debug/deadlocks"}) {
+            "/debug/waits-for?format=dot", "/debug/deadlocks",
+            "/debug/slowest?k=2", "/debug/txn?id=1"}) {
         auto reply = HttpFetch(port, target);
         if (reply.ok && reply.status == 200) {
           scrapes.fetch_add(1, std::memory_order_relaxed);
@@ -512,6 +513,52 @@ TEST(ServeIntegrationTest, EndpointsServeWhileShardedRunIsInFlight) {
   EXPECT_EQ(deadlocks.status, 200);
   EXPECT_GT(hub.deadlocks_seen(), 0u);
   EXPECT_NE(deadlocks.body.find("\"victims\""), std::string::npos);
+
+  // D13 lifecycle endpoints: both shards published digests, so the
+  // slowest ranking is populated and ordered, and a point lookup returns
+  // per-shard ledger context.
+  auto slowest = HttpFetch(port, "/debug/slowest?k=3");
+  ASSERT_TRUE(slowest.ok);
+  EXPECT_EQ(slowest.status, 200);
+  EXPECT_NE(slowest.body.find("\"k\":3"), std::string::npos);
+  EXPECT_NE(slowest.body.find("\"e2e_steps\":"), std::string::npos);
+  auto bad_k = HttpFetch(port, "/debug/slowest?k=abc");
+  ASSERT_TRUE(bad_k.ok);
+  EXPECT_EQ(bad_k.status, 400);
+
+  auto txn = HttpFetch(port, "/debug/txn?id=0");
+  ASSERT_TRUE(txn.ok);
+  EXPECT_EQ(txn.status, 200);
+  EXPECT_NE(txn.body.find("\"shards\":[{\"shard\":0"), std::string::npos);
+  auto no_id = HttpFetch(port, "/debug/txn");
+  ASSERT_TRUE(no_id.ok);
+  EXPECT_EQ(no_id.status, 400);
+
+  // The lifecycle series are on the scrape, and no timeline ring evicted.
+  EXPECT_NE(metrics.body.find(obs::kWastedStepsTotal), std::string::npos);
+  EXPECT_NE(metrics.body.find(obs::kReworkRatioPpm), std::string::npos);
+  EXPECT_NE(metrics.body.find(std::string(obs::kTxnE2eSteps) +
+                              "{shard=\"0\",quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find(std::string(obs::kTxnlifeDroppedTotal) +
+                              "{shard=\"0\"} 0"),
+            std::string::npos);
+
+  // SSE streaming: max_events=1 ends the stream after the first snapshot
+  // (the run is done, so no further hub version bumps would arrive) and
+  // the connection closes server-side — a plain HTTP/1.0 read-to-EOF
+  // client sees one complete event.
+  auto sse = HttpFetch(port, "/debug/waits-for?stream=sse&max_events=1");
+  ASSERT_TRUE(sse.ok);
+  EXPECT_EQ(sse.status, 200);
+  EXPECT_EQ(sse.content_type, "text/event-stream");
+  EXPECT_NE(sse.body.find("event: snapshot\n"), std::string::npos);
+  EXPECT_NE(sse.body.find("data: "), std::string::npos);
+  EXPECT_NE(sse.body.find("\"phase\":\"done\""), std::string::npos);
+  // One event exactly: a second "event:" line would mean max_events was
+  // ignored.
+  EXPECT_EQ(sse.body.find("event: snapshot"),
+            sse.body.rfind("event: snapshot"));
 
   server.Stop();
 }

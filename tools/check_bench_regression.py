@@ -6,8 +6,10 @@ the machine-normalized signal instead: speedup_vs_1 per shard count. A
 current speedup more than --max-speedup-drop-pct below the baseline's
 fails the gate. The deterministic engine results (committed transactions
 per shard count) must match the baseline exactly — any drift there is a
-behavior change, not noise. The telemetry-overhead verdict is absolute:
-overhead_pct must stay within --max-overhead-pct.
+behavior change, not noise. The telemetry-overhead verdicts are absolute:
+overhead_pct (metric probes vs bare) and timeline_overhead_pct (the D13
+lifecycle timelines vs the instrumented run) must each stay within
+--max-overhead-pct.
 
 The skew check gates the scheduler comparison (BENCH_parallel_skew.json):
 committed counts must match the baseline exactly, and on the skewed
@@ -222,12 +224,21 @@ def check_cross_shard(current, baseline, min_goodput_ratio):
 
 
 def check_overhead(overhead, max_overhead_pct):
+    failures = []
     pct = overhead["overhead_pct"]
     print(f"telemetry overhead {pct:.2f}% (budget {max_overhead_pct}%)")
     if pct > max_overhead_pct:
-        return [f"telemetry overhead {pct:.2f}% exceeds budget "
-                f"{max_overhead_pct}%"]
-    return []
+        failures.append(f"telemetry overhead {pct:.2f}% exceeds budget "
+                        f"{max_overhead_pct}%")
+    # Lifecycle-timeline increment (D13): measured against the instrumented
+    # run it rides on, gated on the same budget. Absent in pre-D13 files.
+    if "timeline_overhead_pct" in overhead:
+        tpct = overhead["timeline_overhead_pct"]
+        print(f"timeline overhead {tpct:.2f}% (budget {max_overhead_pct}%)")
+        if tpct > max_overhead_pct:
+            failures.append(f"timeline overhead {tpct:.2f}% exceeds budget "
+                            f"{max_overhead_pct}%")
+    return failures
 
 
 def main():

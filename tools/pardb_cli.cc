@@ -42,8 +42,10 @@
 //   --serve=PORT                     start an HTTP server on 127.0.0.1:PORT
 //                                    (0 = ephemeral, port printed) serving
 //                                    /metrics /healthz /debug/waits-for
-//                                    /debug/deadlocks while the run is in
-//                                    flight
+//                                    (?stream=sse to subscribe)
+//                                    /debug/deadlocks /debug/txn?id=N
+//                                    /debug/slowest?k=K while the run is
+//                                    in flight
 //   --serve-linger=SECS              keep serving this long after the run
 //                                    finishes (default 0)
 //
@@ -118,7 +120,8 @@ Result<std::unique_ptr<obs::HttpServer>> StartIntrospectionServer(
   obs::InstallIntrospectionRoutes(server.get(), hub);
   PARDB_RETURN_IF_ERROR(server->Start(static_cast<std::uint16_t>(port)));
   std::printf("serving http://127.0.0.1:%u  "
-              "(/metrics /healthz /debug/waits-for /debug/deadlocks)\n",
+              "(/metrics /healthz /debug/waits-for /debug/deadlocks "
+              "/debug/txn /debug/slowest)\n",
               server->port());
   std::fflush(stdout);
   return server;
@@ -218,10 +221,11 @@ int WriteObsArtifacts(const ObsOutputs& outs, const std::string& command,
 }
 
 int WriteTraceArtifacts(const ObsOutputs& outs,
-                        const std::vector<core::ShardTrace>& shards) {
+                        const std::vector<core::ShardTrace>& shards,
+                        const std::vector<core::GlobalSlice>& flows = {}) {
   int rc = 0;
   if (!outs.trace_out.empty()) {
-    if (core::WriteChromeTraceFile(outs.trace_out, shards)) {
+    if (core::WriteChromeTraceFile(outs.trace_out, shards, flows)) {
       std::printf("wrote %s\n", outs.trace_out.c_str());
     } else {
       std::fprintf(stderr, "cannot write %s\n", outs.trace_out.c_str());
@@ -602,7 +606,7 @@ int RunParallel(const Flags& flags) {
       t.events = report->shard_traces[s];
       traces.push_back(std::move(t));
     }
-    if (WriteTraceArtifacts(outs, traces) != 0) rc = 1;
+    if (WriteTraceArtifacts(outs, traces, report->flow_slices) != 0) rc = 1;
   }
   return rc;
 }
