@@ -87,9 +87,14 @@ void PrintCrossShardSweep() {
       auto wopt = opt;
       wopt.num_threads = workers;
       auto wrep = par::RunSharded(wopt);
-      if (!wrep.ok() ||
-          par::ShardedReportToJson(wrep.value()) != canonical) {
+      const std::string got =
+          wrep.ok() ? par::ShardedReportToJson(wrep.value()) : "{}";
+      if (!wrep.ok() || got != canonical) {
         deterministic = false;
+        // Leave both sides on disk so the regression gate can report the
+        // first differing key path instead of a bare boolean.
+        std::ofstream("BENCH_cross_shard_report_expected.json") << canonical;
+        std::ofstream("BENCH_cross_shard_report_actual.json") << got;
       }
     }
     const auto& x = rep->xshard;

@@ -147,6 +147,14 @@ void PrintPipelineComparison() {
   const double speedup =
       piped.elapsed > 0 ? batch.elapsed / piped.elapsed : 0.0;
   const bool identical = batch.report_json == piped.report_json;
+  if (!identical) {
+    // Leave both sides on disk so the regression gate can report the first
+    // differing key path instead of a bare boolean.
+    std::ofstream("BENCH_parallel_pipeline_report_batch.json")
+        << batch.report_json;
+    std::ofstream("BENCH_parallel_pipeline_report_pipelined.json")
+        << piped.report_json;
+  }
 
   Section("Pipelined admission vs batch generation (8 shards, 2400 txns)");
   Table t({"mode", "committed", "elapsed (s)", "generate (s)", "execute (s)",
@@ -191,17 +199,19 @@ void PrintPipelineComparison() {
 // Telemetry overhead: the same 4-shard run with the metric probes attached
 // (counters, sampled timers — trace sink disabled, the production default)
 // against ShardedOptions::instrument = false, plus a third variant adding
-// the D13 lifecycle timelines on top of the instrumented run (the shipping
+// the D13 lifecycle timelines on top of the instrumented run, plus a
+// fourth adding the D14 decision journal on top of that (the shipping
 // default). Medians of `kRounds` alternating runs keep scheduler noise out
 // of the comparison. The budget is 5% for each increment;
-// BENCH_parallel_overhead.json records both verdicts and
+// BENCH_parallel_overhead.json records all verdicts and
 // check_bench_regression.py gates on them.
 void PrintInstrumentationOverhead() {
   constexpr int kRounds = 5;
-  auto once = [](bool instrument, bool txnlife) {
+  auto once = [](bool instrument, bool txnlife, bool journal) {
     auto opt = Base(4, 2400);
     opt.instrument = instrument;
     opt.txnlife = txnlife;
+    opt.journal = journal;
     const auto start = std::chrono::steady_clock::now();
     auto rep = par::RunSharded(opt);
     const double elapsed = Seconds(start, std::chrono::steady_clock::now());
@@ -211,12 +221,13 @@ void PrintInstrumentationOverhead() {
     }
     return elapsed;
   };
-  (void)once(false, false);  // warm-up
-  std::vector<double> off, on, life;
+  (void)once(false, false, false);  // warm-up
+  std::vector<double> off, on, life, jrnl;
   for (int i = 0; i < kRounds; ++i) {
-    off.push_back(once(false, false));
-    on.push_back(once(true, false));
-    life.push_back(once(true, true));
+    off.push_back(once(false, false, false));
+    on.push_back(once(true, false, false));
+    life.push_back(once(true, true, false));
+    jrnl.push_back(once(true, true, true));
   }
   // Minimum, not median: host interference only ever adds time, so the
   // fastest round is the least-contaminated estimate of each variant's
@@ -224,22 +235,30 @@ void PrintInstrumentationOverhead() {
   const double base = *std::min_element(off.begin(), off.end());
   const double instr = *std::min_element(on.begin(), on.end());
   const double timeline = *std::min_element(life.begin(), life.end());
+  const double journal = *std::min_element(jrnl.begin(), jrnl.end());
   const double overhead_pct =
       base > 0 ? (instr - base) / base * 100.0 : 0.0;
   // Timeline increment against the instrumented run it rides on, not the
   // bare baseline — the question is what the D13 stamps add.
   const double timeline_overhead_pct =
       instr > 0 ? (timeline - instr) / instr * 100.0 : 0.0;
+  // Journal increment against the timeline run it rides on, likewise:
+  // what do the D14 decision records + epoch checksums add to the
+  // shipping-default observer stack?
+  const double journal_overhead_pct =
+      timeline > 0 ? (journal - timeline) / timeline * 100.0 : 0.0;
 
   Section("Telemetry overhead (4 shards, min of 5)");
   Table t({"variant", "elapsed (s)", "overhead (%)"});
   t.AddRow("instrument=off", base, 0.0);
   t.AddRow("instrument=on", instr, overhead_pct);
   t.AddRow("  + txnlife", timeline, timeline_overhead_pct);
+  t.AddRow("  + journal", journal, journal_overhead_pct);
   t.Print();
   std::cout << "(budget: 5% per increment; trace collection stays off in "
                "all variants; txnlife overhead is measured against the "
-               "instrumented run)\n";
+               "instrumented run, journal overhead against the txnlife "
+               "run)\n";
 
   std::ofstream json("BENCH_parallel_overhead.json");
   json << "{\"baseline_seconds\":" << base
@@ -247,6 +266,8 @@ void PrintInstrumentationOverhead() {
        << ",\"overhead_pct\":" << overhead_pct
        << ",\"timeline_seconds\":" << timeline
        << ",\"timeline_overhead_pct\":" << timeline_overhead_pct
+       << ",\"journal_seconds\":" << journal
+       << ",\"journal_overhead_pct\":" << journal_overhead_pct
        << ",\"budget_pct\":5}\n";
 }
 

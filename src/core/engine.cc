@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/bits.h"
 #include "common/logging.h"
 #include "core/vertex_cut.h"
 #include "obs/phase_timer.h"
@@ -31,7 +32,11 @@ Engine::Engine(storage::EntityStore* store, EngineOptions options,
       options_(options),
       recorder_(recorder),
       locks_(options.lock_options),
-      rng_(options.seed) {}
+      rng_(options.seed) {
+  if (options_.journal_epoch_steps != 0) {
+    journal_epoch_mask_ = RoundUpPowerOfTwo(options_.journal_epoch_steps) - 1;
+  }
+}
 
 Result<TxnId> Engine::Spawn(txn::Program program) {
   return Spawn(std::make_shared<const txn::Program>(std::move(program)));
@@ -70,6 +75,7 @@ Result<TxnId> Engine::Spawn(std::shared_ptr<const txn::Program> program) {
   live_.insert(id);
   Emit(TraceEvent::Kind::kSpawn, it->second);
   if (txnlife_ != nullptr) txnlife_->OnAdmit(id, metrics_.steps);
+  if (journal_ != nullptr) journal_->OnAdmit(id, metrics_.steps);
   return id;
 }
 
@@ -79,6 +85,7 @@ Result<TxnId> Engine::SpawnSub(txn::Program program, std::size_t hold_pc) {
   TxnContext* ctx = Find(id.value());
   ctx->hold_pc = hold_pc;
   ctx->seal_deferred = true;
+  if (journal_ != nullptr) journal_->OnHold(ctx->id, metrics_.steps, hold_pc);
   return id;
 }
 
@@ -92,6 +99,7 @@ Status Engine::ReleaseHold(TxnId txn) {
   TxnContext* ctx = Find(txn);
   if (ctx == nullptr) return Status::NotFound("unknown transaction");
   ctx->hold_pc = kNoHold;
+  if (journal_ != nullptr) journal_->OnRelease(ctx->id, metrics_.steps);
   if (ctx->seal_deferred) {
     ctx->seal_deferred = false;
     // Apply the deferred §5 seal now that the sub has passed its last lock
@@ -134,6 +142,10 @@ Status Engine::ApplyExternalRollback(TxnId txn, LockIndex target,
     txnlife_->OnRollback(victim->id, metrics_.steps,
                          obs::RollbackCause::kTwoPCAbort, TxnId(),
                          /*cycle=*/0, cost);
+  }
+  if (journal_ != nullptr) {
+    journal_->OnRollback(victim->id, metrics_.steps, target, cost,
+                         obs::RollbackCause::kTwoPCAbort, target == 0);
   }
   return RollbackTxn(*victim, target);
 }
@@ -179,6 +191,7 @@ Result<StepOutcome> Engine::StepTxn(TxnId txn) {
   }
   if (ctx->status != TxnStatus::kReady) return StepOutcome::kIdle;
   ++metrics_.steps;
+  MaybeStampJournalEpoch();
   return ExecuteOp(*ctx);
 }
 
@@ -288,6 +301,7 @@ Result<StepOutcome> Engine::ExecuteLock(TxnContext& ctx, const txn::Op& op) {
   ++metrics_.lock_waits;
   Emit(TraceEvent::Kind::kBlocked, ctx, op.entity);
   if (txnlife_ != nullptr) txnlife_->OnBlock(ctx.id, metrics_.steps, op.entity);
+  if (journal_ != nullptr) journal_->OnBlock(ctx.id, metrics_.steps, op.entity);
   RefreshWaitEdges(op.entity);
   switch (options_.handling) {
     case DeadlockHandling::kDetection: {
@@ -352,6 +366,10 @@ Status Engine::RegisterGrant(TxnContext& ctx, EntityId entity,
   ++metrics_.ops_executed;
   Emit(TraceEvent::Kind::kLockGranted, ctx, entity);
   if (txnlife_ != nullptr) txnlife_->OnStep(ctx.id, metrics_.steps);
+  if (journal_ != nullptr) {
+    journal_->OnGrant(ctx.id, metrics_.steps, entity,
+                      mode == lock::LockMode::kExclusive, is_upgrade);
+  }
   return Status::OK();
 }
 
@@ -401,6 +419,7 @@ Status Engine::ExecuteCommit(TxnContext& ctx) {
   if (lineage_ != nullptr) lineage_->OnCommit(ctx.id);
   Emit(TraceEvent::Kind::kCommit, ctx);
   if (txnlife_ != nullptr) txnlife_->OnCommit(ctx.id, metrics_.steps, ctx.pc);
+  if (journal_ != nullptr) journal_->OnCommit(ctx.id, metrics_.steps, ctx.pc);
   ++metrics_.commits;
   ++metrics_.ops_executed;  // the commit itself
   return Status::OK();
@@ -484,6 +503,10 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
     ++metrics_.deadlocks;
     metrics_.cycles_found += cycles.size();
     Emit(TraceEvent::Kind::kDeadlock, requester, entity);
+    if (journal_ != nullptr) {
+      journal_->OnCycle(requester.id, metrics_.steps, entity,
+                        metrics_.deadlocks);
+    }
 
     // Conflicts per member: the entities on its outgoing arcs within the
     // cycles, with the pending mode of the waiting successor.
@@ -599,10 +622,12 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
     } else {
       const VictimCandidate& pick =
           ChooseVictim(options_.victim_policy, candidates, requester.entry);
-      if ((lineage_ != nullptr || txnlife_ != nullptr) &&
+      if ((lineage_ != nullptr || txnlife_ != nullptr ||
+           journal_ != nullptr) &&
           options_.victim_policy == VictimPolicyKind::kMinCostOrdered) {
         // Theorem 2 actively intervening: the ω-ordered policy rejected the
-        // transaction pure min-cost would have sacrificed.
+        // transaction pure min-cost would have sacrificed. Observation
+        // only — the pick itself is never altered by any observer.
         const VictimCandidate& unordered = ChooseVictim(
             VictimPolicyKind::kMinCost, candidates, requester.entry);
         if (unordered.txn != pick.txn) {
@@ -610,7 +635,23 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
           if (lineage_ != nullptr) lineage_->OnOmegaIntervention();
         }
       }
-      victims.push_back(&pick);
+      const VictimCandidate* chosen = &pick;
+      if (options_.debug_flip_victim_deadlock != 0 && candidates.size() > 1 &&
+          ++debug_flip_opportunities_ == options_.debug_flip_victim_deadlock) {
+        // Test-only divergence injection: trade the pick for any other
+        // candidate so exactly one decision differs from a clean run. The
+        // ordinal counts *flippable* single-cycle deadlocks (>= 2
+        // candidates), not raw deadlocks — multi-cycle resolutions take the
+        // branches above, and firing on a deadlock that lands there would
+        // silently inject nothing.
+        for (const VictimCandidate& c : candidates) {
+          if (c.txn != pick.txn) {
+            chosen = &c;
+            break;
+          }
+        }
+      }
+      victims.push_back(chosen);
     }
 
     if (victims.empty()) {
@@ -710,15 +751,22 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
                                  v->actual_target, v->cost);
         }
       }
+      const obs::RollbackCause cause =
+          v->is_requester ? obs::RollbackCause::kSelfRollback
+          : omega_intervened ? obs::RollbackCause::kOmegaPreemption
+                             : obs::RollbackCause::kDeadlockVictim;
       if (txnlife_ != nullptr) {
-        const obs::RollbackCause cause =
-            v->is_requester ? obs::RollbackCause::kSelfRollback
-            : omega_intervened ? obs::RollbackCause::kOmegaPreemption
-                               : obs::RollbackCause::kDeadlockVictim;
         // metrics_.deadlocks is the 1-based ordinal of this deadlock, which
         // is exactly the book's cycle encoding (0 = none).
         txnlife_->OnRollback(victim->id, metrics_.steps, cause, causing,
                              metrics_.deadlocks, v->cost);
+      }
+      if (journal_ != nullptr) {
+        journal_->OnVictim(victim->id, metrics_.steps, v->actual_target,
+                           v->cost, omega_intervened, v->is_requester,
+                           candidates.size());
+        journal_->OnRollback(victim->id, metrics_.steps, v->actual_target,
+                             v->cost, cause, v->actual_target == 0);
       }
       PARDB_RETURN_IF_ERROR(RollbackTxn(*victim, v->actual_target));
     }
@@ -763,6 +811,12 @@ Status Engine::HandleWoundWait(TxnContext& requester, EntityId entity,
       txnlife_->OnRollback(victim->id, metrics_.steps,
                            obs::RollbackCause::kWoundWait, requester.id,
                            /*cycle=*/0, cand.value().cost);
+    }
+    if (journal_ != nullptr) {
+      journal_->OnRollback(victim->id, metrics_.steps,
+                           cand.value().actual_target, cand.value().cost,
+                           obs::RollbackCause::kWoundWait,
+                           cand.value().actual_target == 0);
     }
     metrics_.wasted_ops += cand.value().cost;
     metrics_.ideal_wasted_ops += cand.value().ideal_cost;
@@ -812,11 +866,16 @@ Result<bool> Engine::HandleWaitDie(TxnContext& requester, EntityId entity) {
   if (!target.ok()) return target.status();
   ++metrics_.deaths;
   Emit(TraceEvent::Kind::kDeath, requester, entity, target.value());
+  const std::uint64_t die_cost = RollbackCostOf(requester, target.value());
   if (txnlife_ != nullptr) {
     txnlife_->OnRollback(requester.id, metrics_.steps,
                          obs::RollbackCause::kWaitDie, older_blocker,
-                         /*cycle=*/0,
-                         RollbackCostOf(requester, target.value()));
+                         /*cycle=*/0, die_cost);
+  }
+  if (journal_ != nullptr) {
+    journal_->OnRollback(requester.id, metrics_.steps, target.value(),
+                         die_cost, obs::RollbackCause::kWaitDie,
+                         target.value() == 0);
   }
   PARDB_RETURN_IF_ERROR(RollbackTxn(requester, target.value()));
   return true;
@@ -840,10 +899,16 @@ Status Engine::ExpireTimeouts() {
     if (!target.ok()) return target.status();
     ++metrics_.timeouts;
     Emit(TraceEvent::Kind::kTimeout, *ctx, EntityId(), target.value());
+    const std::uint64_t timeout_cost = RollbackCostOf(*ctx, target.value());
     if (txnlife_ != nullptr) {
       txnlife_->OnRollback(ctx->id, metrics_.steps,
                            obs::RollbackCause::kTimeout, TxnId(),
-                           /*cycle=*/0, RollbackCostOf(*ctx, target.value()));
+                           /*cycle=*/0, timeout_cost);
+    }
+    if (journal_ != nullptr) {
+      journal_->OnRollback(ctx->id, metrics_.steps, target.value(),
+                           timeout_cost, obs::RollbackCause::kTimeout,
+                           target.value() == 0);
     }
     PARDB_RETURN_IF_ERROR(RollbackTxn(*ctx, target.value()));
   }
@@ -982,6 +1047,35 @@ void Engine::Emit(TraceEvent::Kind kind, const TxnContext& ctx,
   trace_->OnEvent(ev);
 }
 
+void Engine::MaybeStampJournalEpoch() {
+  if (journal_ == nullptr || (metrics_.steps & journal_epoch_mask_) != 0) {
+    return;
+  }
+  // Keyed to the engine's own step counter, which StepQuantum keeps
+  // invariant to quantum chopping — so the chain is identical across
+  // schedulers, worker counts and quantum sizes.
+  journal_->StampEpoch(metrics_.steps, StateDigest());
+}
+
+std::uint64_t Engine::StateDigest() const {
+  // Every iteration source here is deterministic: live_ is id-ordered (and
+  // entry carries each transaction's ω position), granted counts come from
+  // per-context vectors, and the lock manager XOR-combines per-entity
+  // digests so its hash-order iteration cannot leak through.
+  std::uint64_t h = obs::kFnvOffsetBasis;
+  for (TxnId id : live_) {
+    const TxnContext* ctx = Find(id);
+    if (ctx == nullptr) continue;
+    h = obs::FnvMix64(h, id.value());
+    h = obs::FnvMix64(h, ctx->entry);
+    h = obs::FnvMix64(h, ctx->pc);
+    h = obs::FnvMix64(h, static_cast<std::uint64_t>(ctx->status));
+    h = obs::FnvMix64(h, ctx->granted.size());
+  }
+  h = obs::FnvMix64(h, locks_.StateDigest());
+  return h;
+}
+
 void Engine::SampleSpace(const TxnContext& ctx) {
   rollback::SpaceStats s = ctx.strategy->Space();
   metrics_.max_entity_copies =
@@ -1036,6 +1130,7 @@ Result<std::optional<TxnId>> Engine::StepAny() {
          tick <= options_.wait_timeout_steps + 1;
          ++tick) {
       ++metrics_.steps;
+      MaybeStampJournalEpoch();
       PARDB_RETURN_IF_ERROR(ExpireTimeouts());
       ready = CollectReady();
     }

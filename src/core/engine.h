@@ -18,6 +18,7 @@
 #include "common/types.h"
 #include "core/trace.h"
 #include "obs/forensics.h"
+#include "obs/journal.h"
 #include "obs/lineage.h"
 #include "obs/probe.h"
 #include "obs/snapshot.h"
@@ -119,6 +120,22 @@ struct EngineOptions {
   // kPeriodic only: scan cadence in engine steps (StepAny also scans
   // whenever every transaction is blocked).
   std::uint64_t detection_period = 32;
+  // Decision-journal epoch cadence: with a journal installed, an epoch
+  // checksum (StateDigest over lock table, live set and ω-order) is
+  // stamped whenever the step counter crosses a multiple of this period
+  // (rounded up to a power of two). Stamping is keyed to the engine's own
+  // deterministic step count — never to scheduler quanta or wall time — so
+  // the chain is invariant to quantum chopping, worker count and
+  // scheduler. 0 disables engine-driven stamps.
+  std::uint64_t journal_epoch_steps = 1024;
+  // Test hook (determinism-forensics CI): when nonzero, the Nth *flippable*
+  // single-cycle resolution (one cycle, >= 2 candidates) trades the victim
+  // pick for another candidate, injecting exactly one divergent decision so
+  // diff tooling can be exercised against a controlled break. Counted per
+  // engine over flip opportunities — not raw deadlocks, which may route
+  // through multi-cycle branches where no alternate pick exists. Never set
+  // in production.
+  std::uint64_t debug_flip_victim_deadlock = 0;
 };
 
 // One resolved deadlock, for tests/benches that assert the paper's figures.
@@ -350,6 +367,21 @@ class Engine {
   // written only from the thread stepping this engine.
   void set_txnlife(obs::TxnLifeBook* book) { txnlife_ = book; }
 
+  // Installs a decision journal (nullptr to detach): one compact record
+  // per schedule-relevant decision plus an epoch checksum chain stamped at
+  // deterministic step boundaries (see EngineOptions::journal_epoch_steps
+  // and DESIGN D14). Observation-only — installing a journal never alters
+  // any scheduling or victim decision. Not owned; must outlive the engine
+  // or be detached first; written only from the thread stepping this
+  // engine.
+  void set_journal(obs::DecisionJournal* journal) { journal_ = journal; }
+
+  // Deterministic FNV digest of the schedule-relevant engine state: the
+  // live set in ω-order (entry, pc, status, granted-lock count per
+  // transaction) folded with the lock manager's table digest. Two runs at
+  // the same step with equal digests are in the same scheduling state.
+  std::uint64_t StateDigest() const;
+
   // Materializes the full waits-for state at this instant: every live
   // transaction (status, ω position, state/lock indices, held and
   // requested locks, preemption lineage), every waits-for arc, and the
@@ -459,6 +491,10 @@ class Engine {
             EntityId entity = EntityId(), LockIndex target = 0,
             std::uint64_t cost = 0);
 
+  // Stamps a journal epoch checksum when the step counter sits on a
+  // journal_epoch_steps boundary (called once per counted step).
+  void MaybeStampJournalEpoch();
+
   TxnContext* Find(TxnId txn);
   const TxnContext* Find(TxnId txn) const;
 
@@ -470,6 +506,7 @@ class Engine {
   obs::DeadlockDumpSink* forensics_ = nullptr;  // may be null
   obs::LineageTracker* lineage_ = nullptr;      // may be null
   obs::TxnLifeBook* txnlife_ = nullptr;         // may be null
+  obs::DecisionJournal* journal_ = nullptr;     // may be null
   lock::LockManager locks_;
   graph::Digraph waits_for_;
   std::map<TxnId, TxnContext> txns_;
@@ -478,6 +515,12 @@ class Engine {
   // StepAny is O(live) rather than O(all spawned).
   std::set<TxnId> live_;
   std::uint64_t lock_op_counter_ = 0;  // 1-in-16 sampling for lock_op_ns
+  // journal_epoch_steps rounded up to a power of two, minus one (mask);
+  // ~0 when engine-driven stamping is disabled.
+  std::uint64_t journal_epoch_mask_ = ~0ULL;
+  // Flippable single-cycle resolutions seen so far; compared against
+  // EngineOptions::debug_flip_victim_deadlock (test hook).
+  std::uint64_t debug_flip_opportunities_ = 0;
   EngineMetrics metrics_;
   std::vector<DeadlockEvent> deadlock_events_;
   std::vector<std::uint32_t> rollback_costs_;  // bounded sample

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/journal.h"
+
 namespace pardb::lock {
 
 namespace {
@@ -324,6 +326,29 @@ std::vector<TxnId> LockManager::BlockersOf(TxnId txn) const {
     }
   }
   return {};
+}
+
+std::uint64_t LockManager::StateDigest() const {
+  // Per-entity digests are order-independent-combined with XOR because the
+  // table iterates in hash order; within an entity, holders (std::map,
+  // txn-ordered) and the queue (FIFO order) are deterministic sequences.
+  std::uint64_t digest = 0;
+  for (const auto& [e, es] : table_) {
+    if (es.holders.empty() && es.queue.empty()) continue;
+    std::uint64_t h = obs::FnvMix64(obs::kFnvOffsetBasis, e.value());
+    for (const auto& [t, m] : es.holders) {
+      h = obs::FnvMix64(h, t.value());
+      h = obs::FnvMix64(h, static_cast<std::uint64_t>(m) + 1);
+    }
+    h = obs::FnvMix64(h, 0x51);  // holders/queue separator
+    for (const Waiter& w : es.queue) {
+      h = obs::FnvMix64(h, w.txn.value());
+      h = obs::FnvMix64(h, (static_cast<std::uint64_t>(w.mode) << 1) |
+                               (w.is_upgrade ? 1 : 0));
+    }
+    digest ^= h;
+  }
+  return digest;
 }
 
 std::string LockManager::ToString() const {

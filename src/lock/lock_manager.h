@@ -140,6 +140,13 @@ class LockManager {
   // under kHoldersOnly).
   std::vector<TxnId> BlockersOf(TxnId txn) const;
 
+  // Deterministic FNV digest of the whole lock table: holders (with modes)
+  // and wait queues (in queue order) of every entity. Per-entity digests
+  // are XOR-combined so the unordered table iteration cannot leak its
+  // order into the result. Feeds the decision journal's epoch checksums
+  // (DESIGN D14).
+  std::uint64_t StateDigest() const;
+
   // Debug dump of the whole lock table.
   std::string ToString() const;
 

@@ -141,6 +141,17 @@ inline constexpr char kTxnQueueWaitNs[] = "pardb_txn_queue_wait_ns";
 // pardb_trace_dropped_total; asserted 0 in the CI observability smoke).
 inline constexpr char kTxnlifeDroppedTotal[] = "pardb_txnlife_dropped_total";
 
+// Decision journal (obs::DecisionJournal; see DESIGN D14).
+// Decision records appended across all shards.
+inline constexpr char kJournalRecordsTotal[] = "pardb_journal_records_total";
+// Epoch checksum stamps taken (chain links).
+inline constexpr char kJournalEpochsTotal[] = "pardb_journal_epochs_total";
+// Records evicted from a journal's bounded ring (mirrors
+// pardb_trace_dropped_total; asserted 0 in the CI observability smoke).
+inline constexpr char kJournalDroppedTotal[] = "pardb_journal_dropped_total";
+// Bytes logged (records + epoch stamps).
+inline constexpr char kJournalBytesTotal[] = "pardb_journal_bytes_total";
+
 // Label keys.
 inline constexpr char kShardLabel[] = "shard";
 inline constexpr char kWorkerLabel[] = "worker";

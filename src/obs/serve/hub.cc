@@ -137,6 +137,43 @@ std::vector<TxnLifeDigest> LiveHub::TxnLifeDigests() const {
   return txnlife_;
 }
 
+void LiveHub::PublishJournal(JournalDigest digest) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool replaced = false;
+    for (JournalDigest& existing : journals_) {
+      if (existing.shard == digest.shard) {
+        existing = std::move(digest);
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      journals_.push_back(std::move(digest));
+      std::sort(journals_.begin(), journals_.end(),
+                [](const JournalDigest& a, const JournalDigest& b) {
+                  return a.shard < b.shard;
+                });
+    }
+  }
+  snapshot_version_.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<JournalDigest> LiveHub::JournalDigests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journals_;
+}
+
+void LiveHub::SetRunInfo(RunInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_info_ = std::move(info);
+}
+
+RunInfo LiveHub::GetRunInfo() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return run_info_;
+}
+
 DeadlockDumpSink* LiveHub::MakeDeadlockSink(std::uint32_t shard) {
   std::lock_guard<std::mutex> lock(mu_);
   sinks_.push_back(std::make_unique<RingSink>(this, shard));

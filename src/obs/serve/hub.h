@@ -13,6 +13,7 @@
 
 #include "obs/clock.h"
 #include "obs/forensics.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
 #include "obs/txnlife.h"
@@ -22,6 +23,17 @@ namespace pardb::obs {
 // Coarse run phase for /healthz.
 enum class RunPhase { kIdle, kGenerating, kRunning, kAggregating, kDone };
 std::string_view RunPhaseName(RunPhase phase);
+
+// Static run metadata surfaced by /healthz: what is this process running?
+// Set once by the driver before the run starts (safe concurrently with the
+// server thread only through the hub's SetRunInfo/GetRunInfo).
+struct RunInfo {
+  std::string build_id;    // compiler + build date, or a caller override
+  std::uint64_t seed = 0;
+  std::uint32_t shards = 0;
+  std::string scheduler;   // "time-slice" / "run-to-completion" / "sim"
+  std::string mode;        // "sim" / "parallel" / "serve"
+};
 
 // Rendezvous between an in-flight run and the introspection server.
 //
@@ -87,6 +99,19 @@ class LiveHub {
   // Latest digest of every shard that published one, in shard order.
   std::vector<TxnLifeDigest> TxnLifeDigests() const;
 
+  // Decision-journal digests ------------------------------------------------
+
+  // Publishes `digest` as shard `digest.shard`'s latest journal digest
+  // (replacing any previous one). Called from the owning shard's thread at
+  // snapshot cadence; powers /debug/journal.
+  void PublishJournal(JournalDigest digest);
+  // Latest digest of every shard that published one, in shard order.
+  std::vector<JournalDigest> JournalDigests() const;
+
+  // Run metadata for /healthz (build id, seed, shard count, scheduler).
+  void SetRunInfo(RunInfo info);
+  RunInfo GetRunInfo() const;
+
   // Monotonic counter bumped on every waits-for or lifecycle publish. The
   // SSE stream polls it to detect fresh state without holding the hub lock.
   std::uint64_t snapshot_version() const {
@@ -149,6 +174,8 @@ class LiveHub {
   std::vector<WaitsForSnapshot> snapshots_;  // latest per shard, shard order
   std::optional<WaitsForSnapshot> global_snapshot_;  // latest union view
   std::vector<TxnLifeDigest> txnlife_;       // latest per shard, shard order
+  std::vector<JournalDigest> journals_;      // latest per shard, shard order
+  RunInfo run_info_;
   std::atomic<std::uint64_t> snapshot_version_{0};
   std::deque<ShardDeadlockDump> deadlocks_;
   std::vector<std::unique_ptr<RingSink>> sinks_;

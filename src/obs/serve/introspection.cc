@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "obs/forensics.h"
+#include "obs/journal.h"
 #include "obs/txnlife.h"
 
 namespace pardb::obs {
@@ -55,7 +56,9 @@ void InstallIntrospectionRoutes(HttpServer* server, LiveHub* hub) {
         "  /debug/txn               lifecycle timeline of one transaction "
         "(?id=N)\n"
         "  /debug/slowest           slowest committed transactions by "
-        "end-to-end steps (?k=10)\n");
+        "end-to-end steps (?k=10)\n"
+        "  /debug/journal           decision-journal tail + epoch checksum "
+        "chain (?shard=N; omit for all shards)\n");
   });
 
   server->Route("/metrics", [hub](const HttpRequest&) {
@@ -65,9 +68,22 @@ void InstallIntrospectionRoutes(HttpServer* server, LiveHub* hub) {
     return r;
   });
 
-  server->Route("/healthz", [hub, server](const HttpRequest&) {
+  server->Route("/healthz", [hub, server](const HttpRequest& req) {
+    // ?plain=1: the one-word liveness probe (what the CI smoke curl greps),
+    // kept alongside the JSON body so scripts needn't parse anything.
+    if (req.QueryOr("plain", "") == "1") {
+      return HttpResponse::Text("ok\n");
+    }
+    const RunInfo info = hub->GetRunInfo();
     std::ostringstream os;
     os << "{\"phase\":\"" << RunPhaseName(hub->phase())
+       << "\",\"build_id\":\""
+       << (info.build_id.empty() ? "unknown" : info.build_id)
+       << "\",\"seed\":" << info.seed << ",\"shard_count\":"
+       << (info.shards != 0 ? info.shards : hub->Snapshots().size())
+       << ",\"scheduler\":\""
+       << (info.scheduler.empty() ? "unknown" : info.scheduler)
+       << "\",\"mode\":\"" << (info.mode.empty() ? "unknown" : info.mode)
        << "\",\"uptime_seconds\":" << hub->UptimeSeconds()
        << ",\"shards\":" << hub->Snapshots().size()
        << ",\"deadlocks_seen\":" << hub->deadlocks_seen()
@@ -164,6 +180,35 @@ void InstallIntrospectionRoutes(HttpServer* server, LiveHub* hub) {
     }
     return HttpResponse::Json(
         SlowestTxnsJson(hub->TxnLifeDigests(), static_cast<std::size_t>(k)));
+  });
+
+  server->Route("/debug/journal", [hub](const HttpRequest& req) {
+    const std::vector<JournalDigest> digests = hub->JournalDigests();
+    const std::string shard_s = req.QueryOr("shard", "");
+    if (shard_s.empty()) {
+      std::ostringstream os;
+      os << "[";
+      for (std::size_t i = 0; i < digests.size(); ++i) {
+        if (i > 0) os << ",";
+        os << JournalTailJson(digests[i]);
+      }
+      os << "]\n";
+      return HttpResponse::Json(os.str());
+    }
+    std::uint64_t shard = 0;
+    if (!ParseUint(shard_s, &shard)) {
+      HttpResponse r;
+      r.status = 400;
+      r.body = "malformed shard (want /debug/journal?shard=N)\n";
+      return r;
+    }
+    for (const JournalDigest& d : digests) {
+      if (d.shard == shard) return HttpResponse::Json(JournalTailJson(d));
+    }
+    HttpResponse r;
+    r.status = 404;
+    r.body = "no journal published for shard " + shard_s + "\n";
+    return r;
   });
 
   server->Route("/debug/deadlocks", [hub](const HttpRequest& req) {

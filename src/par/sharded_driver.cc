@@ -102,8 +102,11 @@ struct AdmissionShared {
 // the pool's queue transfer orders each quantum's writes before the next
 // quantum's reads.
 struct ShardExec {
-  ShardExec(std::size_t max_dumps, obs::DeadlockDumpSink* hub_sink)
-      : forensics(max_dumps), fanout(&forensics, hub_sink) {}
+  ShardExec(std::size_t max_dumps, obs::DeadlockDumpSink* hub_sink,
+            obs::DecisionJournal::Options journal_options)
+      : journal(journal_options),
+        forensics(max_dumps),
+        fanout(&forensics, hub_sink) {}
 
   storage::EntityStore store;
   analysis::HistoryRecorder recorder;
@@ -111,6 +114,7 @@ struct ShardExec {
   obs::EngineProbe probe;
   obs::LineageTracker lineage;
   obs::TxnLifeBook txnlife;
+  obs::DecisionJournal journal;
   core::VectorTrace trace;
   obs::CollectingDeadlockSink forensics;
   obs::FanOutDeadlockSink fanout;
@@ -155,8 +159,12 @@ struct ShardRun {
 void InitShardExec(const ShardedOptions& options, std::uint32_t shard,
                    ShardRun& run) {
   run.result.shard = shard;
-  run.exec = std::make_unique<ShardExec>(options.max_forensics_dumps,
-                                         run.hub_sink);
+  // Recording mode (journal_out set) keeps every record so written files
+  // are complete; otherwise a bounded ring with counted evictions.
+  run.exec = std::make_unique<ShardExec>(
+      options.max_forensics_dumps, run.hub_sink,
+      obs::DecisionJournal::Options{
+          options.journal_out.empty() ? std::size_t{65536} : std::size_t{0}});
   ShardExec& ex = *run.exec;
   ex.store.CreateMany(options.workload.num_entities, options.initial_value);
   core::EngineOptions eopt = options.engine;
@@ -182,6 +190,11 @@ void InitShardExec(const ShardedOptions& options, std::uint32_t shard,
   if (options.txnlife) {
     if (options.instrument) ex.txnlife.AttachMetrics(ex.registry, labels);
     engine.set_txnlife(&ex.txnlife);
+  }
+  if (options.journal) {
+    ex.journal.set_perturb_epoch_for_test(options.journal_perturb_epoch);
+    if (options.instrument) ex.journal.AttachMetrics(ex.registry, labels);
+    engine.set_journal(&ex.journal);
   }
   if (options.collect_traces) engine.set_trace(&ex.trace);
   if (options.collect_forensics && run.hub_sink != nullptr) {
@@ -215,6 +228,19 @@ void FinishShard(const ShardedOptions& options, std::uint32_t shard,
     run.result.rollbacks_by_cause = ex.txnlife.rollbacks_by_cause();
     if (options.hub != nullptr) {
       options.hub->PublishTxnLife(ex.txnlife.Digest(shard));
+    }
+  }
+  if (options.journal) {
+    run.result.journal_chain = ex.journal.ChainValues();
+    run.result.journal_records = ex.journal.total_records();
+    run.result.journal_dropped = ex.journal.dropped_records();
+    if (options.hub != nullptr) {
+      options.hub->PublishJournal(ex.journal.Digest(shard));
+    }
+    if (!options.journal_out.empty() && run.status.ok()) {
+      run.status = ex.journal.WriteFile(
+          options.journal_out + ".shard" + std::to_string(shard) + ".jrnl",
+          shard, options.seed);
     }
   }
   if (options.hub != nullptr) {
@@ -449,6 +475,7 @@ QuantumOutcome RunShardQuantum(const ShardedOptions& options,
         ex.exporter.Export(engine, ex.registry, ex.labels);
       }
       if (options.txnlife) hub->PublishTxnLife(ex.txnlife.Digest(shard));
+      if (options.journal) hub->PublishJournal(ex.journal.Digest(shard));
       const std::uint64_t period = RoundUpPowerOfTwo(
           options.hub_snapshot_period == 0 ? 512
                                            : options.hub_snapshot_period);
@@ -720,6 +747,17 @@ Result<ShardedReport> RunShardedLocks(const ShardedOptions& options) {
     engines.push_back(runs[s].exec->engine.get());
   }
 
+  // Coordinator decision journal: global admits, lock-point releases,
+  // retires, global cycles and distributed-rollback victims, plus one
+  // kTwoPC checksum stamp per merge round folding every shard's state
+  // digest. Published to the hub as pseudo-shard n.
+  obs::DecisionJournal coord_journal(obs::DecisionJournal::Options{
+      options.journal_out.empty() ? std::size_t{65536} : std::size_t{0}});
+  if (options.journal && sched_registry != nullptr) {
+    coord_journal.AttachMetrics(sched_registry,
+                                {{obs::kShardLabel, "coord"}});
+  }
+
   xshard::Coordinator::Options copt;
   copt.num_shards = n;
   copt.max_active_globals =
@@ -728,6 +766,7 @@ Result<ShardedReport> RunShardedLocks(const ShardedOptions& options) {
     copt.prepare_ns = sched_registry->GetHistogram(obs::kXShardPrepareNs);
     copt.resolve_ns = sched_registry->GetHistogram(obs::kXShardResolveNs);
   }
+  if (options.journal) copt.journal = &coord_journal;
   xshard::Coordinator coord(engines, copt);
 
   const std::uint64_t epoch_steps =
@@ -797,6 +836,16 @@ Result<ShardedReport> RunShardedLocks(const ShardedOptions& options) {
           run_status = merged;
           break;
         }
+        // 2PC-epoch checksum: every engine is quiescent in the coordinate
+        // phase, so folding the shard state digests here is deterministic
+        // (a pure function of the options and the epoch ordinal).
+        if (options.journal) {
+          std::uint64_t fold = obs::kFnvOffsetBasis;
+          for (std::uint32_t s = 0; s < n; ++s) {
+            fold = obs::FnvMix64(fold, engines[s]->StateDigest());
+          }
+          coord_journal.StampEpoch(epoch, fold, obs::EpochKind::kTwoPC);
+        }
         if (options.hub != nullptr) {
           PublishGlobalWaitsFor(options.hub, coord, engines, epoch);
           for (std::uint32_t s = 0; s < n; ++s) {
@@ -808,6 +857,12 @@ Result<ShardedReport> RunShardedLocks(const ShardedOptions& options) {
             if (options.txnlife) {
               options.hub->PublishTxnLife(runs[s].exec->txnlife.Digest(s));
             }
+            if (options.journal) {
+              options.hub->PublishJournal(runs[s].exec->journal.Digest(s));
+            }
+          }
+          if (options.journal) {
+            options.hub->PublishJournal(coord_journal.Digest(n));
           }
         }
       }
@@ -912,6 +967,16 @@ Result<ShardedReport> RunShardedLocks(const ShardedOptions& options) {
 
   report.xshard = coord.stats();
   report.xshard.epochs = epoch;
+  if (options.journal) {
+    report.coord_journal_chain = coord_journal.ChainValues();
+    if (options.hub != nullptr) {
+      options.hub->PublishJournal(coord_journal.Digest(n));
+    }
+    if (!options.journal_out.empty()) {
+      PARDB_RETURN_IF_ERROR(coord_journal.WriteFile(
+          options.journal_out + ".coord.jrnl", n, options.seed));
+    }
+  }
   if (sched_registry != nullptr) {
     const xshard::XShardStats& xs = report.xshard;
     auto Set = [&](const char* name, std::uint64_t v) {
@@ -942,6 +1007,7 @@ Result<ShardedReport> RunShardedLocks(const ShardedOptions& options) {
   std::vector<std::uint32_t> merged_costs;
   for (std::uint32_t s = 0; s < n; ++s) {
     FinishShard(options, s, runs[s], completed);
+    if (!runs[s].status.ok()) return runs[s].status;
     runs[s].result.assigned = routed[s];
     report.shards.push_back(runs[s].result);
     merged_costs.insert(merged_costs.end(), runs[s].cost_samples.begin(),

@@ -154,6 +154,20 @@ struct ShardedOptions {
   // component histograms and the /debug/txn endpoints. Off only for
   // overhead measurements.
   bool txnlife = true;
+  // Decision journal (DESIGN D14): one DecisionJournal per shard engine,
+  // recording every schedule-relevant decision plus an epoch checksum
+  // chain at engine.journal_epoch_steps cadence; the kLocks path adds a
+  // coordinator journal with a 2PC-epoch stamp per merge round. Off only
+  // for overhead measurements.
+  bool journal = true;
+  // Non-empty: record with unbounded rings and write each shard's journal
+  // binary to "<journal_out>.shard<k>.jrnl" (kLocks adds
+  // "<journal_out>.coord.jrnl") at the end — the `pardb journal` recording
+  // mode.
+  std::string journal_out;
+  // Test hook: perturb every shard journal's state digest at this epoch
+  // ordinal (~0 = off), simulating an ω-order drift for bisection tests.
+  std::uint64_t journal_perturb_epoch = ~0ULL;
   // Retain each shard's full trace-event stream (for Chrome/JSONL export).
   bool collect_traces = false;
   // Keep deadlock forensic dumps, up to max_forensics_dumps per shard.
@@ -190,6 +204,13 @@ struct ShardResult {
   // — live visibility goes through pardb_wasted_steps_total{cause}.
   std::array<std::uint64_t, obs::kNumRollbackCauses> wasted_by_cause{};
   std::array<std::uint64_t, obs::kNumRollbackCauses> rollbacks_by_cause{};
+  // Decision-journal epoch checksum chain and totals (empty/zero when
+  // ShardedOptions::journal is off). Excluded from ShardedReportToJson —
+  // the chain is what determinism tests compare across schedulers and
+  // worker counts, never part of the byte-compared report.
+  std::vector<std::uint64_t> journal_chain;
+  std::uint64_t journal_records = 0;
+  std::uint64_t journal_dropped = 0;
 };
 
 // How the run was scheduled onto workers. Timing-dependent by nature, so
@@ -262,6 +283,10 @@ struct ShardedReport {
   // ShardResult::committed still counts engine commits, slices included.
   bool xshard_locks = false;
   xshard::XShardStats xshard;
+  // kLocks only: the coordinator journal's 2PC-epoch checksum chain (one
+  // link per merge round, folding every shard's state digest). Excluded
+  // from ShardedReportToJson like the per-shard chains.
+  std::vector<std::uint64_t> coord_journal_chain;
   // Conflict-serializability of the *merged* committed projection across
   // shards (analysis::GlobalHistory); computed whenever
   // check_serializability is on. kLocks keeps it true; kReplica fails it

@@ -55,6 +55,9 @@ Result<std::uint64_t> Coordinator::Admit(txn::Program program) {
   stats_.sub_txns += g.participants.size();
   // Dispatch round: one request + ack per participating shard.
   stats_.messages += 2 * g.participants.size();
+  if (options_.journal != nullptr) {
+    options_.journal->OnAdmit(TxnId(seq), decision_seq_++);
+  }
   active_.push_back(seq);
   txns_.push_back(std::move(g));
   return seq;
@@ -94,6 +97,11 @@ Result<std::uint64_t> Coordinator::Poll() {
         }
         stats_.resolves += g.participants.size();
         stats_.messages += 2 * g.participants.size();
+        // The global lock point is the 2PC epoch boundary the coordinator
+        // journal stamps on; the release record marks it in the stream.
+        if (options_.journal != nullptr) {
+          options_.journal->OnRelease(TxnId(seq), decision_seq_++);
+        }
         g.phase = Phase::kReleased;
         ++transitions;
       }
@@ -112,6 +120,10 @@ Result<std::uint64_t> Coordinator::Poll() {
       if (all_committed) {
         ++stats_.global_commits;
         stats_.messages += 2 * g.participants.size();  // commit-ack round
+        if (options_.journal != nullptr) {
+          options_.journal->OnCommit(TxnId(seq), decision_seq_++,
+                                     g.participants.size());
+        }
         ++transitions;
         continue;  // retired: drop from the active list
       }
@@ -139,6 +151,11 @@ Status Coordinator::ResolveComponent(
   }
   if (globals.empty()) return Status::OK();  // a shard-local matter
   ++stats_.global_cycles;
+  if (options_.journal != nullptr) {
+    // requester = the ω-senior global in the component; b = cycle ordinal.
+    options_.journal->OnCycle(TxnId(globals.front()), decision_seq_++,
+                              EntityId(0), stats_.global_cycles);
+  }
 
   const std::set<graph::VertexId> members(component.begin(), component.end());
 
@@ -217,6 +234,13 @@ Status Coordinator::ResolveComponent(
   }
   if (unconstrained->total_cost < chosen->total_cost) {
     ++stats_.omega_exclusions;
+  }
+  if (options_.journal != nullptr) {
+    options_.journal->OnVictim(
+        TxnId(chosen->seq), decision_seq_++, /*target=*/chosen->plans.size(),
+        chosen->total_cost,
+        /*omega_constrained=*/unconstrained->total_cost < chosen->total_cost,
+        /*is_requester=*/false, candidates.size());
   }
   // Distributed partial rollback: prepare (ship the per-shard targets) and
   // resolve (apply + ack) on every conflicted shard. The victim's slices

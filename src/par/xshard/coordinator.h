@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/engine.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "par/xshard/global_graph.h"
 #include "par/xshard/split.h"
@@ -65,6 +66,11 @@ class Coordinator : public SubResolver {
     // optional and excluded from deterministic reports.
     obs::Histogram* prepare_ns = nullptr;
     obs::Histogram* resolve_ns = nullptr;
+    // Borrowed decision journal for coordinator-level decisions (global
+    // admit, lock-point release, retire, global cycle + victim). The
+    // journal's "step" is the coordinator's own decision ordinal, so the
+    // record stream is deterministic regardless of epoch timing.
+    obs::DecisionJournal* journal = nullptr;
   };
 
   Coordinator(std::vector<core::Engine*> engines, Options options);
@@ -132,6 +138,7 @@ class Coordinator : public SubResolver {
   std::vector<core::Engine*> engines_;
   Options options_;
   XShardStats stats_;
+  std::uint64_t decision_seq_ = 0;  // journal "step" for coordinator records
   std::vector<GlobalTxn> txns_;        // indexed by seq
   std::vector<std::uint64_t> active_;  // seqs still in flight, ascending
   std::vector<std::uint64_t> sub_commits_by_shard_;

@@ -49,6 +49,17 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
     }
     engine.set_txnlife(&txnlife);
   }
+  // Recording mode keeps every record so the written file is complete.
+  obs::DecisionJournal journal(obs::DecisionJournal::Options{
+      /*ring_capacity=*/options.journal_out.empty() ? std::size_t{65536}
+                                                    : std::size_t{0}});
+  if (options.journal) {
+    journal.set_perturb_epoch_for_test(options.journal_perturb_epoch);
+    if (options.metrics != nullptr) {
+      journal.AttachMetrics(options.metrics, options.metric_labels);
+    }
+    engine.set_journal(&journal);
+  }
   obs::DeadlockDumpSink* hub_sink =
       options.hub != nullptr ? options.hub->MakeDeadlockSink(0) : nullptr;
   obs::FanOutDeadlockSink fanout(options.forensics, hub_sink);
@@ -115,6 +126,7 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
     if (options.hub != nullptr && (steps & snap_mask) == 0) {
       options.hub->PublishSnapshot(engine.SnapshotWaitsFor());
       if (options.txnlife) options.hub->PublishTxnLife(txnlife.Digest(0));
+      if (options.journal) options.hub->PublishJournal(journal.Digest(0));
       // Live scraping: publish the engine aggregates (including new
       // rollback-cost samples) at the snapshot cadence so /metrics shows
       // histogram quantiles mid-run. Delta export — the final export
@@ -127,6 +139,7 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
   if (options.hub != nullptr) {
     options.hub->PublishSnapshot(engine.SnapshotWaitsFor());
     if (options.txnlife) options.hub->PublishTxnLife(txnlife.Digest(0));
+    if (options.journal) options.hub->PublishJournal(journal.Digest(0));
     options.hub->SetPhase(obs::RunPhase::kDone);
   }
 
@@ -150,6 +163,15 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
   report.peak_materialized_programs = peak_materialized;
   report.wasted_by_cause = txnlife.wasted_by_cause();
   report.rollbacks_by_cause = txnlife.rollbacks_by_cause();
+  if (options.journal) {
+    report.journal_chain = journal.ChainValues();
+    report.journal_records = journal.total_records();
+    report.journal_dropped = journal.dropped_records();
+    if (!options.journal_out.empty()) {
+      PARDB_RETURN_IF_ERROR(
+          journal.WriteFile(options.journal_out, /*shard=*/0, options.seed));
+    }
+  }
   if (options.metrics != nullptr) {
     exporter.Export(engine, options.metrics, options.metric_labels);
     options.metrics->GetCounter(obs::kTraceDroppedTotal, options.metric_labels)

@@ -50,6 +50,16 @@ struct SimOptions {
   // Off only for overhead measurements — the report's per-cause ledger and
   // the /debug/txn endpoints are empty without it.
   bool txnlife = true;
+  // Decision journal (DESIGN D14): every schedule-relevant decision logged
+  // plus an epoch checksum chain at engine.journal_epoch_steps cadence.
+  // Off only for overhead measurements.
+  bool journal = true;
+  // Non-empty: record with an unbounded ring and write the journal binary
+  // to this path at the end (the `pardb journal` recording mode).
+  std::string journal_out;
+  // Test hook: perturb the state digest of this epoch ordinal (~0 = off),
+  // simulating an ω-order drift for the bisection tests.
+  std::uint64_t journal_perturb_epoch = ~0ULL;
 };
 
 struct SimReport {
@@ -81,6 +91,12 @@ struct SimReport {
   // total bench reports these per policy.
   std::array<std::uint64_t, obs::kNumRollbackCauses> wasted_by_cause{};
   std::array<std::uint64_t, obs::kNumRollbackCauses> rollbacks_by_cause{};
+  // Decision-journal epoch checksum chain (one value per stamped epoch)
+  // and totals. Kept out of ToString (golden-string compared) — the chain
+  // is what the determinism tests compare across schedulers and workers.
+  std::vector<std::uint64_t> journal_chain;
+  std::uint64_t journal_records = 0;
+  std::uint64_t journal_dropped = 0;
 
   std::string ToString() const;
 };

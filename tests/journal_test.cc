@@ -1,0 +1,399 @@
+// D14 decision journal: the bounded ring with counted eviction, the
+// FNV-chained epoch checksums and their invariance across worker counts
+// and schedulers, first-divergence diagnosis (checksum bisection + record
+// diff) on injected victim flips and perturbed state digests, the on-disk
+// round trip, and the determinism contract (journaling never enters the
+// byte-compared report JSON).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/journal.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "par/report_json.h"
+#include "par/sharded_driver.h"
+#include "sim/driver.h"
+
+namespace pardb {
+namespace {
+
+using obs::DecisionJournal;
+using obs::DiffJournals;
+using obs::DivergenceReport;
+using obs::EpochKind;
+using obs::EpochStamp;
+using obs::FirstDivergentEpoch;
+using obs::JournalData;
+using obs::JournalKind;
+using obs::JournalRecord;
+using obs::kNoDivergence;
+using obs::ReadJournalFile;
+
+// ---------------------------------------------------------------------------
+// Ring, chain and metrics mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(JournalRingTest, BoundedRingEvictsOldestAndCountsDrops) {
+  DecisionJournal j(DecisionJournal::Options{/*ring_capacity=*/4});
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    j.OnAdmit(TxnId(i), /*step=*/i);
+  }
+  EXPECT_EQ(j.total_records(), 10u);
+  EXPECT_EQ(j.dropped_records(), 6u);
+  const std::vector<JournalRecord> kept = j.RetainedRecords();
+  ASSERT_EQ(kept.size(), 4u);
+  // Oldest-first: the survivors are the last four appends.
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].txn, 6u + i);
+    EXPECT_EQ(static_cast<JournalKind>(kept[i].kind), JournalKind::kAdmit);
+  }
+}
+
+TEST(JournalRingTest, UnboundedModeNeverDrops) {
+  DecisionJournal j(DecisionJournal::Options{/*ring_capacity=*/0});
+  for (std::uint64_t i = 0; i < 100'000; ++i) {
+    j.OnGrant(TxnId(i % 7), i, EntityId(i % 13), (i & 1) != 0, false);
+  }
+  EXPECT_EQ(j.total_records(), 100'000u);
+  EXPECT_EQ(j.dropped_records(), 0u);
+  EXPECT_EQ(j.RetainedRecords().size(), 100'000u);
+}
+
+TEST(JournalRingTest, MetricsCountRecordsEpochsDropsAndBytes) {
+  obs::MetricsRegistry registry;
+  DecisionJournal j(DecisionJournal::Options{/*ring_capacity=*/2});
+  j.AttachMetrics(&registry, {{obs::kShardLabel, "0"}});
+  j.OnAdmit(TxnId(0), 0);
+  j.OnBlock(TxnId(0), 1, EntityId(3));
+  j.OnCommit(TxnId(0), 2, 5);  // evicts the admit
+  j.StampEpoch(2, /*state_digest=*/42);
+  const std::string prom = registry.Snapshot().ToPrometheus();
+  EXPECT_NE(prom.find("pardb_journal_records_total{shard=\"0\"} 3"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("pardb_journal_epochs_total{shard=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pardb_journal_dropped_total{shard=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pardb_journal_bytes_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_EQ(j.bytes_logged(),
+            3 * sizeof(JournalRecord) + sizeof(EpochStamp));
+}
+
+TEST(JournalChainTest, ChainLinksFoldStateAndRecords) {
+  // Two journals with identical appends and stamps must agree link by
+  // link; changing one record flips the chain from that epoch onward.
+  auto build = [](std::uint64_t entity) {
+    DecisionJournal j;
+    j.OnAdmit(TxnId(1), 0);
+    j.StampEpoch(10, 111);
+    j.OnBlock(TxnId(1), 12, EntityId(entity));
+    j.StampEpoch(20, 222);
+    j.OnCommit(TxnId(1), 25, 3);
+    j.StampEpoch(30, 333);
+    return j.ChainValues();
+  };
+  const auto a = build(5);
+  const auto b = build(5);
+  const auto c = build(6);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(a[0], c[0]);  // record lands in epoch 1, epoch 0 still agrees
+  EXPECT_NE(a[1], c[1]);
+  EXPECT_NE(a[2], c[2]);  // a chain divergence never heals
+}
+
+// ---------------------------------------------------------------------------
+// Checksum bisection (FirstDivergentEpoch) unit tests.
+// ---------------------------------------------------------------------------
+
+std::vector<EpochStamp> StampsFromChains(
+    const std::vector<std::uint64_t>& chains) {
+  std::vector<EpochStamp> out;
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    EpochStamp s;
+    s.epoch = i;
+    s.chain = chains[i];
+    out.push_back(s);
+  }
+  return out;
+}
+
+TEST(JournalBisectTest, IdenticalChainsReportNoDivergence) {
+  const auto a = StampsFromChains({10, 20, 30, 40});
+  EXPECT_EQ(FirstDivergentEpoch(a, a), kNoDivergence);
+}
+
+TEST(JournalBisectTest, FindsFirstDifferingLinkAtEveryPosition) {
+  const std::vector<std::uint64_t> base = {10, 20, 30, 40, 50, 60, 70};
+  const auto a = StampsFromChains(base);
+  for (std::size_t flip = 0; flip < base.size(); ++flip) {
+    // Chains are cumulative, so a real divergence at `flip` corrupts every
+    // later link too.
+    auto mutated = base;
+    for (std::size_t i = flip; i < mutated.size(); ++i) mutated[i] ^= 0xdead;
+    EXPECT_EQ(FirstDivergentEpoch(a, StampsFromChains(mutated)), flip);
+  }
+}
+
+TEST(JournalBisectTest, PrefixChainsDivergeAtTheMissingEpoch) {
+  const auto a = StampsFromChains({10, 20, 30, 40});
+  const auto b = StampsFromChains({10, 20});
+  EXPECT_EQ(FirstDivergentEpoch(a, b), 2u);
+  EXPECT_EQ(FirstDivergentEpoch(b, a), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Sim-level chain stability and injected divergences.
+// ---------------------------------------------------------------------------
+
+sim::SimOptions JournaledSim(std::uint64_t seed) {
+  sim::SimOptions opt;
+  opt.total_txns = 80;
+  opt.concurrency = 10;
+  opt.workload.num_entities = 12;
+  opt.workload.min_locks = 2;
+  opt.workload.max_locks = 4;
+  opt.seed = seed;
+  // A short epoch period so the small run still stamps several epochs.
+  opt.engine.journal_epoch_steps = 256;
+  return opt;
+}
+
+TEST(JournalSimTest, SameSeedSameChainDifferentSeedDifferentChain) {
+  auto a = sim::RunSimulation(JournaledSim(7));
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = sim::RunSimulation(JournaledSim(7));
+  ASSERT_TRUE(b.ok());
+  auto c = sim::RunSimulation(JournaledSim(8));
+  ASSERT_TRUE(c.ok());
+  ASSERT_GE(a->journal_chain.size(), 3u) << "too few epochs to be meaningful";
+  EXPECT_EQ(a->journal_chain, b->journal_chain);
+  EXPECT_GT(a->journal_records, 0u);
+  EXPECT_EQ(a->journal_records, b->journal_records);
+  EXPECT_NE(a->journal_chain, c->journal_chain);
+}
+
+TEST(JournalSimTest, PerturbedOmegaOrderFlipsChainAtExactlyThatEpoch) {
+  // The journal test hook XORs the perturbed epoch's state digest —
+  // simulating lock-table / ω-order drift with no divergent decision. The
+  // chain must flip at exactly that epoch and stay flipped.
+  auto clean = sim::RunSimulation(JournaledSim(7));
+  ASSERT_TRUE(clean.ok());
+  const std::size_t epochs = clean->journal_chain.size();
+  ASSERT_GE(epochs, 3u);
+  const std::uint64_t target = 2;
+  auto opt = JournaledSim(7);
+  opt.journal_perturb_epoch = target;
+  auto drift = sim::RunSimulation(opt);
+  ASSERT_TRUE(drift.ok());
+  ASSERT_EQ(drift->journal_chain.size(), epochs);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    if (e < target) {
+      EXPECT_EQ(clean->journal_chain[e], drift->journal_chain[e]) << e;
+    } else {
+      EXPECT_NE(clean->journal_chain[e], drift->journal_chain[e]) << e;
+    }
+  }
+}
+
+TEST(JournalSimTest, ReportStringIdenticalWithJournalOnAndOff) {
+  // The journal is observation-only: disabling it must not change a single
+  // decision, and journaling must stay out of the golden-compared report.
+  auto on = sim::RunSimulation(JournaledSim(7));
+  ASSERT_TRUE(on.ok());
+  auto opt = JournaledSim(7);
+  opt.journal = false;
+  auto off = sim::RunSimulation(opt);
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(on->ToString(), off->ToString());
+  EXPECT_TRUE(off->journal_chain.empty());
+  EXPECT_GT(on->journal_records, 0u);
+}
+
+TEST(JournalDiffTest, InjectedVictimFlipIsPinnedToItsDecisionRecord) {
+  const std::string dir = ::testing::TempDir();
+  auto opt = JournaledSim(7);
+  opt.journal_out = dir + "jrnl_clean";
+  auto clean = sim::RunSimulation(opt);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  auto flipped_opt = JournaledSim(7);
+  flipped_opt.journal_out = dir + "jrnl_flip";
+  // Flip the second flippable single-cycle victim decision.
+  flipped_opt.engine.debug_flip_victim_deadlock = 2;
+  auto flipped = sim::RunSimulation(flipped_opt);
+  ASSERT_TRUE(flipped.ok());
+  ASSERT_NE(clean->journal_chain, flipped->journal_chain)
+      << "flip hook produced no divergence — no flippable deadlock?";
+
+  auto a = ReadJournalFile(dir + "jrnl_clean");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = ReadJournalFile(dir + "jrnl_flip");
+  ASSERT_TRUE(b.ok());
+
+  const DivergenceReport d = DiffJournals(a.value(), b.value());
+  ASSERT_TRUE(d.diverged);
+  EXPECT_FALSE(d.state_only);
+  ASSERT_TRUE(d.has_record_a);
+  ASSERT_TRUE(d.has_record_b);
+  // The first divergent decision IS the victim choice: same kind and step
+  // on both sides, different victim.
+  EXPECT_EQ(static_cast<JournalKind>(d.record_a.kind), JournalKind::kVictim);
+  EXPECT_EQ(static_cast<JournalKind>(d.record_b.kind), JournalKind::kVictim);
+  EXPECT_EQ(d.record_a.step, d.record_b.step);
+  EXPECT_NE(d.record_a, d.record_b);
+  // The divergent epoch really is the first chain mismatch.
+  EXPECT_EQ(d.epoch, FirstDivergentEpoch(a->stamps, b->stamps));
+  // The rendered report names the epoch, the record and both sides.
+  const std::string text =
+      obs::RenderDivergence(d, /*shard=*/0, "clean", "flip");
+  EXPECT_NE(text.find("FIRST DIVERGENCE at epoch"), std::string::npos);
+  EXPECT_NE(text.find("victim"), std::string::npos);
+  EXPECT_NE(text.find("clean:"), std::string::npos);
+  EXPECT_NE(text.find("flip:"), std::string::npos);
+}
+
+TEST(JournalDiffTest, StateOnlyDriftDiagnosedWithoutDivergentRecord) {
+  const std::string dir = ::testing::TempDir();
+  auto opt = JournaledSim(9);
+  opt.journal_out = dir + "jrnl_base";
+  ASSERT_TRUE(sim::RunSimulation(opt).ok());
+  auto drift_opt = JournaledSim(9);
+  drift_opt.journal_out = dir + "jrnl_drift";
+  drift_opt.journal_perturb_epoch = 1;
+  ASSERT_TRUE(sim::RunSimulation(drift_opt).ok());
+
+  auto a = ReadJournalFile(dir + "jrnl_base");
+  ASSERT_TRUE(a.ok());
+  auto b = ReadJournalFile(dir + "jrnl_drift");
+  ASSERT_TRUE(b.ok());
+  const DivergenceReport d = DiffJournals(a.value(), b.value());
+  ASSERT_TRUE(d.diverged);
+  EXPECT_TRUE(d.state_only);
+  EXPECT_EQ(d.epoch, 1u);
+  EXPECT_NE(d.state_a, d.state_b);
+}
+
+TEST(JournalFileTest, WriteReadRoundTripPreservesEverything) {
+  const std::string path = ::testing::TempDir() + "jrnl_roundtrip";
+  DecisionJournal j;
+  j.OnAdmit(TxnId(3), 1);
+  j.OnGrant(TxnId(3), 2, EntityId(9), /*exclusive=*/true, /*upgrade=*/false);
+  j.StampEpoch(5, 777);
+  j.OnVictim(TxnId(4), 6, /*target=*/2, /*cost=*/11,
+             /*omega_constrained=*/true, /*is_requester=*/false,
+             /*candidates=*/3);
+  j.StampEpoch(10, 888, EpochKind::kTwoPC);
+  ASSERT_TRUE(j.WriteFile(path, /*shard=*/5, /*seed=*/1234).ok());
+
+  auto data = ReadJournalFile(path);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->shard, 5u);
+  EXPECT_EQ(data->seed, 1234u);
+  EXPECT_EQ(data->base_ordinal, 0u);
+  EXPECT_EQ(data->total_records, 3u);
+  EXPECT_EQ(data->dropped, 0u);
+  ASSERT_EQ(data->records.size(), 3u);
+  ASSERT_EQ(data->stamps.size(), 2u);
+  EXPECT_EQ(data->records, j.RetainedRecords());
+  EXPECT_EQ(data->stamps[0], j.stamps()[0]);
+  EXPECT_EQ(data->stamps[1], j.stamps()[1]);
+  EXPECT_EQ(static_cast<EpochKind>(data->stamps[1].kind), EpochKind::kTwoPC);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded chain stability: workers {1, 4, 7} x both schedulers.
+// ---------------------------------------------------------------------------
+
+par::ShardedOptions JournaledSharded(std::uint64_t seed) {
+  par::ShardedOptions opt;
+  opt.xshard = par::XShardMode::kReplica;
+  opt.num_shards = 4;
+  opt.workload.num_entities = 64;
+  opt.workload.min_locks = 2;
+  opt.workload.max_locks = 4;
+  opt.cross_shard_fraction = 0.2;
+  opt.concurrency = 8;
+  opt.total_txns = 160;
+  opt.seed = seed;
+  opt.engine.scheduler = core::SchedulerKind::kRandom;
+  opt.engine.journal_epoch_steps = 256;
+  return opt;
+}
+
+std::vector<std::vector<std::uint64_t>> ShardChains(
+    const par::ShardedReport& rep) {
+  std::vector<std::vector<std::uint64_t>> chains;
+  for (const par::ShardResult& s : rep.shards) {
+    EXPECT_EQ(s.journal_dropped, 0u);
+    chains.push_back(s.journal_chain);
+  }
+  return chains;
+}
+
+TEST(JournalShardedTest, ChainsInvariantAcrossWorkerCountsAndSchedulers) {
+  // The epoch chain is keyed to each engine's own step counter, so neither
+  // the worker count nor the quantum structure of the scheduler may move a
+  // single stamp. This is the hierarchical-comparison precondition: chains
+  // from ANY two runs of a seed are comparable.
+  auto base = par::RunSharded(JournaledSharded(11));
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  const auto want = ShardChains(base.value());
+  std::size_t epochs = 0;
+  for (const auto& c : want) epochs += c.size();
+  ASSERT_GT(epochs, 0u) << "no epochs stamped — period too long for the run?";
+
+  for (std::size_t workers : {1u, 4u, 7u}) {
+    for (par::ShardScheduler sched :
+         {par::ShardScheduler::kTimeSlice,
+          par::ShardScheduler::kRunToCompletion}) {
+      auto opt = JournaledSharded(11);
+      opt.num_threads = workers;
+      opt.scheduler = sched;
+      auto rep = par::RunSharded(opt);
+      ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+      EXPECT_EQ(ShardChains(rep.value()), want)
+          << "workers=" << workers << " scheduler="
+          << (sched == par::ShardScheduler::kTimeSlice ? "timeslice" : "rtc");
+    }
+  }
+}
+
+TEST(JournalShardedTest, ReportJsonByteIdenticalWithJournalOnAndOff) {
+  auto on_opt = JournaledSharded(13);
+  auto on = par::RunSharded(on_opt);
+  ASSERT_TRUE(on.ok());
+  auto off_opt = JournaledSharded(13);
+  off_opt.journal = false;
+  auto off = par::RunSharded(off_opt);
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(par::ShardedReportToJson(on.value()),
+            par::ShardedReportToJson(off.value()));
+}
+
+TEST(JournalShardedTest, LocksModeCoordinatorChainIsDeterministic) {
+  auto opt = JournaledSharded(17);
+  opt.xshard = par::XShardMode::kLocks;
+  opt.total_txns = 120;
+  auto a = par::RunSharded(opt);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_FALSE(a->coord_journal_chain.empty())
+      << "locks mode must stamp 2PC epochs on the coordinator journal";
+  auto wopt = opt;
+  wopt.num_threads = 1;
+  auto b = par::RunSharded(wopt);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->coord_journal_chain, b->coord_journal_chain);
+  EXPECT_EQ(ShardChains(a.value()), ShardChains(b.value()));
+}
+
+}  // namespace
+}  // namespace pardb

@@ -290,6 +290,44 @@ TEST(LiveHubTest, OwnedRegistryOutlivesTheRunsLocals) {
   EXPECT_EQ(m->counter, 7u);
 }
 
+TEST(LiveHubTest, JournalDigestsReplaceByShardAndSortByShard) {
+  LiveHub hub;
+  auto digest = [](std::uint32_t shard, std::uint64_t records) {
+    obs::JournalDigest d;
+    d.shard = shard;
+    d.records = records;
+    return d;
+  };
+  const std::uint64_t before = hub.snapshot_version();
+  hub.PublishJournal(digest(1, 10));
+  hub.PublishJournal(digest(0, 20));
+  hub.PublishJournal(digest(1, 30));  // re-publish replaces, never appends
+  auto all = hub.JournalDigests();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].shard, 0u);
+  EXPECT_EQ(all[0].records, 20u);
+  EXPECT_EQ(all[1].shard, 1u);
+  EXPECT_EQ(all[1].records, 30u);
+  EXPECT_GT(hub.snapshot_version(), before);  // SSE pollers wake up
+}
+
+TEST(LiveHubTest, RunInfoRoundTripsForHealthz) {
+  LiveHub hub;
+  obs::RunInfo info;
+  info.build_id = "pardb test-build";
+  info.seed = 42;
+  info.shards = 4;
+  info.scheduler = "timeslice";
+  info.mode = "parallel";
+  hub.SetRunInfo(info);
+  const obs::RunInfo got = hub.GetRunInfo();
+  EXPECT_EQ(got.build_id, "pardb test-build");
+  EXPECT_EQ(got.seed, 42u);
+  EXPECT_EQ(got.shards, 4u);
+  EXPECT_EQ(got.scheduler, "timeslice");
+  EXPECT_EQ(got.mode, "parallel");
+}
+
 // ---------------------------------------------------------------------------
 // LineageTracker
 // ---------------------------------------------------------------------------
@@ -495,6 +533,45 @@ TEST(ServeIntegrationTest, EndpointsServeWhileShardedRunIsInFlight) {
   ASSERT_TRUE(health.ok);
   EXPECT_EQ(health.status, 200);
   EXPECT_NE(health.body.find("\"phase\":\"done\""), std::string::npos);
+  // Run metadata rides on the JSON body (no RunInfo was set here, so the
+  // string fields fall back to "unknown" but the keys must be present);
+  // ?plain=1 keeps the one-word liveness probe for dumb smoke scripts.
+  EXPECT_NE(health.body.find("\"build_id\":"), std::string::npos);
+  EXPECT_NE(health.body.find("\"seed\":"), std::string::npos);
+  EXPECT_NE(health.body.find("\"shard_count\":"), std::string::npos);
+  EXPECT_NE(health.body.find("\"scheduler\":"), std::string::npos);
+  EXPECT_NE(health.body.find("\"uptime_seconds\":"), std::string::npos);
+  auto plain = HttpFetch(port, "/healthz?plain=1");
+  ASSERT_TRUE(plain.ok);
+  EXPECT_EQ(plain.status, 200);
+  EXPECT_EQ(plain.body, "ok\n");
+
+  // D14: both shards published journal digests; the tail endpoint serves
+  // the all-shards array, a per-shard digest, and clean errors.
+  auto journal_all = HttpFetch(port, "/debug/journal");
+  ASSERT_TRUE(journal_all.ok);
+  EXPECT_EQ(journal_all.status, 200);
+  EXPECT_NE(journal_all.body.find("\"chain\":\"0x"), std::string::npos);
+  auto journal0 = HttpFetch(port, "/debug/journal?shard=0");
+  ASSERT_TRUE(journal0.ok);
+  EXPECT_EQ(journal0.status, 200);
+  EXPECT_NE(journal0.body.find("\"shard\":0"), std::string::npos);
+  EXPECT_NE(journal0.body.find("\"dropped\":0"), std::string::npos);
+  EXPECT_NE(journal0.body.find("\"stamps\":["), std::string::npos);
+  auto journal_bad = HttpFetch(port, "/debug/journal?shard=zz");
+  ASSERT_TRUE(journal_bad.ok);
+  EXPECT_EQ(journal_bad.status, 400);
+  auto journal_missing = HttpFetch(port, "/debug/journal?shard=99");
+  ASSERT_TRUE(journal_missing.ok);
+  EXPECT_EQ(journal_missing.status, 404);
+
+  // The journal series are on the scrape, and no journal ring evicted.
+  EXPECT_NE(metrics.body.find(std::string(obs::kJournalRecordsTotal) +
+                              "{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find(std::string(obs::kJournalDroppedTotal) +
+                              "{shard=\"0\"} 0"),
+            std::string::npos);
 
   auto waits = HttpFetch(port, "/debug/waits-for");
   ASSERT_TRUE(waits.ok);

@@ -7,9 +7,15 @@ current speedup more than --max-speedup-drop-pct below the baseline's
 fails the gate. The deterministic engine results (committed transactions
 per shard count) must match the baseline exactly — any drift there is a
 behavior change, not noise. The telemetry-overhead verdicts are absolute:
-overhead_pct (metric probes vs bare) and timeline_overhead_pct (the D13
-lifecycle timelines vs the instrumented run) must each stay within
+overhead_pct (metric probes vs bare), timeline_overhead_pct (the D13
+lifecycle timelines vs the instrumented run) and journal_overhead_pct
+(the D14 decision journal vs the txnlife run) must each stay within
 --max-overhead-pct.
+
+On any report-identity failure (pipeline vs batch, or cross-shard across
+worker counts) the gate also prints the first differing JSON key path and
+both values, read from the mismatch side-files the bench leaves on disk;
+the exit code contract (0 pass / 1 fail) is unchanged.
 
 The skew check gates the scheduler comparison (BENCH_parallel_skew.json):
 committed counts must match the baseline exactly, and on the skewed
@@ -66,6 +72,63 @@ import sys
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def first_json_divergence(a, b, path="$"):
+    """First key path (dict keys sorted, list indices in order) where the
+    two parsed JSON documents differ, as (path, value_a, value_b); None
+    when identical. '<absent>' marks a key/index present on one side only.
+    """
+    if type(a) is not type(b):
+        return (path, a, b)
+    if isinstance(a, dict):
+        for k in sorted(set(a) | set(b)):
+            sub = f"{path}.{k}"
+            if k not in a:
+                return (sub, "<absent>", b[k])
+            if k not in b:
+                return (sub, a[k], "<absent>")
+            hit = first_json_divergence(a[k], b[k], sub)
+            if hit:
+                return hit
+        return None
+    if isinstance(a, list):
+        for i in range(max(len(a), len(b))):
+            sub = f"{path}[{i}]"
+            if i >= len(a):
+                return (sub, "<absent>", b[i])
+            if i >= len(b):
+                return (sub, a[i], "<absent>")
+            hit = first_json_divergence(a[i], b[i], sub)
+            if hit:
+                return hit
+        return None
+    if a != b:
+        return (path, a, b)
+    return None
+
+
+def describe_report_mismatch(label, path_a, path_b, side_a, side_b):
+    """On a report-identity failure, pin the first differing JSON key path
+    and both values (the benches leave the two sides on disk). Diagnostic
+    output only — the failure itself is still reported by the caller, so
+    the exit-code contract is unchanged."""
+    try:
+        a = load(path_a)
+        b = load(path_b)
+    except (OSError, ValueError):
+        print(f"{label}: report sides not on disk "
+              f"({path_a}, {path_b}); cannot pin the differing key",
+              file=sys.stderr)
+        return
+    hit = first_json_divergence(a, b)
+    if hit is None:
+        print(f"{label}: recorded report sides parse identical "
+              f"(whitespace-only difference?)", file=sys.stderr)
+        return
+    where, va, vb = hit
+    print(f"{label}: first differing key {where}: "
+          f"{side_a}={va!r}  {side_b}={vb!r}", file=sys.stderr)
 
 
 def check_scaling(current, baseline, max_drop_pct):
@@ -147,6 +210,11 @@ def check_pipeline(current, baseline, min_overlap, min_speedup):
         failures.append(
             "pipeline: pipelined report JSON differs from batch "
             "(determinism contract broken)")
+        describe_report_mismatch(
+            "pipeline",
+            "BENCH_parallel_pipeline_report_batch.json",
+            "BENCH_parallel_pipeline_report_pipelined.json",
+            "batch", "pipelined")
     for field in ("committed",):
         cur = current["pipelined"][field]
         base = baseline["pipelined"][field] if baseline else cur
@@ -194,6 +262,11 @@ def check_cross_shard(current, baseline, min_goodput_ratio):
             failures.append(
                 f"cross-shard frac={frac}: report not byte-identical across "
                 f"runs/worker counts (determinism contract broken)")
+            describe_report_mismatch(
+                f"cross-shard frac={frac}",
+                "BENCH_cross_shard_report_expected.json",
+                "BENCH_cross_shard_report_actual.json",
+                "expected", "actual")
         if not row["report"]["global_serializable"]:
             failures.append(
                 f"cross-shard frac={frac}: merged commit log not "
@@ -237,6 +310,14 @@ def check_overhead(overhead, max_overhead_pct):
         print(f"timeline overhead {tpct:.2f}% (budget {max_overhead_pct}%)")
         if tpct > max_overhead_pct:
             failures.append(f"timeline overhead {tpct:.2f}% exceeds budget "
+                            f"{max_overhead_pct}%")
+    # Decision-journal increment (D14): measured against the txnlife run it
+    # rides on, gated on the same budget. Absent in pre-D14 files.
+    if "journal_overhead_pct" in overhead:
+        jpct = overhead["journal_overhead_pct"]
+        print(f"journal overhead {jpct:.2f}% (budget {max_overhead_pct}%)")
+        if jpct > max_overhead_pct:
+            failures.append(f"journal overhead {jpct:.2f}% exceeds budget "
                             f"{max_overhead_pct}%")
     return failures
 

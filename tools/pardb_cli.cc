@@ -16,6 +16,13 @@
 //   pardb serve [flags]        replay the sim workload in a loop while the
 //                              introspection server runs (--port=N
 //                              --duration=SECS, plus the sim flags)
+//   pardb journal [flags]      record a run's decision journal to file
+//                              (--out=PREFIX plus the sim flags), or
+//                              summarize journal files given as positional
+//                              arguments
+//   pardb diff-runs A B        first-divergence report between two recorded
+//                              runs; A and B are journal files or --out
+//                              prefixes. Exit 0 identical, 4 diverged.
 //
 // Common flags (sim/compare/dot):
 //   --strategy=mcs|sdg|total         rollback state strategy [mcs]
@@ -28,6 +35,17 @@
 //   --trace                          print the protocol event trace
 //   --log-level=debug|info|warning|error|off   (any subcommand; applied
 //                                    before anything is constructed)
+//
+// Decision journal (sim/parallel/journal; DESIGN D14):
+//   --journal-out=PREFIX             record journals to PREFIX.shard<k>.jrnl
+//                                    (parallel adds PREFIX.coord.jrnl)
+//   --no-journal                     disable journaling (overhead runs)
+//   --journal-epoch-steps=N          checksum stamp cadence in engine steps
+//                                    (rounded up to a power of two) [1024]
+//   --flip-victim=N                  test hook: flip the victim choice at
+//                                    the Nth deadlock (0 = off)
+//   --perturb-epoch=N                test hook: perturb epoch N's state
+//                                    digest (-1 = off)
 //
 // Observability flags (sim/parallel/observe):
 //   --metrics-json=FILE              write the metrics registry as JSON
@@ -70,6 +88,7 @@
 #include "core/trace_export.h"
 #include "dist/distributed.h"
 #include "obs/forensics.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/serve/http_server.h"
 #include "obs/serve/hub.h"
@@ -87,7 +106,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: pardb <sim|parallel|observe|compare|figure1|figure2|"
-               "figure3a|figure3b|figure3c|dot|serve> [--flags]\n"
+               "figure3a|figure3b|figure3c|dot|serve|journal|diff-runs> "
+               "[--flags]\n"
                "see the header of tools/pardb_cli.cc for the flag list\n");
   return 2;
 }
@@ -112,6 +132,19 @@ Result<ServeConfig> GetServeConfig(const Flags& flags) {
   return c;
 }
 
+// /healthz run metadata: build id, seed, shard count, scheduler, mode.
+obs::RunInfo MakeRunInfo(std::uint64_t seed, std::uint32_t shards,
+                         const std::string& scheduler,
+                         const std::string& mode) {
+  obs::RunInfo info;
+  info.build_id = std::string("pardb ") + __DATE__;
+  info.seed = seed;
+  info.shards = shards;
+  info.scheduler = scheduler;
+  info.mode = mode;
+  return info;
+}
+
 // Builds the introspection server over `hub` and starts it. Prints the
 // bound endpoint so scripts scraping an ephemeral port can find it.
 Result<std::unique_ptr<obs::HttpServer>> StartIntrospectionServer(
@@ -121,7 +154,7 @@ Result<std::unique_ptr<obs::HttpServer>> StartIntrospectionServer(
   PARDB_RETURN_IF_ERROR(server->Start(static_cast<std::uint16_t>(port)));
   std::printf("serving http://127.0.0.1:%u  "
               "(/metrics /healthz /debug/waits-for /debug/deadlocks "
-              "/debug/txn /debug/slowest)\n",
+              "/debug/txn /debug/slowest /debug/journal)\n",
               server->port());
   std::fflush(stdout);
   return server;
@@ -316,6 +349,21 @@ Result<sim::SimOptions> BuildSimOptions(const Flags& flags) {
       static_cast<std::uint32_t>(std::atoi(locks.substr(0, colon).c_str()));
   opt.workload.max_locks =
       static_cast<std::uint32_t>(std::atoi(locks.substr(colon + 1).c_str()));
+
+  // Decision journal (DESIGN D14) and its test hooks.
+  opt.journal = !flags.GetBool("no-journal", false);
+  opt.journal_out = flags.GetString("journal-out", "");
+  PARDB_ASSIGN_OR_RETURN(auto jsteps, flags.GetInt("journal-epoch-steps", 1024));
+  if (jsteps < 0) {
+    return Status::InvalidArgument("--journal-epoch-steps must be >= 0");
+  }
+  opt.engine.journal_epoch_steps = static_cast<std::uint64_t>(jsteps);
+  PARDB_ASSIGN_OR_RETURN(auto flip, flags.GetInt("flip-victim", 0));
+  if (flip < 0) return Status::InvalidArgument("--flip-victim must be >= 0");
+  opt.engine.debug_flip_victim_deadlock = static_cast<std::uint64_t>(flip);
+  PARDB_ASSIGN_OR_RETURN(auto perturb, flags.GetInt("perturb-epoch", -1));
+  opt.journal_perturb_epoch =
+      perturb < 0 ? ~0ULL : static_cast<std::uint64_t>(perturb);
   return opt;
 }
 
@@ -358,6 +406,7 @@ int RunSim(const Flags& flags) {
     // during --serve-linger), so the hub owns it.
     reg = hub.AddOwnedRegistry(std::make_unique<obs::MetricsRegistry>());
     opt->hub = &hub;
+    hub.SetRunInfo(MakeRunInfo(opt->seed, 1, "sim", "sim"));
     auto started = StartIntrospectionServer(&hub, serve->port);
     if (!started.ok()) {
       std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
@@ -462,6 +511,9 @@ int RunParallel(const Flags& flags) {
   opt.concurrency = sim_opt->concurrency;
   opt.total_txns = sim_opt->total_txns;
   opt.seed = sim_opt->seed;
+  opt.journal = sim_opt->journal;
+  opt.journal_out = sim_opt->journal_out;
+  opt.journal_perturb_epoch = sim_opt->journal_perturb_epoch;
   auto shards = flags.GetInt("shards", 4);
   auto threads = flags.GetInt("threads", 0);
   auto cross = flags.GetDouble("cross", 0.05);
@@ -517,6 +569,7 @@ int RunParallel(const Flags& flags) {
   if (serve->enabled) {
     opt.hub = &hub;
     opt.instrument = true;  // live /metrics needs the per-shard registries
+    hub.SetRunInfo(MakeRunInfo(opt.seed, opt.num_shards, sched, "parallel"));
     auto started = StartIntrospectionServer(&hub, serve->port);
     if (!started.ok()) {
       std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
@@ -796,6 +849,132 @@ int RunDot(const Flags& flags) {
   return 0;
 }
 
+// Resolves a `pardb diff-runs` argument to journal files: a literal file
+// path, or a --journal-out prefix (PREFIX.shard<k>.jrnl [+ PREFIX.coord.jrnl]).
+std::vector<std::string> ResolveJournalArg(const std::string& arg) {
+  std::vector<std::string> paths;
+  if (std::ifstream(arg).good()) {
+    paths.push_back(arg);
+    return paths;
+  }
+  for (std::uint32_t s = 0; s < 1024; ++s) {
+    std::string p = arg + ".shard" + std::to_string(s) + ".jrnl";
+    if (!std::ifstream(p).good()) break;
+    paths.push_back(std::move(p));
+  }
+  if (std::ifstream(arg + ".coord.jrnl").good()) {
+    paths.push_back(arg + ".coord.jrnl");
+  }
+  return paths;
+}
+
+// `pardb journal` — record a run's decision journal (--out=PREFIX plus the
+// sim flags; writes PREFIX.shard0.jrnl), or summarize journal files given
+// as positional arguments. Sharded recordings come from
+// `pardb parallel --journal-out=PREFIX`.
+int RunJournal(const Flags& flags) {
+  if (!flags.positional().empty()) {
+    int rc = 0;
+    for (const std::string& path : flags.positional()) {
+      auto data = obs::ReadJournalFile(path);
+      if (!data.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     data.status().ToString().c_str());
+        rc = 1;
+        continue;
+      }
+      std::printf("%s", obs::SummarizeJournal(data.value(), path).c_str());
+    }
+    return rc;
+  }
+  const std::string prefix = flags.GetString("out", "");
+  if (prefix.empty()) {
+    std::fprintf(stderr,
+                 "journal: need --out=PREFIX to record, or journal files to "
+                 "summarize\n");
+    return 2;
+  }
+  auto opt = BuildSimOptions(flags);
+  if (!opt.ok()) {
+    std::fprintf(stderr, "%s\n", opt.status().ToString().c_str());
+    return 2;
+  }
+  opt->journal = true;
+  opt->journal_out = prefix + ".shard0.jrnl";
+  auto report = sim::RunSimulation(opt.value());
+  if (!report.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->ToString().c_str());
+  std::printf("wrote %s (%llu records, %llu epochs)\n",
+              opt->journal_out.c_str(),
+              (unsigned long long)report->journal_records,
+              (unsigned long long)report->journal_chain.size());
+  return report->completed ? 0 : 3;
+}
+
+// `pardb diff-runs A B` — hierarchical first-divergence diagnosis between
+// two recorded runs: checksum bisection to the first divergent epoch, then
+// a record-level diff pinning the exact first divergent decision. Exit 0
+// when every journal pair is identical, 4 on divergence, 2 on usage/IO
+// errors.
+int RunDiffRuns(const Flags& flags) {
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr, "usage: pardb diff-runs <A> <B>  (journal files or "
+                 "--journal-out prefixes)\n");
+    return 2;
+  }
+  const std::string& arg_a = flags.positional()[0];
+  const std::string& arg_b = flags.positional()[1];
+  const std::vector<std::string> paths_a = ResolveJournalArg(arg_a);
+  const std::vector<std::string> paths_b = ResolveJournalArg(arg_b);
+  if (paths_a.empty() || paths_b.empty()) {
+    std::fprintf(stderr, "diff-runs: no journal files found for '%s'\n",
+                 paths_a.empty() ? arg_a.c_str() : arg_b.c_str());
+    return 2;
+  }
+  if (paths_a.size() != paths_b.size()) {
+    std::fprintf(stderr,
+                 "diff-runs: %s has %zu journal(s), %s has %zu — the runs "
+                 "were recorded with different shard counts\n",
+                 arg_a.c_str(), paths_a.size(), arg_b.c_str(), paths_b.size());
+    return 4;
+  }
+  bool any_diverged = false;
+  for (std::size_t i = 0; i < paths_a.size(); ++i) {
+    auto a = obs::ReadJournalFile(paths_a[i]);
+    auto b = obs::ReadJournalFile(paths_b[i]);
+    if (!a.ok() || !b.ok()) {
+      std::fprintf(stderr, "diff-runs: %s\n",
+                   (!a.ok() ? a.status() : b.status()).ToString().c_str());
+      return 2;
+    }
+    if (a->shard != b->shard) {
+      std::fprintf(stderr,
+                   "diff-runs: shard mismatch (%u vs %u) between %s and %s\n",
+                   a->shard, b->shard, paths_a[i].c_str(), paths_b[i].c_str());
+      return 2;
+    }
+    const obs::DivergenceReport d = obs::DiffJournals(a.value(), b.value());
+    if (!d.diverged) continue;
+    if (!any_diverged) {
+      std::printf("%s%s", obs::SummarizeJournal(a.value(), arg_a).c_str(),
+                  obs::SummarizeJournal(b.value(), arg_b).c_str());
+    }
+    any_diverged = true;
+    std::printf("%s", obs::RenderDivergence(d, a->shard, arg_a, arg_b).c_str());
+  }
+  if (!any_diverged) {
+    std::printf("runs identical: %zu journal(s) compared, all checksum "
+                "chains and records match\n",
+                paths_a.size());
+    return 0;
+  }
+  return 4;
+}
+
 // `pardb serve` — replay mode: loops the sim workload (seed advancing each
 // iteration) with the introspection server up the whole time, so dashboards
 // and curl have a moving target to look at. Flags: --port=N (default 8080,
@@ -816,6 +995,7 @@ int RunServe(const Flags& flags) {
       hub.AddOwnedRegistry(std::make_unique<obs::MetricsRegistry>());
   opt->metrics = reg;
   opt->hub = &hub;
+  hub.SetRunInfo(MakeRunInfo(opt->seed, 1, "sim", "serve"));
   auto started = StartIntrospectionServer(&hub, static_cast<int>(port.value()));
   if (!started.ok()) {
     std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
@@ -887,6 +1067,10 @@ int main(int argc, char** argv) {
     rc = RunDot(flags.value());
   } else if (mode == "serve") {
     rc = RunServe(flags.value());
+  } else if (mode == "journal") {
+    rc = RunJournal(flags.value());
+  } else if (mode == "diff-runs") {
+    rc = RunDiffRuns(flags.value());
   } else {
     rc = RunFigure(mode);
   }
