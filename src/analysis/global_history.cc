@@ -1,7 +1,8 @@
 #include "analysis/global_history.h"
 
 #include <algorithm>
-#include <set>
+
+#include "analysis/precedence.h"
 
 namespace pardb::analysis {
 
@@ -13,114 +14,34 @@ void GlobalHistory::Add(std::uint64_t key,
 
 std::map<std::uint64_t, std::vector<std::uint64_t>>
 GlobalHistory::BuildPrecedence(bool* divergence) const {
-  *divergence = false;
-  struct EntityAccesses {
-    std::map<std::uint64_t, std::uint64_t> writers;            // version -> key
-    std::map<std::uint64_t, std::set<std::uint64_t>> readers;  // version seen
-  };
-  std::map<EntityId, EntityAccesses> per_entity;
+  // Flatten the merged logs and defer to the shared single-sort builder.
+  // kMinKey reproduces the historical first-emplace-wins on duplicate
+  // publishes (logs_ iterates keys ascending, so the smallest key won);
+  // the duplicate itself is what `divergence` reports.
+  std::size_t total = 0;
   for (const auto& [key, events] : logs_) {
+    (void)key;
+    total += events.size();
+  }
+  std::vector<precedence::FlatAccess> acc;
+  acc.reserve(total);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(logs_.size());
+  for (const auto& [key, events] : logs_) {
+    keys.push_back(key);
     for (const AccessEvent& e : events) {
-      auto& ea = per_entity[e.entity];
-      if (e.is_write) {
-        auto [it, inserted] = ea.writers.try_emplace(e.version, key);
-        // Two distinct merged transactions publishing the same version of
-        // the same entity means two stores evolved it independently.
-        if (!inserted && it->second != key) *divergence = true;
-      } else {
-        ea.readers[e.version].insert(key);
-      }
+      acc.push_back(
+          precedence::FlatAccess{key, e.entity.value(), e.version, e.is_write});
     }
   }
-
-  std::map<std::uint64_t, std::vector<std::uint64_t>> out;
-  for (const auto& [key, events] : logs_) {
-    (void)events;
-    out.try_emplace(key);
-  }
-  auto AddEdge = [&out](std::uint64_t a, std::uint64_t b) {
-    if (a == b) return;
-    out[a].push_back(b);
-  };
-  for (const auto& [entity, ea] : per_entity) {
-    (void)entity;
-    std::uint64_t prev_writer = 0;
-    bool has_prev = false;
-    for (const auto& [version, writer] : ea.writers) {
-      (void)version;
-      if (has_prev) AddEdge(prev_writer, writer);
-      prev_writer = writer;
-      has_prev = true;
-    }
-    for (const auto& [version, readers] : ea.readers) {
-      auto wit = ea.writers.find(version);
-      for (std::uint64_t r : readers) {
-        if (wit != ea.writers.end()) AddEdge(wit->second, r);
-        auto nit = ea.writers.upper_bound(version);
-        if (nit != ea.writers.end()) AddEdge(r, nit->second);
-      }
-    }
-  }
-  for (auto& [v, nbrs] : out) {
-    (void)v;
-    std::sort(nbrs.begin(), nbrs.end());
-    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
-  }
-  return out;
+  return precedence::BuildPrecedenceFlat(
+      std::move(acc), keys, precedence::WriterTieBreak::kMinKey, divergence);
 }
-
-namespace {
-
-// Iterative 3-color DFS; returns a cycle's vertices or empty when acyclic
-// (the HistoryRecorder convention).
-std::vector<std::uint64_t> FindCycle(
-    const std::map<std::uint64_t, std::vector<std::uint64_t>>& g) {
-  enum class Color { kWhite, kGray, kBlack };
-  std::map<std::uint64_t, Color> color;
-  for (const auto& [v, _] : g) color[v] = Color::kWhite;
-  struct Frame {
-    std::uint64_t v;
-    std::size_t next = 0;
-  };
-  for (const auto& [root, _] : g) {
-    if (color[root] != Color::kWhite) continue;
-    std::vector<Frame> stack{{root, 0}};
-    color[root] = Color::kGray;
-    while (!stack.empty()) {
-      Frame& f = stack.back();
-      const auto& nbrs = g.at(f.v);
-      if (f.next < nbrs.size()) {
-        std::uint64_t u = nbrs[f.next++];
-        auto cit = color.find(u);
-        if (cit == color.end()) continue;
-        if (cit->second == Color::kGray) {
-          std::vector<std::uint64_t> cycle;
-          bool in_cycle = false;
-          for (const Frame& fr : stack) {
-            if (fr.v == u) in_cycle = true;
-            if (in_cycle) cycle.push_back(fr.v);
-          }
-          return cycle;
-        }
-        if (cit->second == Color::kWhite) {
-          cit->second = Color::kGray;
-          stack.push_back(Frame{u, 0});
-        }
-      } else {
-        color[f.v] = Color::kBlack;
-        stack.pop_back();
-      }
-    }
-  }
-  return {};
-}
-
-}  // namespace
 
 bool GlobalHistory::IsConflictSerializable() const {
   bool divergence = false;
   auto g = BuildPrecedence(&divergence);
-  return !divergence && FindCycle(g).empty();
+  return !divergence && precedence::FindCycleFlat(g).empty();
 }
 
 bool GlobalHistory::HasReplicaDivergence() const {
@@ -131,7 +52,7 @@ bool GlobalHistory::HasReplicaDivergence() const {
 
 std::vector<std::uint64_t> GlobalHistory::WitnessCycle() const {
   bool divergence = false;
-  return FindCycle(BuildPrecedence(&divergence));
+  return precedence::FindCycleFlat(BuildPrecedence(&divergence));
 }
 
 }  // namespace pardb::analysis

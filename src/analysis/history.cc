@@ -4,6 +4,8 @@
 #include <cassert>
 #include <set>
 
+#include "analysis/precedence.h"
+
 namespace pardb::analysis {
 
 void HistoryRecorder::OnBegin(TxnId txn, Timestamp entry) {
@@ -42,7 +44,7 @@ void HistoryRecorder::OnRollback(TxnId txn, StateIndex target_state) {
 void HistoryRecorder::OnCommit(TxnId txn) {
   auto it = active_.find(txn);
   if (it == active_.end()) return;
-  committed_[txn] = std::move(it->second);
+  committed_.emplace_back(txn, std::move(it->second));
   active_.erase(it);
 }
 
@@ -53,127 +55,49 @@ std::vector<HistoryRecorder::CommittedTxn> HistoryRecorder::CommittedLog()
   for (const auto& [txn, log] : committed_) {
     out.push_back(CommittedTxn{txn, log.entry, log.events});
   }
+  std::sort(out.begin(), out.end(),
+            [](const CommittedTxn& a, const CommittedTxn& b) {
+              return a.txn < b.txn;
+            });
   return out;
 }
 
 std::map<std::uint64_t, std::vector<std::uint64_t>>
 HistoryRecorder::BuildPrecedence() const {
-  // Per entity: committed publishes ordered by version, and committed reads
-  // keyed by the version they saw.
-  struct EntityAccesses {
-    std::map<std::uint64_t, std::uint64_t> writers;          // version -> txn
-    std::map<std::uint64_t, std::set<std::uint64_t>> readers;  // version seen
-  };
-  std::map<EntityId, EntityAccesses> per_entity;
+  // Flatten the committed projection and let the shared single-sort
+  // builder do the rest. kMaxKey reproduces the historical
+  // last-assignment-wins on duplicate publishes (committed_ used to be a
+  // txn-ordered map, so the largest txn id won).
+  std::size_t total = 0;
   for (const auto& [txn, log] : committed_) {
+    (void)txn;
+    total += log.events.size();
+  }
+  std::vector<precedence::FlatAccess> acc;
+  acc.reserve(total);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(committed_.size());
+  for (const auto& [txn, log] : committed_) {
+    keys.push_back(txn.value());
     for (const AccessEvent& e : log.events) {
-      auto& ea = per_entity[e.entity];
-      if (e.is_write) {
-        ea.writers[e.version] = txn.value();
-      } else {
-        ea.readers[e.version].insert(txn.value());
-      }
+      acc.push_back(precedence::FlatAccess{txn.value(), e.entity.value(),
+                                           e.version, e.is_write});
     }
   }
-
-  std::map<std::uint64_t, std::vector<std::uint64_t>> out;
-  for (const auto& [txn, log] : committed_) {
-    (void)log;
-    out.try_emplace(txn.value());
-  }
-  auto AddEdge = [&out](std::uint64_t a, std::uint64_t b) {
-    if (a == b) return;
-    out[a].push_back(b);
-  };
-
-  for (const auto& [entity, ea] : per_entity) {
-    (void)entity;
-    // w(v) -> w(v') for consecutive committed publish versions.
-    std::uint64_t prev_writer = 0;
-    bool has_prev = false;
-    for (const auto& [version, writer] : ea.writers) {
-      (void)version;
-      if (has_prev) AddEdge(prev_writer, writer);
-      prev_writer = writer;
-      has_prev = true;
-    }
-    for (const auto& [version, readers] : ea.readers) {
-      // writer(version) -> reader (version 0 is the initial value, no
-      // writer).
-      auto wit = ea.writers.find(version);
-      for (std::uint64_t r : readers) {
-        if (wit != ea.writers.end()) AddEdge(wit->second, r);
-        // reader -> first writer of a later version.
-        auto nit = ea.writers.upper_bound(version);
-        if (nit != ea.writers.end()) AddEdge(r, nit->second);
-      }
-    }
-  }
-  // Deduplicate adjacency lists.
-  for (auto& [v, nbrs] : out) {
-    (void)v;
-    std::sort(nbrs.begin(), nbrs.end());
-    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
-  }
-  return out;
+  return precedence::BuildPrecedenceFlat(std::move(acc), keys,
+                                         precedence::WriterTieBreak::kMaxKey,
+                                         nullptr);
 }
-
-namespace {
-
-// Returns a cycle (as vertex list) in `g`, or empty when acyclic.
-std::vector<std::uint64_t> FindCycle(
-    const std::map<std::uint64_t, std::vector<std::uint64_t>>& g) {
-  enum class Color { kWhite, kGray, kBlack };
-  std::map<std::uint64_t, Color> color;
-  for (const auto& [v, _] : g) color[v] = Color::kWhite;
-
-  struct Frame {
-    std::uint64_t v;
-    std::size_t next = 0;
-  };
-  for (const auto& [root, _] : g) {
-    if (color[root] != Color::kWhite) continue;
-    std::vector<Frame> stack{{root, 0}};
-    color[root] = Color::kGray;
-    while (!stack.empty()) {
-      Frame& f = stack.back();
-      const auto& nbrs = g.at(f.v);
-      if (f.next < nbrs.size()) {
-        std::uint64_t u = nbrs[f.next++];
-        auto cit = color.find(u);
-        if (cit == color.end()) continue;
-        if (cit->second == Color::kGray) {
-          // Extract the cycle from the stack.
-          std::vector<std::uint64_t> cycle;
-          bool in_cycle = false;
-          for (const Frame& fr : stack) {
-            if (fr.v == u) in_cycle = true;
-            if (in_cycle) cycle.push_back(fr.v);
-          }
-          return cycle;
-        }
-        if (cit->second == Color::kWhite) {
-          cit->second = Color::kGray;
-          stack.push_back(Frame{u, 0});
-        }
-      } else {
-        color[f.v] = Color::kBlack;
-        stack.pop_back();
-      }
-    }
-  }
-  return {};
-}
-
-}  // namespace
 
 bool HistoryRecorder::IsConflictSerializable() const {
-  return FindCycle(BuildPrecedence()).empty();
+  return precedence::FindCycleFlat(BuildPrecedence()).empty();
 }
 
 std::vector<TxnId> HistoryRecorder::WitnessCycle() const {
   std::vector<TxnId> out;
-  for (std::uint64_t v : FindCycle(BuildPrecedence())) out.push_back(TxnId(v));
+  for (std::uint64_t v : precedence::FindCycleFlat(BuildPrecedence())) {
+    out.push_back(TxnId(v));
+  }
   return out;
 }
 

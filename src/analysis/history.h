@@ -86,7 +86,10 @@ class HistoryRecorder {
   std::map<std::uint64_t, std::vector<std::uint64_t>> BuildPrecedence() const;
 
   std::unordered_map<TxnId, TxnLog> active_;
-  std::map<TxnId, TxnLog> committed_;
+  // Append-only commit log (commit order, not txn order): OnCommit sits on
+  // every transaction's completion path, so it must not pay a tree insert.
+  // Readers sort on demand.
+  std::vector<std::pair<TxnId, TxnLog>> committed_;
 };
 
 }  // namespace pardb::analysis

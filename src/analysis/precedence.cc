@@ -1,0 +1,152 @@
+#include "analysis/precedence.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace pardb::analysis::precedence {
+
+namespace {
+
+// Orders accesses so one pass can group by entity, then walk versions
+// ascending within the entity. Writes sort before reads at the same
+// version only by the tie field below; the builder separates them itself.
+bool AccessLess(const FlatAccess& a, const FlatAccess& b) {
+  if (a.entity != b.entity) return a.entity < b.entity;
+  if (a.version != b.version) return a.version < b.version;
+  if (a.is_write != b.is_write) return a.is_write;  // writes first
+  return a.key < b.key;
+}
+
+}  // namespace
+
+std::map<std::uint64_t, std::vector<std::uint64_t>> BuildPrecedenceFlat(
+    std::vector<FlatAccess>&& accesses, const std::vector<std::uint64_t>& keys,
+    WriterTieBreak tie_break, bool* divergence) {
+  if (divergence != nullptr) *divergence = false;
+  std::sort(accesses.begin(), accesses.end(), AccessLess);
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+  auto AddEdge = [&edges](std::uint64_t a, std::uint64_t b) {
+    if (a != b) edges.emplace_back(a, b);
+  };
+
+  // version -> winning writer key for the current entity, versions ascending.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> writers;
+
+  std::size_t i = 0;
+  while (i < accesses.size()) {
+    const std::uint64_t entity = accesses[i].entity;
+    std::size_t j = i;
+    while (j < accesses.size() && accesses[j].entity == entity) ++j;
+
+    // Collect this entity's writers, resolving duplicate publishes of one
+    // version by the caller's tie-break (sorted by key, so front = min,
+    // back = max within a version group).
+    writers.clear();
+    for (std::size_t k = i; k < j; ++k) {
+      if (!accesses[k].is_write) continue;
+      if (!writers.empty() && writers.back().first == accesses[k].version) {
+        if (writers.back().second != accesses[k].key) {
+          if (divergence != nullptr) *divergence = true;
+          if (tie_break == WriterTieBreak::kMaxKey) {
+            writers.back().second = accesses[k].key;
+          }
+        }
+        continue;
+      }
+      writers.emplace_back(accesses[k].version, accesses[k].key);
+    }
+
+    // w(v) -> w(v') for consecutive committed versions.
+    for (std::size_t w = 1; w < writers.size(); ++w) {
+      AddEdge(writers[w - 1].second, writers[w].second);
+    }
+
+    // writer(v) -> reader and reader -> first writer past v.
+    for (std::size_t k = i; k < j; ++k) {
+      if (accesses[k].is_write) continue;
+      const std::uint64_t v = accesses[k].version;
+      const std::uint64_t r = accesses[k].key;
+      auto wit = std::lower_bound(
+          writers.begin(), writers.end(), v,
+          [](const auto& p, std::uint64_t ver) { return p.first < ver; });
+      if (wit != writers.end() && wit->first == v) AddEdge(wit->second, r);
+      auto nit = std::upper_bound(
+          writers.begin(), writers.end(), v,
+          [](std::uint64_t ver, const auto& p) { return ver < p.first; });
+      if (nit != writers.end()) AddEdge(r, nit->second);
+    }
+    i = j;
+  }
+
+  // Canonical form: sorted, deduplicated adjacency — exactly what the
+  // map-of-set builders emitted after their per-vertex sort+unique.
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  std::map<std::uint64_t, std::vector<std::uint64_t>> out;
+  for (std::uint64_t k : keys) out.try_emplace(k);
+  for (const auto& [a, b] : edges) out[a].push_back(b);
+  return out;
+}
+
+std::vector<std::uint64_t> FindCycleFlat(
+    const std::map<std::uint64_t, std::vector<std::uint64_t>>& g) {
+  // Dense mirror of the graph: rank-indexed colours and adjacency pointers
+  // so the DFS does no tree lookups. Key order (= map order) and sorted
+  // neighbour order reproduce the original walker's visit sequence.
+  std::vector<std::uint64_t> keys;
+  std::vector<const std::vector<std::uint64_t>*> nbrs;
+  keys.reserve(g.size());
+  nbrs.reserve(g.size());
+  for (const auto& [v, adj] : g) {
+    keys.push_back(v);
+    nbrs.push_back(&adj);
+  }
+  enum : unsigned char { kWhite = 0, kGray = 1, kBlack = 2 };
+  std::vector<unsigned char> color(keys.size(), kWhite);
+  auto RankOf = [&keys](std::uint64_t v) -> std::size_t {
+    auto it = std::lower_bound(keys.begin(), keys.end(), v);
+    if (it == keys.end() || *it != v) return keys.size();  // not a vertex
+    return static_cast<std::size_t>(it - keys.begin());
+  };
+
+  struct Frame {
+    std::size_t rank;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  for (std::size_t root = 0; root < keys.size(); ++root) {
+    if (color[root] != kWhite) continue;
+    stack.clear();
+    stack.push_back(Frame{root, 0});
+    color[root] = kGray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const std::vector<std::uint64_t>& adj = *nbrs[f.rank];
+      if (f.next < adj.size()) {
+        const std::size_t u = RankOf(adj[f.next++]);
+        if (u == keys.size()) continue;
+        if (color[u] == kGray) {
+          std::vector<std::uint64_t> cycle;
+          bool in_cycle = false;
+          for (const Frame& fr : stack) {
+            if (fr.rank == u) in_cycle = true;
+            if (in_cycle) cycle.push_back(keys[fr.rank]);
+          }
+          return cycle;
+        }
+        if (color[u] == kWhite) {
+          color[u] = kGray;
+          stack.push_back(Frame{u, 0});
+        }
+      } else {
+        color[f.rank] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace pardb::analysis::precedence

@@ -1,0 +1,46 @@
+#ifndef PARDB_ANALYSIS_PRECEDENCE_H_
+#define PARDB_ANALYSIS_PRECEDENCE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace pardb::analysis::precedence {
+
+// One access in a flattened committed projection: transaction `key` read or
+// published `version` of `entity`. The flat form lets the precedence builder
+// run off a single sort instead of nested ordered maps — the end-of-run
+// serializability check used to dominate short benchmark runs (DESIGN D15).
+struct FlatAccess {
+  std::uint64_t key;
+  std::uint64_t entity;
+  std::uint64_t version;
+  bool is_write;
+};
+
+// Which transaction wins when two events publish the same (entity, version).
+// kMaxKey reproduces HistoryRecorder's historical last-assignment-wins over
+// ascending-key iteration; kMinKey reproduces GlobalHistory's
+// first-emplace-wins. A correct single-store history never has duplicate
+// writers, but the tie-break must stay bit-compatible with the old code.
+enum class WriterTieBreak { kMinKey, kMaxKey };
+
+// Builds the conflict-precedence adjacency (w->w, w->r, r->w ordered by
+// version) over `accesses`, with every key in `keys` present as a vertex
+// even when isolated. Adjacency lists come back sorted and deduplicated —
+// the same canonical form the map-based builders produced. When
+// `divergence` is non-null it is set iff two distinct keys published the
+// same version of the same entity (replica divergence, GlobalHistory §D12).
+std::map<std::uint64_t, std::vector<std::uint64_t>> BuildPrecedenceFlat(
+    std::vector<FlatAccess>&& accesses, const std::vector<std::uint64_t>& keys,
+    WriterTieBreak tie_break, bool* divergence);
+
+// Iterative 3-colour DFS over the canonical adjacency; returns one cycle's
+// vertices (stack order) or empty when acyclic. Visits vertices in key
+// order and neighbours in sorted order, matching the map-based walker.
+std::vector<std::uint64_t> FindCycleFlat(
+    const std::map<std::uint64_t, std::vector<std::uint64_t>>& g);
+
+}  // namespace pardb::analysis::precedence
+
+#endif  // PARDB_ANALYSIS_PRECEDENCE_H_

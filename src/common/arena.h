@@ -1,0 +1,260 @@
+#ifndef PARDB_COMMON_ARENA_H_
+#define PARDB_COMMON_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace pardb {
+
+// Slab/bump allocator for the hot-path containers (DESIGN D15).
+//
+// Blocks are carved out of geometrically growing chunks and handed back
+// through per-size-class free lists, so a steady-state workload recycles
+// the same few blocks forever: after warm-up, lock-queue and holder-list
+// spill storage performs zero calls into the global heap. Blocks are
+// never returned to the system until the arena dies (chunks are owned),
+// which is exactly the lifetime the per-engine lock table wants — one
+// arena per LockManager, dropped wholesale with it.
+//
+// Not thread-safe by design: each engine (and its lock manager) is
+// single-threaded, so the arena inherits that discipline.
+class Arena {
+ public:
+  // `max_bytes` caps total chunk memory; TryAllocate returns nullptr once
+  // a new chunk would exceed it (the OOM path under test). 0 = unlimited.
+  explicit Arena(std::size_t initial_chunk_bytes = 4096,
+                 std::size_t max_bytes = 0)
+      : next_chunk_bytes_(initial_chunk_bytes < kMinChunk ? kMinChunk
+                                                          : initial_chunk_bytes),
+        max_bytes_(max_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Allocates `bytes` rounded up to its power-of-two size class, aligned
+  // to at least `alignof(std::max_align_t)`. Returns nullptr when the
+  // `max_bytes` cap would be exceeded. The returned block stays valid
+  // until FreeBlock or arena destruction.
+  void* TryAllocate(std::size_t bytes) {
+    const unsigned cls = SizeClass(bytes);
+    if (cls < free_lists_.size() && free_lists_[cls] != nullptr) {
+      FreeNode* node = free_lists_[cls];
+      free_lists_[cls] = node->next;
+      ++reused_blocks_;
+      return node;
+    }
+    return BumpAllocate(std::size_t{1} << cls);
+  }
+
+  // Returns a block obtained from TryAllocate(bytes) to its size-class
+  // free list for reuse. `bytes` must be the original request size.
+  void FreeBlock(void* ptr, std::size_t bytes) {
+    if (ptr == nullptr) return;
+    const unsigned cls = SizeClass(bytes);
+    if (free_lists_.size() <= cls) free_lists_.resize(cls + 1, nullptr);
+    FreeNode* node = static_cast<FreeNode*>(ptr);
+    node->next = free_lists_[cls];
+    free_lists_[cls] = node;
+  }
+
+  // Total bytes reserved from the system (chunk footprint).
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+  // Blocks served from a free list instead of fresh chunk space.
+  std::uint64_t reused_blocks() const { return reused_blocks_; }
+
+ private:
+  static constexpr std::size_t kMinChunk = 256;
+  // Smallest class holds a free-list pointer; alignment of every class is
+  // a power of two >= 16, satisfying max_align_t on mainstream ABIs.
+  static constexpr unsigned kMinClass = 4;  // 16 bytes
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static unsigned SizeClass(std::size_t bytes) {
+    unsigned cls = kMinClass;
+    while ((std::size_t{1} << cls) < bytes) ++cls;
+    return cls;
+  }
+
+  void* BumpAllocate(std::size_t bytes) {
+    if (bump_remaining_ < bytes) {
+      std::size_t chunk = next_chunk_bytes_;
+      while (chunk < bytes) chunk *= 2;
+      if (max_bytes_ != 0 && bytes_reserved_ + chunk > max_bytes_) {
+        return nullptr;
+      }
+      chunks_.push_back(std::make_unique<std::byte[]>(chunk));
+      bump_ = chunks_.back().get();
+      bump_remaining_ = chunk;
+      bytes_reserved_ += chunk;
+      next_chunk_bytes_ = chunk * 2;
+    }
+    void* out = bump_;
+    bump_ += bytes;
+    bump_remaining_ -= bytes;
+    return out;
+  }
+
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::byte* bump_ = nullptr;
+  std::size_t bump_remaining_ = 0;
+  std::size_t next_chunk_bytes_;
+  std::size_t max_bytes_;
+  std::size_t bytes_reserved_ = 0;
+  std::uint64_t reused_blocks_ = 0;
+  std::vector<FreeNode*> free_lists_;
+};
+
+// Vector with inline capacity N whose spill storage comes from an Arena
+// when one is attached (heap otherwise). Restricted to trivially copyable
+// element types — everything on the lock-table hot path (holder entries,
+// waiters, lock records) qualifies — so growth is a memcpy and
+// destruction never runs element destructors.
+//
+// An attached arena must outlive the vector. Copy construction/assignment
+// are deleted (accidental copies of hot-path state are bugs); moves
+// transfer ownership of the spill block.
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is for trivially copyable hot-path types");
+
+ public:
+  SmallVec() = default;
+  explicit SmallVec(Arena* arena) : arena_(arena) {}
+
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  SmallVec(SmallVec&& other) noexcept { MoveFrom(other); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      ReleaseSpill();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { ReleaseSpill(); }
+
+  void set_arena(Arena* arena) {
+    assert(data_ == inline_storage() && "attach the arena before spilling");
+    arena_ = arena;
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  bool spilled() const { return data_ != inline_storage(); }
+
+  void clear() { size_ = 0; }
+
+  // Drops elements past `n` (no-op when already <= n). Keeps capacity.
+  void truncate(std::size_t n) {
+    if (n < size_) size_ = n;
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) Grow();
+    data_[size_++] = v;
+  }
+
+  void pop_back() { --size_; }
+
+  // Inserts at `index`, shifting the tail right (queues are short; the
+  // O(n) memmove beats a deque's node hops).
+  void insert_at(std::size_t index, const T& v) {
+    if (size_ == capacity_) Grow();
+    std::memmove(data_ + index + 1, data_ + index,
+                 (size_ - index) * sizeof(T));
+    data_[index] = v;
+    ++size_;
+  }
+
+  // Removes the element at `index`, shifting the tail left (stable order).
+  void erase_at(std::size_t index) {
+    std::memmove(data_ + index, data_ + index + 1,
+                 (size_ - index - 1) * sizeof(T));
+    --size_;
+  }
+
+  void reserve(std::size_t cap) {
+    while (capacity_ < cap) Grow();
+  }
+
+ private:
+  T* inline_storage() { return reinterpret_cast<T*>(inline_); }
+  const T* inline_storage() const { return reinterpret_cast<const T*>(inline_); }
+
+  void Grow() {
+    const std::size_t new_cap = capacity_ * 2;
+    T* fresh;
+    if (arena_ != nullptr) {
+      void* block = arena_->TryAllocate(new_cap * sizeof(T));
+      if (block == nullptr) throw std::bad_alloc();
+      fresh = static_cast<T*>(block);
+    } else {
+      fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    }
+    std::memcpy(fresh, data_, size_ * sizeof(T));
+    ReleaseSpill();
+    data_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void ReleaseSpill() {
+    if (!spilled()) return;
+    if (arena_ != nullptr) {
+      arena_->FreeBlock(data_, capacity_ * sizeof(T));
+    } else {
+      ::operator delete(data_);
+    }
+    data_ = inline_storage();
+    capacity_ = N;
+  }
+
+  void MoveFrom(SmallVec& other) {
+    arena_ = other.arena_;
+    size_ = other.size_;
+    if (other.spilled()) {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inline_storage();
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      data_ = inline_storage();
+      capacity_ = N;
+      std::memcpy(data_, other.data_, size_ * sizeof(T));
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) std::byte inline_[N * sizeof(T)];
+  T* data_ = inline_storage();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace pardb
+
+#endif  // PARDB_COMMON_ARENA_H_

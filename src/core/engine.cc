@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <set>
 #include <sstream>
@@ -36,6 +37,87 @@ Engine::Engine(storage::EntityStore* store, EngineOptions options,
   if (options_.journal_epoch_steps != 0) {
     journal_epoch_mask_ = RoundUpPowerOfTwo(options_.journal_epoch_steps) - 1;
   }
+  // Entities are known up front (stores are populated before engines run);
+  // pre-sizing the slot remap keeps first-touch admission off the fast
+  // path.
+  locks_.ReserveEntities(store_->size());
+}
+
+void Engine::ReserveTxns(std::size_t n) {
+  txns_.reserve(n);
+  live_next_.reserve(n);
+  live_prev_.reserve(n);
+  locks_.ReserveTxns(n);
+}
+
+void Engine::MarkReadyDirty(const TxnContext& ctx) {
+  const std::uint64_t v = ctx.id.value();
+  const std::size_t w = static_cast<std::size_t>(v >> 6);
+  if (w >= ready_bits_.size()) ready_bits_.resize(w + 1, 0);
+  const std::uint64_t mask = std::uint64_t{1} << (v & 63);
+  const bool want = ctx.status == TxnStatus::kReady && !ctx.backoff;
+  if (want != ((ready_bits_[w] & mask) != 0)) {
+    ready_bits_[w] ^= mask;
+    if (want) {
+      ++ready_count_;
+      if (w < ready_lo_) ready_lo_ = w;
+    } else {
+      --ready_count_;
+    }
+  }
+}
+
+std::uint64_t Engine::SelectKthReady(std::size_t k) {
+  while (ready_lo_ < ready_bits_.size() && ready_bits_[ready_lo_] == 0) {
+    ++ready_lo_;
+  }
+  for (std::size_t w = ready_lo_; w < ready_bits_.size(); ++w) {
+    std::uint64_t word = ready_bits_[w];
+    const std::size_t pc = static_cast<std::size_t>(std::popcount(word));
+    if (k >= pc) {
+      k -= pc;
+      continue;
+    }
+    while (k--) word &= word - 1;  // drop the k lowest set bits
+    return (static_cast<std::uint64_t>(w) << 6) +
+           static_cast<std::uint64_t>(std::countr_zero(word));
+  }
+  assert(false && "SelectKthReady past population");
+  return kNoneIdx;
+}
+
+void Engine::LiveInsert(std::uint64_t v) {
+  if (live_next_.size() <= v) {
+    live_next_.resize(v + 1, kNoneIdx);
+    live_prev_.resize(v + 1, kNoneIdx);
+  }
+  live_next_[v] = kNoneIdx;
+  live_prev_[v] = live_tail_;
+  if (live_tail_ != kNoneIdx) {
+    live_next_[live_tail_] = v;
+  } else {
+    live_head_ = v;
+  }
+  live_tail_ = v;
+  ++live_count_;
+}
+
+void Engine::LiveRemove(std::uint64_t v) {
+  const std::uint64_t prev = live_prev_[v];
+  const std::uint64_t next = live_next_[v];
+  if (prev != kNoneIdx) {
+    live_next_[prev] = next;
+  } else {
+    live_head_ = next;
+  }
+  if (next != kNoneIdx) {
+    live_prev_[next] = prev;
+  } else {
+    live_tail_ = prev;
+  }
+  live_next_[v] = kNoneIdx;
+  live_prev_[v] = kNoneIdx;
+  --live_count_;
 }
 
 Result<TxnId> Engine::Spawn(txn::Program program) {
@@ -46,34 +128,40 @@ Result<TxnId> Engine::Spawn(std::shared_ptr<const txn::Program> program) {
   if (program == nullptr) {
     return Status::InvalidArgument("null program");
   }
-  // Every entity the program touches must exist.
-  for (const txn::Op& op : program->ops()) {
-    switch (op.code) {
-      case txn::OpCode::kLockShared:
-      case txn::OpCode::kLockExclusive:
-      case txn::OpCode::kUnlock:
-      case txn::OpCode::kRead:
-      case txn::OpCode::kWrite:
-        if (!store_->Contains(op.entity)) {
-          return Status::NotFound("program \"" + program->name() +
-                                  "\" references a nonexistent entity");
-        }
-        break;
-      default:
-        break;
+  // Every entity the program touches must exist. Dense stores answer this
+  // with one comparison against the program's statically known id bound;
+  // only programs reaching past the dense prefix pay the per-op scan.
+  if (program->MaxEntityBound() > store_->contiguous_prefix()) {
+    for (const txn::Op& op : program->ops()) {
+      switch (op.code) {
+        case txn::OpCode::kLockShared:
+        case txn::OpCode::kLockExclusive:
+        case txn::OpCode::kUnlock:
+        case txn::OpCode::kRead:
+        case txn::OpCode::kWrite:
+          if (!store_->Contains(op.entity)) {
+            return Status::NotFound("program \"" + program->name() +
+                                    "\" references a nonexistent entity");
+          }
+          break;
+        default:
+          break;
+      }
     }
   }
   TxnId id(next_txn_++);
   TxnContext ctx;
   ctx.id = id;
   ctx.entry = clock_++;
-  ctx.strategy = rollback::MakeStrategy(options_.strategy, *program);
+  ctx.strategy =
+      rollback::MakeStrategy(options_.strategy, *program, &txn_arena_);
   ctx.program = std::move(program);
+  ctx.granted.set_arena(&txn_arena_);
   if (recorder_ != nullptr) recorder_->OnBegin(id, ctx.entry);
-  auto [it, inserted] = txns_.emplace(id, std::move(ctx));
-  (void)inserted;
-  live_.insert(id);
-  Emit(TraceEvent::Kind::kSpawn, it->second);
+  txns_.push_back(std::move(ctx));  // index == id (dense admission ids)
+  LiveInsert(id.value());
+  MarkReadyDirty(txns_.back());
+  Emit(TraceEvent::Kind::kSpawn, txns_.back());
   if (txnlife_ != nullptr) txnlife_->OnAdmit(id, metrics_.steps);
   if (journal_ != nullptr) journal_->OnAdmit(id, metrics_.steps);
   return id;
@@ -84,6 +172,8 @@ Result<TxnId> Engine::SpawnSub(txn::Program program, std::size_t hold_pc) {
   if (!id.ok()) return id.status();
   TxnContext* ctx = Find(id.value());
   ctx->hold_pc = hold_pc;
+  ++holds_active_;
+  MarkReadyDirty(*ctx);
   ctx->seal_deferred = true;
   if (journal_ != nullptr) journal_->OnHold(ctx->id, metrics_.steps, hold_pc);
   return id;
@@ -98,7 +188,9 @@ bool Engine::AtHold(TxnId txn) const {
 Status Engine::ReleaseHold(TxnId txn) {
   TxnContext* ctx = Find(txn);
   if (ctx == nullptr) return Status::NotFound("unknown transaction");
+  if (ctx->hold_pc != kNoHold && holds_active_ > 0) --holds_active_;
   ctx->hold_pc = kNoHold;
+  MarkReadyDirty(*ctx);
   if (journal_ != nullptr) journal_->OnRelease(ctx->id, metrics_.steps);
   if (ctx->seal_deferred) {
     ctx->seal_deferred = false;
@@ -158,17 +250,18 @@ Status Engine::SetBackoff(TxnId txn, bool on) {
         "cannot back off a committed transaction");
   }
   ctx->backoff = on;
+  MarkReadyDirty(*ctx);
   return Status::OK();
 }
 
 Engine::TxnContext* Engine::Find(TxnId txn) {
-  auto it = txns_.find(txn);
-  return it == txns_.end() ? nullptr : &it->second;
+  const std::uint64_t v = txn.value();
+  return v < txns_.size() ? &txns_[v] : nullptr;
 }
 
 const Engine::TxnContext* Engine::Find(TxnId txn) const {
-  auto it = txns_.find(txn);
-  return it == txns_.end() ? nullptr : &it->second;
+  const std::uint64_t v = txn.value();
+  return v < txns_.size() ? &txns_[v] : nullptr;
 }
 
 Value Engine::EvalOperand(const TxnContext& ctx, const txn::Operand& o) const {
@@ -297,6 +390,7 @@ Result<StepOutcome> Engine::ExecuteLock(TxnContext& ctx, const txn::Op& op) {
   // Wait response (§2 rule 2): record arcs, then keep the system
   // deadlock-free (§2 rule 3) by the configured means.
   ctx.status = TxnStatus::kWaiting;
+  MarkReadyDirty(ctx);
   ctx.wait_since = metrics_.steps;
   ++metrics_.lock_waits;
   Emit(TraceEvent::Kind::kBlocked, ctx, op.entity);
@@ -363,6 +457,7 @@ Status Engine::RegisterGrant(TxnContext& ctx, EntityId entity,
   }
   ++ctx.pc;
   ctx.status = TxnStatus::kReady;
+  MarkReadyDirty(ctx);
   ++metrics_.ops_executed;
   Emit(TraceEvent::Kind::kLockGranted, ctx, entity);
   if (txnlife_ != nullptr) txnlife_->OnStep(ctx.id, metrics_.steps);
@@ -390,9 +485,9 @@ Status Engine::ExecuteUnlockOne(TxnContext& ctx, EntityId entity) {
       recorder_->OnPublish(ctx.id, entity, version.value(), ctx.pc);
     }
   }
-  auto grants = locks_.Release(ctx.id, entity);
-  if (!grants.ok()) return grants.status();
-  for (const lock::Grant& g : grants.value()) {
+  scratch_grants_.clear();
+  PARDB_RETURN_IF_ERROR(locks_.ReleaseInto(ctx.id, entity, &scratch_grants_));
+  for (const lock::Grant& g : scratch_grants_) {
     PARDB_RETURN_IF_ERROR(HandleGrant(g));
   }
   RefreshWaitEdges(entity);
@@ -403,17 +498,16 @@ Status Engine::ExecuteCommit(TxnContext& ctx) {
   SampleSpace(ctx);
   // Release everything still held (publishing X-held final values), in
   // entity order for determinism.
-  std::vector<EntityId> held;
-  for (const auto& [e, m] : locks_.HeldBy(ctx.id)) {
-    (void)m;
-    held.push_back(e);
-  }
-  for (EntityId e : held) {
-    PARDB_RETURN_IF_ERROR(ExecuteUnlockOne(ctx, e));
+  scratch_held_.clear();
+  locks_.AppendHeldEntities(ctx.id, &scratch_held_);
+  std::sort(scratch_held_.begin(), scratch_held_.end());
+  for (std::size_t i = 0; i < scratch_held_.size(); ++i) {
+    PARDB_RETURN_IF_ERROR(ExecuteUnlockOne(ctx, scratch_held_[i]));
   }
   ctx.status = TxnStatus::kCommitted;
+  MarkReadyDirty(ctx);
   ctx.pc = ctx.program->size();
-  live_.erase(ctx.id);
+  LiveRemove(ctx.id.value());
   waits_for_.RemoveVertex(ctx.id.value());
   if (recorder_ != nullptr) recorder_->OnCommit(ctx.id);
   if (lineage_ != nullptr) lineage_->OnCommit(ctx.id);
@@ -422,17 +516,28 @@ Status Engine::ExecuteCommit(TxnContext& ctx) {
   if (journal_ != nullptr) journal_->OnCommit(ctx.id, metrics_.steps, ctx.pc);
   ++metrics_.commits;
   ++metrics_.ops_executed;  // the commit itself
+  // Commits are the natural flush cadence for batched telemetry: rare
+  // enough to stay off the per-step path, frequent enough that registry
+  // readers are never more than one transaction behind.
+  FlushProbes();
   return Status::OK();
 }
 
 void Engine::RefreshWaitEdges(EntityId entity) {
-  waits_for_.RemoveEdgesLabeled(entity.value());
-  for (const auto& [waiter, mode] : locks_.WaitQueue(entity)) {
-    (void)mode;
-    for (TxnId blocker : locks_.BlockersOf(waiter)) {
-      waits_for_.AddEdge(blocker.value(), waiter.value(), entity.value());
+  const graph::EdgeLabel label = entity.value();
+  const bool has_waiters = locks_.HasWaiters(entity);
+  // Fast path: nothing waits and no stale arcs carry this label — the
+  // overwhelmingly common case for an uncontended grant or release.
+  if (!has_waiters && !waits_for_.HasEdgesLabeled(label)) return;
+  waits_for_.RemoveEdgesLabeled(label);
+  if (!has_waiters) return;
+  locks_.ForEachWaiter(entity, [&](TxnId waiter, lock::LockMode) {
+    scratch_blockers_.clear();
+    locks_.AppendBlockersOf(waiter, &scratch_blockers_);
+    for (TxnId blocker : scratch_blockers_) {
+      waits_for_.AddEdge(blocker.value(), waiter.value(), label);
     }
-  }
+  });
 }
 
 Result<VictimCandidate> Engine::MakeCandidate(
@@ -882,16 +987,16 @@ Result<bool> Engine::HandleWaitDie(TxnContext& requester, EntityId entity) {
 }
 
 Status Engine::ExpireTimeouts() {
-  // Collect first: rollbacks mutate the transaction map's wait states.
-  std::vector<TxnId> expired;
-  for (TxnId id : live_) {
-    const TxnContext* ctx = Find(id);
-    if (ctx != nullptr && ctx->status == TxnStatus::kWaiting &&
-        metrics_.steps - ctx->wait_since > options_.wait_timeout_steps) {
-      expired.push_back(id);
+  // Collect first: rollbacks mutate the transactions' wait states.
+  scratch_expired_.clear();
+  for (std::uint64_t v = live_head_; v != kNoneIdx; v = live_next_[v]) {
+    const TxnContext& ctx = txns_[v];
+    if (ctx.status == TxnStatus::kWaiting &&
+        metrics_.steps - ctx.wait_since > options_.wait_timeout_steps) {
+      scratch_expired_.push_back(ctx.id);
     }
   }
-  for (TxnId id : expired) {
+  for (TxnId id : scratch_expired_) {
     TxnContext* ctx = Find(id);
     if (ctx == nullptr || ctx->status != TxnStatus::kWaiting) continue;
     auto target = SelfRollbackTarget(
@@ -980,9 +1085,10 @@ Status Engine::RollbackTxn(TxnContext& victim, LockIndex target) {
 
   // Cancel the victim's pending request (every victim is waiting).
   if (auto pending = locks_.Waiting(victim.id)) {
-    auto grants = locks_.CancelWait(victim.id, pending->entity);
-    if (!grants.ok()) return grants.status();
-    for (const lock::Grant& g : grants.value()) {
+    scratch_grants_.clear();
+    PARDB_RETURN_IF_ERROR(
+        locks_.CancelWaitInto(victim.id, pending->entity, &scratch_grants_));
+    for (const lock::Grant& g : scratch_grants_) {
       PARDB_RETURN_IF_ERROR(HandleGrant(g));
     }
     RefreshWaitEdges(pending->entity);
@@ -996,14 +1102,18 @@ Status Engine::RollbackTxn(TxnContext& victim, LockIndex target) {
   if (target > victim.granted.size()) {
     return Status::Internal("rollback target beyond current lock state");
   }
-  std::vector<LockRecord> undone(victim.granted.begin() + target,
-                                 victim.granted.end());
-  victim.granted.resize(target);
-  std::set<EntityId> handled;
-  for (auto it = undone.rbegin(); it != undone.rend(); ++it) {
+  scratch_undone_.assign(victim.granted.begin() + target,
+                         victim.granted.end());
+  victim.granted.truncate(target);
+  scratch_handled_.clear();
+  for (auto it = scratch_undone_.rbegin(); it != scratch_undone_.rend();
+       ++it) {
     const LockRecord& r = *it;
-    if (handled.count(r.entity)) continue;
-    handled.insert(r.entity);
+    if (std::find(scratch_handled_.begin(), scratch_handled_.end(),
+                  r.entity) != scratch_handled_.end()) {
+      continue;
+    }
+    scratch_handled_.push_back(r.entity);
     bool base_shared_kept = false;
     if (r.is_upgrade) {
       for (const LockRecord& kept : victim.granted) {
@@ -1013,23 +1123,25 @@ Status Engine::RollbackTxn(TxnContext& victim, LockIndex target) {
         }
       }
     }
-    Result<std::vector<lock::Grant>> grants =
-        base_shared_kept ? locks_.Downgrade(victim.id, r.entity)
-                         : locks_.Release(victim.id, r.entity);
-    if (!grants.ok()) return grants.status();
-    for (const lock::Grant& g : grants.value()) {
+    scratch_grants_.clear();
+    PARDB_RETURN_IF_ERROR(
+        base_shared_kept
+            ? locks_.DowngradeInto(victim.id, r.entity, &scratch_grants_)
+            : locks_.ReleaseInto(victim.id, r.entity, &scratch_grants_));
+    for (const lock::Grant& g : scratch_grants_) {
       PARDB_RETURN_IF_ERROR(HandleGrant(g));
     }
     RefreshWaitEdges(r.entity);
   }
 
   // Reset the program counter to re-execute from lock request target+1.
-  const std::size_t new_pc = undone.empty()
+  const std::size_t new_pc = scratch_undone_.empty()
                                  ? victim.pc
-                                 : undone.front().op_index;
+                                 : scratch_undone_.front().op_index;
   if (recorder_ != nullptr) recorder_->OnRollback(victim.id, new_pc);
   victim.pc = new_pc;
   victim.status = TxnStatus::kReady;
+  MarkReadyDirty(victim);
   return Status::OK();
 }
 
@@ -1063,14 +1175,13 @@ std::uint64_t Engine::StateDigest() const {
   // per-context vectors, and the lock manager XOR-combines per-entity
   // digests so its hash-order iteration cannot leak through.
   std::uint64_t h = obs::kFnvOffsetBasis;
-  for (TxnId id : live_) {
-    const TxnContext* ctx = Find(id);
-    if (ctx == nullptr) continue;
-    h = obs::FnvMix64(h, id.value());
-    h = obs::FnvMix64(h, ctx->entry);
-    h = obs::FnvMix64(h, ctx->pc);
-    h = obs::FnvMix64(h, static_cast<std::uint64_t>(ctx->status));
-    h = obs::FnvMix64(h, ctx->granted.size());
+  for (std::uint64_t v = live_head_; v != kNoneIdx; v = live_next_[v]) {
+    const TxnContext& ctx = txns_[v];
+    h = obs::FnvMix64(h, v);
+    h = obs::FnvMix64(h, ctx.entry);
+    h = obs::FnvMix64(h, ctx.pc);
+    h = obs::FnvMix64(h, static_cast<std::uint64_t>(ctx.status));
+    h = obs::FnvMix64(h, ctx.granted.size());
   }
   h = obs::FnvMix64(h, locks_.StateDigest());
   return h;
@@ -1095,56 +1206,68 @@ Result<std::optional<TxnId>> Engine::StepAny() {
       metrics_.steps % options_.detection_period == 0) {
     PARDB_RETURN_IF_ERROR(PeriodicScan());
   }
-  auto CollectReady = [this]() {
-    std::vector<TxnId> ready;
-    for (TxnId id : live_) {  // id order, like the txns_ scan it replaces
-      const TxnContext* ctx = Find(id);
-      if (ctx != nullptr && ctx->status == TxnStatus::kReady &&
-          !ctx->backoff &&
-          !(ctx->hold_pc != kNoHold && ctx->pc >= ctx->hold_pc)) {
-        ready.push_back(id);
+  // With no holds active, ready_bits_ is authoritative: the live list
+  // appends monotonically increasing indices and never reorders, so
+  // ascending bit order is exactly the live-list scan order — the k-th set
+  // bit is the same candidate the scan would have produced. Holds gate on
+  // pc, which changes every step, so any active hold falls back to a full
+  // scan into scratch_ready_ (in live order, like the bits).
+  const bool use_bits = holds_active_ == 0;
+  auto CollectReady = [this, use_bits]() {
+    if (use_bits) return;
+    scratch_ready_.clear();
+    for (std::uint64_t v = live_head_; v != kNoneIdx; v = live_next_[v]) {
+      const TxnContext& ctx = txns_[v];
+      if (ctx.status == TxnStatus::kReady && !ctx.backoff &&
+          !(ctx.hold_pc != kNoHold && ctx.pc >= ctx.hold_pc)) {
+        scratch_ready_.push_back(ctx.id);
       }
     }
-    return ready;
   };
-  std::vector<TxnId> ready = CollectReady();
-  if (ready.empty() && periodic) {
+  auto ReadyCount = [this, use_bits]() {
+    return use_bits ? ready_count_ : scratch_ready_.size();
+  };
+  CollectReady();
+  if (ReadyCount() == 0 && periodic) {
     // Everyone is blocked: scan immediately instead of waiting out the
     // period (also the only way forward when the whole system deadlocks).
     PARDB_RETURN_IF_ERROR(PeriodicScan());
-    ready = CollectReady();
+    CollectReady();
   }
-  if (ready.empty() && options_.handling == DeadlockHandling::kTimeout) {
+  if (ReadyCount() == 0 &&
+      options_.handling == DeadlockHandling::kTimeout) {
     // Everyone is blocked (e.g. an undetected deadlock): fast-forward the
     // logical clock with idle ticks until some wait expires and its owner
     // becomes runnable again.
     auto AnyWaiting = [this]() {
-      for (TxnId id : live_) {
-        const TxnContext* ctx = Find(id);
-        if (ctx != nullptr && ctx->status == TxnStatus::kWaiting) return true;
+      for (std::uint64_t v = live_head_; v != kNoneIdx; v = live_next_[v]) {
+        if (txns_[v].status == TxnStatus::kWaiting) return true;
       }
       return false;
     };
     for (std::uint64_t tick = 0;
-         ready.empty() && AnyWaiting() &&
+         ReadyCount() == 0 && AnyWaiting() &&
          tick <= options_.wait_timeout_steps + 1;
          ++tick) {
       ++metrics_.steps;
       MaybeStampJournalEpoch();
       PARDB_RETURN_IF_ERROR(ExpireTimeouts());
-      ready = CollectReady();
+      CollectReady();
     }
   }
-  if (ready.empty()) return std::optional<TxnId>();
-  TxnId pick = ready.front();
+  const std::size_t ready_n = ReadyCount();
+  if (ready_n == 0) return std::optional<TxnId>();
+  std::size_t at = 0;
   switch (options_.scheduler) {
     case SchedulerKind::kRoundRobin:
-      pick = ready[rr_cursor_++ % ready.size()];
+      at = rr_cursor_++ % ready_n;
       break;
     case SchedulerKind::kRandom:
-      pick = ready[rng_.Uniform(ready.size())];
+      at = rng_.Uniform(ready_n);
       break;
   }
+  const TxnId pick =
+      use_bits ? TxnId(SelectKthReady(at)) : scratch_ready_[at];
   auto outcome = StepTxn(pick);
   if (!outcome.ok()) return outcome.status();
   return std::optional<TxnId>(pick);
@@ -1153,52 +1276,60 @@ Result<std::optional<TxnId>> Engine::StepAny() {
 Result<QuantumResult> Engine::StepQuantum(std::uint64_t max_steps,
                                           bool stop_after_commit) {
   QuantumResult qr;
-  while (qr.steps < max_steps && !live_.empty()) {
+  while (qr.steps < max_steps && live_count_ != 0) {
     const std::uint64_t commits_before = metrics_.commits;
     auto stepped = StepAny();
     if (!stepped.ok()) return stepped.status();
     if (!stepped.value().has_value()) {
       qr.ran_dry = true;
+      FlushProbes();
       return qr;
     }
     ++qr.steps;
     if (stop_after_commit && metrics_.commits > commits_before) {
       qr.committed = true;
+      FlushProbes();
       return qr;
     }
   }
+  FlushProbes();
   return qr;
 }
 
 Status Engine::RunToCompletion(std::uint64_t max_steps) {
   for (std::uint64_t i = 0; i < max_steps; ++i) {
-    if (AllCommitted()) return Status::OK();
+    if (AllCommitted()) {
+      FlushProbes();
+      return Status::OK();
+    }
     auto stepped = StepAny();
     if (!stepped.ok()) return stepped.status();
     if (!stepped.value().has_value()) {
       if (options_.handling == DeadlockHandling::kTimeout) {
         bool any_waiting = false;
-        for (TxnId id : live_) {
-          const TxnContext* ctx = Find(id);
-          if (ctx != nullptr && ctx->status == TxnStatus::kWaiting) {
+        for (std::uint64_t v = live_head_; v != kNoneIdx;
+             v = live_next_[v]) {
+          if (txns_[v].status == TxnStatus::kWaiting) {
             any_waiting = true;
             break;
           }
         }
         if (any_waiting) continue;  // idle ticks age the waits to expiry
       }
+      FlushProbes();
       return Status::Internal(
           "no transaction is ready but not all have committed — lost wakeup "
           "or undetected deadlock:\n" +
           DumpState());
     }
   }
+  FlushProbes();
   return Status::ResourceExhausted("max_steps exceeded");
 }
 
 bool Engine::AllCommitted() const {
-  // live_ holds exactly the uncommitted transactions.
-  return live_.empty();
+  // The live list holds exactly the uncommitted transactions.
+  return live_count_ == 0;
 }
 
 TxnStatus Engine::StatusOf(TxnId txn) const {
@@ -1240,9 +1371,9 @@ obs::WaitsForSnapshot Engine::SnapshotWaitsFor() const {
   obs::WaitsForSnapshot snap;
   snap.step = metrics_.steps;
   snap.commits = metrics_.commits;
-  for (TxnId id : live_) {
-    const TxnContext* ctx = Find(id);
-    if (ctx == nullptr) continue;
+  for (std::uint64_t v = live_head_; v != kNoneIdx; v = live_next_[v]) {
+    const TxnContext* ctx = &txns_[v];
+    const TxnId id = ctx->id;
     obs::TxnSnapshot t;
     t.txn = id;
     t.entry = ctx->entry;
@@ -1312,8 +1443,8 @@ CostDistribution Engine::RollbackCostDistribution() const {
 std::string Engine::DumpState() const {
   std::ostringstream os;
   os << "engine state (" << txns_.size() << " txns):\n";
-  for (const auto& [id, ctx] : txns_) {
-    os << "  " << id << " pc=" << ctx.pc << "/" << ctx.program->size()
+  for (const TxnContext& ctx : txns_) {
+    os << "  " << ctx.id << " pc=" << ctx.pc << "/" << ctx.program->size()
        << " locks=" << ctx.granted.size() << " status="
        << (ctx.status == TxnStatus::kReady
                ? "ready"

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "analysis/history.h"
+#include "common/arena.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -393,7 +394,19 @@ class Engine {
 
   // Transactions spawned but not yet committed — the scan set StepAny
   // schedules from.
-  std::size_t live_txn_count() const { return live_.size(); }
+  std::size_t live_txn_count() const { return live_count_; }
+
+  // Capacity hint: pre-sizes the dense per-transaction arrays (and the
+  // lock manager's) for `n` transactions, so admission never reallocates
+  // mid-run. Purely an optimisation; the arrays grow on demand regardless.
+  void ReserveTxns(std::size_t n);
+
+  // Pushes locally batched telemetry (lock-probe counter deltas) into the
+  // shared atomic registry. Called automatically at quantum boundaries and
+  // commits; drivers call it before exporting a metrics snapshot. Flushed
+  // totals are identical to what per-operation atomic updates would have
+  // produced (DESIGN D15).
+  void FlushProbes() { locks_.FlushProbe(); }
 
   // Per-transaction counters for preemption analysis (Figure 2): how many
   // times txn was rolled back as a victim of another's conflict.
@@ -418,7 +431,9 @@ class Engine {
     TxnStatus status = TxnStatus::kReady;
     Timestamp entry = 0;
     std::unique_ptr<rollback::RollbackStrategy> strategy;
-    std::vector<LockRecord> granted;  // granted[k] <-> lock state k
+    // granted[k] <-> lock state k. Inline capacity covers typical
+    // workload programs; longer ones spill into the engine arena.
+    SmallVec<LockRecord, 8> granted;
     std::uint64_t preempted = 0;
     bool in_shrinking_phase = false;
     // Engine step at which the current wait began (kTimeout bookkeeping).
@@ -509,11 +524,54 @@ class Engine {
   obs::DecisionJournal* journal_ = nullptr;     // may be null
   lock::LockManager locks_;
   graph::Digraph waits_for_;
-  std::map<TxnId, TxnContext> txns_;
-  // Uncommitted transaction ids in id order: the scheduler's scan set.
-  // Committed contexts stay in txns_ for introspection but leave live_, so
-  // StepAny is O(live) rather than O(all spawned).
-  std::set<TxnId> live_;
+  // Spill storage for per-transaction granted-lock records (DESIGN D15).
+  // Declared before txns_ so it outlives every SmallVec pointing into it.
+  Arena txn_arena_;
+  // Dense by transaction id (Spawn assigns ids 0,1,2,...), so Find is an
+  // index instead of a map walk. Committed contexts stay for
+  // introspection; the live list below keeps the scheduler scan O(live).
+  std::vector<TxnContext> txns_;
+  // Uncommitted transactions as an intrusive doubly-linked list over dense
+  // ids (SoA; replaces std::set<TxnId>). Spawn appends at the tail and ids
+  // increase monotonically, so traversal from live_head_ enumerates the
+  // live set in id order — the same order the set gave — with O(1)
+  // removal at commit.
+  static constexpr std::uint64_t kNoneIdx = ~std::uint64_t{0};
+  std::vector<std::uint64_t> live_next_;
+  std::vector<std::uint64_t> live_prev_;
+  std::uint64_t live_head_ = kNoneIdx;
+  std::uint64_t live_tail_ = kNoneIdx;
+  std::size_t live_count_ = 0;
+
+  void LiveInsert(std::uint64_t v);
+  void LiveRemove(std::uint64_t v);
+
+  // Scratch buffers reused across steps so the grant/release/rollback fast
+  // path performs no heap allocation at steady state. Each is cleared at
+  // its single point of use; the call trees below them never touch the
+  // same buffer reentrantly.
+  std::vector<TxnId> scratch_ready_;        // StepAny candidate set
+  // Readiness is tracked as a bitmap over dense admission indices,
+  // maintained at every transition (spawn, block, grant, commit, rollback,
+  // backoff). The live list appends monotonically increasing indices and
+  // never reorders, so ascending bit order is exactly the live-list scan
+  // order the scheduler always used — picking the k-th set bit yields the
+  // identical candidate. Steps that merely advance a ready transaction's
+  // pc touch nothing. Debug holds gate on pc, so any active hold falls
+  // back to a full scan into scratch_ready_ (holds_active_ counts hold_pc
+  // assignments, conservatively).
+  std::vector<std::uint64_t> ready_bits_;
+  std::size_t ready_count_ = 0;
+  std::size_t ready_lo_ = 0;  // first possibly-nonzero word (monotone hint)
+  std::uint64_t holds_active_ = 0;
+  void MarkReadyDirty(const TxnContext& ctx);
+  std::uint64_t SelectKthReady(std::size_t k);
+  std::vector<lock::Grant> scratch_grants_;  // release/cancel grant batches
+  std::vector<TxnId> scratch_blockers_;      // RefreshWaitEdges per waiter
+  std::vector<LockRecord> scratch_undone_;   // RollbackTxn undo tail
+  std::vector<EntityId> scratch_handled_;    // RollbackTxn entity dedup
+  std::vector<EntityId> scratch_held_;       // ExecuteCommit release order
+  std::vector<TxnId> scratch_expired_;       // ExpireTimeouts collection
   std::uint64_t lock_op_counter_ = 0;  // 1-in-16 sampling for lock_op_ns
   // journal_epoch_steps rounded up to a power of two, minus one (mask);
   // ~0 when engine-driven stamping is disabled.

@@ -7,6 +7,27 @@
 
 namespace pardb::graph {
 
+namespace {
+
+using PairList = std::vector<std::pair<VertexId, EdgeLabel>>;
+
+// Sorted-vector helpers. Adjacency lists are kept sorted by (vertex,
+// label), so membership and erase are binary searches and iteration is
+// deterministic by construction.
+PairList::iterator FindPair(PairList& list, VertexId v, EdgeLabel l) {
+  auto it = std::lower_bound(list.begin(), list.end(), std::make_pair(v, l));
+  if (it != list.end() && it->first == v && it->second == l) return it;
+  return list.end();
+}
+
+void ErasePair(PairList& list, VertexId v, EdgeLabel l) {
+  auto it = FindPair(list, v, l);
+  assert(it != list.end());
+  if (it != list.end()) list.erase(it);
+}
+
+}  // namespace
+
 bool Cycle::Contains(VertexId v) const {
   return std::find(vertices.begin(), vertices.end(), v) != vertices.end();
 }
@@ -21,144 +42,161 @@ std::string Cycle::ToString() const {
   return os.str();
 }
 
-void Digraph::AddVertex(VertexId v) {
-  adj_.try_emplace(v);
-  radj_.try_emplace(v);
-}
+void Digraph::AddVertex(VertexId v) { verts_.try_emplace(v); }
 
 void Digraph::RemoveVertex(VertexId v) {
-  auto it = adj_.find(v);
-  if (it == adj_.end()) return;
-  // Drop outgoing edges from reverse adjacency.
-  for (const auto& [to, labels] : it->second) {
-    edge_count_ -= labels.size();
-    radj_[to].erase(v);
+  auto it = verts_.find(v);
+  if (it == verts_.end()) return;
+  VertexRec& rec = it->second;
+  // Drop outgoing edges from the targets' in-lists (this also clears any
+  // self-loop's in-entry, so the second pass never sees `v` itself).
+  edge_count_ -= rec.out.size();
+  for (const auto& [to, l] : rec.out) {
+    EraseLabelPair(l, v, to);
+    ErasePair(verts_[to].in, v, l);
   }
-  // Drop incoming edges from forward adjacency.
-  for (const auto& [from, labels] : radj_[v]) {
-    edge_count_ -= labels.size();
-    adj_[from].erase(v);
+  // Drop incoming edges from the sources' out-lists.
+  edge_count_ -= rec.in.size();
+  for (const auto& [from, l] : rec.in) {
+    EraseLabelPair(l, from, v);
+    ErasePair(verts_[from].out, v, l);
   }
-  adj_.erase(v);
-  radj_.erase(v);
+  verts_.erase(it);
 }
 
-bool Digraph::HasVertex(VertexId v) const { return adj_.count(v) > 0; }
+bool Digraph::HasVertex(VertexId v) const { return verts_.count(v) > 0; }
 
 std::vector<VertexId> Digraph::Vertices() const {
   std::vector<VertexId> out;
-  out.reserve(adj_.size());
-  for (const auto& [v, _] : adj_) out.push_back(v);
+  out.reserve(verts_.size());
+  for (const auto& [v, _] : verts_) out.push_back(v);
   return out;
 }
 
 void Digraph::AddEdge(VertexId from, VertexId to, EdgeLabel label) {
-  AddVertex(from);
-  AddVertex(to);
-  if (adj_[from][to].insert(label).second) {
-    radj_[to][from].insert(label);
-    ++edge_count_;
-  }
+  VertexRec& fr = verts_[from];
+  VertexRec& tr = verts_[to];
+  auto it = std::lower_bound(fr.out.begin(), fr.out.end(),
+                             std::make_pair(to, label));
+  if (it != fr.out.end() && it->first == to && it->second == label) return;
+  fr.out.insert(it, std::make_pair(to, label));
+  tr.in.insert(std::lower_bound(tr.in.begin(), tr.in.end(),
+                                std::make_pair(from, label)),
+               std::make_pair(from, label));
+  label_index_[label].emplace_back(from, to);
+  ++edge_count_;
 }
 
-void Digraph::RemoveEdge(VertexId from, VertexId to, EdgeLabel label) {
-  auto fit = adj_.find(from);
-  if (fit == adj_.end()) return;
-  auto tit = fit->second.find(to);
-  if (tit == fit->second.end()) return;
-  if (tit->second.erase(label) == 0) return;
-  --edge_count_;
-  if (tit->second.empty()) fit->second.erase(tit);
-  auto& rlabels = radj_[to][from];
-  rlabels.erase(label);
-  if (rlabels.empty()) radj_[to].erase(from);
-}
-
-void Digraph::RemoveEdgesBetween(VertexId from, VertexId to) {
-  auto fit = adj_.find(from);
-  if (fit == adj_.end()) return;
-  auto tit = fit->second.find(to);
-  if (tit == fit->second.end()) return;
-  edge_count_ -= tit->second.size();
-  fit->second.erase(tit);
-  radj_[to].erase(from);
-}
-
-void Digraph::RemoveEdgesLabeled(EdgeLabel label) {
-  for (auto& [from, tos] : adj_) {
-    for (auto tit = tos.begin(); tit != tos.end();) {
-      if (tit->second.erase(label)) {
-        --edge_count_;
-        auto& rlabels = radj_[tit->first][from];
-        rlabels.erase(label);
-        if (rlabels.empty()) radj_[tit->first].erase(from);
-      }
-      if (tit->second.empty()) {
-        tit = tos.erase(tit);
-      } else {
-        ++tit;
-      }
+void Digraph::EraseLabelPair(EdgeLabel label, VertexId from, VertexId to) {
+  auto it = label_index_.find(label);
+  if (it == label_index_.end()) return;
+  auto& pairs = it->second;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (pairs[i].first == from && pairs[i].second == to) {
+      pairs[i] = pairs.back();
+      pairs.pop_back();
+      return;
     }
   }
 }
 
+void Digraph::RemoveEdge(VertexId from, VertexId to, EdgeLabel label) {
+  auto fit = verts_.find(from);
+  if (fit == verts_.end()) return;
+  auto it = FindPair(fit->second.out, to, label);
+  if (it == fit->second.out.end()) return;
+  fit->second.out.erase(it);
+  --edge_count_;
+  EraseLabelPair(label, from, to);
+  ErasePair(verts_[to].in, from, label);
+}
+
+void Digraph::RemoveEdgesBetween(VertexId from, VertexId to) {
+  auto fit = verts_.find(from);
+  if (fit == verts_.end()) return;
+  auto& out = fit->second.out;
+  auto lo = std::lower_bound(out.begin(), out.end(),
+                             std::make_pair(to, EdgeLabel{0}));
+  auto hi = lo;
+  while (hi != out.end() && hi->first == to) ++hi;
+  if (lo == hi) return;
+  PairList& tin = verts_[to].in;
+  for (auto it = lo; it != hi; ++it) {
+    EraseLabelPair(it->second, from, to);
+    ErasePair(tin, from, it->second);
+  }
+  edge_count_ -= static_cast<std::size_t>(hi - lo);
+  out.erase(lo, hi);
+}
+
+void Digraph::RemoveEdgesLabeled(EdgeLabel label) {
+  auto lit = label_index_.find(label);
+  if (lit == label_index_.end() || lit->second.empty()) return;
+  // Move the pair list out so the targeted RemoveEdge calls below scan an
+  // empty index entry instead of the list being consumed.
+  const std::vector<std::pair<VertexId, VertexId>> pairs =
+      std::move(lit->second);
+  lit->second.clear();
+  for (const auto& [from, to] : pairs) RemoveEdge(from, to, label);
+}
+
 bool Digraph::HasEdge(VertexId from, VertexId to) const {
-  auto fit = adj_.find(from);
-  if (fit == adj_.end()) return false;
-  auto tit = fit->second.find(to);
-  return tit != fit->second.end() && !tit->second.empty();
+  auto fit = verts_.find(from);
+  if (fit == verts_.end()) return false;
+  const auto& out = fit->second.out;
+  auto it = std::lower_bound(out.begin(), out.end(),
+                             std::make_pair(to, EdgeLabel{0}));
+  return it != out.end() && it->first == to;
 }
 
 bool Digraph::HasEdge(VertexId from, VertexId to, EdgeLabel label) const {
-  auto fit = adj_.find(from);
-  if (fit == adj_.end()) return false;
-  auto tit = fit->second.find(to);
-  return tit != fit->second.end() && tit->second.count(label) > 0;
+  auto fit = verts_.find(from);
+  if (fit == verts_.end()) return false;
+  const auto& out = fit->second.out;
+  auto it = std::lower_bound(out.begin(), out.end(),
+                             std::make_pair(to, label));
+  return it != out.end() && it->first == to && it->second == label;
 }
 
 std::vector<Edge> Digraph::Edges() const {
   std::vector<Edge> out;
   out.reserve(edge_count_);
-  for (const auto& [from, tos] : adj_) {
-    for (const auto& [to, labels] : tos) {
-      for (EdgeLabel l : labels) out.push_back(Edge{from, to, l});
-    }
+  for (const auto& [from, rec] : verts_) {
+    for (const auto& [to, l] : rec.out) out.push_back(Edge{from, to, l});
   }
   return out;
 }
 
 std::vector<VertexId> Digraph::Successors(VertexId v) const {
   std::vector<VertexId> out;
-  auto it = adj_.find(v);
-  if (it == adj_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [to, _] : it->second) out.push_back(to);
+  auto it = verts_.find(v);
+  if (it == verts_.end()) return out;
+  out.reserve(it->second.out.size());
+  for (const auto& [to, _] : it->second.out) {
+    if (out.empty() || out.back() != to) out.push_back(to);
+  }
   return out;
 }
 
 std::vector<VertexId> Digraph::Predecessors(VertexId v) const {
   std::vector<VertexId> out;
-  auto it = radj_.find(v);
-  if (it == radj_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [from, _] : it->second) out.push_back(from);
+  auto it = verts_.find(v);
+  if (it == verts_.end()) return out;
+  out.reserve(it->second.in.size());
+  for (const auto& [from, _] : it->second.in) {
+    if (out.empty() || out.back() != from) out.push_back(from);
+  }
   return out;
 }
 
 std::size_t Digraph::InDegree(VertexId v) const {
-  auto it = radj_.find(v);
-  if (it == radj_.end()) return 0;
-  std::size_t n = 0;
-  for (const auto& [_, labels] : it->second) n += labels.size();
-  return n;
+  auto it = verts_.find(v);
+  return it == verts_.end() ? 0 : it->second.in.size();
 }
 
 std::size_t Digraph::OutDegree(VertexId v) const {
-  auto it = adj_.find(v);
-  if (it == adj_.end()) return 0;
-  std::size_t n = 0;
-  for (const auto& [_, labels] : it->second) n += labels.size();
-  return n;
+  auto it = verts_.find(v);
+  return it == verts_.end() ? 0 : it->second.out.size();
 }
 
 bool Digraph::HasPath(VertexId from, VertexId to) const {
@@ -169,9 +207,9 @@ bool Digraph::HasPath(VertexId from, VertexId to) const {
   while (!frontier.empty()) {
     VertexId v = frontier.front();
     frontier.pop_front();
-    auto it = adj_.find(v);
-    if (it == adj_.end()) continue;
-    for (const auto& [next, _] : it->second) {
+    auto it = verts_.find(v);
+    if (it == verts_.end()) continue;
+    for (const auto& [next, _] : it->second.out) {
       if (next == to) return true;
       if (seen.insert(next).second) frontier.push_back(next);
     }
@@ -209,31 +247,24 @@ std::size_t Digraph::EnumerateCyclesThrough(
   bool stop = false;
 
   // Explicit stack DFS to avoid recursion-depth limits on long chains.
+  // Frames borrow the adjacency lists in place — the graph is not mutated
+  // during enumeration, so no per-frame copy is needed.
+  static const PairList kNoEdges;
   struct Frame {
     VertexId vertex;
-    std::vector<std::pair<VertexId, EdgeLabel>> out;  // remaining edges
+    const PairList* out;
     std::size_t next = 0;
   };
   auto MakeFrame = [this](VertexId u) {
-    Frame f;
-    f.vertex = u;
-    auto it = adj_.find(u);
-    if (it != adj_.end()) {
-      for (const auto& [to, labels] : it->second) {
-        // One representative label per neighbour is enough for victim
-        // selection, but report each label so callers see every entity
-        // involved in the cycle arc.
-        for (EdgeLabel l : labels) f.out.emplace_back(to, l);
-      }
-    }
-    return f;
+    auto it = verts_.find(u);
+    return Frame{u, it == verts_.end() ? &kNoEdges : &it->second.out, 0};
   };
 
   std::vector<Frame> stack;
   stack.push_back(MakeFrame(v));
   while (!stack.empty() && !stop) {
     Frame& f = stack.back();
-    if (f.next >= f.out.size()) {
+    if (f.next >= f.out->size()) {
       stack.pop_back();
       if (!stack.empty()) {
         on_path.erase(path.back());
@@ -242,7 +273,7 @@ std::size_t Digraph::EnumerateCyclesThrough(
       }
       continue;
     }
-    auto [to, label] = f.out[f.next++];
+    auto [to, label] = (*f.out)[f.next++];
     if (to == v) {
       Cycle c;
       c.vertices = path;
@@ -262,12 +293,18 @@ std::size_t Digraph::EnumerateCyclesThrough(
 }
 
 bool Digraph::IsAcyclic() const {
-  // Kahn's algorithm over distinct-neighbour in-degrees.
+  // Kahn's algorithm over distinct-neighbour in-degrees. Adjacency lists
+  // are sorted, so parallel labels to the same neighbour are adjacent and
+  // skipped with a previous-value check.
   std::map<VertexId, std::size_t> indeg;
-  for (const auto& [v, _] : adj_) indeg[v] = 0;
-  for (const auto& [v, tos] : adj_) {
+  for (const auto& [v, _] : verts_) indeg[v] = 0;
+  for (const auto& [v, rec] : verts_) {
     (void)v;
-    for (const auto& [to, _] : tos) ++indeg[to];
+    const auto& out = rec.out;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (i > 0 && out[i].first == out[i - 1].first) continue;
+      ++indeg[out[i].first];
+    }
   }
   std::deque<VertexId> ready;
   for (const auto& [v, d] : indeg) {
@@ -278,13 +315,15 @@ bool Digraph::IsAcyclic() const {
     VertexId v = ready.front();
     ready.pop_front();
     ++removed;
-    auto it = adj_.find(v);
-    if (it == adj_.end()) continue;
-    for (const auto& [to, _] : it->second) {
-      if (--indeg[to] == 0) ready.push_back(to);
+    auto it = verts_.find(v);
+    if (it == verts_.end()) continue;
+    const auto& out = it->second.out;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (i > 0 && out[i].first == out[i - 1].first) continue;
+      if (--indeg[out[i].first] == 0) ready.push_back(out[i].first);
     }
   }
-  return removed == adj_.size();
+  return removed == verts_.size();
 }
 
 std::vector<std::vector<VertexId>> Digraph::StronglyConnectedComponents()
@@ -306,7 +345,7 @@ std::vector<std::vector<VertexId>> Digraph::StronglyConnectedComponents()
     std::size_t next = 0;
   };
 
-  for (const auto& [root, _] : adj_) {
+  for (const auto& [root, _] : verts_) {
     if (state[root].index != -1) continue;
     std::vector<Frame> frames;
     frames.push_back(Frame{root, Successors(root), 0});
@@ -365,9 +404,15 @@ std::vector<std::vector<VertexId>> Digraph::CyclicComponents() const {
 }
 
 bool Digraph::IsForest() const {
-  for (const auto& [v, _] : radj_) {
+  for (const auto& [v, rec] : verts_) {
+    (void)v;
     // Forest of out-trees: at most one distinct predecessor per vertex.
-    if (radj_.at(v).size() > 1) return false;
+    const auto& in = rec.in;
+    std::size_t distinct = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (i > 0 && in[i].first == in[i - 1].first) continue;
+      if (++distinct > 1) return false;
+    }
   }
   return IsAcyclic();
 }
@@ -385,7 +430,7 @@ std::string Digraph::ToDot(
   };
   std::ostringstream os;
   os << "digraph G {\n";
-  for (const auto& [v, _] : adj_) {
+  for (const auto& [v, _] : verts_) {
     os << "  \"" << vname(v) << "\";\n";
   }
   for (const Edge& e : Edges()) {

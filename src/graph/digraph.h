@@ -63,7 +63,7 @@ class Digraph {
   // Removes v and all incident edges. No-op when absent.
   void RemoveVertex(VertexId v);
   bool HasVertex(VertexId v) const;
-  std::size_t VertexCount() const { return adj_.size(); }
+  std::size_t VertexCount() const { return verts_.size(); }
   std::vector<VertexId> Vertices() const;
 
   // Edges ------------------------------------------------------------------
@@ -75,8 +75,15 @@ class Digraph {
   void RemoveEdge(VertexId from, VertexId to, EdgeLabel label);
   // Removes every arc from `from` to `to` regardless of label.
   void RemoveEdgesBetween(VertexId from, VertexId to);
-  // Removes every arc whose label is `label`.
+  // Removes every arc whose label is `label`. O(edges with that label),
+  // via the label index — O(1) when there are none, which is the common
+  // case on the per-lock-op wait-edge refresh.
   void RemoveEdgesLabeled(EdgeLabel label);
+  // True iff any arc carries `label`. Allocation-free fast-path guard.
+  bool HasEdgesLabeled(EdgeLabel label) const {
+    auto it = label_index_.find(label);
+    return it != label_index_.end() && !it->second.empty();
+  }
   bool HasEdge(VertexId from, VertexId to) const;
   bool HasEdge(VertexId from, VertexId to, EdgeLabel label) const;
   std::size_t EdgeCount() const { return edge_count_; }
@@ -137,10 +144,24 @@ class Digraph {
       const std::function<std::string(EdgeLabel)>& label_name = nullptr) const;
 
  private:
-  // adjacency: from -> (to -> labels). std::map keeps iteration
-  // deterministic.
-  std::map<VertexId, std::map<VertexId, std::set<EdgeLabel>>> adj_;
-  std::map<VertexId, std::map<VertexId, std::set<EdgeLabel>>> radj_;
+  void EraseLabelPair(EdgeLabel label, VertexId from, VertexId to);
+
+  // Per-vertex adjacency as (neighbour, label) pairs kept sorted — the
+  // same iteration order the old map-of-sets produced, at a fraction of
+  // the allocation cost: an edge insert is a binary-searched vector
+  // insert instead of two tree-node allocations per direction. Waits-for
+  // graphs are small and edge-churn-heavy (every block/wake rewrites a
+  // handful of arcs), which is exactly the shape sorted vectors win at.
+  struct VertexRec {
+    std::vector<std::pair<VertexId, EdgeLabel>> out;
+    std::vector<std::pair<VertexId, EdgeLabel>> in;
+  };
+  // Outer std::map keeps vertex iteration deterministic (sorted).
+  std::map<VertexId, VertexRec> verts_;
+  // label -> (from, to) pairs carrying it; order-insensitive (only
+  // consulted for membership and bulk label removal).
+  std::unordered_map<EdgeLabel, std::vector<std::pair<VertexId, VertexId>>>
+      label_index_;
   std::size_t edge_count_ = 0;
 };
 

@@ -17,15 +17,123 @@ std::string Describe(TxnId txn, EntityId entity) {
 
 }  // namespace
 
+void LockManager::FlushProbe() {
+  if (probe_ == nullptr) return;
+  if (probe_->requests != nullptr && delta_.requests != 0) {
+    probe_->requests->Inc(delta_.requests);
+  }
+  if (probe_->grants_immediate != nullptr && delta_.grants_immediate != 0) {
+    probe_->grants_immediate->Inc(delta_.grants_immediate);
+  }
+  if (probe_->queued != nullptr && delta_.queued != 0) {
+    probe_->queued->Inc(delta_.queued);
+  }
+  if (probe_->grants_on_release != nullptr &&
+      delta_.grants_on_release != 0) {
+    probe_->grants_on_release->Inc(delta_.grants_on_release);
+  }
+  if (probe_->cancels != nullptr && delta_.cancels != 0) {
+    probe_->cancels->Inc(delta_.cancels);
+  }
+  if (probe_->max_queue_depth != nullptr && delta_.max_queue_depth != 0) {
+    // The local value is a monotone high-water mark; SetMax is idempotent,
+    // so re-pushing it every flush is correct.
+    probe_->max_queue_depth->SetMax(delta_.max_queue_depth);
+  }
+  delta_.requests = 0;
+  delta_.grants_immediate = 0;
+  delta_.queued = 0;
+  delta_.grants_on_release = 0;
+  delta_.cancels = 0;
+}
+
+void LockManager::ReserveEntities(std::size_t n) {
+  if (slot_of_.size() < n) slot_of_.resize(n, kNoSlot);
+  slots_.reserve(n);
+}
+
+void LockManager::ReserveTxns(std::size_t n) {
+  if (txn_state_.size() >= n) return;
+  const std::size_t old = txn_state_.size();
+  txn_state_.resize(n);
+  for (std::size_t i = old; i < n; ++i) {
+    txn_state_[i].held.set_arena(&arena_);
+  }
+}
+
+LockManager::EntityState& LockManager::EnsureSlot(EntityId entity) {
+  const std::uint64_t v = entity.value();
+  if (v >= slot_of_.size()) slot_of_.resize(v + 1, kNoSlot);
+  std::uint32_t s = slot_of_[v];
+  if (s != kNoSlot) return slots_[s];
+  if (free_head_ != kNoSlot) {
+    s = free_head_;
+    free_head_ = slots_[s].next_free;
+  } else {
+    s = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    slots_[s].holders.set_arena(&arena_);
+    slots_[s].queue.set_arena(&arena_);
+  }
+  slots_[s].entity = entity;
+  slots_[s].next_free = kNoSlot;
+  slot_of_[v] = s;
+  return slots_[s];
+}
+
+void LockManager::MaybeFreeSlot(EntityState& es) {
+  if (!es.holders.empty() || !es.queue.empty()) return;
+  const std::uint32_t s =
+      static_cast<std::uint32_t>(&es - slots_.data());
+  slot_of_[es.entity.value()] = kNoSlot;
+  es.entity = EntityId();
+  es.next_free = free_head_;
+  free_head_ = s;
+}
+
+LockManager::TxnState& LockManager::EnsureTxn(TxnId txn) {
+  const std::uint64_t v = txn.value();
+  if (v >= txn_state_.size()) ReserveTxns(v + 1);
+  return txn_state_[v];
+}
+
+void LockManager::UpsertHolder(EntityState& es, TxnId txn, LockMode mode) {
+  if (HolderEntry* h = es.FindHolder(txn)) {
+    h->mode = mode;
+    return;
+  }
+  es.holders.push_back(HolderEntry{txn, mode});
+}
+
+void LockManager::UpsertHeld(TxnId txn, EntityId entity, LockMode mode) {
+  TxnState& ts = EnsureTxn(txn);
+  if (HeldEntry* h = ts.FindHeld(entity)) {
+    h->mode = mode;
+    return;
+  }
+  ts.held.push_back(HeldEntry{entity, mode});
+}
+
+void LockManager::EraseHeld(TxnId txn, EntityId entity) {
+  TxnState* ts = StateFor(txn);
+  if (ts == nullptr) return;
+  for (std::size_t i = 0; i < ts->held.size(); ++i) {
+    if (ts->held[i].entity == entity) {
+      ts->held.erase_at(i);
+      return;
+    }
+  }
+}
+
 bool LockManager::Grantable(const EntityState& es, const Waiter& w,
                             std::size_t position) const {
   // Upgrades are grantable iff the requester is the sole holder.
   if (w.is_upgrade) {
-    return es.holders.size() == 1 && es.holders.count(w.txn) == 1;
+    return es.holders.size() == 1 && es.holders[0].txn == w.txn;
   }
-  for (const auto& [holder, mode] : es.holders) {
-    if (holder == w.txn) continue;  // cannot happen for non-upgrades
-    if (!Compatible(mode, w.mode)) return false;
+  for (const HolderEntry& h : es.holders) {
+    if (h.txn == w.txn) continue;  // cannot happen for non-upgrades
+    if (!Compatible(h.mode, w.mode)) return false;
   }
   // Queue discipline: under fifo_fairness nothing passes a waiter; in the
   // paper model a compatible request passes waiting incompatible ones.
@@ -48,13 +156,13 @@ bool LockManager::Grantable(const EntityState& es, const Waiter& w,
   return true;
 }
 
-std::vector<TxnId> LockManager::ComputeBlockers(const EntityState& es,
-                                                const Waiter& w,
-                                                std::size_t position) const {
-  std::vector<TxnId> blockers;
-  for (const auto& [holder, mode] : es.holders) {
-    if (holder == w.txn) continue;
-    if (w.is_upgrade || !Compatible(mode, w.mode)) blockers.push_back(holder);
+void LockManager::AppendBlockers(const EntityState& es, const Waiter& w,
+                                 std::size_t position,
+                                 std::vector<TxnId>* out) const {
+  const std::size_t base = out->size();
+  for (const HolderEntry& h : es.holders) {
+    if (h.txn == w.txn) continue;
+    if (w.is_upgrade || !Compatible(h.mode, w.mode)) out->push_back(h.txn);
   }
   if (options_.wait_edge_policy == WaitEdgePolicy::kHoldersAndQueue) {
     const std::size_t ahead = std::min(position, es.queue.size());
@@ -62,30 +170,35 @@ std::vector<TxnId> LockManager::ComputeBlockers(const EntityState& es,
       const Waiter& q = es.queue[i];
       if (q.txn == w.txn) continue;
       if (!Compatible(q.mode, w.mode) || !Compatible(w.mode, q.mode)) {
-        blockers.push_back(q.txn);
+        out->push_back(q.txn);
       } else if (options_.fifo_fairness) {
-        blockers.push_back(q.txn);
+        out->push_back(q.txn);
       }
     }
   }
-  std::sort(blockers.begin(), blockers.end());
-  blockers.erase(std::unique(blockers.begin(), blockers.end()),
-                 blockers.end());
+  std::sort(out->begin() + base, out->end());
+  out->erase(std::unique(out->begin() + base, out->end()), out->end());
+}
+
+std::vector<TxnId> LockManager::ComputeBlockers(const EntityState& es,
+                                                const Waiter& w,
+                                                std::size_t position) const {
+  std::vector<TxnId> blockers;
+  AppendBlockers(es, w, position, &blockers);
   return blockers;
 }
 
 Result<RequestOutcome> LockManager::Request(TxnId txn, EntityId entity,
                                             LockMode mode) {
-  if (waiting_.count(txn)) {
+  if (IsWaiting(txn)) {
     return Status::FailedPrecondition(
         "transaction already waiting; one pending request at a time (" +
         Describe(txn, entity) + ")");
   }
-  EntityState& es = table_[entity];
+  EntityState& es = EnsureSlot(entity);
   bool is_upgrade = false;
-  auto hit = es.holders.find(txn);
-  if (hit != es.holders.end()) {
-    if (hit->second == LockMode::kExclusive || mode == LockMode::kShared) {
+  if (const HolderEntry* h = es.FindHolder(txn)) {
+    if (h->mode == LockMode::kExclusive || mode == LockMode::kShared) {
       return Status::ProtocolViolation(
           "lock already held in equal or stronger mode (" +
           Describe(txn, entity) + ")");
@@ -93,16 +206,12 @@ Result<RequestOutcome> LockManager::Request(TxnId txn, EntityId entity,
     is_upgrade = true;  // holds S, wants X
   }
 
-  if (probe_ != nullptr && probe_->requests != nullptr) {
-    probe_->requests->Inc();
-  }
+  if (probe_ != nullptr) ++delta_.requests;
   Waiter w{txn, mode, is_upgrade};
   if (Grantable(es, w, es.queue.size())) {
-    es.holders[txn] = mode;
-    held_[txn][entity] = mode;
-    if (probe_ != nullptr && probe_->grants_immediate != nullptr) {
-      probe_->grants_immediate->Inc();
-    }
+    UpsertHolder(es, txn, mode);
+    UpsertHeld(txn, entity, mode);
+    if (probe_ != nullptr) ++delta_.grants_immediate;
     return RequestOutcome{true, {}, is_upgrade};
   }
 
@@ -110,126 +219,153 @@ Result<RequestOutcome> LockManager::Request(TxnId txn, EntityId entity,
   // them first; everything else is FIFO.
   std::size_t position;
   if (is_upgrade) {
-    es.queue.push_front(w);
+    es.queue.insert_at(0, w);
     position = 0;
   } else {
     es.queue.push_back(w);
     position = es.queue.size() - 1;
   }
-  waiting_[txn] = entity;
+  EnsureTxn(txn).waiting_for = entity;
+  ++waiting_count_;
   if (probe_ != nullptr) {
-    if (probe_->queued != nullptr) probe_->queued->Inc();
-    if (probe_->max_queue_depth != nullptr) {
-      probe_->max_queue_depth->SetMax(
-          static_cast<std::int64_t>(es.queue.size()));
-    }
+    ++delta_.queued;
+    delta_.max_queue_depth = std::max(
+        delta_.max_queue_depth, static_cast<std::int64_t>(es.queue.size()));
   }
   return RequestOutcome{false, ComputeBlockers(es, w, position), is_upgrade};
 }
 
-Result<std::vector<Grant>> LockManager::CancelWait(TxnId txn,
-                                                   EntityId entity) {
-  auto wit = waiting_.find(txn);
-  if (wit == waiting_.end() || wit->second != entity) {
+Status LockManager::CancelWaitInto(TxnId txn, EntityId entity,
+                                   std::vector<Grant>* out) {
+  TxnState* ts = StateFor(txn);
+  if (ts == nullptr || ts->waiting_for != entity) {
     return Status::NotFound("transaction is not waiting for entity (" +
                             Describe(txn, entity) + ")");
   }
-  EntityState& es = table_[entity];
-  auto qit = std::find_if(es.queue.begin(), es.queue.end(),
-                          [txn](const Waiter& w) { return w.txn == txn; });
-  if (qit == es.queue.end()) {
+  EntityState* es = SlotFor(entity);
+  std::size_t qpos = es == nullptr ? 0 : es->queue.size();
+  if (es != nullptr) {
+    for (std::size_t i = 0; i < es->queue.size(); ++i) {
+      if (es->queue[i].txn == txn) {
+        qpos = i;
+        break;
+      }
+    }
+  }
+  if (es == nullptr || qpos == es->queue.size()) {
     return Status::Internal("waiting_ and queue out of sync for " +
                             Describe(txn, entity));
   }
-  es.queue.erase(qit);
-  waiting_.erase(wit);
-  if (probe_ != nullptr && probe_->cancels != nullptr) {
-    probe_->cancels->Inc();
-  }
+  es->queue.erase_at(qpos);
+  ts->waiting_for = EntityId();
+  --waiting_count_;
+  if (probe_ != nullptr) ++delta_.cancels;
+  ProcessQueue(*es, out);
+  MaybeFreeSlot(*es);
+  return Status::OK();
+}
+
+Result<std::vector<Grant>> LockManager::CancelWait(TxnId txn,
+                                                   EntityId entity) {
   std::vector<Grant> grants;
-  ProcessQueue(entity, es, &grants);
+  PARDB_RETURN_IF_ERROR(CancelWaitInto(txn, entity, &grants));
   return grants;
 }
 
-Result<std::vector<Grant>> LockManager::Release(TxnId txn, EntityId entity) {
-  EntityState* es = nullptr;
-  auto tit = table_.find(entity);
-  if (tit != table_.end()) es = &tit->second;
-  if (es == nullptr || es->holders.erase(txn) == 0) {
+Status LockManager::ReleaseInto(TxnId txn, EntityId entity,
+                                std::vector<Grant>* out) {
+  EntityState* es = SlotFor(entity);
+  if (es == nullptr) {
     return Status::NotFound("lock not held (" + Describe(txn, entity) + ")");
   }
-  auto hit = held_.find(txn);
-  if (hit != held_.end()) {
-    hit->second.erase(entity);
-    if (hit->second.empty()) held_.erase(hit);
+  bool erased = false;
+  for (std::size_t i = 0; i < es->holders.size(); ++i) {
+    if (es->holders[i].txn == txn) {
+      es->holders.erase_at(i);
+      erased = true;
+      break;
+    }
   }
+  if (!erased) {
+    return Status::NotFound("lock not held (" + Describe(txn, entity) + ")");
+  }
+  EraseHeld(txn, entity);
   // If txn released the shared lock backing its own queued upgrade, the
   // upgrade degenerates to a plain request (otherwise it could never be
   // granted: upgrades require being the sole holder).
   for (Waiter& w : es->queue) {
     if (w.txn == txn && w.is_upgrade) w.is_upgrade = false;
   }
+  ProcessQueue(*es, out);
+  MaybeFreeSlot(*es);
+  return Status::OK();
+}
+
+Result<std::vector<Grant>> LockManager::Release(TxnId txn, EntityId entity) {
   std::vector<Grant> grants;
-  ProcessQueue(entity, *es, &grants);
+  PARDB_RETURN_IF_ERROR(ReleaseInto(txn, entity, &grants));
   return grants;
+}
+
+Status LockManager::DowngradeInto(TxnId txn, EntityId entity,
+                                  std::vector<Grant>* out) {
+  EntityState* es = SlotFor(entity);
+  if (es == nullptr) {
+    return Status::NotFound("lock not held (" + Describe(txn, entity) + ")");
+  }
+  HolderEntry* h = es->FindHolder(txn);
+  if (h == nullptr || h->mode != LockMode::kExclusive) {
+    return Status::NotFound("exclusive lock not held (" +
+                            Describe(txn, entity) + ")");
+  }
+  h->mode = LockMode::kShared;
+  UpsertHeld(txn, entity, LockMode::kShared);
+  ProcessQueue(*es, out);
+  return Status::OK();
 }
 
 Result<std::vector<Grant>> LockManager::Downgrade(TxnId txn,
                                                   EntityId entity) {
-  auto tit = table_.find(entity);
-  if (tit == table_.end()) {
-    return Status::NotFound("lock not held (" + Describe(txn, entity) + ")");
-  }
-  auto hit = tit->second.holders.find(txn);
-  if (hit == tit->second.holders.end() ||
-      hit->second != LockMode::kExclusive) {
-    return Status::NotFound("exclusive lock not held (" +
-                            Describe(txn, entity) + ")");
-  }
-  hit->second = LockMode::kShared;
-  held_[txn][entity] = LockMode::kShared;
   std::vector<Grant> grants;
-  ProcessQueue(entity, tit->second, &grants);
+  PARDB_RETURN_IF_ERROR(DowngradeInto(txn, entity, &grants));
   return grants;
 }
 
 std::vector<Grant> LockManager::ReleaseAll(TxnId txn) {
   std::vector<Grant> grants;
-  auto wit = waiting_.find(txn);
-  if (wit != waiting_.end()) {
-    auto r = CancelWait(txn, wit->second);
-    if (r.ok()) {
-      grants.insert(grants.end(), r.value().begin(), r.value().end());
-    }
+  // Copy up front: releases mutate the per-transaction state (and granting
+  // a waiter can grow txn_state_, invalidating pointers into it).
+  EntityId pending;
+  std::vector<EntityId> entities;
+  if (const TxnState* ts = StateFor(txn)) {
+    pending = ts->waiting_for;
+    entities.reserve(ts->held.size());
+    for (const HeldEntry& h : ts->held) entities.push_back(h.entity);
   }
-  auto hit = held_.find(txn);
-  if (hit != held_.end()) {
-    // Copy: Release mutates held_.
-    std::vector<EntityId> entities;
-    entities.reserve(hit->second.size());
-    for (const auto& [e, _] : hit->second) entities.push_back(e);
-    for (EntityId e : entities) {
-      auto r = Release(txn, e);
-      if (r.ok()) {
-        grants.insert(grants.end(), r.value().begin(), r.value().end());
-      }
-    }
+  if (pending.valid()) {
+    (void)CancelWaitInto(txn, pending, &grants);
+  }
+  // Entity-id order, matching the ordered-map layout this replaced.
+  std::sort(entities.begin(), entities.end());
+  for (EntityId e : entities) {
+    (void)ReleaseInto(txn, e, &grants);
   }
   return grants;
 }
 
-void LockManager::ProcessQueue(EntityId entity, EntityState& es,
-                               std::vector<Grant>* out) {
+void LockManager::ProcessQueue(EntityState& es, std::vector<Grant>* out) {
   const std::size_t before = out->size();
+  const EntityId entity = es.entity;
   bool progressed = true;
   while (progressed && !es.queue.empty()) {
     progressed = false;
-    Waiter head = es.queue.front();
+    Waiter head = es.queue[0];
     if (Grantable(es, head, 0)) {
-      es.queue.pop_front();
-      waiting_.erase(head.txn);
-      es.holders[head.txn] = head.mode;
-      held_[head.txn][entity] = head.mode;
+      es.queue.erase_at(0);
+      txn_state_[head.txn.value()].waiting_for = EntityId();
+      --waiting_count_;
+      UpsertHolder(es, head.txn, head.mode);
+      UpsertHeld(head.txn, entity, head.mode);
       out->push_back(Grant{head.txn, entity, head.mode, head.is_upgrade});
       progressed = true;
       continue;
@@ -241,10 +377,11 @@ void LockManager::ProcessQueue(EntityId entity, EntityState& es,
         Waiter w = es.queue[i];
         if (w.mode == LockMode::kShared && !w.is_upgrade &&
             Grantable(es, w, i)) {
-          es.queue.erase(es.queue.begin() + static_cast<std::ptrdiff_t>(i));
-          waiting_.erase(w.txn);
-          es.holders[w.txn] = w.mode;
-          held_[w.txn][entity] = w.mode;
+          es.queue.erase_at(i);
+          txn_state_[w.txn.value()].waiting_for = EntityId();
+          --waiting_count_;
+          UpsertHolder(es, w.txn, w.mode);
+          UpsertHeld(w.txn, entity, w.mode);
           out->push_back(Grant{w.txn, entity, w.mode, false});
           progressed = true;
           break;
@@ -252,49 +389,57 @@ void LockManager::ProcessQueue(EntityId entity, EntityState& es,
       }
     }
   }
-  if (probe_ != nullptr && probe_->grants_on_release != nullptr &&
-      out->size() > before) {
-    probe_->grants_on_release->Inc(out->size() - before);
+  if (probe_ != nullptr && out->size() > before) {
+    delta_.grants_on_release += out->size() - before;
   }
 }
 
 std::vector<std::pair<TxnId, LockMode>> LockManager::Holders(
     EntityId entity) const {
   std::vector<std::pair<TxnId, LockMode>> out;
-  auto it = table_.find(entity);
-  if (it == table_.end()) return out;
-  out.assign(it->second.holders.begin(), it->second.holders.end());
+  const EntityState* es = SlotFor(entity);
+  if (es == nullptr) return out;
+  out.reserve(es->holders.size());
+  for (const HolderEntry& h : es->holders) out.emplace_back(h.txn, h.mode);
+  // Holders live in grant order internally; the public contract (and every
+  // DOT/JSON consumer) is txn-id order, applied here at the emission site.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
 std::vector<std::pair<TxnId, LockMode>> LockManager::WaitQueue(
     EntityId entity) const {
   std::vector<std::pair<TxnId, LockMode>> out;
-  auto it = table_.find(entity);
-  if (it == table_.end()) return out;
-  for (const Waiter& w : it->second.queue) out.emplace_back(w.txn, w.mode);
+  const EntityState* es = SlotFor(entity);
+  if (es == nullptr) return out;
+  out.reserve(es->queue.size());
+  for (const Waiter& w : es->queue) out.emplace_back(w.txn, w.mode);
   return out;
 }
 
 std::optional<LockMode> LockManager::HeldMode(TxnId txn,
                                               EntityId entity) const {
-  auto it = table_.find(entity);
-  if (it == table_.end()) return std::nullopt;
-  auto hit = it->second.holders.find(txn);
-  if (hit == it->second.holders.end()) return std::nullopt;
-  return hit->second;
+  const EntityState* es = SlotFor(entity);
+  if (es == nullptr) return std::nullopt;
+  const HolderEntry* h = es->FindHolder(txn);
+  if (h == nullptr) return std::nullopt;
+  return h->mode;
 }
 
-bool LockManager::IsWaiting(TxnId txn) const { return waiting_.count(txn); }
+bool LockManager::IsWaiting(TxnId txn) const {
+  const TxnState* ts = StateFor(txn);
+  return ts != nullptr && ts->waiting_for.valid();
+}
 
 std::optional<PendingRequest> LockManager::Waiting(TxnId txn) const {
-  auto wit = waiting_.find(txn);
-  if (wit == waiting_.end()) return std::nullopt;
-  auto tit = table_.find(wit->second);
-  if (tit == table_.end()) return std::nullopt;
-  for (const Waiter& w : tit->second.queue) {
+  const TxnState* ts = StateFor(txn);
+  if (ts == nullptr || !ts->waiting_for.valid()) return std::nullopt;
+  const EntityState* es = SlotFor(ts->waiting_for);
+  if (es == nullptr) return std::nullopt;
+  for (const Waiter& w : es->queue) {
     if (w.txn == txn) {
-      return PendingRequest{wit->second, w.mode, w.is_upgrade};
+      return PendingRequest{ts->waiting_for, w.mode, w.is_upgrade};
     }
   }
   return std::nullopt;
@@ -303,42 +448,68 @@ std::optional<PendingRequest> LockManager::Waiting(TxnId txn) const {
 std::vector<std::pair<EntityId, LockMode>> LockManager::HeldBy(
     TxnId txn) const {
   std::vector<std::pair<EntityId, LockMode>> out;
-  auto it = held_.find(txn);
-  if (it == held_.end()) return out;
-  out.assign(it->second.begin(), it->second.end());
+  const TxnState* ts = StateFor(txn);
+  if (ts == nullptr) return out;
+  out.reserve(ts->held.size());
+  for (const HeldEntry& h : ts->held) out.emplace_back(h.entity, h.mode);
+  // Entity-id order at the emission site (see Holders).
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
 std::size_t LockManager::HeldCount(TxnId txn) const {
-  auto it = held_.find(txn);
-  return it == held_.end() ? 0 : it->second.size();
+  const TxnState* ts = StateFor(txn);
+  return ts == nullptr ? 0 : ts->held.size();
+}
+
+void LockManager::AppendHeldEntities(TxnId txn,
+                                     std::vector<EntityId>* out) const {
+  const TxnState* ts = StateFor(txn);
+  if (ts == nullptr) return;
+  for (const HeldEntry& h : ts->held) out->push_back(h.entity);
+}
+
+void LockManager::AppendBlockersOf(TxnId txn,
+                                   std::vector<TxnId>* out) const {
+  const TxnState* ts = StateFor(txn);
+  if (ts == nullptr || !ts->waiting_for.valid()) return;
+  const EntityState* es = SlotFor(ts->waiting_for);
+  if (es == nullptr) return;
+  for (std::size_t i = 0; i < es->queue.size(); ++i) {
+    if (es->queue[i].txn == txn) {
+      AppendBlockers(*es, es->queue[i], i, out);
+      return;
+    }
+  }
 }
 
 std::vector<TxnId> LockManager::BlockersOf(TxnId txn) const {
-  auto wit = waiting_.find(txn);
-  if (wit == waiting_.end()) return {};
-  auto tit = table_.find(wit->second);
-  if (tit == table_.end()) return {};
-  const EntityState& es = tit->second;
-  for (std::size_t i = 0; i < es.queue.size(); ++i) {
-    if (es.queue[i].txn == txn) {
-      return ComputeBlockers(es, es.queue[i], i);
-    }
-  }
-  return {};
+  std::vector<TxnId> blockers;
+  AppendBlockersOf(txn, &blockers);
+  return blockers;
 }
 
 std::uint64_t LockManager::StateDigest() const {
-  // Per-entity digests are order-independent-combined with XOR because the
-  // table iterates in hash order; within an entity, holders (std::map,
-  // txn-ordered) and the queue (FIFO order) are deterministic sequences.
+  // Per-entity digests are order-independent-combined with XOR, so neither
+  // slot order nor the internal grant-order holder layout can leak into
+  // the result: holders are digested in txn order (sorted at this emission
+  // site) and the queue in FIFO order, exactly as the ordered-map layout
+  // digested them.
   std::uint64_t digest = 0;
-  for (const auto& [e, es] : table_) {
+  std::vector<HolderEntry> sorted;
+  for (const EntityState& es : slots_) {
+    if (!es.entity.valid()) continue;  // free slot
     if (es.holders.empty() && es.queue.empty()) continue;
-    std::uint64_t h = obs::FnvMix64(obs::kFnvOffsetBasis, e.value());
-    for (const auto& [t, m] : es.holders) {
-      h = obs::FnvMix64(h, t.value());
-      h = obs::FnvMix64(h, static_cast<std::uint64_t>(m) + 1);
+    std::uint64_t h = obs::FnvMix64(obs::kFnvOffsetBasis, es.entity.value());
+    sorted.assign(es.holders.begin(), es.holders.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const HolderEntry& a, const HolderEntry& b) {
+                return a.txn < b.txn;
+              });
+    for (const HolderEntry& he : sorted) {
+      h = obs::FnvMix64(h, he.txn.value());
+      h = obs::FnvMix64(h, static_cast<std::uint64_t>(he.mode) + 1);
     }
     h = obs::FnvMix64(h, 0x51);  // holders/queue separator
     for (const Waiter& w : es.queue) {
@@ -354,23 +525,35 @@ std::uint64_t LockManager::StateDigest() const {
 std::string LockManager::ToString() const {
   std::ostringstream os;
   // Deterministic dump: sort entities.
-  std::vector<EntityId> entities;
-  entities.reserve(table_.size());
-  for (const auto& [e, _] : table_) entities.push_back(e);
-  std::sort(entities.begin(), entities.end());
-  for (EntityId e : entities) {
-    const EntityState& es = table_.at(e);
+  std::vector<const EntityState*> live;
+  live.reserve(slots_.size());
+  for (const EntityState& es : slots_) {
+    if (!es.entity.valid()) continue;
     if (es.holders.empty() && es.queue.empty()) continue;
-    os << e << ": holders{";
+    live.push_back(&es);
+  }
+  std::sort(live.begin(), live.end(),
+            [](const EntityState* a, const EntityState* b) {
+              return a->entity < b->entity;
+            });
+  std::vector<std::pair<TxnId, LockMode>> holders;
+  for (const EntityState* es : live) {
+    holders.clear();
+    for (const HolderEntry& h : es->holders) {
+      holders.emplace_back(h.txn, h.mode);
+    }
+    std::sort(holders.begin(), holders.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    os << es->entity << ": holders{";
     bool first = true;
-    for (const auto& [t, m] : es.holders) {
+    for (const auto& [t, m] : holders) {
       if (!first) os << ", ";
       first = false;
       os << t << ":" << m;
     }
     os << "} queue[";
     first = true;
-    for (const Waiter& w : es.queue) {
+    for (const Waiter& w : es->queue) {
       if (!first) os << ", ";
       first = false;
       os << w.txn << ":" << w.mode << (w.is_upgrade ? "^" : "");

@@ -1,13 +1,12 @@
 #ifndef PARDB_LOCK_LOCK_MANAGER_H_
 #define PARDB_LOCK_LOCK_MANAGER_H_
 
-#include <deque>
-#include <map>
+#include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -72,6 +71,16 @@ enum class WaitEdgePolicy {
 //
 // The manager is a passive table: it never sleeps or spins. Blocking is
 // represented by queue membership; the Engine owns scheduling.
+//
+// Layout (DESIGN D15): entity ids index a flat slot vector through a
+// dense-id remap assigned at first touch, with an intrusive free list
+// recycling slots whose holder set and queue are both empty; holder and
+// waiter lists are inline-capacity vectors spilling into a per-manager
+// arena, so steady-state lock operations perform no hashing and no heap
+// allocation. Holder lists are kept in grant order internally; every
+// snapshot/export site (Holders, HeldBy, StateDigest, ToString) sorts at
+// emission, which is what keeps DOT/JSON/digest output byte-identical to
+// the ordered-map layout this replaced.
 class LockManager {
  public:
   struct Options {
@@ -92,8 +101,23 @@ class LockManager {
   const Options& options() const { return options_; }
 
   // Installs telemetry counters (nullptr to detach). Not owned; must
-  // outlive the manager or be detached first.
-  void set_probe(const obs::LockProbe* probe) { probe_ = probe; }
+  // outlive the manager or be detached first. Counter updates are
+  // accumulated locally and pushed by FlushProbe — detaching flushes.
+  void set_probe(const obs::LockProbe* probe) {
+    if (probe == nullptr) FlushProbe();
+    probe_ = probe;
+  }
+
+  // Pushes the locally batched counter deltas into the probe's atomics.
+  // The engine calls this at quantum boundaries; totals observed after a
+  // flush are identical to what per-operation updates would have produced.
+  void FlushProbe();
+
+  // Pre-sizes the entity-slot remap for `n` dense entity ids (capacity
+  // hint only; the table grows on first touch regardless).
+  void ReserveEntities(std::size_t n);
+  // Pre-sizes per-transaction state for `n` dense transaction ids.
+  void ReserveTxns(std::size_t n);
 
   // Requests `mode` on `entity` for `txn`. Errors:
   //  * FailedPrecondition — txn is already waiting for some entity;
@@ -103,16 +127,19 @@ class LockManager {
   // Removes txn's pending wait (victim rollback cancels its request).
   // NotFound when txn is not waiting for `entity`. Cancelling can unblock
   // requests queued behind the cancelled one; they are granted and
-  // returned.
+  // appended to *out.
+  Status CancelWaitInto(TxnId txn, EntityId entity, std::vector<Grant>* out);
   Result<std::vector<Grant>> CancelWait(TxnId txn, EntityId entity);
 
-  // Releases txn's held lock on `entity` and grants newly grantable
-  // waiters. NotFound when the lock is not held.
+  // Releases txn's held lock on `entity` and appends newly grantable
+  // waiters to *out. NotFound when the lock is not held.
+  Status ReleaseInto(TxnId txn, EntityId entity, std::vector<Grant>* out);
   Result<std::vector<Grant>> Release(TxnId txn, EntityId entity);
 
   // Downgrades txn's exclusive lock on `entity` to shared (a rollback that
   // undoes an S->X upgrade but keeps the original shared request). Grants
   // newly compatible waiters. NotFound when no exclusive lock is held.
+  Status DowngradeInto(TxnId txn, EntityId entity, std::vector<Grant>* out);
   Result<std::vector<Grant>> Downgrade(TxnId txn, EntityId entity);
 
   // Releases every lock txn holds (commit or total removal) and cancels
@@ -133,24 +160,53 @@ class LockManager {
   std::size_t HeldCount(TxnId txn) const;
   // Transactions currently blocked in some wait queue (the live gauge
   // pardb_waiting_txns reads this).
-  std::size_t WaitingCount() const { return waiting_.size(); }
+  std::size_t WaitingCount() const { return waiting_count_; }
+
+  // True when any transaction waits on `entity` — the allocation-free
+  // fast-path guard for waits-for edge refresh.
+  bool HasWaiters(EntityId entity) const {
+    const EntityState* es = SlotFor(entity);
+    return es != nullptr && !es->queue.empty();
+  }
+
+  // Invokes fn(TxnId, LockMode) for each waiter of `entity` in queue
+  // order, without materializing a vector.
+  template <typename Fn>
+  void ForEachWaiter(EntityId entity, Fn&& fn) const {
+    const EntityState* es = SlotFor(entity);
+    if (es == nullptr) return;
+    for (const Waiter& w : es->queue) fn(w.txn, w.mode);
+  }
 
   // Blockers of txn's pending request under the configured edge policy.
   // Empty when txn is not waiting (or is waiting purely on queue order
   // under kHoldersOnly).
   std::vector<TxnId> BlockersOf(TxnId txn) const;
+  // Appends the same blockers to *out (sorted, deduplicated) without
+  // allocating when out has capacity.
+  void AppendBlockersOf(TxnId txn, std::vector<TxnId>* out) const;
 
-  // Deterministic FNV digest of the whole lock table: holders (with modes)
-  // and wait queues (in queue order) of every entity. Per-entity digests
-  // are XOR-combined so the unordered table iteration cannot leak its
-  // order into the result. Feeds the decision journal's epoch checksums
-  // (DESIGN D14).
+  // Appends every entity txn holds to *out (unsorted; callers needing the
+  // HeldBy order sort the appended range by entity id).
+  void AppendHeldEntities(TxnId txn, std::vector<EntityId>* out) const;
+
+  // Deterministic FNV digest of the whole lock table: holders (with modes,
+  // in txn order) and wait queues (in queue order) of every entity.
+  // Per-entity digests are XOR-combined so slot order cannot leak into
+  // the result. Feeds the decision journal's epoch checksums (DESIGN D14).
   std::uint64_t StateDigest() const;
 
   // Debug dump of the whole lock table.
   std::string ToString() const;
 
  private:
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  struct HolderEntry {
+    TxnId txn;
+    LockMode mode;
+  };
+
   struct Waiter {
     TxnId txn;
     LockMode mode;
@@ -158,9 +214,82 @@ class LockManager {
   };
 
   struct EntityState {
-    std::map<TxnId, LockMode> holders;
-    std::deque<Waiter> queue;
+    EntityId entity;  // back-pointer; invalid while the slot is free
+    std::uint32_t next_free = kNoSlot;  // intrusive free-list link
+    SmallVec<HolderEntry, 4> holders;   // grant order; sorted at emission
+    SmallVec<Waiter, 4> queue;          // FIFO order
+
+    const HolderEntry* FindHolder(TxnId txn) const {
+      for (const HolderEntry& h : holders) {
+        if (h.txn == txn) return &h;
+      }
+      return nullptr;
+    }
+    HolderEntry* FindHolder(TxnId txn) {
+      for (HolderEntry& h : holders) {
+        if (h.txn == txn) return &h;
+      }
+      return nullptr;
+    }
   };
+
+  struct HeldEntry {
+    EntityId entity;
+    LockMode mode;
+  };
+
+  // Per-transaction lock state, direct-indexed by dense txn id.
+  struct TxnState {
+    SmallVec<HeldEntry, 8> held;  // grant order; sorted at emission
+    EntityId waiting_for;         // invalid when not waiting
+
+    const HeldEntry* FindHeld(EntityId entity) const {
+      for (const HeldEntry& h : held) {
+        if (h.entity == entity) return &h;
+      }
+      return nullptr;
+    }
+    HeldEntry* FindHeld(EntityId entity) {
+      for (HeldEntry& h : held) {
+        if (h.entity == entity) return &h;
+      }
+      return nullptr;
+    }
+  };
+
+  // Slot accessors: SlotFor returns nullptr when the entity has no live
+  // slot; EnsureSlot admits the entity into the dense remap (recycling a
+  // free slot when one exists).
+  const EntityState* SlotFor(EntityId entity) const {
+    const std::uint64_t v = entity.value();
+    if (v >= slot_of_.size() || slot_of_[v] == kNoSlot) return nullptr;
+    return &slots_[slot_of_[v]];
+  }
+  EntityState* SlotFor(EntityId entity) {
+    const std::uint64_t v = entity.value();
+    if (v >= slot_of_.size() || slot_of_[v] == kNoSlot) return nullptr;
+    return &slots_[slot_of_[v]];
+  }
+  EntityState& EnsureSlot(EntityId entity);
+  // Returns es's slot to the free list when it holds nothing and nobody
+  // waits (keeping allocated spill capacity for reuse).
+  void MaybeFreeSlot(EntityState& es);
+
+  const TxnState* StateFor(TxnId txn) const {
+    const std::uint64_t v = txn.value();
+    return v < txn_state_.size() ? &txn_state_[v] : nullptr;
+  }
+  TxnState* StateFor(TxnId txn) {
+    const std::uint64_t v = txn.value();
+    return v < txn_state_.size() ? &txn_state_[v] : nullptr;
+  }
+  TxnState& EnsureTxn(TxnId txn);
+
+  // Sets holder `txn` to `mode`, inserting or overwriting (an upgrade
+  // rewrites the shared entry in place, preserving grant order).
+  static void UpsertHolder(EntityState& es, TxnId txn, LockMode mode);
+  void UpsertHeld(TxnId txn, EntityId entity, LockMode mode);
+  void EraseHeld(TxnId txn, EntityId entity);
 
   // True when `w` can be granted right now given holders and the queue
   // segment ahead of it. `position` is w's index in the queue (or the
@@ -169,16 +298,35 @@ class LockManager {
                  std::size_t position) const;
 
   // Grants the longest grantable prefix of the queue; appends to out.
-  void ProcessQueue(EntityId entity, EntityState& es, std::vector<Grant>* out);
+  void ProcessQueue(EntityState& es, std::vector<Grant>* out);
 
   std::vector<TxnId> ComputeBlockers(const EntityState& es, const Waiter& w,
                                      std::size_t position) const;
+  // Appends blockers (sorted, deduplicated) to *out.
+  void AppendBlockers(const EntityState& es, const Waiter& w,
+                      std::size_t position, std::vector<TxnId>* out) const;
 
   Options options_;
   const obs::LockProbe* probe_ = nullptr;  // may be null
-  std::unordered_map<EntityId, EntityState> table_;
-  std::unordered_map<TxnId, std::map<EntityId, LockMode>> held_;
-  std::unordered_map<TxnId, EntityId> waiting_;
+
+  // Locally batched probe counters, pushed by FlushProbe (tentpole (d):
+  // no atomic ops on the per-step path).
+  struct ProbeDelta {
+    std::uint64_t requests = 0;
+    std::uint64_t grants_immediate = 0;
+    std::uint64_t queued = 0;
+    std::uint64_t grants_on_release = 0;
+    std::uint64_t cancels = 0;
+    std::int64_t max_queue_depth = 0;  // local high-water mark
+  };
+  ProbeDelta delta_;
+
+  Arena arena_;
+  std::vector<EntityState> slots_;
+  std::vector<std::uint32_t> slot_of_;  // entity id -> slot index
+  std::uint32_t free_head_ = kNoSlot;
+  std::vector<TxnState> txn_state_;  // txn id -> lock state
+  std::size_t waiting_count_ = 0;
 };
 
 }  // namespace pardb::lock

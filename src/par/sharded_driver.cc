@@ -172,6 +172,9 @@ void InitShardExec(const ShardedOptions& options, std::uint32_t shard,
   ex.engine = std::make_unique<core::Engine>(
       &ex.store, eopt, options.check_serializability ? &ex.recorder : nullptr);
   core::Engine& engine = *ex.engine;
+  // Pre-size the txn-indexed tables with the whole run's upper bound so
+  // shard admission never pays a rehash or reallocation mid-flight.
+  engine.ReserveTxns(options.total_txns);
 
   // Per-shard telemetry. Without a hub the registry is private to this
   // shard and merged after the pool joins; with one it is hub-owned and

@@ -2,99 +2,187 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
 
 namespace pardb::rollback {
 
-McsStrategy::McsStrategy(const txn::Program& program) {
+McsStrategy::McsStrategy(const txn::Program& program, Arena* arena)
+    : arena_(arena) {
+  entity_stacks_.set_arena(arena_);
+  shared_held_.set_arena(arena_);
   var_stacks_.reserve(program.num_vars());
   const auto& init = program.initial_vars();
   for (txn::VarId v = 0; v < program.num_vars(); ++v) {
-    Stack s;
-    s.lock_state = 0;
-    s.elems.push_back(Element{init[v], 0});
-    var_stacks_.push_back(std::move(s));
+    VarStack s;
+    s.cap = 2;
+    s.elems = AllocElems(s.cap);
+    s.elems[0] = Element{init[v], 0};
+    s.size = 1;
+    var_stacks_.push_back(s);
   }
   UpdatePeaks();
+}
+
+McsStrategy::~McsStrategy() {
+  for (XStack& s : entity_stacks_) FreeElems(s.elems, s.cap);
+  for (VarStack& s : var_stacks_) FreeElems(s.elems, s.cap);
+}
+
+McsStrategy::Element* McsStrategy::AllocElems(std::uint32_t cap) {
+  const std::size_t bytes = std::size_t{cap} * sizeof(Element);
+  if (arena_ != nullptr) {
+    void* block = arena_->TryAllocate(bytes);
+    if (block == nullptr) throw std::bad_alloc();
+    return static_cast<Element*>(block);
+  }
+  return static_cast<Element*>(::operator new(bytes));
+}
+
+void McsStrategy::FreeElems(Element* p, std::uint32_t cap) {
+  if (p == nullptr) return;
+  if (arena_ != nullptr) {
+    arena_->FreeBlock(p, std::size_t{cap} * sizeof(Element));
+  } else {
+    ::operator delete(p);
+  }
+}
+
+McsStrategy::XStack* McsStrategy::FindStack(EntityId entity) {
+  for (XStack& s : entity_stacks_) {
+    if (s.entity == entity) return &s;
+    if (entity < s.entity) break;  // sorted by id
+  }
+  return nullptr;
+}
+
+const McsStrategy::XStack* McsStrategy::FindStack(EntityId entity) const {
+  return const_cast<McsStrategy*>(this)->FindStack(entity);
+}
+
+std::size_t McsStrategy::SharedIndex(EntityId entity) const {
+  for (std::size_t i = 0; i < shared_held_.size(); ++i) {
+    if (shared_held_[i].entity == entity) return i;
+    if (entity < shared_held_[i].entity) break;
+  }
+  return shared_held_.size();
+}
+
+void McsStrategy::InsertShared(EntityId entity, LockIndex lock_state) {
+  std::size_t at = 0;
+  while (at < shared_held_.size() && shared_held_[at].entity < entity) ++at;
+  if (at < shared_held_.size() && shared_held_[at].entity == entity) {
+    shared_held_[at].lock_state = lock_state;
+    return;
+  }
+  shared_held_.insert_at(at, SharedRec{entity, lock_state});
 }
 
 void McsStrategy::OnLockGranted(LockIndex lock_state, EntityId entity,
                                 lock::LockMode mode, Value global_value,
                                 bool is_upgrade) {
   if (mode == lock::LockMode::kShared) {
-    shared_held_[entity] = lock_state;
+    InsertShared(entity, lock_state);
     return;
   }
   // A stack is associated with the lock state immediately preceding the
   // exclusive lock request; its first element holds the global value. The
   // element index equals the lock state, so no later pop (to q >= this
   // lock state) removes it.
-  Stack s;
+  XStack s;
+  s.entity = entity;
   s.lock_state = lock_state;
-  s.elems.push_back(Element{global_value, lock_state});
+  s.shared_lock_state = 0;
+  s.has_shared = false;
+  s.cap = 2;
+  s.elems = AllocElems(s.cap);
+  s.elems[0] = Element{global_value, lock_state};
+  s.size = 1;
   if (is_upgrade) {
-    auto sit = shared_held_.find(entity);
-    if (sit != shared_held_.end()) {
-      s.shared_lock_state = sit->second;
-      shared_held_.erase(sit);
+    const std::size_t si = SharedIndex(entity);
+    if (si < shared_held_.size()) {
+      s.shared_lock_state = shared_held_[si].lock_state;
+      s.has_shared = true;
+      shared_held_.erase_at(si);
     }
   }
-  entity_stacks_[entity] = std::move(s);
+  std::size_t at = 0;
+  while (at < entity_stacks_.size() && entity_stacks_[at].entity < entity) {
+    ++at;
+  }
+  entity_stacks_.insert_at(at, s);
   UpdatePeaks();
 }
 
-void McsStrategy::RecordWrite(std::vector<Element>& elems, Value value,
-                              LockIndex lock_index) {
-  assert(!elems.empty());
+template <typename S>
+void McsStrategy::RecordWrite(S& s, Value value, LockIndex lock_index) {
+  assert(s.size > 0);
   if (!monitoring_) {
     // Past the last lock request no rollback can occur; keep only the
     // current value (§5's declaration optimisation).
-    elems.back().value = value;
+    s.elems[s.size - 1].value = value;
     return;
   }
-  if (lock_index > elems.back().index) {
-    elems.push_back(Element{value, lock_index});
+  if (lock_index > s.elems[s.size - 1].index) {
+    if (s.size == s.cap) {
+      const std::uint32_t new_cap = s.cap * 2;
+      Element* fresh = AllocElems(new_cap);
+      std::copy(s.elems, s.elems + s.size, fresh);
+      FreeElems(s.elems, s.cap);
+      s.elems = fresh;
+      s.cap = new_cap;
+    }
+    s.elems[s.size++] = Element{value, lock_index};
   } else {
     // Same lock state writes overwrite in place (only the last write before
     // a lock state is part of that state).
-    elems.back().value = value;
+    s.elems[s.size - 1].value = value;
   }
 }
 
 void McsStrategy::OnEntityWrite(EntityId entity, Value value,
                                 LockIndex lock_index) {
-  auto it = entity_stacks_.find(entity);
-  if (it == entity_stacks_.end()) return;  // engine validates X-held
-  RecordWrite(it->second.elems, value, lock_index);
+  XStack* s = FindStack(entity);
+  if (s == nullptr) return;  // engine validates X-held
+  RecordWrite(*s, value, lock_index);
   UpdatePeaks();
 }
 
 void McsStrategy::OnVarWrite(txn::VarId var, Value value,
                              LockIndex lock_index) {
   if (var >= var_stacks_.size()) return;
-  RecordWrite(var_stacks_[var].elems, value, lock_index);
+  RecordWrite(var_stacks_[var], value, lock_index);
   UpdatePeaks();
 }
 
 Value McsStrategy::VarValue(txn::VarId var) const {
   if (var >= var_stacks_.size()) return 0;
-  return var_stacks_[var].elems.back().value;
+  const VarStack& s = var_stacks_[var];
+  return s.elems[s.size - 1].value;
 }
 
 std::optional<Value> McsStrategy::LocalValue(EntityId entity) const {
-  auto it = entity_stacks_.find(entity);
-  if (it == entity_stacks_.end()) return std::nullopt;
-  return it->second.elems.back().value;
+  const XStack* s = FindStack(entity);
+  if (s == nullptr) return std::nullopt;
+  return s->elems[s->size - 1].value;
 }
 
 std::optional<Value> McsStrategy::OnUnlock(EntityId entity) {
   unlocked_ = true;
-  shared_held_.erase(entity);
-  auto it = entity_stacks_.find(entity);
-  if (it == entity_stacks_.end()) return std::nullopt;
+  const std::size_t si = SharedIndex(entity);
+  if (si < shared_held_.size()) shared_held_.erase_at(si);
+  std::size_t at = 0;
+  while (at < entity_stacks_.size() && entity_stacks_[at].entity < entity) {
+    ++at;
+  }
+  if (at == entity_stacks_.size() || entity_stacks_[at].entity != entity) {
+    return std::nullopt;
+  }
   // The top of the stack is copied out as the new global value and the
   // stack is returned to free storage (paper §4).
-  Value publish = it->second.elems.back().value;
-  entity_stacks_.erase(it);
+  XStack& s = entity_stacks_[at];
+  Value publish = s.elems[s.size - 1].value;
+  FreeElems(s.elems, s.cap);
+  entity_stacks_.erase_at(at);
   return publish;
 }
 
@@ -110,71 +198,61 @@ Result<RestoreResult> McsStrategy::RestoreTo(LockIndex target) {
   RestoreResult result;
   // Step 2: delete each stack with lock state index >= target (their lock
   // requests are undone and the entities released).
-  for (auto it = entity_stacks_.begin(); it != entity_stacks_.end();) {
-    if (it->second.lock_state >= target) {
+  for (std::size_t i = 0; i < entity_stacks_.size();) {
+    XStack& s = entity_stacks_[i];
+    if (s.lock_state >= target) {
       // Upgraded entities whose original shared request survives the
       // rollback revert to shared tracking (the engine downgrades the
       // lock); otherwise the entity is fully released.
-      if (it->second.shared_lock_state &&
-          *it->second.shared_lock_state < target) {
-        shared_held_[it->first] = *it->second.shared_lock_state;
+      if (s.has_shared && s.shared_lock_state < target) {
+        InsertShared(s.entity, s.shared_lock_state);
       } else {
-        result.dropped_entities.push_back(it->first);
+        result.dropped_entities.push_back(s.entity);
       }
-      it = entity_stacks_.erase(it);
+      FreeElems(s.elems, s.cap);
+      entity_stacks_.erase_at(i);
     } else {
-      ++it;
+      ++i;
     }
   }
-  for (auto it = shared_held_.begin(); it != shared_held_.end();) {
-    if (it->second >= target) {
-      result.dropped_entities.push_back(it->first);
-      it = shared_held_.erase(it);
+  for (std::size_t i = 0; i < shared_held_.size();) {
+    if (shared_held_[i].lock_state >= target) {
+      result.dropped_entities.push_back(shared_held_[i].entity);
+      shared_held_.erase_at(i);
     } else {
-      ++it;
+      ++i;
     }
   }
   // Step 3: on surviving stacks pop every element produced at a lock index
   // greater than the target state.
-  auto Rewind = [target](Stack& s) {
-    while (s.elems.size() > 1 && s.elems.back().index > target) {
-      s.elems.pop_back();
-    }
+  auto Rewind = [target](auto& s) {
+    while (s.size > 1 && s.elems[s.size - 1].index > target) --s.size;
   };
-  for (auto& [e, s] : entity_stacks_) {
-    (void)e;
-    Rewind(s);
-  }
-  for (Stack& s : var_stacks_) Rewind(s);
+  for (XStack& s : entity_stacks_) Rewind(s);
+  for (VarStack& s : var_stacks_) Rewind(s);
   std::sort(result.dropped_entities.begin(), result.dropped_entities.end());
   return result;
 }
 
 SpaceStats McsStrategy::Space() const {
   SpaceStats s;
-  for (const auto& [e, st] : entity_stacks_) {
-    (void)e;
-    s.entity_copies += st.elems.size();
-  }
-  for (const Stack& st : var_stacks_) s.var_copies += st.elems.size();
+  for (const XStack& st : entity_stacks_) s.entity_copies += st.size;
+  for (const VarStack& st : var_stacks_) s.var_copies += st.size;
   s.peak_entity_copies = peak_entity_copies_;
   s.peak_var_copies = peak_var_copies_;
   return s;
 }
 
 std::size_t McsStrategy::StackDepth(EntityId entity) const {
-  auto it = entity_stacks_.find(entity);
-  return it == entity_stacks_.end() ? 0 : it->second.elems.size();
+  const XStack* s = FindStack(entity);
+  return s == nullptr ? 0 : s->size;
 }
 
 void McsStrategy::UpdatePeaks() {
   std::size_t e = 0;
-  for (const auto& [id, st] : entity_stacks_) {
-    (void)id;
-    e += st.elems.size();
-  }
+  for (const XStack& st : entity_stacks_) e += st.size;
   std::size_t v = 0;
-  for (const Stack& st : var_stacks_) v += st.elems.size();
+  for (const VarStack& st : var_stacks_) v += st.size;
   peak_entity_copies_ = std::max(peak_entity_copies_, e);
   peak_var_copies_ = std::max(peak_var_copies_, v);
 }

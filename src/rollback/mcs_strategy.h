@@ -1,9 +1,10 @@
 #ifndef PARDB_ROLLBACK_MCS_STRATEGY_H_
 #define PARDB_ROLLBACK_MCS_STRATEGY_H_
 
-#include <map>
+#include <cstdint>
 #include <vector>
 
+#include "common/arena.h"
 #include "rollback/strategy.h"
 
 namespace pardb::rollback {
@@ -26,9 +27,17 @@ namespace pardb::rollback {
 // worst-case space cost of Theorem 3: n(n+1)/2 entity copies and n*|L|
 // variable copies for n held locks (bound attained only when monitoring
 // stops at the last lock request; see EXPERIMENTS.md E6).
+//
+// Storage is data-oriented (DESIGN D15): stacks are trivially copyable
+// records in sorted inline-capacity vectors, and element buffers are
+// slices carved from the engine's arena when one is attached (heap
+// otherwise). Entity buffers are returned to the arena's free lists at
+// unlock/rollback, so the steady-state grant path of a warm engine
+// performs zero heap allocations.
 class McsStrategy final : public RollbackStrategy {
  public:
-  explicit McsStrategy(const txn::Program& program);
+  explicit McsStrategy(const txn::Program& program, Arena* arena = nullptr);
+  ~McsStrategy() override;
 
   std::string_view name() const override { return "mcs"; }
 
@@ -55,22 +64,48 @@ class McsStrategy final : public RollbackStrategy {
     Value value;
     LockIndex index;
   };
-  struct Stack {
+  // A value stack. `elems` is a buffer owned by the strategy (arena block
+  // when attached); keeping the record trivially copyable lets the sorted
+  // stack list live in a SmallVec and move with memmove.
+  struct XStack {
+    EntityId entity;
     LockIndex lock_state;  // index of the lock state this stack belongs to
-    std::vector<Element> elems;
     // For S->X upgrades: lock state of the original shared request. A
     // rollback past the upgrade but not past the shared request downgrades
     // the entity back to shared tracking.
-    std::optional<LockIndex> shared_lock_state;
+    LockIndex shared_lock_state;
+    bool has_shared;
+    Element* elems;
+    std::uint32_t size;
+    std::uint32_t cap;
   };
+  struct SharedRec {
+    EntityId entity;
+    LockIndex lock_state;
+  };
+  struct VarStack {
+    Element* elems;
+    std::uint32_t size;
+    std::uint32_t cap;
+  };
+  static_assert(std::is_trivially_copyable_v<XStack>);
+  static_assert(std::is_trivially_copyable_v<SharedRec>);
 
-  void RecordWrite(std::vector<Element>& elems, Value value,
-                   LockIndex lock_index);
+  Element* AllocElems(std::uint32_t cap);
+  void FreeElems(Element* p, std::uint32_t cap);
+  template <typename S>
+  void RecordWrite(S& s, Value value, LockIndex lock_index);
+  XStack* FindStack(EntityId entity);
+  const XStack* FindStack(EntityId entity) const;
+  void InsertShared(EntityId entity, LockIndex lock_state);
+  // Index of entity in shared_held_, or shared_held_.size().
+  std::size_t SharedIndex(EntityId entity) const;
   void UpdatePeaks();
 
-  std::map<EntityId, Stack> entity_stacks_;  // X-held entities only
-  std::map<EntityId, LockIndex> shared_held_;  // S-held: lock state only
-  std::vector<Stack> var_stacks_;            // one per local variable
+  Arena* arena_ = nullptr;
+  SmallVec<XStack, 4> entity_stacks_;   // X-held entities, sorted by id
+  SmallVec<SharedRec, 4> shared_held_;  // S-held, sorted by id
+  std::vector<VarStack> var_stacks_;    // one per local variable
   bool unlocked_ = false;
   bool monitoring_ = true;
   std::size_t peak_entity_copies_ = 0;

@@ -19,12 +19,13 @@ std::string_view StrategyKindName(StrategyKind kind) {
 }
 
 std::unique_ptr<RollbackStrategy> MakeStrategy(StrategyKind kind,
-                                               const txn::Program& program) {
+                                               const txn::Program& program,
+                                               Arena* arena) {
   switch (kind) {
     case StrategyKind::kTotalRestart:
       return std::make_unique<TotalRestartStrategy>(program);
     case StrategyKind::kMcs:
-      return std::make_unique<McsStrategy>(program);
+      return std::make_unique<McsStrategy>(program, arena);
     case StrategyKind::kSdg:
       return std::make_unique<SdgStrategy>(program);
   }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -121,9 +122,13 @@ enum class StrategyKind {
 
 std::string_view StrategyKindName(StrategyKind kind);
 
-// Creates a fresh tracker for one transaction running `program`.
+// Creates a fresh tracker for one transaction running `program`. `arena`
+// (optional, borrowed, must outlive the strategy) backs MCS savepoint
+// storage so a warm engine's grant path stays heap-allocation-free; other
+// strategies currently ignore it.
 std::unique_ptr<RollbackStrategy> MakeStrategy(StrategyKind kind,
-                                               const txn::Program& program);
+                                               const txn::Program& program,
+                                               Arena* arena = nullptr);
 
 }  // namespace pardb::rollback
 

@@ -29,6 +29,9 @@ Result<SimReport> RunSimulation(const SimOptions& options) {
   analysis::HistoryRecorder recorder;
   core::Engine engine(&store, options.engine,
                       options.check_serializability ? &recorder : nullptr);
+  // Pre-size the txn-indexed tables for the whole run so admission never
+  // pays a rehash or reallocation mid-flight.
+  engine.ReserveTxns(options.total_txns);
   obs::EngineProbe probe;
   if (options.metrics != nullptr) {
     probe = obs::MakeEngineProbe(options.metrics, options.metric_labels,

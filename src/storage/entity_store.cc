@@ -17,11 +17,22 @@ Status EntityStore::Create(EntityId id, Value initial) {
   if (!id.valid()) {
     return Status::InvalidArgument("cannot create entity with invalid id");
   }
-  auto [it, inserted] = map_.emplace(id, VersionedValue{initial, 0});
-  (void)it;
-  if (!inserted) {
+  if (id.value() < flat_.size()) {
     return Status::AlreadyExists("entity " + EntityName(id) +
                                  " already exists");
+  }
+  if (id.value() == flat_.size() && sparse_.empty()) {
+    // The common case: dense creation from 0 extends the flat prefix.
+    // Guarded on an empty sparse side so the prefix never grows into an id
+    // that already exists there.
+    flat_.push_back(VersionedValue{initial, 0});
+  } else {
+    auto [it, inserted] = sparse_.emplace(id, VersionedValue{initial, 0});
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("entity " + EntityName(id) +
+                                   " already exists");
+    }
   }
   next_auto_id_ = std::max(next_auto_id_, id.value() + 1);
   return Status::OK();
@@ -40,31 +51,38 @@ std::vector<EntityId> EntityStore::CreateMany(std::uint64_t n, Value initial) {
   return ids;
 }
 
-bool EntityStore::Contains(EntityId id) const {
-  return map_.find(id) != map_.end();
-}
-
 Result<VersionedValue> EntityStore::Get(EntityId id) const {
-  auto it = map_.find(id);
-  if (it == map_.end()) {
+  if (id.value() < flat_.size()) return flat_[id.value()];
+  auto it = sparse_.find(id);
+  if (it == sparse_.end()) {
     return Status::NotFound("entity " + EntityName(id) + " does not exist");
   }
   return it->second;
 }
 
 Result<std::uint64_t> EntityStore::Publish(EntityId id, Value value) {
-  auto it = map_.find(id);
-  if (it == map_.end()) {
-    return Status::NotFound("entity " + EntityName(id) + " does not exist");
+  VersionedValue* vv = nullptr;
+  if (id.value() < flat_.size()) {
+    vv = &flat_[id.value()];
+  } else {
+    auto it = sparse_.find(id);
+    if (it == sparse_.end()) {
+      return Status::NotFound("entity " + EntityName(id) + " does not exist");
+    }
+    vv = &it->second;
   }
-  it->second.value = value;
-  ++it->second.version;
-  return it->second.version;
+  vv->value = value;
+  ++vv->version;
+  return vv->version;
 }
 
 Status EntityStore::ResetValue(EntityId id, Value value) {
-  auto it = map_.find(id);
-  if (it == map_.end()) {
+  if (id.value() < flat_.size()) {
+    flat_[id.value()].value = value;
+    return Status::OK();
+  }
+  auto it = sparse_.find(id);
+  if (it == sparse_.end()) {
     return Status::NotFound("entity " + EntityName(id) + " does not exist");
   }
   it->second.value = value;
@@ -73,8 +91,11 @@ Status EntityStore::ResetValue(EntityId id, Value value) {
 
 std::vector<std::pair<EntityId, Value>> EntityStore::Snapshot() const {
   std::vector<std::pair<EntityId, Value>> out;
-  out.reserve(map_.size());
-  for (const auto& [id, vv] : map_) out.emplace_back(id, vv.value);
+  out.reserve(size());
+  for (std::size_t i = 0; i < flat_.size(); ++i) {
+    out.emplace_back(EntityId(i), flat_[i].value);
+  }
+  for (const auto& [id, vv] : sparse_) out.emplace_back(id, vv.value);
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;

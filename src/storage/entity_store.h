@@ -27,6 +27,13 @@ struct VersionedValue {
 // transactions are never rolled back after their first unlock, a rollback
 // never needs to undo a global value — Restore is provided only for test
 // harnesses that reset the database between runs.
+//
+// Storage is split by id shape. Entities created densely from id 0 — the
+// only pattern the drivers and benches use — live in a flat vector indexed
+// by id, so the per-op Get/Publish on the engine hot path is an array load
+// instead of a hash probe. Ids that arrive out of order fall back to a
+// hash map; the flat prefix only ever grows when the next contiguous id is
+// created, so every id below flat_.size() is guaranteed present.
 class EntityStore {
  public:
   EntityStore() = default;
@@ -41,8 +48,15 @@ class EntityStore {
   // Returns their ids in order.
   std::vector<EntityId> CreateMany(std::uint64_t n, Value initial = 0);
 
-  bool Contains(EntityId id) const;
-  std::size_t size() const { return map_.size(); }
+  bool Contains(EntityId id) const {
+    return id.value() < flat_.size() || sparse_.count(id) > 0;
+  }
+  std::size_t size() const { return flat_.size() + sparse_.size(); }
+
+  // Every id below this bound exists (dense prefix). Lets callers verify
+  // "all of this program's entities exist" with one comparison against the
+  // program's statically known max id.
+  std::uint64_t contiguous_prefix() const { return flat_.size(); }
 
   // Current global value (what a transaction sees when it locks the entity).
   Result<VersionedValue> Get(EntityId id) const;
@@ -59,7 +73,10 @@ class EntityStore {
   std::vector<std::pair<EntityId, Value>> Snapshot() const;
 
  private:
-  std::unordered_map<EntityId, VersionedValue> map_;
+  // Flat dense prefix: ids [0, flat_.size()) are all present.
+  std::vector<VersionedValue> flat_;
+  // Everything created out of contiguous order.
+  std::unordered_map<EntityId, VersionedValue> sparse_;
   std::uint64_t next_auto_id_ = 0;
 };
 

@@ -150,7 +150,11 @@ std::string Program::ToString() const {
 ProgramBuilder::ProgramBuilder(std::string name, std::uint32_t num_vars)
     : name_(std::move(name)),
       num_vars_(num_vars),
-      initial_vars_(num_vars, 0) {}
+      initial_vars_(num_vars, 0) {
+  // Typical generated programs run a few dozen ops; one up-front block
+  // avoids the doubling-realloc ladder on every Build.
+  ops_.reserve(32);
+}
 
 ProgramBuilder& ProgramBuilder::InitVar(VarId var, Value initial) {
   if (var >= num_vars_) {
@@ -204,6 +208,7 @@ Result<Program> ProgramBuilder::Build() {
   bool saw_lock = false;
   bool committed = false;
   std::vector<std::size_t> lock_positions;
+  std::uint64_t max_entity_bound = 0;
 
   auto CheckVar = [this](VarId v) { return v < num_vars_; };
   auto CheckOperand = [&](const Operand& o) {
@@ -212,18 +217,32 @@ Result<Program> ProgramBuilder::Build() {
 
   for (std::size_t i = 0; i < ops_.size(); ++i) {
     const Op& op = ops_[i];
-    const std::string where =
-        " at op " + std::to_string(i) + " (" + op.ToString() + ") in \"" +
-        name_ + "\"";
+    // Built lazily: the happy path validates millions of ops and must not
+    // pay for error-message formatting.
+    auto where = [&]() {
+      return " at op " + std::to_string(i) + " (" + op.ToString() + ") in \"" +
+             name_ + "\"";
+    };
     if (committed) {
-      return Status::InvalidArgument("operation after commit" + where);
+      return Status::InvalidArgument("operation after commit" + where());
+    }
+    switch (op.code) {
+      case OpCode::kLockShared:
+      case OpCode::kLockExclusive:
+      case OpCode::kUnlock:
+      case OpCode::kRead:
+      case OpCode::kWrite:
+        max_entity_bound = std::max(max_entity_bound, op.entity.value() + 1);
+        break;
+      default:
+        break;
     }
     switch (op.code) {
       case OpCode::kLockShared:
       case OpCode::kLockExclusive: {
         if (unlocked_any) {
           return Status::ProtocolViolation(
-              "two-phase rule violated: lock request after unlock" + where);
+              "two-phase rule violated: lock request after unlock" + where());
         }
         auto it = held.find(op.entity);
         if (it != held.end()) {
@@ -231,7 +250,7 @@ Result<Program> ProgramBuilder::Build() {
                                op.code == OpCode::kLockExclusive;
           if (!upgrade) {
             return Status::ProtocolViolation(
-                "entity already locked in equal or stronger mode" + where);
+                "entity already locked in equal or stronger mode" + where());
           }
         }
         held[op.entity] = op.code == OpCode::kLockShared
@@ -244,18 +263,18 @@ Result<Program> ProgramBuilder::Build() {
       case OpCode::kUnlock: {
         if (held.erase(op.entity) == 0) {
           return Status::ProtocolViolation("unlock of entity not held" +
-                                           where);
+                                           where());
         }
         unlocked_any = true;
         break;
       }
       case OpCode::kRead: {
         if (!held.count(op.entity)) {
-          return Status::ProtocolViolation("read without a lock" + where);
+          return Status::ProtocolViolation("read without a lock" + where());
         }
         if (!CheckVar(op.dst)) {
           return Status::InvalidArgument("read destination var out of range" +
-                                         where);
+                                         where());
         }
         break;
       }
@@ -263,25 +282,25 @@ Result<Program> ProgramBuilder::Build() {
         auto it = held.find(op.entity);
         if (it == held.end() || it->second != lock::LockMode::kExclusive) {
           return Status::ProtocolViolation(
-              "write without an exclusive lock" + where);
+              "write without an exclusive lock" + where());
         }
         if (!saw_lock) {
           return Status::ProtocolViolation(
-              "write before the first lock request" + where);
+              "write before the first lock request" + where());
         }
         if (!CheckOperand(op.a)) {
           return Status::InvalidArgument("write operand var out of range" +
-                                         where);
+                                         where());
         }
         break;
       }
       case OpCode::kCompute: {
         if (!saw_lock) {
           return Status::ProtocolViolation(
-              "local-variable write before the first lock request" + where);
+              "local-variable write before the first lock request" + where());
         }
         if (!CheckVar(op.dst) || !CheckOperand(op.a) || !CheckOperand(op.b)) {
-          return Status::InvalidArgument("compute var out of range" + where);
+          return Status::InvalidArgument("compute var out of range" + where());
         }
         break;
       }
@@ -298,6 +317,7 @@ Result<Program> ProgramBuilder::Build() {
   p.num_vars_ = num_vars_;
   p.initial_vars_ = std::move(initial_vars_);
   p.lock_positions_ = std::move(lock_positions);
+  p.max_entity_bound_ = max_entity_bound;
   return p;
 }
 

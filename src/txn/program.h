@@ -100,6 +100,12 @@ class Program {
 
   std::size_t CountOps(OpCode code) const;
 
+  // One past the largest entity id any op references (0 for entity-free
+  // programs). Computed once at Build time so admission can validate
+  // "every referenced entity exists" against a dense store prefix with a
+  // single comparison instead of a per-op lookup.
+  std::uint64_t MaxEntityBound() const { return max_entity_bound_; }
+
   std::string ToString() const;
 
  private:
@@ -110,6 +116,7 @@ class Program {
   std::uint32_t num_vars_ = 0;
   std::vector<Value> initial_vars_;
   std::vector<std::size_t> lock_positions_;
+  std::uint64_t max_entity_bound_ = 0;
 };
 
 // Builder with full static validation of the paper's protocol rules:

@@ -1,0 +1,156 @@
+// Unit tests for the D15 slab/arena allocator and its inline-capacity
+// vector: alignment guarantees, free-list reuse, geometric growth and the
+// capped-OOM path.
+
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace pardb {
+namespace {
+
+TEST(ArenaTest, AllocationsAreMaxAligned) {
+  Arena arena;
+  for (std::size_t bytes : {1u, 3u, 16u, 24u, 100u, 1000u}) {
+    void* p = arena.TryAllocate(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) %
+                  alignof(std::max_align_t),
+              0u)
+        << "allocation of " << bytes << " bytes not max-aligned";
+  }
+}
+
+TEST(ArenaTest, FreeListReusesBlocksOfSameSizeClass) {
+  Arena arena;
+  void* a = arena.TryAllocate(48);  // size class 64
+  ASSERT_NE(a, nullptr);
+  arena.FreeBlock(a, 48);
+  // Any request rounding to the same class must come back from the free
+  // list — the same block, with the reuse counter bumped.
+  void* b = arena.TryAllocate(64);
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(arena.reused_blocks(), 1u);
+  // A different class must not hit that list.
+  void* c = arena.TryAllocate(128);
+  EXPECT_NE(c, a);
+  EXPECT_EQ(arena.reused_blocks(), 1u);
+}
+
+TEST(ArenaTest, SteadyStateRecyclingReservesNoNewMemory) {
+  Arena arena;
+  void* first = arena.TryAllocate(32);
+  arena.FreeBlock(first, 32);
+  const std::size_t reserved = arena.bytes_reserved();
+  // Alloc/free cycles of one size class are served entirely from the free
+  // list: the chunk footprint must not move.
+  for (int i = 0; i < 1000; ++i) {
+    void* p = arena.TryAllocate(32);
+    ASSERT_EQ(p, first);
+    arena.FreeBlock(p, 32);
+  }
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.reused_blocks(), 1000u);
+}
+
+TEST(ArenaTest, ChunksGrowGeometrically) {
+  Arena arena(/*initial_chunk_bytes=*/256);
+  const std::size_t r0 = arena.bytes_reserved();
+  EXPECT_EQ(r0, 0u);
+  // Exhaust several chunks; each new chunk doubles, so total reserved
+  // grows but the number of system allocations stays logarithmic.
+  std::size_t last = 0;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_NE(arena.TryAllocate(128), nullptr);
+    ASSERT_GE(arena.bytes_reserved(), last);
+    last = arena.bytes_reserved();
+  }
+  EXPECT_GE(last, 64u * 128u);
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(/*initial_chunk_bytes=*/256);
+  void* p = arena.TryAllocate(10000);  // class 16384 > chunk size
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 16384u);
+}
+
+TEST(ArenaTest, MaxBytesCapReturnsNullNotAbort) {
+  Arena arena(/*initial_chunk_bytes=*/256, /*max_bytes=*/1024);
+  std::vector<void*> blocks;
+  void* p = nullptr;
+  while ((p = arena.TryAllocate(64)) != nullptr) blocks.push_back(p);
+  EXPECT_FALSE(blocks.empty());
+  EXPECT_LE(arena.bytes_reserved(), 1024u);
+  // Freed capacity is reusable even at the cap.
+  arena.FreeBlock(blocks.back(), 64);
+  EXPECT_EQ(arena.TryAllocate(64), blocks.back());
+}
+
+TEST(SmallVecTest, StaysInlineUpToCapacity) {
+  SmallVec<std::uint32_t, 4> v;
+  for (std::uint32_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_FALSE(v.spilled());
+  EXPECT_EQ(v.size(), 4u);
+  v.push_back(4);
+  EXPECT_TRUE(v.spilled());
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVecTest, SpillsIntoAttachedArenaAndReturnsOnDestruction) {
+  Arena arena;
+  const std::size_t before = arena.bytes_reserved();
+  {
+    SmallVec<std::uint64_t, 2> v(&arena);
+    for (std::uint64_t i = 0; i < 100; ++i) v.push_back(i);
+    EXPECT_TRUE(v.spilled());
+    EXPECT_GT(arena.bytes_reserved(), before);
+    for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+  }
+  // A second vector re-spilling must reuse the returned blocks: footprint
+  // unchanged, reuse counter advanced.
+  const std::size_t after_first = arena.bytes_reserved();
+  const std::uint64_t reused = arena.reused_blocks();
+  {
+    SmallVec<std::uint64_t, 2> v(&arena);
+    for (std::uint64_t i = 0; i < 100; ++i) v.push_back(i);
+  }
+  EXPECT_EQ(arena.bytes_reserved(), after_first);
+  EXPECT_GT(arena.reused_blocks(), reused);
+}
+
+TEST(SmallVecTest, InsertEraseTruncateKeepOrder) {
+  SmallVec<std::uint32_t, 2> v;
+  v.push_back(1);
+  v.push_back(3);
+  v.insert_at(1, 2);
+  v.insert_at(3, 4);  // spills
+  ASSERT_EQ(v.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], i + 1);
+  v.erase_at(1);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1u);
+  EXPECT_EQ(v[1], 3u);
+  EXPECT_EQ(v[2], 4u);
+  v.truncate(1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 1u);
+}
+
+TEST(SmallVecTest, MoveTransfersSpillOwnership) {
+  Arena arena;
+  SmallVec<std::uint32_t, 2> a(&arena);
+  for (std::uint32_t i = 0; i < 10; ++i) a.push_back(i);
+  ASSERT_TRUE(a.spilled());
+  SmallVec<std::uint32_t, 2> b(std::move(a));
+  EXPECT_TRUE(b.spilled());
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd reset
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(b[i], i);
+}
+
+}  // namespace
+}  // namespace pardb

@@ -46,6 +46,16 @@ and goodput at the 5% cross-shard point must retain at least
 --min-cross-goodput of the shard-local (0%) goodput — coordination cost
 is budgeted, not unbounded.
 
+The hotpath check gates the single-engine rewrite (BENCH_hotpath.json):
+deterministic op/step counts (lock micro ops, rollback-pair deadlock and
+rollback counts, end-to-end committed/steps/rollbacks, audit steps) must
+match the baseline exactly, the allocation counters must be exactly zero
+(allocs_per_op on the lock/release micro and allocs_per_step on the warm
+engine audit — the D15 no-heap-churn invariant), and end-to-end
+throughput must stay at or above --min-hotpath-txns-per-sec (default
+210000: 10x the pinned ~21k pre-rewrite single-shard number). Wall-clock
+rates other than that floor are informational.
+
 Usage:
   check_bench_regression.py \
       --current BENCH_parallel.json \
@@ -57,10 +67,12 @@ Usage:
       --pipeline-baseline bench/baselines/BENCH_parallel_pipeline.json \
       --current-cross-shard BENCH_cross_shard.json \
       --cross-shard-baseline bench/baselines/BENCH_cross_shard.json \
+      --current-hotpath BENCH_hotpath.json \
+      --hotpath-baseline bench/baselines/BENCH_hotpath.json \
       [--max-speedup-drop-pct 15] [--max-overhead-pct 5] \
       [--min-skew-speedup 1.3] [--max-uniform-drop-pct 5] \
       [--min-overlap-fraction 0.8] [--min-pipeline-speedup 1.25] \
-      [--min-cross-goodput 0.8]
+      [--min-cross-goodput 0.8] [--min-hotpath-txns-per-sec 210000]
 """
 
 import argparse
@@ -296,6 +308,57 @@ def check_cross_shard(current, baseline, min_goodput_ratio):
     return failures
 
 
+def check_hotpath(current, baseline, min_txns_per_sec):
+    failures = []
+    # Deterministic counts: identical on every host and on both sides of
+    # the rewrite (the workload, seeds and schedulers are pinned). Any
+    # drift is a behavior change, not noise.
+    deterministic = [
+        ("lock_release", "ops"),
+        ("rollback", "pairs"),
+        ("rollback", "rollbacks"),
+        ("rollback", "deadlocks"),
+        ("end_to_end", "txns"),
+        ("end_to_end", "committed"),
+        ("end_to_end", "steps"),
+        ("end_to_end", "rollbacks"),
+        ("steady_state", "steps"),
+    ]
+    for section, field in deterministic:
+        cur = current[section][field]
+        base = baseline[section][field] if baseline else cur
+        if cur != base:
+            failures.append(
+                f"hotpath: {section}.{field} {cur} != baseline {base} "
+                f"(deterministic result drifted)")
+    # The D15 invariant: the warm grant/release fast path performs zero
+    # heap allocations — gated exactly, not within a tolerance.
+    for section, field in (("lock_release", "allocs_per_op"),
+                           ("steady_state", "allocs_per_step")):
+        val = current[section][field]
+        verdict = "ok" if val == 0 else "FAIL"
+        print(f"hotpath: {section}.{field} = {val} (must be exactly 0) "
+              f"{verdict}")
+        if val != 0:
+            failures.append(
+                f"hotpath: {section}.{field} = {val}, fast path allocates "
+                f"(must be exactly 0)")
+    tps = current["end_to_end"]["txns_per_second"]
+    verdict = "ok" if tps >= min_txns_per_sec else "FAIL"
+    print(f"hotpath: end-to-end {tps:.0f} txns/s "
+          f"(floor {min_txns_per_sec:.0f}) {verdict}")
+    if tps < min_txns_per_sec:
+        failures.append(
+            f"hotpath: end-to-end {tps:.0f} txns/s below floor "
+            f"{min_txns_per_sec:.0f}")
+    for section, field in (("lock_release", "ops_per_second"),
+                           ("rollback", "rollbacks_per_second")):
+        base = baseline[section][field] if baseline else 0
+        print(f"hotpath: {section}.{field} = {current[section][field]:.0f} "
+              f"(baseline {base:.0f}, informational)")
+    return failures
+
+
 def check_overhead(overhead, max_overhead_pct):
     failures = []
     pct = overhead["overhead_pct"]
@@ -324,8 +387,8 @@ def check_overhead(overhead, max_overhead_pct):
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--current", required=True)
-    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current")
+    ap.add_argument("--baseline")
     ap.add_argument("--current-overhead")
     ap.add_argument("--current-skew")
     ap.add_argument("--skew-baseline")
@@ -333,6 +396,8 @@ def main():
     ap.add_argument("--pipeline-baseline")
     ap.add_argument("--current-cross-shard")
     ap.add_argument("--cross-shard-baseline")
+    ap.add_argument("--current-hotpath")
+    ap.add_argument("--hotpath-baseline")
     ap.add_argument("--max-speedup-drop-pct", type=float, default=15.0)
     ap.add_argument("--max-overhead-pct", type=float, default=5.0)
     ap.add_argument("--min-skew-speedup", type=float, default=1.3)
@@ -340,10 +405,13 @@ def main():
     ap.add_argument("--min-overlap-fraction", type=float, default=0.8)
     ap.add_argument("--min-pipeline-speedup", type=float, default=1.25)
     ap.add_argument("--min-cross-goodput", type=float, default=0.8)
+    ap.add_argument("--min-hotpath-txns-per-sec", type=float, default=210000.0)
     args = ap.parse_args()
 
-    failures = check_scaling(load(args.current), load(args.baseline),
-                             args.max_speedup_drop_pct)
+    failures = []
+    if args.current:
+        failures += check_scaling(load(args.current), load(args.baseline),
+                                  args.max_speedup_drop_pct)
     if args.current_skew:
         failures += check_skew(
             load(args.current_skew),
@@ -360,6 +428,11 @@ def main():
             load(args.cross_shard_baseline) if args.cross_shard_baseline
             else [],
             args.min_cross_goodput)
+    if args.current_hotpath:
+        failures += check_hotpath(
+            load(args.current_hotpath),
+            load(args.hotpath_baseline) if args.hotpath_baseline else None,
+            args.min_hotpath_txns_per_sec)
     if args.current_overhead:
         failures += check_overhead(load(args.current_overhead),
                                    args.max_overhead_pct)
