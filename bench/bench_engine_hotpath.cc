@@ -32,6 +32,7 @@
 #include <iostream>
 #include <memory>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "bench/table_util.h"
@@ -39,6 +40,7 @@
 #include "lock/lock_manager.h"
 #include "sim/workload.h"
 #include "storage/entity_store.h"
+#include "txn/compiled.h"
 #include "txn/program.h"
 
 // ---------------------------------------------------------------------------
@@ -83,6 +85,12 @@ using bench::Table;
 std::uint64_t HeapAllocs() {
   return g_heap_allocs.load(std::memory_order_relaxed);
 }
+
+// --no-compile-cache: run the engine sections on the fallback interpreter
+// instead of compiled µop streams (the D16 ablation; results are
+// bit-identical, only the timings move). The regression gate reads the
+// "enabled" field and skips the compile-cost checks on the off leg.
+bool g_compile_programs = true;
 
 double Seconds(std::chrono::steady_clock::time_point a,
                std::chrono::steady_clock::time_point b) {
@@ -196,6 +204,7 @@ RollbackMicroResult RunRollbackMicro() {
     store.CreateMany(2 * kPairs, 0);
     core::EngineOptions eopt;
     eopt.scheduler = core::SchedulerKind::kRoundRobin;
+    eopt.compile_programs = g_compile_programs;
     core::Engine engine(&store, eopt, nullptr);
     engine.ReserveTxns(2 * kPairs);
     for (const auto& p : programs) {
@@ -218,6 +227,49 @@ RollbackMicroResult RunRollbackMicro() {
 }
 
 // ---------------------------------------------------------------------------
+// 2b. Compile micro: admission-time lowering cost (D16).
+// ---------------------------------------------------------------------------
+
+struct CompileMicroResult {
+  bool enabled = true;
+  std::uint64_t programs = 0;       // deterministic
+  std::uint64_t compiles = 0;       // deterministic
+  std::uint64_t hits = 0;           // deterministic
+  std::uint64_t compiled_bytes = 0; // deterministic
+  double elapsed = 0.0;
+  double us_per_program = 0.0;      // cold: hash + lower + insert
+  double hit_us_per_program = 0.0;  // warm: hash + probe only
+};
+
+CompileMicroResult RunCompileMicro(
+    const std::vector<std::shared_ptr<const txn::Program>>& programs) {
+  CompileMicroResult r;
+  r.enabled = g_compile_programs;
+  r.programs = programs.size();
+  if (!g_compile_programs) return r;
+
+  std::vector<double> cold_times, warm_times;
+  for (int rep = 0; rep < 3; ++rep) {
+    txn::CompileCache cache;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& p : programs) cache.Get(p);
+    const auto mid = std::chrono::steady_clock::now();
+    for (const auto& p : programs) cache.Get(p);
+    const auto stop = std::chrono::steady_clock::now();
+    cold_times.push_back(Seconds(start, mid));
+    warm_times.push_back(Seconds(mid, stop));
+    r.compiles = cache.stats().compiles;
+    r.hits = cache.stats().hits;
+    r.compiled_bytes = cache.stats().compiled_bytes;
+  }
+  r.elapsed = Median(cold_times);
+  r.us_per_program = r.programs > 0 ? r.elapsed * 1e6 / r.programs : 0.0;
+  r.hit_us_per_program =
+      r.programs > 0 ? Median(warm_times) * 1e6 / r.programs : 0.0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
 // 3. End-to-end pinned workload (engine execution only).
 // ---------------------------------------------------------------------------
 
@@ -230,35 +282,44 @@ struct EndToEndResult {
   double txns_per_second = 0.0;
 };
 
-EndToEndResult RunEndToEnd() {
-  constexpr std::uint64_t kTxns = 2400;
-  constexpr std::size_t kConcurrency = 32;
+constexpr std::uint64_t kE2eTxns = 2400;
+constexpr std::uint64_t kE2eEntities = 256;
 
-  // The exact 1-shard workload bench_parallel_scaling pins, generated once
-  // outside the timed region: the measurement is lock/schedule/execute
-  // throughput, not program generation.
+// The exact 1-shard workload bench_parallel_scaling pins, generated once
+// outside the timed regions: the e2e measurement is lock/schedule/execute
+// throughput, not program generation, and the compile micro lowers the
+// same program population the engine admits.
+std::vector<std::shared_ptr<const txn::Program>> PinnedWorkloadPrograms() {
   sim::WorkloadOptions w;
-  w.num_entities = 256;
+  w.num_entities = kE2eEntities;
   w.min_locks = 2;
   w.max_locks = 4;
   w.ops_per_entity = 2;
   w.zipf_theta = 0.2;
   sim::WorkloadGenerator gen(w, 21);
   std::vector<std::shared_ptr<const txn::Program>> programs;
-  programs.reserve(kTxns);
-  for (std::uint64_t i = 0; i < kTxns; ++i) {
+  programs.reserve(kE2eTxns);
+  for (std::uint64_t i = 0; i < kE2eTxns; ++i) {
     auto p = gen.Next();
     if (!p.ok()) std::abort();
     programs.push_back(
         std::make_shared<const txn::Program>(std::move(p).value()));
   }
+  return programs;
+}
+
+EndToEndResult RunEndToEnd(
+    const std::vector<std::shared_ptr<const txn::Program>>& programs) {
+  constexpr std::uint64_t kTxns = kE2eTxns;
+  constexpr std::size_t kConcurrency = 32;
 
   auto Once = [&](EndToEndResult* out) {
     storage::EntityStore store;
-    store.CreateMany(w.num_entities, 0);
+    store.CreateMany(kE2eEntities, 0);
     core::EngineOptions eopt;
     eopt.scheduler = core::SchedulerKind::kRandom;
     eopt.seed = 21;
+    eopt.compile_programs = g_compile_programs;
     core::Engine engine(&store, eopt, nullptr);
     engine.ReserveTxns(kTxns);
     std::size_t spawned = 0;
@@ -334,6 +395,7 @@ SteadyAllocResult RunSteadyStateAllocAudit() {
   store.CreateMany(kBatchTxns * kLocksPerTxn, 0);
   core::EngineOptions eopt;
   eopt.scheduler = core::SchedulerKind::kRoundRobin;
+  eopt.compile_programs = g_compile_programs;
   core::Engine engine(&store, eopt, nullptr);
   engine.ReserveTxns(kBatchTxns * (kBatches + 2));
 
@@ -374,22 +436,35 @@ SteadyAllocResult RunSteadyStateAllocAudit() {
 // ---------------------------------------------------------------------------
 
 void PrintReproduction() {
+  const auto programs = PinnedWorkloadPrograms();
   const LockMicroResult lock = RunLockReleaseMicro();
   const RollbackMicroResult rb = RunRollbackMicro();
-  const EndToEndResult e2e = RunEndToEnd();
+  const CompileMicroResult comp = RunCompileMicro(programs);
+  const EndToEndResult e2e = RunEndToEnd(programs);
   const SteadyAllocResult steady = RunSteadyStateAllocAudit();
 
-  Section("Single-engine hot path (1 shard, median of 3)");
+  Section(std::string("Single-engine hot path (1 shard, median of 3, ") +
+          (g_compile_programs ? "compiled µops)" : "interpreter)"));
   Table t({"section", "ops", "elapsed (s)", "rate (/s)", "allocs/op"});
   t.AddRow("lock+release micro", lock.ops, lock.elapsed, lock.ops_per_second,
            lock.allocs_per_op);
   t.AddRow("rollback micro", rb.rollbacks, rb.elapsed,
            rb.rollbacks_per_second, "-");
+  if (comp.enabled) {
+    t.AddRow("program compile micro", comp.compiles, comp.elapsed,
+             comp.elapsed > 0 ? comp.compiles / comp.elapsed : 0.0, "-");
+  }
   t.AddRow("end-to-end (pinned workload)", e2e.txns, e2e.elapsed,
            e2e.txns_per_second, "-");
   t.AddRow("steady-state step audit", steady.steps, "-", "-",
            steady.allocs_per_step);
   t.Print();
+  if (comp.enabled) {
+    std::cout << "(compile micro: " << comp.compiles << " distinct programs, "
+              << comp.us_per_program << " us/program cold, "
+              << comp.hit_us_per_program << " us/program on cache hits, "
+              << comp.compiled_bytes << " uop bytes)\n";
+  }
   std::cout << "(end-to-end deterministic fields: committed=" << e2e.committed
             << " steps=" << e2e.steps << " rollbacks=" << e2e.rollbacks
             << "; rollback micro: " << rb.deadlocks << " deadlocks over "
@@ -398,6 +473,13 @@ void PrintReproduction() {
 
   std::ofstream json("BENCH_hotpath.json");
   json << "{\n"
+       << " \"compile\":{\"enabled\":" << (comp.enabled ? 1 : 0)
+       << ",\"programs\":" << comp.programs
+       << ",\"compiles\":" << comp.compiles << ",\"hits\":" << comp.hits
+       << ",\"compiled_bytes\":" << comp.compiled_bytes
+       << ",\"elapsed_seconds\":" << comp.elapsed
+       << ",\"us_per_program\":" << comp.us_per_program
+       << ",\"hit_us_per_program\":" << comp.hit_us_per_program << "},\n"
        << " \"lock_release\":{\"ops\":" << lock.ops
        << ",\"elapsed_seconds\":" << lock.elapsed
        << ",\"ops_per_second\":" << lock.ops_per_second
@@ -422,8 +504,9 @@ void PrintReproduction() {
 }
 
 void BM_EndToEndPinnedWorkload(benchmark::State& state) {
+  const auto programs = PinnedWorkloadPrograms();
   for (auto _ : state) {
-    EndToEndResult r = RunEndToEnd();
+    EndToEndResult r = RunEndToEnd(programs);
     benchmark::DoNotOptimize(r.committed);
   }
 }
@@ -432,6 +515,15 @@ BENCHMARK(BM_EndToEndPinnedWorkload)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--no-compile-cache") {
+      g_compile_programs = false;
+      // Hide the flag from google-benchmark's parser.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
   PrintReproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -35,17 +35,21 @@ class Table {
         widths[i] = std::max(widths[i], row[i].size());
       }
     }
+    // GFM pipe table: every row line is `| cell | cell |` with cells
+    // padded to the column width, and the separator carries exactly the
+    // same width in dashes (width + 2 for the padding spaces), so the
+    // pipes line up even when a data cell is wider than its header.
     auto PrintRow = [&](const std::vector<std::string>& row) {
-      os << "| ";
+      os << "|";
       for (std::size_t i = 0; i < widths.size(); ++i) {
-        os << std::left << std::setw(static_cast<int>(widths[i]))
-           << (i < row.size() ? row[i] : "") << " | ";
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[i]))
+           << (i < row.size() ? row[i] : "") << " |";
       }
       os << "\n";
     };
     PrintRow(headers_);
     os << "|";
-    for (std::size_t w : widths) os << std::string(w + 2, '-') << "-|";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "|";
     os << "\n";
     for (const auto& row : rows_) PrintRow(row);
   }

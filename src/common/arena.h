@@ -196,6 +196,12 @@ class SmallVec {
     --size_;
   }
 
+  // Removes elements [first, last), shifting the tail left (stable order).
+  void erase_range(std::size_t first, std::size_t last) {
+    std::memmove(data_ + first, data_ + last, (size_ - last) * sizeof(T));
+    size_ -= last - first;
+  }
+
   void reserve(std::size_t cap) {
     while (capacity_ < cap) Grow();
   }

@@ -6,72 +6,6 @@ namespace pardb {
 
 namespace {
 
-// SplitMix64, used to expand the seed into xoshiro state.
-std::uint64_t SplitMix64(std::uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-std::uint64_t Rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
-Rng::Rng(std::uint64_t seed) {
-  std::uint64_t sm = seed;
-  for (auto& s : s_) s = SplitMix64(sm);
-  // All-zero state would be a fixed point; SplitMix64 cannot produce four
-  // zeros from any seed, but guard anyway.
-  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
-}
-
-std::uint64_t Rng::Next() {
-  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::Uniform(std::uint64_t bound) {
-  assert(bound > 0);
-  // Rejection sampling to avoid modulo bias.
-  const std::uint64_t threshold = -bound % bound;
-  for (;;) {
-    std::uint64_t r = Next();
-    if (r >= threshold) return r % bound;
-  }
-}
-
-std::int64_t Rng::UniformRange(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
-  const std::uint64_t span =
-      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
-  if (span == 0) return static_cast<std::int64_t>(Next());  // full range
-  return lo + static_cast<std::int64_t>(Uniform(span));
-}
-
-double Rng::NextDouble() {
-  // 53 high bits -> [0,1).
-  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::Bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return NextDouble() < p;
-}
-
-namespace {
-
 double Zeta(std::uint64_t n, double theta) {
   double sum = 0.0;
   for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);

@@ -45,9 +45,17 @@ Engine::Engine(storage::EntityStore* store, EngineOptions options,
 
 void Engine::ReserveTxns(std::size_t n) {
   txns_.reserve(n);
+  cold_.reserve(n);
   live_next_.reserve(n);
   live_prev_.reserve(n);
   locks_.ReserveTxns(n);
+}
+
+const FastMod& Engine::FastModFor(std::size_t bound) {
+  if (bound >= fastmod_.size()) fastmod_.resize(bound + 1);
+  FastMod& fm = fastmod_[bound];
+  if (fm.n == 0) fm.Init(bound);
+  return fm;
 }
 
 void Engine::MarkReadyDirty(const TxnContext& ctx) {
@@ -150,15 +158,31 @@ Result<TxnId> Engine::Spawn(std::shared_ptr<const txn::Program> program) {
     }
   }
   TxnId id(next_txn_++);
+  TxnCold cold;
+  cold.strategy =
+      rollback::MakeStrategy(options_.strategy, *program, &txn_arena_);
+  if (options_.compile_programs) {
+    // Lower (or fetch) the µop stream; nullptr keeps this transaction on
+    // the interpreted fallback. Cache telemetry is a pure function of the
+    // admitted program sequence, so mirroring it into the metrics here
+    // keeps the counters deterministic.
+    cold.compiled = compile_cache_.Get(program);
+    const txn::CompileCache::Stats& cs = compile_cache_.stats();
+    metrics_.programs_compiled = cs.compiles;
+    metrics_.compile_cache_hits = cs.hits;
+    metrics_.compiled_bytes = cs.compiled_bytes;
+  }
   TxnContext ctx;
   ctx.id = id;
   ctx.entry = clock_++;
-  ctx.strategy =
-      rollback::MakeStrategy(options_.strategy, *program, &txn_arena_);
-  ctx.program = std::move(program);
+  ctx.uops = cold.compiled != nullptr ? cold.compiled->uops() : nullptr;
+  ctx.size = static_cast<std::uint32_t>(program->size());
+  ctx.strategy = cold.strategy.get();
+  cold.program = std::move(program);
   ctx.granted.set_arena(&txn_arena_);
   if (recorder_ != nullptr) recorder_->OnBegin(id, ctx.entry);
   txns_.push_back(std::move(ctx));  // index == id (dense admission ids)
+  cold_.push_back(std::move(cold));
   LiveInsert(id.value());
   MarkReadyDirty(txns_.back());
   Emit(TraceEvent::Kind::kSpawn, txns_.back());
@@ -171,7 +195,7 @@ Result<TxnId> Engine::SpawnSub(txn::Program program, std::size_t hold_pc) {
   auto id = Spawn(std::move(program));
   if (!id.ok()) return id.status();
   TxnContext* ctx = Find(id.value());
-  ctx->hold_pc = hold_pc;
+  ColdOf(*ctx).hold_pc = hold_pc;
   ++holds_active_;
   MarkReadyDirty(*ctx);
   ctx->seal_deferred = true;
@@ -181,15 +205,17 @@ Result<TxnId> Engine::SpawnSub(txn::Program program, std::size_t hold_pc) {
 
 bool Engine::AtHold(TxnId txn) const {
   const TxnContext* ctx = Find(txn);
-  return ctx != nullptr && ctx->status == TxnStatus::kReady &&
-         ctx->hold_pc != kNoHold && ctx->pc >= ctx->hold_pc;
+  if (ctx == nullptr || ctx->status != TxnStatus::kReady) return false;
+  const std::size_t hold_pc = ColdOf(*ctx).hold_pc;
+  return hold_pc != kNoHold && ctx->pc >= hold_pc;
 }
 
 Status Engine::ReleaseHold(TxnId txn) {
   TxnContext* ctx = Find(txn);
   if (ctx == nullptr) return Status::NotFound("unknown transaction");
-  if (ctx->hold_pc != kNoHold && holds_active_ > 0) --holds_active_;
-  ctx->hold_pc = kNoHold;
+  TxnCold& cold = ColdOf(*ctx);
+  if (cold.hold_pc != kNoHold && holds_active_ > 0) --holds_active_;
+  cold.hold_pc = kNoHold;
   MarkReadyDirty(*ctx);
   if (journal_ != nullptr) journal_->OnRelease(ctx->id, metrics_.steps);
   if (ctx->seal_deferred) {
@@ -198,7 +224,7 @@ Status Engine::ReleaseHold(TxnId txn) {
     // request and can no longer be a (distributed) rollback victim.
     if (options_.use_last_lock_declaration &&
         options_.handling == DeadlockHandling::kDetection) {
-      auto last = ctx->program->LastLockRequestPosition();
+      auto last = cold.program->LastLockRequestPosition();
       if (last.has_value() && ctx->pc > *last) {
         ctx->strategy->OnLastLockGranted();
       }
@@ -227,7 +253,7 @@ Status Engine::ApplyExternalRollback(TxnId txn, LockIndex target,
   metrics_.wasted_ops += cost;
   metrics_.ideal_wasted_ops += ideal_cost;
   ++metrics_.preemptions;
-  ++victim->preempted;
+  ++ColdOf(*victim).preempted;
   if (txnlife_ != nullptr) {
     // The coordinator's victim decision resolves a *global* cycle this
     // shard cannot see; the causing transaction is unknown here.
@@ -289,7 +315,93 @@ Result<StepOutcome> Engine::StepTxn(TxnId txn) {
 }
 
 Result<StepOutcome> Engine::ExecuteOp(TxnContext& ctx) {
-  const txn::Program& program = *ctx.program;
+  if (ctx.uops == nullptr) return ExecuteOpInterpreted(ctx);
+  if (ctx.pc >= ctx.size) {
+    // Implicit commit for programs without a kCommit op.
+    PARDB_RETURN_IF_ERROR(ExecuteCommit(ctx));
+    return StepOutcome::kCommitted;
+  }
+  // One fused dispatch per op: the µop carries the pre-resolved entity,
+  // folded immediates and the static lock index (== granted.size() here,
+  // an invariant partial rollback preserves because it truncates `granted`
+  // to the same prefix it resets the pc to).
+  const txn::MicroOp& u = ctx.uops[ctx.pc];
+  switch (static_cast<txn::MicroOpCode>(u.code)) {
+    case txn::MicroOpCode::kLockShared:
+      return ExecuteLock(ctx, EntityId(u.entity), lock::LockMode::kShared);
+    case txn::MicroOpCode::kLockExclusive:
+      return ExecuteLock(ctx, EntityId(u.entity), lock::LockMode::kExclusive);
+    case txn::MicroOpCode::kRead: {
+      const EntityId entity(u.entity);
+      Value v;
+      if (auto local = ctx.strategy->LocalValue(entity)) {
+        v = *local;
+      } else {
+        auto global = store_->Get(entity);
+        if (!global.ok()) return global.status();
+        v = global.value().value;
+      }
+      if (recorder_ != nullptr) {
+        auto global = store_->Get(entity);
+        if (!global.ok()) return global.status();
+        recorder_->OnRead(ctx.id, entity, global.value().version, ctx.pc);
+      }
+      ctx.strategy->OnVarWrite(u.dst, v, u.lock_index);
+      break;
+    }
+    case txn::MicroOpCode::kWrite: {
+      const Value v = (u.flags & txn::kMicroFlagAVar) != 0
+                          ? ctx.strategy->VarValue(
+                                static_cast<txn::VarId>(u.a))
+                          : u.a;
+      ctx.strategy->OnEntityWrite(EntityId(u.entity), v, u.lock_index);
+      break;
+    }
+    case txn::MicroOpCode::kComputeAdd:
+    case txn::MicroOpCode::kComputeSub:
+    case txn::MicroOpCode::kComputeMul: {
+      const Value a = (u.flags & txn::kMicroFlagAVar) != 0
+                          ? ctx.strategy->VarValue(
+                                static_cast<txn::VarId>(u.a))
+                          : u.a;
+      const Value b = (u.flags & txn::kMicroFlagBVar) != 0
+                          ? ctx.strategy->VarValue(
+                                static_cast<txn::VarId>(u.b))
+                          : u.b;
+      Value v;
+      switch (static_cast<txn::MicroOpCode>(u.code)) {
+        case txn::MicroOpCode::kComputeSub:
+          v = a - b;
+          break;
+        case txn::MicroOpCode::kComputeMul:
+          v = a * b;
+          break;
+        default:
+          v = a + b;
+          break;
+      }
+      ctx.strategy->OnVarWrite(u.dst, v, u.lock_index);
+      break;
+    }
+    case txn::MicroOpCode::kLoadImm:
+      ctx.strategy->OnVarWrite(u.dst, u.a, u.lock_index);
+      break;
+    case txn::MicroOpCode::kUnlock:
+      PARDB_RETURN_IF_ERROR(ExecuteUnlockOne(ctx, EntityId(u.entity)));
+      ctx.in_shrinking_phase = true;
+      break;
+    case txn::MicroOpCode::kCommit:
+      PARDB_RETURN_IF_ERROR(ExecuteCommit(ctx));
+      return StepOutcome::kCommitted;
+  }
+  ++ctx.pc;
+  ++metrics_.ops_executed;
+  if (txnlife_ != nullptr) txnlife_->OnStep(ctx.id, metrics_.steps);
+  return StepOutcome::kExecuted;
+}
+
+Result<StepOutcome> Engine::ExecuteOpInterpreted(TxnContext& ctx) {
+  const txn::Program& program = *ColdOf(ctx).program;
   if (ctx.pc >= program.size()) {
     // Implicit commit for programs without a kCommit op.
     PARDB_RETURN_IF_ERROR(ExecuteCommit(ctx));
@@ -300,7 +412,10 @@ Result<StepOutcome> Engine::ExecuteOp(TxnContext& ctx) {
   switch (op.code) {
     case txn::OpCode::kLockShared:
     case txn::OpCode::kLockExclusive:
-      return ExecuteLock(ctx, op);
+      return ExecuteLock(ctx, op.entity,
+                         op.code == txn::OpCode::kLockShared
+                             ? lock::LockMode::kShared
+                             : lock::LockMode::kExclusive);
     case txn::OpCode::kRead: {
       auto global = store_->Get(op.entity);
       if (!global.ok()) return global.status();
@@ -360,17 +475,15 @@ Result<StepOutcome> Engine::ExecuteOp(TxnContext& ctx) {
   return Status::Internal("unhandled opcode");
 }
 
-Result<StepOutcome> Engine::ExecuteLock(TxnContext& ctx, const txn::Op& op) {
-  const lock::LockMode mode = op.code == txn::OpCode::kLockShared
-                                  ? lock::LockMode::kShared
-                                  : lock::LockMode::kExclusive;
+Result<StepOutcome> Engine::ExecuteLock(TxnContext& ctx, EntityId entity,
+                                        lock::LockMode mode) {
   // Sampled lock-op timing (1 in 16): frequent enough for a stable
   // distribution, rare enough that clock reads stay off the hot path.
   const bool time_op = probe_ != nullptr && probe_->lock_op_ns != nullptr &&
                        (lock_op_counter_++ & 0xF) == 0;
   const std::uint64_t op_start =
       time_op ? probe_->EffectiveClock()->NowNanos() : 0;
-  auto outcome = locks_.Request(ctx.id, op.entity, mode);
+  auto outcome = locks_.TryRequest(ctx.id, entity, mode);
   if (time_op) {
     probe_->lock_op_ns->Record(probe_->EffectiveClock()->NowNanos() -
                                op_start);
@@ -378,13 +491,13 @@ Result<StepOutcome> Engine::ExecuteLock(TxnContext& ctx, const txn::Op& op) {
   if (!outcome.ok()) return outcome.status();
   if (outcome.value().granted) {
     PARDB_RETURN_IF_ERROR(
-        RegisterGrant(ctx, op.entity, mode, outcome.value().is_upgrade));
+        RegisterGrant(ctx, entity, mode, outcome.value().is_upgrade));
     // An immediate grant (e.g. a shared request bypassing queued exclusive
     // waiters) makes this transaction a blocker of those waiters: the
     // waits-for arcs must reflect it or a later cycle through them goes
     // undetected. The grant itself cannot close a cycle — the grantee is
     // not waiting — so refreshing the arcs suffices.
-    RefreshWaitEdges(op.entity);
+    RefreshWaitEdges(entity);
     return StepOutcome::kExecuted;
   }
   // Wait response (§2 rule 2): record arcs, then keep the system
@@ -393,26 +506,26 @@ Result<StepOutcome> Engine::ExecuteLock(TxnContext& ctx, const txn::Op& op) {
   MarkReadyDirty(ctx);
   ctx.wait_since = metrics_.steps;
   ++metrics_.lock_waits;
-  Emit(TraceEvent::Kind::kBlocked, ctx, op.entity);
-  if (txnlife_ != nullptr) txnlife_->OnBlock(ctx.id, metrics_.steps, op.entity);
-  if (journal_ != nullptr) journal_->OnBlock(ctx.id, metrics_.steps, op.entity);
-  RefreshWaitEdges(op.entity);
+  Emit(TraceEvent::Kind::kBlocked, ctx, entity);
+  if (txnlife_ != nullptr) txnlife_->OnBlock(ctx.id, metrics_.steps, entity);
+  if (journal_ != nullptr) journal_->OnBlock(ctx.id, metrics_.steps, entity);
+  RefreshWaitEdges(entity);
   switch (options_.handling) {
     case DeadlockHandling::kDetection: {
       if (options_.detection_mode == DetectionMode::kPeriodic) {
         break;  // cycles accumulate until the next PeriodicScan
       }
-      auto self_rolled = DetectAndResolve(ctx, op.entity);
+      auto self_rolled = DetectAndResolve(ctx, entity);
       if (!self_rolled.ok()) return self_rolled.status();
       if (self_rolled.value()) return StepOutcome::kRolledBack;
       break;
     }
     case DeadlockHandling::kWoundWait: {
-      PARDB_RETURN_IF_ERROR(HandleWoundWait(ctx, op.entity, mode));
+      PARDB_RETURN_IF_ERROR(HandleWoundWait(ctx, entity, mode));
       break;
     }
     case DeadlockHandling::kWaitDie: {
-      auto died = HandleWaitDie(ctx, op.entity);
+      auto died = HandleWaitDie(ctx, entity);
       if (!died.ok()) return died.status();
       if (died.value()) return StepOutcome::kRolledBack;
       break;
@@ -446,13 +559,21 @@ Status Engine::RegisterGrant(TxnContext& ctx, EntityId entity,
   // The §5 "stop monitoring after the last lock request" optimisation is
   // only sound under detection: there a transaction past its final lock
   // request can never become a rollback victim. The prevention schemes
-  // wound *running* holders, so their history must stay live.
+  // wound *running* holders, so their history must stay live. The compiled
+  // stream carries the answer as a flag on the lock µop (ctx.pc still
+  // names the request being granted here); the fallback walks the program.
   if (options_.use_last_lock_declaration &&
       options_.handling == DeadlockHandling::kDetection &&
       !ctx.seal_deferred) {
-    auto last = ctx.program->LastLockRequestPosition();
-    if (last.has_value() && *last == ctx.pc) {
-      ctx.strategy->OnLastLockGranted();
+    if (ctx.uops != nullptr) {
+      if ((ctx.uops[ctx.pc].flags & txn::kMicroFlagLastLock) != 0) {
+        ctx.strategy->OnLastLockGranted();
+      }
+    } else {
+      auto last = ColdOf(ctx).program->LastLockRequestPosition();
+      if (last.has_value() && *last == ctx.pc) {
+        ctx.strategy->OnLastLockGranted();
+      }
     }
   }
   ++ctx.pc;
@@ -506,7 +627,7 @@ Status Engine::ExecuteCommit(TxnContext& ctx) {
   }
   ctx.status = TxnStatus::kCommitted;
   MarkReadyDirty(ctx);
-  ctx.pc = ctx.program->size();
+  ctx.pc = ctx.size;
   LiveRemove(ctx.id.value());
   waits_for_.RemoveVertex(ctx.id.value());
   if (recorder_ != nullptr) recorder_->OnCommit(ctx.id);
@@ -575,9 +696,10 @@ Result<VictimCandidate> Engine::MakeCandidate(
   }
   c.ideal_target = ideal;
   c.actual_target = member.strategy->LatestRestorableAtOrBefore(ideal);
-  auto StateIndexOfTarget = [&member](LockIndex target) {
-    return target < member.granted.size() ? member.granted[target].op_index
-                                          : member.pc;
+  auto StateIndexOfTarget = [&member](LockIndex target) -> std::size_t {
+    return target < member.granted.size()
+               ? member.granted[target].op_index
+               : static_cast<std::size_t>(member.pc);
   };
   c.cost = member.pc - StateIndexOfTarget(c.actual_target);
   c.ideal_cost = member.pc - StateIndexOfTarget(c.ideal_target);
@@ -827,7 +949,7 @@ Result<bool> Engine::DetectAndResolve(TxnContext& requester,
       TxnId causing = requester.id;
       if (!v->is_requester) {
         ++metrics_.preemptions;
-        ++victim->preempted;
+        ++ColdOf(*victim).preempted;
         if (probe_ != nullptr && probe_->victims_preempted != nullptr) {
           probe_->victims_preempted->Inc();
         }
@@ -907,7 +1029,7 @@ Status Engine::HandleWoundWait(TxnContext& requester, EntityId entity,
     Emit(TraceEvent::Kind::kWound, *victim, entity,
          cand.value().actual_target, cand.value().cost);
     ++metrics_.preemptions;
-    ++victim->preempted;
+    ++ColdOf(*victim).preempted;
     if (lineage_ != nullptr) {
       lineage_->OnPreemption(metrics_.steps, victim->id, requester.id,
                              cand.value().actual_target, cand.value().cost);
@@ -1139,7 +1261,7 @@ Status Engine::RollbackTxn(TxnContext& victim, LockIndex target) {
                                  ? victim.pc
                                  : scratch_undone_.front().op_index;
   if (recorder_ != nullptr) recorder_->OnRollback(victim.id, new_pc);
-  victim.pc = new_pc;
+  victim.pc = static_cast<std::uint32_t>(new_pc);
   victim.status = TxnStatus::kReady;
   MarkReadyDirty(victim);
   return Status::OK();
@@ -1218,10 +1340,10 @@ Result<std::optional<TxnId>> Engine::StepAny() {
     scratch_ready_.clear();
     for (std::uint64_t v = live_head_; v != kNoneIdx; v = live_next_[v]) {
       const TxnContext& ctx = txns_[v];
-      if (ctx.status == TxnStatus::kReady && !ctx.backoff &&
-          !(ctx.hold_pc != kNoHold && ctx.pc >= ctx.hold_pc)) {
-        scratch_ready_.push_back(ctx.id);
-      }
+      if (ctx.status != TxnStatus::kReady || ctx.backoff) continue;
+      const std::size_t hold_pc = cold_[v].hold_pc;
+      if (hold_pc != kNoHold && ctx.pc >= hold_pc) continue;
+      scratch_ready_.push_back(ctx.id);
     }
   };
   auto ReadyCount = [this, use_bits]() {
@@ -1257,13 +1379,18 @@ Result<std::optional<TxnId>> Engine::StepAny() {
   }
   const std::size_t ready_n = ReadyCount();
   if (ready_n == 0) return std::optional<TxnId>();
+  // Both draws go through the memoized division-free reducer: round-robin
+  // is exactly `rr_cursor_ % ready_n`, and the kRandom draw replays
+  // Rng::Uniform's rejection walk bit-for-bit (same threshold, same
+  // remainder), so schedules — and therefore journal chains — are
+  // unchanged while the per-step divides disappear.
   std::size_t at = 0;
   switch (options_.scheduler) {
     case SchedulerKind::kRoundRobin:
-      at = rr_cursor_++ % ready_n;
+      at = static_cast<std::size_t>(FastModFor(ready_n).Mod(rr_cursor_++));
       break;
     case SchedulerKind::kRandom:
-      at = rng_.Uniform(ready_n);
+      at = static_cast<std::size_t>(rng_.UniformFast(FastModFor(ready_n)));
       break;
   }
   const TxnId pick =
@@ -1354,7 +1481,7 @@ Timestamp Engine::EntryOf(TxnId txn) const {
 
 const rollback::RollbackStrategy* Engine::StrategyOf(TxnId txn) const {
   const TxnContext* ctx = Find(txn);
-  return ctx == nullptr ? nullptr : ctx->strategy.get();
+  return ctx == nullptr ? nullptr : ctx->strategy;
 }
 
 Value Engine::VarValueOf(TxnId txn, txn::VarId var) const {
@@ -1364,7 +1491,7 @@ Value Engine::VarValueOf(TxnId txn, txn::VarId var) const {
 
 std::uint64_t Engine::PreemptionCountOf(TxnId txn) const {
   const TxnContext* ctx = Find(txn);
-  return ctx == nullptr ? 0 : ctx->preempted;
+  return ctx == nullptr ? 0 : ColdOf(*ctx).preempted;
 }
 
 obs::WaitsForSnapshot Engine::SnapshotWaitsFor() const {
@@ -1390,7 +1517,7 @@ obs::WaitsForSnapshot Engine::SnapshotWaitsFor() const {
     }
     t.state_index = ctx->pc;
     t.lock_count = ctx->granted.size();
-    t.preemptions = ctx->preempted;
+    t.preemptions = ColdOf(*ctx).preempted;
     t.chain_len = lineage_ != nullptr ? lineage_->ChainLenOf(id) : 0;
     for (const auto& [e, m] : locks_.HeldBy(id)) {
       t.held.push_back(obs::LockGrantRef{e, lock::LockModeName(m)[0]});
@@ -1444,7 +1571,7 @@ std::string Engine::DumpState() const {
   std::ostringstream os;
   os << "engine state (" << txns_.size() << " txns):\n";
   for (const TxnContext& ctx : txns_) {
-    os << "  " << ctx.id << " pc=" << ctx.pc << "/" << ctx.program->size()
+    os << "  " << ctx.id << " pc=" << ctx.pc << "/" << ctx.size
        << " locks=" << ctx.granted.size() << " status="
        << (ctx.status == TxnStatus::kReady
                ? "ready"

@@ -29,6 +29,7 @@
 #include "lock/lock_manager.h"
 #include "rollback/strategy.h"
 #include "storage/entity_store.h"
+#include "txn/compiled.h"
 #include "txn/program.h"
 
 namespace pardb::core {
@@ -88,6 +89,13 @@ struct EngineOptions {
   VictimPolicyKind victim_policy = VictimPolicyKind::kMinCostOrdered;
   SchedulerKind scheduler = SchedulerKind::kRoundRobin;
   std::uint64_t seed = 42;
+  // Lower each admitted program once into the flat µop stream the hot
+  // execution path dispatches on (txn/compiled.h, DESIGN D16), cached per
+  // unique op sequence. Off: every step decodes the AoS Op vector — the
+  // fallback interpreter kept for differential testing and as the path for
+  // programs the compiler rejects. Execution results, schedules, reports
+  // and journal chains are bit-identical either way.
+  bool compile_programs = true;
   // Default: strict FIFO lock queues with queue-aware waits-for arcs. The
   // paper's own grant rule (compatibility with holders only, §2) lets a
   // rolled-back victim's re-acquired shared locks bypass a queued writer
@@ -170,6 +178,12 @@ struct EngineMetrics {
   std::uint64_t ideal_wasted_ops = 0;   // sum of ideal rollback costs
   std::uint64_t cycles_found = 0;
   std::uint64_t periodic_scans = 0;  // kPeriodic graph sweeps performed
+  // Compile-cache telemetry (deterministic: a pure function of the admitted
+  // program sequence, never of wall time). Excluded from report
+  // serialization so pre-compilation goldens stay byte-identical.
+  std::uint64_t programs_compiled = 0;    // distinct programs lowered
+  std::uint64_t compile_cache_hits = 0;   // admissions served from cache
+  std::uint64_t compiled_bytes = 0;       // µop bytes resident in the cache
   // Space accounting sampled at every rollback and commit.
   std::size_t max_entity_copies = 0;  // max per-transaction peak
   std::size_t max_var_copies = 0;
@@ -190,7 +204,9 @@ struct CostDistribution {
 // and by aggregators that merge samples from several engines.
 CostDistribution ComputeCostDistribution(std::vector<std::uint32_t> costs);
 
-enum class TxnStatus { kReady, kWaiting, kCommitted };
+// uint8-backed so a TxnContext status read touches one byte of the hot
+// cache line (digests cast to uint64 — the values are unchanged).
+enum class TxnStatus : std::uint8_t { kReady, kWaiting, kCommitted };
 
 // What one StepQuantum call did and why it returned (see StepQuantum).
 struct QuantumResult {
@@ -424,35 +440,60 @@ class Engine {
     std::size_t op_index;  // state index of this request's lock state
   };
 
+  // Hot per-transaction state: everything the step/readiness path touches,
+  // packed so it fits the first cache line (52 bytes before `granted`,
+  // whose header starts within the line). Ownership and cold forensics
+  // fields live in the parallel TxnCold side array (same dense index), so
+  // a readiness scan or an op execution never drags telemetry-only bytes
+  // through the cache.
   struct TxnContext {
     TxnId id;
-    std::shared_ptr<const txn::Program> program;
-    std::size_t pc = 0;
-    TxnStatus status = TxnStatus::kReady;
+    // Compiled µop stream cursor base (uops[pc] is the next op); nullptr
+    // routes the transaction through the interpreted fallback. The stream
+    // is owned (kept alive) by TxnCold::compiled / the compile cache.
+    const txn::MicroOp* uops = nullptr;
+    // Borrowed from TxnCold::strategy (which owns it).
+    rollback::RollbackStrategy* strategy = nullptr;
+    std::uint32_t pc = 0;
+    std::uint32_t size = 0;  // program size (pc >= size <=> finished)
     Timestamp entry = 0;
-    std::unique_ptr<rollback::RollbackStrategy> strategy;
-    // granted[k] <-> lock state k. Inline capacity covers typical
-    // workload programs; longer ones spill into the engine arena.
-    SmallVec<LockRecord, 8> granted;
-    std::uint64_t preempted = 0;
-    bool in_shrinking_phase = false;
     // Engine step at which the current wait began (kTimeout bookkeeping).
     std::uint64_t wait_since = 0;
-    // Cross-shard sub-transaction state (see SpawnSub): park at this pc
-    // until ReleaseHold; kNoHold for ordinary transactions.
-    std::size_t hold_pc = kNoHold;
+    TxnStatus status = TxnStatus::kReady;
+    bool in_shrinking_phase = false;
     // Defer the §5 last-lock seal until ReleaseHold (a held sub can still
     // be a distributed-rollback victim).
     bool seal_deferred = false;
     // Coordinator-imposed backoff (SetBackoff): the scheduler skips the
     // transaction so it cannot re-request the locks it just released.
     bool backoff = false;
+    // granted[k] <-> lock state k. Inline capacity covers typical
+    // workload programs; longer ones spill into the engine arena.
+    SmallVec<LockRecord, 8> granted;
+  };
+
+  // Cold per-transaction state, indexed by the same dense id as txns_:
+  // ownership handles plus fields only introspection, rollback planning or
+  // the cross-shard protocol touch.
+  struct TxnCold {
+    std::shared_ptr<const txn::Program> program;
+    std::shared_ptr<const txn::CompiledProgram> compiled;  // may be null
+    std::unique_ptr<rollback::RollbackStrategy> strategy;
+    std::uint64_t preempted = 0;
+    // Cross-shard sub-transaction state (see SpawnSub): park at this pc
+    // until ReleaseHold; kNoHold for ordinary transactions.
+    std::size_t hold_pc = kNoHold;
   };
 
   // Op execution ------------------------------------------------------------
 
   Result<StepOutcome> ExecuteOp(TxnContext& ctx);
-  Result<StepOutcome> ExecuteLock(TxnContext& ctx, const txn::Op& op);
+  // The pre-D16 per-step decoder, kept as the path for programs the
+  // compiler rejects and for compile_programs == false (differential
+  // testing). Bit-identical behavior to the compiled path.
+  Result<StepOutcome> ExecuteOpInterpreted(TxnContext& ctx);
+  Result<StepOutcome> ExecuteLock(TxnContext& ctx, EntityId entity,
+                                  lock::LockMode mode);
   Status ExecuteUnlockOne(TxnContext& ctx, EntityId entity);
   Status ExecuteCommit(TxnContext& ctx);
   Value EvalOperand(const TxnContext& ctx, const txn::Operand& o) const;
@@ -531,6 +572,14 @@ class Engine {
   // index instead of a map walk. Committed contexts stay for
   // introspection; the live list below keeps the scheduler scan O(live).
   std::vector<TxnContext> txns_;
+  // Cold side array parallel to txns_ (same index).
+  std::vector<TxnCold> cold_;
+  TxnCold& ColdOf(const TxnContext& ctx) { return cold_[ctx.id.value()]; }
+  const TxnCold& ColdOf(const TxnContext& ctx) const {
+    return cold_[ctx.id.value()];
+  }
+  // Per-engine µop cache (engines are single-threaded).
+  txn::CompileCache compile_cache_;
   // Uncommitted transactions as an intrusive doubly-linked list over dense
   // ids (SoA; replaces std::set<TxnId>). Spawn appends at the tail and ids
   // increase monotonically, so traversal from live_head_ enumerates the
@@ -586,6 +635,13 @@ class Engine {
   std::uint64_t next_txn_ = 0;
   Timestamp clock_ = 0;
   std::uint64_t rr_cursor_ = 0;  // round-robin position
+  // Memoized division-free reduction per scheduler bound: the ready count
+  // cycles through a handful of small values, so each bound's magic
+  // constants are computed once and the per-step divide disappears (the
+  // draws stay bit-identical — see common/random.h FastMod). Entry n is
+  // the reducer for bound n; n == 0 in a slot means not yet initialized.
+  std::vector<FastMod> fastmod_;
+  const FastMod& FastModFor(std::size_t bound);
 };
 
 }  // namespace pardb::core

@@ -26,6 +26,9 @@ void ExportEngineMetrics(const Engine& engine, obs::MetricsRegistry* registry,
   Add(obs::kIdealWastedOpsTotal, m.ideal_wasted_ops);
   Add(obs::kCyclesFoundTotal, m.cycles_found);
   Add(obs::kPeriodicScansTotal, m.periodic_scans);
+  Add(obs::kProgramCompileTotal, m.programs_compiled);
+  Add(obs::kProgramCacheHitsTotal, m.compile_cache_hits);
+  Add(obs::kCompiledBytesTotal, m.compiled_bytes);
 
   registry->GetGauge(obs::kMaxEntityCopies, labels)
       ->SetMax(static_cast<std::int64_t>(m.max_entity_copies));
@@ -64,6 +67,18 @@ void EngineMetricsExporter::Export(const Engine& engine,
   Add(obs::kIdealWastedOpsTotal, m.ideal_wasted_ops, last_.ideal_wasted_ops);
   Add(obs::kCyclesFoundTotal, m.cycles_found, last_.cycles_found);
   Add(obs::kPeriodicScansTotal, m.periodic_scans, last_.periodic_scans);
+  // Compile-cache series are created unconditionally (not through the
+  // cur > prev guard): a zero-hit run must still expose the series so
+  // consumers can distinguish "no hits" from "not instrumented".
+  auto AddAlways = [&](const char* name, std::uint64_t cur,
+                       std::uint64_t prev) {
+    registry->GetCounter(name, labels)->Inc(cur - prev);
+  };
+  AddAlways(obs::kProgramCompileTotal, m.programs_compiled,
+            last_.programs_compiled);
+  AddAlways(obs::kProgramCacheHitsTotal, m.compile_cache_hits,
+            last_.compile_cache_hits);
+  AddAlways(obs::kCompiledBytesTotal, m.compiled_bytes, last_.compiled_bytes);
 
   registry->GetGauge(obs::kMaxEntityCopies, labels)
       ->SetMax(static_cast<std::int64_t>(m.max_entity_copies));

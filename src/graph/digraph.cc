@@ -9,21 +9,23 @@ namespace pardb::graph {
 
 namespace {
 
-using PairList = std::vector<std::pair<VertexId, EdgeLabel>>;
+using AdjList = SmallVec<Arc, 2>;
 
-// Sorted-vector helpers. Adjacency lists are kept sorted by (vertex,
+// Sorted-list helpers. Adjacency lists are kept sorted by (vertex,
 // label), so membership and erase are binary searches and iteration is
 // deterministic by construction.
-PairList::iterator FindPair(PairList& list, VertexId v, EdgeLabel l) {
-  auto it = std::lower_bound(list.begin(), list.end(), std::make_pair(v, l));
+Arc* FindPair(AdjList& list, VertexId v, EdgeLabel l) {
+  auto* it = std::lower_bound(list.begin(), list.end(), Arc{v, l});
   if (it != list.end() && it->first == v && it->second == l) return it;
   return list.end();
 }
 
-void ErasePair(PairList& list, VertexId v, EdgeLabel l) {
-  auto it = FindPair(list, v, l);
+void ErasePair(AdjList& list, VertexId v, EdgeLabel l) {
+  auto* it = FindPair(list, v, l);
   assert(it != list.end());
-  if (it != list.end()) list.erase(it);
+  if (it != list.end()) {
+    list.erase_at(static_cast<std::size_t>(it - list.begin()));
+  }
 }
 
 }  // namespace
@@ -76,13 +78,15 @@ std::vector<VertexId> Digraph::Vertices() const {
 void Digraph::AddEdge(VertexId from, VertexId to, EdgeLabel label) {
   VertexRec& fr = verts_[from];
   VertexRec& tr = verts_[to];
-  auto it = std::lower_bound(fr.out.begin(), fr.out.end(),
-                             std::make_pair(to, label));
+  auto* it = std::lower_bound(fr.out.begin(), fr.out.end(),
+                              Arc{to, label});
   if (it != fr.out.end() && it->first == to && it->second == label) return;
-  fr.out.insert(it, std::make_pair(to, label));
-  tr.in.insert(std::lower_bound(tr.in.begin(), tr.in.end(),
-                                std::make_pair(from, label)),
-               std::make_pair(from, label));
+  fr.out.insert_at(static_cast<std::size_t>(it - fr.out.begin()),
+                   Arc{to, label});
+  auto* in_it = std::lower_bound(tr.in.begin(), tr.in.end(),
+                                 Arc{from, label});
+  tr.in.insert_at(static_cast<std::size_t>(in_it - tr.in.begin()),
+                  Arc{from, label});
   label_index_[label].emplace_back(from, to);
   ++edge_count_;
 }
@@ -103,9 +107,10 @@ void Digraph::EraseLabelPair(EdgeLabel label, VertexId from, VertexId to) {
 void Digraph::RemoveEdge(VertexId from, VertexId to, EdgeLabel label) {
   auto fit = verts_.find(from);
   if (fit == verts_.end()) return;
-  auto it = FindPair(fit->second.out, to, label);
+  auto* it = FindPair(fit->second.out, to, label);
   if (it == fit->second.out.end()) return;
-  fit->second.out.erase(it);
+  fit->second.out.erase_at(
+      static_cast<std::size_t>(it - fit->second.out.begin()));
   --edge_count_;
   EraseLabelPair(label, from, to);
   ErasePair(verts_[to].in, from, label);
@@ -115,29 +120,30 @@ void Digraph::RemoveEdgesBetween(VertexId from, VertexId to) {
   auto fit = verts_.find(from);
   if (fit == verts_.end()) return;
   auto& out = fit->second.out;
-  auto lo = std::lower_bound(out.begin(), out.end(),
-                             std::make_pair(to, EdgeLabel{0}));
-  auto hi = lo;
+  auto* lo = std::lower_bound(out.begin(), out.end(),
+                              Arc{to, EdgeLabel{0}});
+  auto* hi = lo;
   while (hi != out.end() && hi->first == to) ++hi;
   if (lo == hi) return;
-  PairList& tin = verts_[to].in;
-  for (auto it = lo; it != hi; ++it) {
+  auto& tin = verts_[to].in;
+  for (auto* it = lo; it != hi; ++it) {
     EraseLabelPair(it->second, from, to);
     ErasePair(tin, from, it->second);
   }
   edge_count_ -= static_cast<std::size_t>(hi - lo);
-  out.erase(lo, hi);
+  out.erase_range(static_cast<std::size_t>(lo - out.begin()),
+                  static_cast<std::size_t>(hi - out.begin()));
 }
 
 void Digraph::RemoveEdgesLabeled(EdgeLabel label) {
   auto lit = label_index_.find(label);
   if (lit == label_index_.end() || lit->second.empty()) return;
-  // Move the pair list out so the targeted RemoveEdge calls below scan an
-  // empty index entry instead of the list being consumed.
-  const std::vector<std::pair<VertexId, VertexId>> pairs =
-      std::move(lit->second);
+  // Copy the pair list into reusable scratch so the targeted RemoveEdge
+  // calls below scan an empty index entry instead of the list being
+  // consumed (and the per-grant sweep stays allocation-free once warm).
+  scratch_pairs_.assign(lit->second.begin(), lit->second.end());
   lit->second.clear();
-  for (const auto& [from, to] : pairs) RemoveEdge(from, to, label);
+  for (const auto& [from, to] : scratch_pairs_) RemoveEdge(from, to, label);
 }
 
 bool Digraph::HasEdge(VertexId from, VertexId to) const {
@@ -145,7 +151,7 @@ bool Digraph::HasEdge(VertexId from, VertexId to) const {
   if (fit == verts_.end()) return false;
   const auto& out = fit->second.out;
   auto it = std::lower_bound(out.begin(), out.end(),
-                             std::make_pair(to, EdgeLabel{0}));
+                             Arc{to, EdgeLabel{0}});
   return it != out.end() && it->first == to;
 }
 
@@ -154,7 +160,7 @@ bool Digraph::HasEdge(VertexId from, VertexId to, EdgeLabel label) const {
   if (fit == verts_.end()) return false;
   const auto& out = fit->second.out;
   auto it = std::lower_bound(out.begin(), out.end(),
-                             std::make_pair(to, label));
+                             Arc{to, label});
   return it != out.end() && it->first == to && it->second == label;
 }
 
@@ -202,16 +208,22 @@ std::size_t Digraph::OutDegree(VertexId v) const {
 bool Digraph::HasPath(VertexId from, VertexId to) const {
   if (!HasVertex(from) || !HasVertex(to)) return false;
   if (from == to) return true;
-  std::deque<VertexId> frontier{from};
-  std::set<VertexId> seen{from};
-  while (!frontier.empty()) {
-    VertexId v = frontier.front();
-    frontier.pop_front();
-    auto it = verts_.find(v);
+  // BFS over reusable scratch; `seen` is a linear-scanned vector — the
+  // waits-for graphs this guards are at most a few dozen vertices deep.
+  scratch_frontier_.clear();
+  scratch_seen_.clear();
+  scratch_frontier_.push_back(from);
+  scratch_seen_.push_back(from);
+  for (std::size_t head = 0; head < scratch_frontier_.size(); ++head) {
+    auto it = verts_.find(scratch_frontier_[head]);
     if (it == verts_.end()) continue;
     for (const auto& [next, _] : it->second.out) {
       if (next == to) return true;
-      if (seen.insert(next).second) frontier.push_back(next);
+      if (std::find(scratch_seen_.begin(), scratch_seen_.end(), next) ==
+          scratch_seen_.end()) {
+        scratch_seen_.push_back(next);
+        scratch_frontier_.push_back(next);
+      }
     }
   }
   return false;
@@ -241,33 +253,34 @@ std::size_t Digraph::EnumerateCyclesThrough(
   // because in deadlock resolution all new cycles pass through the
   // requester (paper §3.2).
   std::size_t produced = 0;
-  std::vector<VertexId> path{v};
-  std::vector<Edge> path_edges;
-  std::set<VertexId> on_path{v};
+  // The DFS state lives in reusable scratch members: this probe runs on
+  // every blocked lock request, so it must not touch the heap once warm.
+  // Path membership is a linear scan of the path itself — simple cycles
+  // in a waits-for graph are a handful of vertices long.
+  std::vector<VertexId>& path = scratch_path_;
+  std::vector<Edge>& path_edges = scratch_path_edges_;
+  std::vector<DfsFrame>& stack = scratch_stack_;
+  path.clear();
+  path_edges.clear();
+  stack.clear();
+  path.push_back(v);
   bool stop = false;
 
   // Explicit stack DFS to avoid recursion-depth limits on long chains.
   // Frames borrow the adjacency lists in place — the graph is not mutated
   // during enumeration, so no per-frame copy is needed.
-  static const PairList kNoEdges;
-  struct Frame {
-    VertexId vertex;
-    const PairList* out;
-    std::size_t next = 0;
-  };
+  static const AdjList kNoEdges{};
   auto MakeFrame = [this](VertexId u) {
     auto it = verts_.find(u);
-    return Frame{u, it == verts_.end() ? &kNoEdges : &it->second.out, 0};
+    return DfsFrame{u, it == verts_.end() ? &kNoEdges : &it->second.out, 0};
   };
 
-  std::vector<Frame> stack;
   stack.push_back(MakeFrame(v));
   while (!stack.empty() && !stop) {
-    Frame& f = stack.back();
+    DfsFrame& f = stack.back();
     if (f.next >= f.out->size()) {
       stack.pop_back();
       if (!stack.empty()) {
-        on_path.erase(path.back());
         path.pop_back();
         path_edges.pop_back();
       }
@@ -283,8 +296,7 @@ std::size_t Digraph::EnumerateCyclesThrough(
       if (!cb(c) || produced >= limit) stop = true;
       continue;
     }
-    if (on_path.count(to)) continue;
-    on_path.insert(to);
+    if (std::find(path.begin(), path.end(), to) != path.end()) continue;
     path.push_back(to);
     path_edges.push_back(Edge{f.vertex, to, label});
     stack.push_back(MakeFrame(to));

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 
 namespace pardb::graph {
@@ -35,6 +36,22 @@ struct Edge {
     if (a.from != b.from) return a.from < b.from;
     if (a.to != b.to) return a.to < b.to;
     return a.label < b.label;
+  }
+};
+
+// One sorted adjacency entry: (neighbour, label). A plain struct rather
+// than std::pair because pair's user-provided assignment operators make it
+// non-trivially-copyable, which would bar it from SmallVec storage.
+struct Arc {
+  VertexId first;   // neighbour vertex
+  EdgeLabel second;  // edge label
+
+  friend bool operator==(const Arc& a, const Arc& b) {
+    return a.first == b.first && a.second == b.second;
+  }
+  friend bool operator<(const Arc& a, const Arc& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
   }
 };
 
@@ -144,17 +161,31 @@ class Digraph {
       const std::function<std::string(EdgeLabel)>& label_name = nullptr) const;
 
  private:
+  // Adjacency storage: sorted (neighbour, label) pairs with two inline
+  // slots — waits-for vertices typically carry one or two arcs, so most
+  // vertices never touch the heap for their lists.
+  using AdjList = SmallVec<Arc, 2>;
+
   void EraseLabelPair(EdgeLabel label, VertexId from, VertexId to);
+
+  // One DFS frame of the cycle enumeration; lives in a reusable scratch
+  // stack so the per-block deadlock probe allocates nothing after warm-up.
+  struct DfsFrame {
+    VertexId vertex;
+    const AdjList* out;
+    std::size_t next;
+  };
 
   // Per-vertex adjacency as (neighbour, label) pairs kept sorted — the
   // same iteration order the old map-of-sets produced, at a fraction of
-  // the allocation cost: an edge insert is a binary-searched vector
+  // the allocation cost: an edge insert is a binary-searched inline-array
   // insert instead of two tree-node allocations per direction. Waits-for
   // graphs are small and edge-churn-heavy (every block/wake rewrites a
-  // handful of arcs), which is exactly the shape sorted vectors win at.
+  // handful of arcs), which is exactly the shape sorted small-vectors
+  // win at.
   struct VertexRec {
-    std::vector<std::pair<VertexId, EdgeLabel>> out;
-    std::vector<std::pair<VertexId, EdgeLabel>> in;
+    AdjList out;
+    AdjList in;
   };
   // Outer std::map keeps vertex iteration deterministic (sorted).
   std::map<VertexId, VertexRec> verts_;
@@ -163,6 +194,18 @@ class Digraph {
   std::unordered_map<EdgeLabel, std::vector<std::pair<VertexId, VertexId>>>
       label_index_;
   std::size_t edge_count_ = 0;
+
+  // Scratch buffers for the hot queries (per-block cycle probe, per-grant
+  // label sweep, prevention-mode path test). Cleared, never shrunk: after
+  // warm-up these paths perform zero heap allocations. `mutable` because
+  // the queries are logically const; the digraph is single-threaded like
+  // the engine that owns it.
+  mutable std::vector<VertexId> scratch_path_;
+  mutable std::vector<Edge> scratch_path_edges_;
+  mutable std::vector<DfsFrame> scratch_stack_;
+  mutable std::vector<VertexId> scratch_frontier_;
+  mutable std::vector<VertexId> scratch_seen_;
+  std::vector<std::pair<VertexId, VertexId>> scratch_pairs_;
 };
 
 }  // namespace pardb::graph

@@ -180,16 +180,19 @@ void LockManager::AppendBlockers(const EntityState& es, const Waiter& w,
   out->erase(std::unique(out->begin() + base, out->end()), out->end());
 }
 
-std::vector<TxnId> LockManager::ComputeBlockers(const EntityState& es,
-                                                const Waiter& w,
-                                                std::size_t position) const {
-  std::vector<TxnId> blockers;
-  AppendBlockers(es, w, position, &blockers);
-  return blockers;
-}
-
 Result<RequestOutcome> LockManager::Request(TxnId txn, EntityId entity,
                                             LockMode mode) {
+  auto r = TryRequest(txn, entity, mode);
+  if (!r.ok()) return r.status();
+  RequestOutcome out;
+  out.granted = r.value().granted;
+  out.is_upgrade = r.value().is_upgrade;
+  if (!out.granted) AppendBlockersOf(txn, &out.blockers);
+  return out;
+}
+
+Result<RequestResult> LockManager::TryRequest(TxnId txn, EntityId entity,
+                                              LockMode mode) {
   if (IsWaiting(txn)) {
     return Status::FailedPrecondition(
         "transaction already waiting; one pending request at a time (" +
@@ -212,18 +215,15 @@ Result<RequestOutcome> LockManager::Request(TxnId txn, EntityId entity,
     UpsertHolder(es, txn, mode);
     UpsertHeld(txn, entity, mode);
     if (probe_ != nullptr) ++delta_.grants_immediate;
-    return RequestOutcome{true, {}, is_upgrade};
+    return RequestResult{true, is_upgrade};
   }
 
   // Enqueue: upgrades go to the front so the shrinking holder set reaches
   // them first; everything else is FIFO.
-  std::size_t position;
   if (is_upgrade) {
     es.queue.insert_at(0, w);
-    position = 0;
   } else {
     es.queue.push_back(w);
-    position = es.queue.size() - 1;
   }
   EnsureTxn(txn).waiting_for = entity;
   ++waiting_count_;
@@ -232,7 +232,7 @@ Result<RequestOutcome> LockManager::Request(TxnId txn, EntityId entity,
     delta_.max_queue_depth = std::max(
         delta_.max_queue_depth, static_cast<std::int64_t>(es.queue.size()));
   }
-  return RequestOutcome{false, ComputeBlockers(es, w, position), is_upgrade};
+  return RequestResult{false, is_upgrade};
 }
 
 Status LockManager::CancelWaitInto(TxnId txn, EntityId entity,

@@ -29,6 +29,13 @@ struct RequestOutcome {
   bool is_upgrade = false;
 };
 
+// The allocation-free answer of LockManager::TryRequest: the grant/wait
+// decision without the blocker list (which the hot path never reads).
+struct RequestResult {
+  bool granted = false;
+  bool is_upgrade = false;
+};
+
 // A lock grant performed while processing a release; the Engine resumes
 // these transactions.
 struct Grant {
@@ -123,6 +130,12 @@ class LockManager {
   //  * FailedPrecondition — txn is already waiting for some entity;
   //  * ProtocolViolation — txn already holds an equal-or-stronger lock.
   Result<RequestOutcome> Request(TxnId txn, EntityId entity, LockMode mode);
+
+  // Hot-path variant of Request: identical state transition, but the
+  // blocker list is not materialized (no allocation on the wait path).
+  // Callers that need the blockers read them afterwards via
+  // AppendBlockersOf, which reproduces the same sorted-unique list.
+  Result<RequestResult> TryRequest(TxnId txn, EntityId entity, LockMode mode);
 
   // Removes txn's pending wait (victim rollback cancels its request).
   // NotFound when txn is not waiting for `entity`. Cancelling can unblock
@@ -300,8 +313,6 @@ class LockManager {
   // Grants the longest grantable prefix of the queue; appends to out.
   void ProcessQueue(EntityState& es, std::vector<Grant>* out);
 
-  std::vector<TxnId> ComputeBlockers(const EntityState& es, const Waiter& w,
-                                     std::size_t position) const;
   // Appends blockers (sorted, deduplicated) to *out.
   void AppendBlockers(const EntityState& es, const Waiter& w,
                       std::size_t position, std::vector<TxnId>* out) const;

@@ -10,6 +10,7 @@ McsStrategy::McsStrategy(const txn::Program& program, Arena* arena)
     : arena_(arena) {
   entity_stacks_.set_arena(arena_);
   shared_held_.set_arena(arena_);
+  var_stacks_.set_arena(arena_);
   var_stacks_.reserve(program.num_vars());
   const auto& init = program.initial_vars();
   for (txn::VarId v = 0; v < program.num_vars(); ++v) {
@@ -20,7 +21,7 @@ McsStrategy::McsStrategy(const txn::Program& program, Arena* arena)
     s.size = 1;
     var_stacks_.push_back(s);
   }
-  UpdatePeaks();
+  cur_var_copies_ = peak_var_copies_ = program.num_vars();
 }
 
 McsStrategy::~McsStrategy() {
@@ -110,17 +111,20 @@ void McsStrategy::OnLockGranted(LockIndex lock_state, EntityId entity,
     ++at;
   }
   entity_stacks_.insert_at(at, s);
-  UpdatePeaks();
+  ++cur_entity_copies_;
+  if (cur_entity_copies_ > peak_entity_copies_) {
+    peak_entity_copies_ = cur_entity_copies_;
+  }
 }
 
 template <typename S>
-void McsStrategy::RecordWrite(S& s, Value value, LockIndex lock_index) {
+bool McsStrategy::RecordWrite(S& s, Value value, LockIndex lock_index) {
   assert(s.size > 0);
   if (!monitoring_) {
     // Past the last lock request no rollback can occur; keep only the
     // current value (§5's declaration optimisation).
     s.elems[s.size - 1].value = value;
-    return;
+    return false;
   }
   if (lock_index > s.elems[s.size - 1].index) {
     if (s.size == s.cap) {
@@ -132,26 +136,35 @@ void McsStrategy::RecordWrite(S& s, Value value, LockIndex lock_index) {
       s.cap = new_cap;
     }
     s.elems[s.size++] = Element{value, lock_index};
-  } else {
-    // Same lock state writes overwrite in place (only the last write before
-    // a lock state is part of that state).
-    s.elems[s.size - 1].value = value;
+    return true;
   }
+  // Same lock state writes overwrite in place (only the last write before
+  // a lock state is part of that state).
+  s.elems[s.size - 1].value = value;
+  return false;
 }
 
 void McsStrategy::OnEntityWrite(EntityId entity, Value value,
                                 LockIndex lock_index) {
   XStack* s = FindStack(entity);
   if (s == nullptr) return;  // engine validates X-held
-  RecordWrite(*s, value, lock_index);
-  UpdatePeaks();
+  if (RecordWrite(*s, value, lock_index)) {
+    ++cur_entity_copies_;
+    if (cur_entity_copies_ > peak_entity_copies_) {
+      peak_entity_copies_ = cur_entity_copies_;
+    }
+  }
 }
 
 void McsStrategy::OnVarWrite(txn::VarId var, Value value,
                              LockIndex lock_index) {
   if (var >= var_stacks_.size()) return;
-  RecordWrite(var_stacks_[var], value, lock_index);
-  UpdatePeaks();
+  if (RecordWrite(var_stacks_[var], value, lock_index)) {
+    ++cur_var_copies_;
+    if (cur_var_copies_ > peak_var_copies_) {
+      peak_var_copies_ = cur_var_copies_;
+    }
+  }
 }
 
 Value McsStrategy::VarValue(txn::VarId var) const {
@@ -181,6 +194,7 @@ std::optional<Value> McsStrategy::OnUnlock(EntityId entity) {
   // stack is returned to free storage (paper §4).
   XStack& s = entity_stacks_[at];
   Value publish = s.elems[s.size - 1].value;
+  cur_entity_copies_ -= s.size;
   FreeElems(s.elems, s.cap);
   entity_stacks_.erase_at(at);
   return publish;
@@ -209,6 +223,7 @@ Result<RestoreResult> McsStrategy::RestoreTo(LockIndex target) {
       } else {
         result.dropped_entities.push_back(s.entity);
       }
+      cur_entity_copies_ -= s.size;
       FreeElems(s.elems, s.cap);
       entity_stacks_.erase_at(i);
     } else {
@@ -225,19 +240,22 @@ Result<RestoreResult> McsStrategy::RestoreTo(LockIndex target) {
   }
   // Step 3: on surviving stacks pop every element produced at a lock index
   // greater than the target state.
-  auto Rewind = [target](auto& s) {
-    while (s.size > 1 && s.elems[s.size - 1].index > target) --s.size;
+  auto Rewind = [target](auto& s, std::size_t& copies) {
+    while (s.size > 1 && s.elems[s.size - 1].index > target) {
+      --s.size;
+      --copies;
+    }
   };
-  for (XStack& s : entity_stacks_) Rewind(s);
-  for (VarStack& s : var_stacks_) Rewind(s);
+  for (XStack& s : entity_stacks_) Rewind(s, cur_entity_copies_);
+  for (VarStack& s : var_stacks_) Rewind(s, cur_var_copies_);
   std::sort(result.dropped_entities.begin(), result.dropped_entities.end());
   return result;
 }
 
 SpaceStats McsStrategy::Space() const {
   SpaceStats s;
-  for (const XStack& st : entity_stacks_) s.entity_copies += st.size;
-  for (const VarStack& st : var_stacks_) s.var_copies += st.size;
+  s.entity_copies = cur_entity_copies_;
+  s.var_copies = cur_var_copies_;
   s.peak_entity_copies = peak_entity_copies_;
   s.peak_var_copies = peak_var_copies_;
   return s;
@@ -246,15 +264,6 @@ SpaceStats McsStrategy::Space() const {
 std::size_t McsStrategy::StackDepth(EntityId entity) const {
   const XStack* s = FindStack(entity);
   return s == nullptr ? 0 : s->size;
-}
-
-void McsStrategy::UpdatePeaks() {
-  std::size_t e = 0;
-  for (const XStack& st : entity_stacks_) e += st.size;
-  std::size_t v = 0;
-  for (const VarStack& st : var_stacks_) v += st.size;
-  peak_entity_copies_ = std::max(peak_entity_copies_, e);
-  peak_var_copies_ = std::max(peak_var_copies_, v);
 }
 
 }  // namespace pardb::rollback

@@ -93,21 +93,26 @@ class McsStrategy final : public RollbackStrategy {
 
   Element* AllocElems(std::uint32_t cap);
   void FreeElems(Element* p, std::uint32_t cap);
+  // Returns true when the write pushed a new element (vs overwriting the
+  // top in place) so callers can maintain the copy counters incrementally.
   template <typename S>
-  void RecordWrite(S& s, Value value, LockIndex lock_index);
+  bool RecordWrite(S& s, Value value, LockIndex lock_index);
   XStack* FindStack(EntityId entity);
   const XStack* FindStack(EntityId entity) const;
   void InsertShared(EntityId entity, LockIndex lock_state);
   // Index of entity in shared_held_, or shared_held_.size().
   std::size_t SharedIndex(EntityId entity) const;
-  void UpdatePeaks();
 
   Arena* arena_ = nullptr;
   SmallVec<XStack, 4> entity_stacks_;   // X-held entities, sorted by id
   SmallVec<SharedRec, 4> shared_held_;  // S-held, sorted by id
-  std::vector<VarStack> var_stacks_;    // one per local variable
+  SmallVec<VarStack, 4> var_stacks_;    // one per local variable
   bool unlocked_ = false;
   bool monitoring_ = true;
+  // Live element totals, maintained incrementally (a full stack walk per
+  // write was the old Theorem-3 bookkeeping's hottest line).
+  std::size_t cur_entity_copies_ = 0;
+  std::size_t cur_var_copies_ = 0;
   std::size_t peak_entity_copies_ = 0;
   std::size_t peak_var_copies_ = 0;
 };

@@ -30,6 +30,12 @@ Result<txn::Program> WorkloadGenerator::Next() {
   if (o.min_locks == 0 || o.max_locks < o.min_locks) {
     return Status::InvalidArgument("invalid lock count range");
   }
+  // Template mode: once the pool is full, stamp renamed instances instead
+  // of drawing from the rng (see WorkloadOptions::num_templates).
+  if (o.num_templates > 0 && sequence_ >= o.num_templates) {
+    const txn::Program& t = templates_[sequence_ % o.num_templates];
+    return t.WithName("txn-" + std::to_string(sequence_++));
+  }
   const std::uint64_t universe =
       o.entity_universe.empty() ? o.num_entities : o.entity_universe.size();
   const std::uint32_t k = static_cast<std::uint32_t>(
@@ -114,7 +120,11 @@ Result<txn::Program> WorkloadGenerator::Next() {
     }
   }
   b.Commit();
-  return std::move(b).Build();
+  auto built = std::move(b).Build();
+  if (built.ok() && options_.num_templates > 0) {
+    templates_.push_back(built.value());
+  }
+  return built;
 }
 
 }  // namespace pardb::sim

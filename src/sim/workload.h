@@ -52,6 +52,12 @@ struct WorkloadOptions {
   // the hierarchical-order discipline that makes deadlock impossible
   // (useful as a control).
   bool sorted_entities = false;
+  // When > 0, only the first num_templates programs are drawn from the
+  // rng; every later program is a renamed copy of template
+  // (sequence % num_templates). Models a parameterized-statement OLTP mix:
+  // after the first cycle the engine's compile cache serves every
+  // admission from an existing entry. 0 = every program unique.
+  std::uint32_t num_templates = 0;
 };
 
 // Deterministic generator of random transaction programs. Two generators
@@ -70,6 +76,10 @@ class WorkloadGenerator {
   Rng rng_;
   ZipfianGenerator zipf_;
   std::uint64_t sequence_ = 0;
+  // First num_templates programs, kept for cycling (empty when 0). Rng
+  // draws stop once the pool is full, so a templated stream's tail costs
+  // no randomness — determinism is unaffected by how far it runs.
+  std::vector<txn::Program> templates_;
 };
 
 }  // namespace pardb::sim

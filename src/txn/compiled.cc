@@ -1,0 +1,221 @@
+#include "txn/compiled.h"
+
+#include <algorithm>
+
+namespace pardb::txn {
+
+namespace {
+
+// 64-bit multiply-fold mix (wyhash-style): one 128-bit multiply per block
+// instead of FNV's byte-at-a-time dependency chain — the admission path
+// hashes a whole program in a few dozen cycles.
+std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(h ^ v) * 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::uint64_t>(m) ^ static_cast<std::uint64_t>(m >> 64);
+}
+
+// The active payload of an operand: the var id or the immediate, selected
+// by the kind (which is hashed/compared separately, so the inactive field
+// never influences identity).
+std::uint64_t OperandWord(const Operand& o) {
+  return o.kind == Operand::Kind::kVar ? o.var
+                                       : static_cast<std::uint64_t>(o.imm);
+}
+
+// Content hash of the executable part of a program: the op sequence plus
+// the var-frame width. Names and initial var values are excluded —
+// initial values live in the rollback strategy (built per instance from
+// the Program), never in the µop stream.
+std::uint64_t HashProgram(const Program& p) {
+  std::uint64_t h = MixHash(0x243f6a8885a308d3ULL, p.num_vars());
+  for (const Op& op : p.ops()) {
+    const std::uint64_t packed =
+        static_cast<std::uint64_t>(op.code) |
+        (static_cast<std::uint64_t>(op.a.kind) << 8) |
+        (static_cast<std::uint64_t>(op.b.kind) << 16) |
+        (static_cast<std::uint64_t>(op.arith) << 24) |
+        (static_cast<std::uint64_t>(op.dst) << 32);
+    h = MixHash(h, packed);
+    h = MixHash(h, op.entity.value());
+    h = MixHash(h, OperandWord(op.a));
+    h = MixHash(h, OperandWord(op.b));
+  }
+  return h;
+}
+
+bool SameOperand(const Operand& x, const Operand& y) {
+  return x.kind == y.kind && OperandWord(x) == OperandWord(y);
+}
+
+// Executable-content equality, the collision guard behind HashProgram:
+// exactly the fields the hash consumes.
+bool SameExecutableContent(const Program& a, const Program& b) {
+  if (a.num_vars() != b.num_vars() || a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Op& x = a.op(i);
+    const Op& y = b.op(i);
+    if (x.code != y.code || x.entity != y.entity || x.dst != y.dst ||
+        x.arith != y.arith || !SameOperand(x.a, y.a) ||
+        !SameOperand(x.b, y.b)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Lowers one operand into the packed (value, flag) form.
+std::int64_t LowerOperand(const Operand& o, std::uint8_t var_flag,
+                          std::uint8_t* flags) {
+  if (o.kind == Operand::Kind::kVar) {
+    *flags |= var_flag;
+    return static_cast<std::int64_t>(o.var);
+  }
+  return o.imm;
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledProgram> CompiledProgram::Compile(
+    const Program& program) {
+  // dst is packed to 16 bits and the pc to 32; programs beyond either bound
+  // run interpreted (none exist in practice — the bail-out is a guard, not
+  // a code path workloads reach).
+  if (program.num_vars() > 0xFFFF) return nullptr;
+  if (program.size() >= 0xFFFFFFFFull) return nullptr;
+
+  auto compiled = std::make_shared<CompiledProgram>(Private{});
+  compiled->uops_.reserve(program.size());
+
+  const auto last_lock = program.LastLockRequestPosition();
+  std::uint32_t lock_count = 0;
+  // Entities with an earlier shared lock: a later LX on one of them is the
+  // S->X upgrade (the builder's protocol validation makes this the only
+  // legal re-lock, and two-phase means no lock follows an unlock — so the
+  // flag computed here matches what the lock manager reports at runtime in
+  // every interleaving, including re-execution after partial rollback).
+  std::vector<std::uint64_t> shared_held;
+
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const Op& op = program.op(i);
+    MicroOp u{};
+    u.lock_index = lock_count;
+    switch (op.code) {
+      case OpCode::kLockShared:
+      case OpCode::kLockExclusive: {
+        const bool exclusive = op.code == OpCode::kLockExclusive;
+        u.code = static_cast<std::uint8_t>(exclusive
+                                               ? MicroOpCode::kLockExclusive
+                                               : MicroOpCode::kLockShared);
+        u.entity = op.entity.value();
+        if (exclusive &&
+            std::find(shared_held.begin(), shared_held.end(),
+                      op.entity.value()) != shared_held.end()) {
+          u.flags |= kMicroFlagUpgrade;
+        }
+        if (!exclusive) shared_held.push_back(op.entity.value());
+        if (last_lock.has_value() && *last_lock == i) {
+          u.flags |= kMicroFlagLastLock;
+        }
+        ++lock_count;
+        break;
+      }
+      case OpCode::kUnlock:
+        u.code = static_cast<std::uint8_t>(MicroOpCode::kUnlock);
+        u.entity = op.entity.value();
+        break;
+      case OpCode::kRead:
+        u.code = static_cast<std::uint8_t>(MicroOpCode::kRead);
+        u.entity = op.entity.value();
+        u.dst = static_cast<std::uint16_t>(op.dst);
+        break;
+      case OpCode::kWrite:
+        u.code = static_cast<std::uint8_t>(MicroOpCode::kWrite);
+        u.entity = op.entity.value();
+        u.a = LowerOperand(op.a, kMicroFlagAVar, &u.flags);
+        break;
+      case OpCode::kCompute: {
+        u.dst = static_cast<std::uint16_t>(op.dst);
+        if (op.a.kind == Operand::Kind::kImm &&
+            op.b.kind == Operand::Kind::kImm) {
+          // Constant fold: the result is known now; emit a plain load.
+          Value v = 0;
+          switch (op.arith) {
+            case ArithOp::kAdd:
+              v = op.a.imm + op.b.imm;
+              break;
+            case ArithOp::kSub:
+              v = op.a.imm - op.b.imm;
+              break;
+            case ArithOp::kMul:
+              v = op.a.imm * op.b.imm;
+              break;
+          }
+          u.code = static_cast<std::uint8_t>(MicroOpCode::kLoadImm);
+          u.a = v;
+          break;
+        }
+        switch (op.arith) {
+          case ArithOp::kAdd:
+            u.code = static_cast<std::uint8_t>(MicroOpCode::kComputeAdd);
+            break;
+          case ArithOp::kSub:
+            u.code = static_cast<std::uint8_t>(MicroOpCode::kComputeSub);
+            break;
+          case ArithOp::kMul:
+            u.code = static_cast<std::uint8_t>(MicroOpCode::kComputeMul);
+            break;
+        }
+        u.a = LowerOperand(op.a, kMicroFlagAVar, &u.flags);
+        u.b = LowerOperand(op.b, kMicroFlagBVar, &u.flags);
+        break;
+      }
+      case OpCode::kCommit:
+        u.code = static_cast<std::uint8_t>(MicroOpCode::kCommit);
+        break;
+    }
+    compiled->uops_.push_back(u);
+  }
+  return compiled;
+}
+
+void CompileCache::GrowTable() {
+  const std::size_t new_size = slots_.empty() ? 64 : slots_.size() * 2;
+  std::vector<Slot> fresh(new_size);
+  const std::size_t mask = new_size - 1;
+  for (Slot& s : slots_) {
+    if (s.src == nullptr) continue;
+    std::size_t i = s.hash & mask;
+    while (fresh[i].src != nullptr) i = (i + 1) & mask;
+    fresh[i] = std::move(s);
+  }
+  slots_ = std::move(fresh);
+}
+
+std::shared_ptr<const CompiledProgram> CompileCache::Get(
+    const std::shared_ptr<const Program>& program) {
+  // Grow at 3/4 load, before probing, so the insert below always finds an
+  // empty slot.
+  if ((entries_ + 1) * 4 > slots_.size() * 3) GrowTable();
+  const std::uint64_t h = HashProgram(*program);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = h & mask;
+  while (slots_[i].src != nullptr) {
+    if (slots_[i].hash == h &&
+        SameExecutableContent(*slots_[i].src, *program)) {
+      ++stats_.hits;
+      return slots_[i].compiled;
+    }
+    i = (i + 1) & mask;
+  }
+  ++stats_.compiles;
+  auto compiled = CompiledProgram::Compile(*program);
+  if (compiled != nullptr) stats_.compiled_bytes += compiled->byte_size();
+  slots_[i].hash = h;
+  slots_[i].src = program;
+  slots_[i].compiled = compiled;
+  ++entries_;
+  return compiled;
+}
+
+}  // namespace pardb::txn

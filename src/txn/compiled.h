@@ -1,0 +1,139 @@
+#ifndef PARDB_TXN_COMPILED_H_
+#define PARDB_TXN_COMPILED_H_
+
+// Ahead-of-time compiled transaction programs (DESIGN D16).
+//
+// The engine used to re-decode the AoS `Op` vector on every step: an OpCode
+// switch, two Operand kind branches, an ArithOp switch, a lock-position
+// vector walk for the §5 last-lock check, and a granted-count read to name
+// the current lock index. Programs are straight-line (§2: the state index
+// IS the program counter, rollback is a pc reset), so every one of those
+// decisions is static: at admission each program is lowered exactly once
+// into a flat array of 32-byte µops with
+//   * a single fused opcode byte (arith folded into the opcode, both-imm
+//     computes folded into a load of the precomputed result),
+//   * pre-resolved raw entity ids and pre-folded immediates,
+//   * the lock index every strategy callback needs, pre-annotated per op
+//     (a static count of lock requests before the op — invariant under
+//     partial rollback, because rollback truncates `granted` to the same
+//     prefix it resets the pc to),
+//   * the upgrade and §5 last-lock-request flags precomputed on lock ops.
+//
+// A CompileCache keyed by the executable op content (names excluded: two
+// programs with identical op sequences execute identically) makes repeated
+// workload templates compile once and share one immutable µop stream.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "txn/program.h"
+
+namespace pardb::txn {
+
+// Fused opcodes: ArithOp is folded into the code byte and constant
+// computes are folded away entirely, so the executor switches exactly once
+// per op with no secondary decode.
+enum class MicroOpCode : std::uint8_t {
+  kLockShared = 0,
+  kLockExclusive,
+  kUnlock,
+  kRead,
+  kWrite,
+  kComputeAdd,
+  kComputeSub,
+  kComputeMul,
+  kLoadImm,  // var <- precomputed constant (both-imm compute, folded)
+  kCommit,
+};
+
+// MicroOp::flags bits.
+inline constexpr std::uint8_t kMicroFlagAVar = 1;      // a is a VarId
+inline constexpr std::uint8_t kMicroFlagBVar = 2;      // b is a VarId
+inline constexpr std::uint8_t kMicroFlagUpgrade = 4;   // lock op: S->X upgrade
+inline constexpr std::uint8_t kMicroFlagLastLock = 8;  // §5 last lock request
+
+// One decoded op, packed to 32 bytes so two µops share a cache line and a
+// typical workload program (6-20 ops) spans 3-10 lines fetched linearly.
+struct MicroOp {
+  std::uint8_t code;        // MicroOpCode
+  std::uint8_t flags;       // kMicroFlag*
+  std::uint16_t dst;        // kRead/kCompute*/kLoadImm destination var
+  std::uint32_t lock_index; // lock requests granted before this op
+  std::uint64_t entity;     // raw entity id (lock/unlock/read/write)
+  std::int64_t a;           // immediate value or VarId (kMicroFlagAVar)
+  std::int64_t b;           // immediate value or VarId (kMicroFlagBVar)
+};
+static_assert(sizeof(MicroOp) == 32, "MicroOp must stay cache-line packed");
+
+// An immutable compiled program: the µop stream plus the source metadata
+// the engine still needs at admission. Shared (via shared_ptr) between the
+// cache and every running instance; never mutated after Compile.
+class CompiledProgram {
+ public:
+  // Passkey: construction goes through Compile, but make_shared needs a
+  // public constructor to fold object and control block into one block.
+  struct Private {
+    explicit Private() = default;
+  };
+  explicit CompiledProgram(Private) {}
+
+  // Lowers `program` or returns nullptr when it cannot be represented
+  // (destination vars beyond uint16, or sizes beyond uint32 — such programs
+  // simply run on the interpreted fallback path).
+  static std::shared_ptr<const CompiledProgram> Compile(
+      const Program& program);
+
+  const MicroOp* uops() const { return uops_.data(); }
+  std::size_t size() const { return uops_.size(); }
+  std::size_t byte_size() const { return uops_.size() * sizeof(MicroOp); }
+
+ private:
+  std::vector<MicroOp> uops_;
+};
+
+// Per-engine compile cache (engines are single-threaded; no locking).
+// Keyed by the executable content of the op sequence — program names are
+// deliberately excluded, so a workload emitting "txn-0", "txn-1", ... over
+// repeated templates still hits. Initial var values are also excluded:
+// they live in the per-instance rollback strategy, never in the µop
+// stream, so programs differing only in seed values share one compilation.
+//
+// Open-addressed flat table probed by a block-mixed hash of the op fields;
+// a lookup materializes no key bytes, so the admission path costs one
+// pass over the ops plus a probe — no allocation on hit, and on miss only
+// the compiled program itself (plus amortized table growth).
+class CompileCache {
+ public:
+  struct Stats {
+    std::uint64_t compiles = 0;      // distinct programs lowered
+    std::uint64_t hits = 0;          // admissions served from the cache
+    std::uint64_t compiled_bytes = 0;  // total µop bytes resident
+  };
+
+  // Returns the compiled form of `program`, compiling on first sight.
+  // Returns nullptr (and caches the negative result) for programs the
+  // compiler rejects. The cache retains `program` as the collision guard
+  // for its slot, so entries pin their source programs alive.
+  std::shared_ptr<const CompiledProgram> Get(
+      const std::shared_ptr<const Program>& program);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::shared_ptr<const Program> src;  // nullptr marks an empty slot
+    std::shared_ptr<const CompiledProgram> compiled;
+  };
+
+  void GrowTable();
+
+  std::vector<Slot> slots_;  // power-of-two size; linear probing
+  std::size_t entries_ = 0;
+  Stats stats_;
+};
+
+}  // namespace pardb::txn
+
+#endif  // PARDB_TXN_COMPILED_H_

@@ -305,7 +305,9 @@ TEST(SharedProgramTest, ManyTransactionsShareOneProgram) {
   }
   ASSERT_TRUE(engine.RunToCompletion().ok());
   EXPECT_EQ(engine.metrics().commits, 10u);
-  EXPECT_EQ(shared.use_count(), 11);  // 10 transactions + local
+  // 10 transactions + local + the compile cache's collision-guard
+  // reference — still no per-transaction copies.
+  EXPECT_EQ(shared.use_count(), 12);
 }
 
 }  // namespace

@@ -98,6 +98,45 @@ TEST(HotpathGoldenTest, ShardedReportAndChainsMatchPreRewriteBytes) {
   EXPECT_EQ(chain.str(), ReadGolden("golden_sharded_chain.txt"));
 }
 
+// The D16 compiled µop path must be invisible in every deterministic
+// artifact: running the same pinned workloads on the fallback interpreter
+// (compile_programs = false) must reproduce the same pre-rewrite golden
+// bytes — report strings and journal chain heads alike.
+
+TEST(HotpathGoldenTest, SimGoldenBytesIdenticalWithCompileOff) {
+  sim::SimOptions opt = PinnedSim();
+  opt.engine.compile_programs = false;
+  auto rep = sim::RunSimulation(opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(rep->ToString() + "\n", ReadGolden("golden_sim_report.txt"));
+
+  std::ostringstream chain;
+  chain << "records " << rep->journal_records << "\n";
+  for (std::uint64_t c : rep->journal_chain) chain << ChainLine(c) << "\n";
+  EXPECT_EQ(chain.str(), ReadGolden("golden_sim_chain.txt"))
+      << "interpreter and compiled paths diverged (D16 contract broken)";
+}
+
+TEST(HotpathGoldenTest, ShardedGoldenBytesIdenticalWithCompileOff) {
+  par::ShardedOptions opt = PinnedSharded();
+  opt.engine.compile_programs = false;
+  auto rep = par::RunSharded(opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(par::ShardedReportToJson(rep.value()) + "\n",
+            ReadGolden("golden_sharded_report.json"));
+
+  std::ostringstream chain;
+  for (const auto& s : rep->shards) {
+    chain << "shard " << s.shard << " records " << s.journal_records << "\n";
+    for (std::uint64_t c : s.journal_chain) chain << ChainLine(c) << "\n";
+  }
+  chain << "coord\n";
+  for (std::uint64_t c : rep->coord_journal_chain) {
+    chain << ChainLine(c) << "\n";
+  }
+  EXPECT_EQ(chain.str(), ReadGolden("golden_sharded_chain.txt"));
+}
+
 // ---------------------------------------------------------------------------
 // Holders / WaitQueue / HeldBy emission contract on the paper fixtures.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,73 @@
+#include "bench/table_util.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pardb::bench {
+namespace {
+
+std::vector<std::string> Lines(const Table& t) {
+  std::ostringstream os;
+  t.Print(os);
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(os.str());
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(TableUtilTest, ColumnsAlignWhenCellExceedsHeaderWidth) {
+  Table t({"rate", "ok"});
+  // 7-digit cell, far wider than its 4-char header: the separator and
+  // every row must still pad to the widest cell in the column.
+  t.AddRow(std::uint64_t{1234567}, "y");
+  t.AddRow(std::uint64_t{9}, "n");
+  const auto lines = Lines(t);
+  ASSERT_EQ(lines.size(), 4u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.size(), lines[0].size()) << line;
+    EXPECT_EQ(line.front(), '|') << line;
+    EXPECT_EQ(line.back(), '|') << line;  // no trailing whitespace
+  }
+  // Pipes must sit in the same columns on every line.
+  for (std::size_t c = 0; c < lines[0].size(); ++c) {
+    if (lines[0][c] != '|') continue;
+    for (const auto& line : lines) EXPECT_EQ(line[c], '|') << line;
+  }
+  EXPECT_EQ(lines[0], "| rate    | ok |");
+  EXPECT_EQ(lines[1], "|---------|----|");
+  EXPECT_EQ(lines[2], "| 1234567 | y  |");
+  EXPECT_EQ(lines[3], "| 9       | n  |");
+}
+
+TEST(TableUtilTest, SeparatorMatchesHeaderDrivenWidths) {
+  Table t({"section", "n"});
+  t.AddRow("a", std::uint64_t{1});
+  const auto lines = Lines(t);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "| section | n |");
+  EXPECT_EQ(lines[1], "|---------|---|");
+  EXPECT_EQ(lines[2], "| a       | 1 |");
+}
+
+TEST(TableUtilTest, ShortRowsPadMissingCells) {
+  Table t({"a", "bb", "ccc"});
+  t.AddRow("x");
+  const auto lines = Lines(t);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "| x |    |     |");
+}
+
+TEST(TableUtilTest, FloatingPointCellsUseFixedPrecision) {
+  Table t({"v"});
+  t.AddRow(1.5);
+  const auto lines = Lines(t);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "| 1.500 |");
+}
+
+}  // namespace
+}  // namespace pardb::bench

@@ -56,6 +56,14 @@ throughput must stay at or above --min-hotpath-txns-per-sec (default
 210000: 10x the pinned ~21k pre-rewrite single-shard number). Wall-clock
 rates other than that floor are informational.
 
+When the file carries an enabled "compile" section (the D16 µop cache;
+absent pre-D16 and disabled on the --no-compile-cache ablation leg), the
+cache population counters (programs, compiles, hits, compiled_bytes) must
+match the baseline exactly — the pinned program set is identical on every
+host — and the cold lowering cost must stay at or below
+--max-compile-us-per-program (default 5.0 µs per unique program; warm
+cache hits are printed for reference, not gated).
+
 Usage:
   check_bench_regression.py \
       --current BENCH_parallel.json \
@@ -308,7 +316,8 @@ def check_cross_shard(current, baseline, min_goodput_ratio):
     return failures
 
 
-def check_hotpath(current, baseline, min_txns_per_sec):
+def check_hotpath(current, baseline, min_txns_per_sec,
+                  max_compile_us_per_program):
     failures = []
     # Deterministic counts: identical on every host and on both sides of
     # the rewrite (the workload, seeds and schedulers are pinned). Any
@@ -356,6 +365,34 @@ def check_hotpath(current, baseline, min_txns_per_sec):
         base = baseline[section][field] if baseline else 0
         print(f"hotpath: {section}.{field} = {current[section][field]:.0f} "
               f"(baseline {base:.0f}, informational)")
+    # D16 compile gates. The "compile" section is absent from pre-D16 files
+    # and disabled (enabled=0) on the --no-compile-cache ablation leg; both
+    # skip the cost ceiling. When enabled, the cache population counters are
+    # deterministic (same pinned program set on every host) and the cold
+    # lowering cost per unique program is capped.
+    comp = current.get("compile")
+    if comp and comp.get("enabled"):
+        base_comp = (baseline or {}).get("compile")
+        if base_comp and base_comp.get("enabled"):
+            for field in ("programs", "compiles", "hits", "compiled_bytes"):
+                if comp[field] != base_comp[field]:
+                    failures.append(
+                        f"hotpath: compile.{field} {comp[field]} != baseline "
+                        f"{base_comp[field]} (deterministic result drifted)")
+        us = comp["us_per_program"]
+        verdict = "ok" if us <= max_compile_us_per_program else "FAIL"
+        print(f"hotpath: compile {us:.3f} us/program cold "
+              f"(ceiling {max_compile_us_per_program}) {verdict}, "
+              f"{comp['hit_us_per_program']:.3f} us/program on hits, "
+              f"{comp['compiles']} compiles / {comp['hits']} hits over "
+              f"{comp['programs']} programs")
+        if us > max_compile_us_per_program:
+            failures.append(
+                f"hotpath: compile cost {us:.3f} us/program above ceiling "
+                f"{max_compile_us_per_program}")
+    else:
+        print("hotpath: compile cache disabled or absent; skipping "
+              "compile-cost gates")
     return failures
 
 
@@ -406,6 +443,7 @@ def main():
     ap.add_argument("--min-pipeline-speedup", type=float, default=1.25)
     ap.add_argument("--min-cross-goodput", type=float, default=0.8)
     ap.add_argument("--min-hotpath-txns-per-sec", type=float, default=210000.0)
+    ap.add_argument("--max-compile-us-per-program", type=float, default=5.0)
     args = ap.parse_args()
 
     failures = []
@@ -432,7 +470,8 @@ def main():
         failures += check_hotpath(
             load(args.current_hotpath),
             load(args.hotpath_baseline) if args.hotpath_baseline else None,
-            args.min_hotpath_txns_per_sec)
+            args.min_hotpath_txns_per_sec,
+            args.max_compile_us_per_program)
     if args.current_overhead:
         failures += check_overhead(load(args.current_overhead),
                                    args.max_overhead_pct)

@@ -32,6 +32,12 @@
 //   --txns=N --concurrency=N --entities=N --seed=N
 //   --locks=MIN:MAX --shared=F --zipf=T
 //   --pattern=scattered|clustered|three-phase
+//   --templates=N                    cycle the first N programs as renamed
+//                                    templates (compile-cache hit workload;
+//                                    0 = every program unique) [0]
+//   --no-compile-cache               run the fallback interpreter instead
+//                                    of compiled µop streams (bit-identical
+//                                    results; differential/ablation runs)
 //   --trace                          print the protocol event trace
 //   --log-level=debug|info|warning|error|off   (any subcommand; applied
 //                                    before anything is constructed)
@@ -339,6 +345,17 @@ Result<sim::SimOptions> BuildSimOptions(const Flags& flags) {
   PARDB_ASSIGN_OR_RETURN(
       auto pattern, ParsePattern(flags.GetString("pattern", "scattered")));
   opt.workload.pattern = pattern;
+  // Parameterized-statement mode: cycle the first N generated programs as
+  // templates (fresh names, identical ops), so the compile cache hits on
+  // every admission after the first cycle.
+  PARDB_ASSIGN_OR_RETURN(auto templates, flags.GetInt("templates", 0));
+  if (templates < 0) {
+    return Status::InvalidArgument("--templates must be >= 0");
+  }
+  opt.workload.num_templates = static_cast<std::uint32_t>(templates);
+  // Differential escape hatch: run the fallback interpreter instead of the
+  // compiled µop path (results are bit-identical either way; D16).
+  opt.engine.compile_programs = !flags.GetBool("no-compile-cache", false);
 
   const std::string locks = flags.GetString("locks", "3:6");
   auto colon = locks.find(':');
